@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: exact communication-volume counting (the
+//! `O(t³)` analytical counters behind the volume columns of the harnesses).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexdist_core::{g2dbc, sbc};
+use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+
+fn bench_lu_volume(c: &mut Criterion) {
+    let pattern = g2dbc::g2dbc(23);
+    let mut group = c.benchmark_group("lu_comm_volume");
+    group.sample_size(20);
+    for t in [60usize, 120] {
+        let a = TileAssignment::cyclic(&pattern, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &a, |b, a| {
+            b.iter(|| lu_comm_volume(black_box(a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky_volume(c: &mut Criterion) {
+    let pattern = sbc::sbc_extended(28).unwrap();
+    let mut group = c.benchmark_group("cholesky_comm_volume");
+    group.sample_size(20);
+    for t in [64usize, 128] {
+        let a = TileAssignment::extended(&pattern, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &a, |b, a| {
+            b.iter(|| cholesky_comm_volume(black_box(a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_extended_assignment(c: &mut Criterion) {
+    let pattern = sbc::sbc_extended(28).unwrap();
+    c.bench_function("extended_assignment_t128", |b| {
+        b.iter(|| TileAssignment::extended(black_box(&pattern), 128));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lu_volume,
+    bench_cholesky_volume,
+    bench_extended_assignment
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: pattern construction and cost evaluation.
+//!
+//! The paper notes pattern construction runs "once and for all ... a few
+//! seconds on a laptop" (§V-B); these benches pin that down.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexdist_core::{cholesky_cost, g2dbc, gcrm, lu_cost, sbc, twodbc};
+
+fn bench_g2dbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g2dbc_construction");
+    for p in [23u32, 97, 509] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| g2dbc::g2dbc(black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sbc(c: &mut Criterion) {
+    c.bench_function("sbc_construction_p496", |b| {
+        b.iter(|| sbc::sbc_extended(black_box(496)).unwrap());
+    });
+}
+
+fn bench_gcrm_run_once(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcrm_run_once");
+    group.sample_size(20);
+    for (p, r) in [(23u32, 22usize), (39, 27), (97, 42)] {
+        group.bench_with_input(
+            BenchmarkId::new("p_r", format!("{p}_{r}")),
+            &(p, r),
+            |b, &(p, r)| {
+                b.iter(|| gcrm::run_once(p, r, 7, gcrm::LoadMetric::Colrows).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let g = g2dbc::g2dbc(97);
+    let s = sbc::sbc_extended(28).unwrap();
+    let d = twodbc::two_dbc(10, 10);
+    c.bench_function("lu_cost_g2dbc_p97", |b| b.iter(|| lu_cost(black_box(&g))));
+    c.bench_function("cholesky_cost_sbc_p28", |b| {
+        b.iter(|| cholesky_cost(black_box(&s)))
+    });
+    c.bench_function("lu_cost_2dbc_10x10", |b| b.iter(|| lu_cost(black_box(&d))));
+}
+
+criterion_group!(benches, bench_g2dbc, bench_sbc, bench_gcrm_run_once, bench_cost_eval);
+criterion_main!(benches);

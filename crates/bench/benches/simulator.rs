@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: discrete-event simulator throughput (tasks
+//! simulated per second determines how large a figure sweep is practical).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexdist_bench::{paper_cost_model, paper_machine};
+use flexdist_core::{g2dbc, twodbc};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::{build_graph, simulate, Operation};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let assignment = TileAssignment::cyclic(&twodbc::two_dbc(4, 4), 60);
+    let cost = paper_cost_model();
+    c.bench_function("build_lu_graph_t60", |b| {
+        b.iter(|| build_graph(Operation::Lu, black_box(&assignment), &cost));
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let cost = paper_cost_model();
+    let mut group = c.benchmark_group("simulate_lu");
+    group.sample_size(10);
+    for t in [40usize, 80] {
+        let assignment = TileAssignment::cyclic(&g2dbc::g2dbc(23), t);
+        let tl = build_graph(Operation::Lu, &assignment, &cost);
+        let machine = paper_machine(23);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &tl, |b, tl| {
+            b.iter(|| simulate(black_box(tl), &machine));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky_simulation(c: &mut Criterion) {
+    let cost = paper_cost_model();
+    let assignment =
+        TileAssignment::extended(&flexdist_core::sbc::sbc_extended(28).unwrap(), 80);
+    let tl = build_graph(Operation::Cholesky, &assignment, &cost);
+    let machine = paper_machine(28);
+    let mut group = c.benchmark_group("simulate_cholesky");
+    group.sample_size(10);
+    group.bench_function("t80_p28", |b| {
+        b.iter(|| simulate(black_box(&tl), &machine));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_simulation,
+    bench_cholesky_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **Figure 7** — strong scaling at fixed matrix size `N = 200,000`:
+//! (a) LU with 2DBC vs G-2DBC, (b) Cholesky with SBC vs GCR&M, as the node
+//! budget `P` sweeps over the paper's range.
+//!
+//! For each `P`, the classical strategy uses the best exploitable subset of
+//! nodes (most square 2DBC / largest admissible SBC), while the paper's
+//! schemes use all `P`.
+//!
+//! `cargo run --release -p flexdist-bench --bin fig7_strong_scaling -- --op lu [--full]`
+
+use flexdist_bench::{f3, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
+use flexdist_core::{g2dbc, gcrm, sbc, twodbc};
+use flexdist_factor::{Operation, SimSetup};
+
+fn main() {
+    let args = Args::parse();
+    let op_name: String = args.get("op", "lu".to_string());
+    let full = args.flag("full");
+    let n = args.get("n", if full { 200_000 } else { 80_000 });
+    let seeds: u64 = args.get("seeds", 40);
+    let t = tiles_for(n);
+
+    let ps: Vec<u32> = vec![16, 20, 21, 22, 23, 25, 28, 30, 31, 32, 35, 36, 39];
+
+    match op_name.as_str() {
+        "lu" => {
+            eprintln!("# Figure 7a: LU strong scaling, N = {n} (t = {t})");
+            tsv_header(&["P", "distribution", "nodes_used", "gflops_total", "makespan_s"]);
+            for &p in &ps {
+                // Classical: best 2DBC possibly dropping nodes.
+                let (q, r, c) = twodbc::best_2dbc_at_most(p);
+                let rep = sim(Operation::Lu, t, q, &twodbc::two_dbc(r, c));
+                tsv_row(&[
+                    p.to_string(),
+                    format!("2DBC {r}x{c}"),
+                    q.to_string(),
+                    f3(rep.gflops()),
+                    f3(rep.makespan),
+                ]);
+                // G-2DBC on all P nodes.
+                let g = g2dbc::g2dbc(p);
+                let rep = sim(Operation::Lu, t, p, &g);
+                tsv_row(&[
+                    p.to_string(),
+                    format!("G-2DBC {}x{}", g.rows(), g.cols()),
+                    p.to_string(),
+                    f3(rep.gflops()),
+                    f3(rep.makespan),
+                ]);
+            }
+        }
+        "chol" => {
+            eprintln!("# Figure 7b: Cholesky strong scaling, N = {n} (t = {t})");
+            tsv_header(&["P", "distribution", "nodes_used", "gflops_total", "makespan_s"]);
+            for &p in &ps {
+                let q = sbc::largest_admissible_at_most(p).expect("P >= 1");
+                let pat = sbc::sbc_extended(q).expect("admissible");
+                let rep = sim(Operation::Cholesky, t, q, &pat);
+                tsv_row(&[
+                    p.to_string(),
+                    format!("SBC {}x{}", pat.rows(), pat.cols()),
+                    q.to_string(),
+                    f3(rep.gflops()),
+                    f3(rep.makespan),
+                ]);
+                let res = gcrm::search(
+                    p,
+                    &gcrm::GcrmConfig {
+                        n_seeds: seeds,
+                        ..Default::default()
+                    },
+                )
+                .expect("GCR&M covers every P");
+                let rep = sim(Operation::Cholesky, t, p, &res.best);
+                tsv_row(&[
+                    p.to_string(),
+                    format!("GCR&M {}x{}", res.best.rows(), res.best.cols()),
+                    p.to_string(),
+                    f3(rep.gflops()),
+                    f3(rep.makespan),
+                ]);
+            }
+        }
+        other => panic!("--op must be lu or chol, got {other:?}"),
+    }
+}
+
+fn sim(
+    op: Operation,
+    t: usize,
+    nodes: u32,
+    pattern: &flexdist_core::Pattern,
+) -> flexdist_runtime::SimReport {
+    SimSetup {
+        operation: op,
+        t,
+        cost: paper_cost_model(),
+        machine: paper_machine(nodes),
+    }
+    .run(pattern)
+}

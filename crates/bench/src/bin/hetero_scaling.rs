@@ -1,0 +1,87 @@
+//! **Extension** — heterogeneous nodes (paper §VI, "another avenue of
+//! research"): LU on a cluster whose nodes have different core counts,
+//! comparing
+//!
+//! * homogeneous 2DBC (ignores the speeds: the slowest nodes throttle it),
+//! * speed-weighted 1D column blocks (balanced but communication-heavy),
+//! * the column-based 2D rectangle partition of `flexdist-hetero`
+//!   (balanced *and* near-minimal perimeter).
+//!
+//! `cargo run --release -p flexdist-bench --bin hetero_scaling [-- --n 60000 --skew 3]`
+
+use flexdist_bench::{f3, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
+use flexdist_core::twodbc;
+use flexdist_dist::{lu_comm_volume, TileAssignment};
+use flexdist_factor::{Operation, SimSetup};
+use flexdist_hetero::{
+    column_partition, rect_cyclic_pattern, rect_tile_assignment, weighted_columns_assignment,
+    NodeSpeeds,
+};
+
+fn main() {
+    let args = Args::parse();
+    let m: usize = args.get("n", 60_000);
+    let skew: u32 = args.get("skew", 3);
+    let t = tiles_for(m);
+
+    // A 12-node machine: four fast (skew x 34 workers), eight standard.
+    let mut workers: Vec<u32> = vec![34 * skew; 4];
+    workers.extend(vec![34u32; 8]);
+    let p = workers.len() as u32;
+    let speeds = NodeSpeeds::from_worker_counts(&workers);
+
+    let mut machine = paper_machine(p);
+    machine.per_node_workers = Some(workers.clone());
+
+    let res = column_partition(&speeds);
+    eprintln!(
+        "# Heterogeneous LU, m = {m}, workers = {workers:?}; rect partition: {} columns, cost {:.3} (LB {:.3})",
+        res.columns, res.cost, res.lower_bound
+    );
+
+    let candidates: Vec<(&str, TileAssignment)> = vec![
+        (
+            "2DBC 4x3 (speed-blind)",
+            TileAssignment::cyclic(&twodbc::two_dbc(4, 3), t),
+        ),
+        (
+            "1D weighted columns (static)",
+            weighted_columns_assignment(&speeds, t),
+        ),
+        (
+            "2D rect partition (static)",
+            rect_tile_assignment(&res.partition, t),
+        ),
+        (
+            "2D rect partition (cyclic)",
+            TileAssignment::cyclic(&rect_cyclic_pattern(&res.partition, 12), t),
+        ),
+    ];
+
+    // Three workloads: GEMM and SYRK have uniform per-tile work (the
+    // matmul setting the partitioning literature targets), while LU's
+    // trailing matrix shrinks, which demands the cyclic variant.
+    for op in [Operation::Gemm, Operation::Syrk, Operation::Lu] {
+        eprintln!("# --- {} ---", op.name());
+        tsv_header(&[
+            "op", "distribution", "makespan_s", "gflops_total", "messages", "lu_comm_volume",
+        ]);
+        for (name, assignment) in &candidates {
+            let rep = SimSetup {
+                operation: op,
+                t,
+                cost: paper_cost_model(),
+                machine: machine.clone(),
+            }
+            .run_assignment(assignment);
+            tsv_row(&[
+                op.name().to_string(),
+                (*name).to_string(),
+                f3(rep.makespan),
+                f3(rep.gflops()),
+                rep.messages.to_string(),
+                lu_comm_volume(assignment).total().to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index). They share:
+//!
+//! * a tiny `--key value` argument parser ([`Args`]);
+//! * the calibrated machine model ([`paper_machine`], [`paper_cost_model`]):
+//!   34 worker cores per node at 30 GFlop/s sustained ≈ 1 TFlop/s per node,
+//!   100 Gb/s links — the scale of the paper's PlaFRIM testbed;
+//! * the matrix-size ladder used by the performance figures, scaled down by
+//!   default so a full figure regenerates in about a minute (`--full`
+//!   switches to the paper's 50k…200k sizes);
+//! * TSV output helpers (one row per plotted point).
+
+use flexdist_kernels::KernelCostModel;
+use flexdist_runtime::MachineConfig;
+use std::collections::HashMap;
+
+/// Tile size used throughout the paper's evaluation.
+pub const PAPER_TILE: usize = 500;
+
+/// Sustained per-core kernel rate calibrated so one 34-worker node delivers
+/// ~1 TFlop/s, the per-node ballpark of the paper's figures.
+pub const CORE_GFLOPS: f64 = 30.0;
+
+/// Minimal `--key value` / `--flag` argument parser.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics on a stray non-flag token.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {arg:?}; use --key value"));
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), value);
+        }
+        Self { map }
+    }
+
+    /// Typed lookup with default.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse as `T`.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag presence.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// The paper's cluster model with `p` nodes.
+#[must_use]
+pub fn paper_machine(p: u32) -> MachineConfig {
+    MachineConfig::paper_testbed(p)
+}
+
+/// The paper's kernel timing model (500×500 tiles).
+#[must_use]
+pub fn paper_cost_model() -> KernelCostModel {
+    KernelCostModel::uniform(PAPER_TILE, CORE_GFLOPS)
+}
+
+/// Matrix sizes (in elements) for the performance sweeps: the paper's
+/// 50,000…200,000 when `full`, otherwise scaled to 25,000…100,000 so a full
+/// sweep simulates in about a minute.
+#[must_use]
+pub fn matrix_sizes(full: bool) -> Vec<usize> {
+    if full {
+        vec![50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000]
+    } else {
+        vec![25_000, 40_000, 55_000, 70_000, 85_000, 100_000]
+    }
+}
+
+/// Tile count for a matrix of `m` elements per side.
+#[must_use]
+pub fn tiles_for(m: usize) -> usize {
+    (m / PAPER_TILE).max(1)
+}
+
+/// Print a TSV header line.
+pub fn tsv_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one TSV row.
+pub fn tsv_row(fields: &[String]) {
+    println!("{}", fields.join("\t"));
+}
+
+/// Format a float with 3 decimals (the precision the paper's tables use).
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_for_paper_sizes() {
+        assert_eq!(tiles_for(50_000), 100);
+        assert_eq!(tiles_for(200_000), 400);
+        assert_eq!(tiles_for(100), 1);
+    }
+
+    #[test]
+    fn sizes_ladders() {
+        assert_eq!(matrix_sizes(true).len(), 7);
+        assert!(matrix_sizes(false).iter().all(|&m| m <= 100_000));
+    }
+
+    #[test]
+    fn machine_calibration_gives_terascale_nodes() {
+        let m = paper_machine(4);
+        let c = paper_cost_model();
+        let node_gflops = f64::from(m.workers_per_node) * c.core_gflops;
+        assert!((950.0..1100.0).contains(&node_gflops), "{node_gflops}");
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,256 @@
+//! Subcommand implementations. Each returns its rendered output.
+
+use crate::args::Args;
+use crate::scheme::pattern_from_args;
+use flexdist_core::db::{PatternDb, Purpose};
+use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
+use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+use flexdist_factor::{build_graph, Operation, SimSetup};
+use flexdist_kernels::KernelCostModel;
+use flexdist_runtime::{render_gantt, simulate_traced, MachineConfig};
+use std::fmt::Write as _;
+
+fn parse_op(token: &str) -> Result<Operation, String> {
+    match token {
+        "lu" => Ok(Operation::Lu),
+        "chol" | "cholesky" => Ok(Operation::Cholesky),
+        "syrk" => Ok(Operation::Syrk),
+        other => Err(format!("unknown op {other:?} (expected lu, chol or syrk)")),
+    }
+}
+
+/// `flexdist pattern --p N [--scheme ...] [--seeds K] [--print]`
+///
+/// # Errors
+/// Propagates flag and admissibility errors.
+pub fn pattern(args: &Args) -> Result<String, String> {
+    let (kind, pat) = pattern_from_args(args, "g2dbc")?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} pattern for P = {}: {} x {} ({} undefined cells)",
+        kind.name(),
+        pat.n_nodes(),
+        pat.rows(),
+        pat.cols(),
+        pat.n_undefined()
+    );
+    let _ = writeln!(
+        out,
+        "LU cost T = {:.3}   symmetric cost = {:.3}   imbalance = {}",
+        cost::lu_cost(&pat),
+        cost::symmetric_cost(&pat, 4096),
+        pat.imbalance()
+    );
+    let _ = writeln!(
+        out,
+        "references: 2*sqrt(P) = {:.3}, sqrt(2P) = {:.3}, sqrt(3P/2) = {:.3}",
+        cost::ideal_lu_cost(pat.n_nodes()),
+        cost::sbc_cost_reference(pat.n_nodes()),
+        cost::gcrm_cost_reference(pat.n_nodes())
+    );
+    if args.flag("print") {
+        let _ = writeln!(out, "\n{pat}");
+    }
+    Ok(out)
+}
+
+/// `flexdist plan --p N [--tiles T]`
+///
+/// # Errors
+/// Propagates flag errors.
+pub fn plan(args: &Args) -> Result<String, String> {
+    let p: u32 = args.require("p")?;
+    if p == 0 {
+        return Err("--p must be positive".to_string());
+    }
+    let t: usize = args.get("tiles", 60)?;
+    let seeds: u64 = args.get("seeds", 30)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "strategies for P = {p} nodes on a {t}x{t} tile matrix:\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>5} | {:>8} {:>10} | {:>8} {:>10}",
+        "strategy", "nodes", "T(LU)", "LU sends", "T(sym)", "Chol sends"
+    );
+
+    let mut row = |name: &str, nodes: u32, pat: &flexdist_core::Pattern, lu_applicable: bool| {
+        let assignment = TileAssignment::extended(pat, t);
+        let lu_t = if lu_applicable {
+            format!("{:.2}", cost::lu_cost(pat))
+        } else {
+            "-".into()
+        };
+        let lu_v = if lu_applicable {
+            lu_comm_volume(&assignment).total().to_string()
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>5} | {:>8} {:>10} | {:>8.2} {:>10}",
+            name,
+            nodes,
+            lu_t,
+            lu_v,
+            cost::symmetric_cost(pat, 4096),
+            cholesky_comm_volume(&assignment).total()
+        );
+    };
+
+    let (r, c) = twodbc::best_shape(p);
+    row(&format!("2DBC {r}x{c}"), p, &twodbc::two_dbc(r, c), true);
+    let (q, r2, c2) = twodbc::best_2dbc_at_most(p);
+    if q != p {
+        row(
+            &format!("2DBC {r2}x{c2} (drop to {q})"),
+            q,
+            &twodbc::two_dbc(r2, c2),
+            true,
+        );
+    }
+    let g = g2dbc::g2dbc(p);
+    row(&format!("G-2DBC {}x{}", g.rows(), g.cols()), p, &g, true);
+    if let Some(ps) = sbc::largest_admissible_at_most(p) {
+        if let Ok(pat) = sbc::sbc_extended(ps) {
+            row(&format!("SBC {0}x{0} ({ps} nodes)", pat.rows()), ps, &pat, false);
+        }
+    }
+    if let Ok(res) = gcrm::search(
+        p,
+        &gcrm::GcrmConfig {
+            n_seeds: seeds,
+            ..Default::default()
+        },
+    ) {
+        row(
+            &format!("GCR&M {0}x{0}", res.best.rows()),
+            p,
+            &res.best,
+            false,
+        );
+    }
+    Ok(out)
+}
+
+fn machine_from_args(args: &Args, p: u32) -> Result<MachineConfig, String> {
+    let mut machine = MachineConfig::paper_testbed(p);
+    machine.workers_per_node = args.get("workers", machine.workers_per_node)?;
+    Ok(machine)
+}
+
+/// `flexdist simulate --op lu|chol|syrk --p N [--scheme S] [--n M] [--tile NB]`
+///
+/// # Errors
+/// Propagates flag and admissibility errors.
+pub fn simulate(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (kind, pat) = pattern_from_args(args, default_scheme)?;
+    let p = pat.n_nodes();
+    let nb: usize = args.get("tile", 500)?;
+    let n: usize = args.get("n", 40_000)?;
+    let t = (n / nb).max(1);
+    let gflops: f64 = args.get("gflops", 30.0)?;
+    let setup = SimSetup {
+        operation: op,
+        t,
+        cost: KernelCostModel::uniform(nb, gflops),
+        machine: machine_from_args(args, p)?,
+    };
+    let rep = setup.run(&pat);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} with {} on {p} nodes, m = {} ({t}x{t} tiles of {nb}):",
+        op.name(),
+        kind.name(),
+        t * nb
+    );
+    let _ = writeln!(out, "  makespan        {:.3} s", rep.makespan);
+    let _ = writeln!(
+        out,
+        "  throughput      {:.1} GFlop/s total, {:.1} per node",
+        rep.gflops(),
+        rep.gflops_per_node()
+    );
+    let _ = writeln!(out, "  messages        {}", rep.messages);
+    let _ = writeln!(
+        out,
+        "  peak memory     {:.1} MiB on the fullest node",
+        rep.max_peak_memory() as f64 / (1024.0 * 1024.0)
+    );
+    let _ = writeln!(out, "  utilization     {:.1} %", 100.0 * rep.utilization());
+    Ok(out)
+}
+
+/// `flexdist gantt --op lu|chol --p N [--t T] [--width W]`
+///
+/// # Errors
+/// Propagates flag and admissibility errors.
+pub fn gantt(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (kind, pat) = pattern_from_args(args, default_scheme)?;
+    let p = pat.n_nodes();
+    let t: usize = args.get("t", 16)?;
+    let width: usize = args.get("width", 72)?;
+    let machine = machine_from_args(args, p)?;
+    let assignment = TileAssignment::extended(&pat, t);
+    let tl = build_graph(op, &assignment, &KernelCostModel::uniform(500, 30.0));
+    let (rep, trace) = simulate_traced(&tl.graph, &machine);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} with {} on {p} nodes, {t}x{t} tiles — makespan {:.4} s, {} tasks:\n",
+        op.name(),
+        kind.name(),
+        rep.makespan,
+        rep.tasks
+    );
+    out.push_str(&render_gantt(&trace, &machine, width));
+    Ok(out)
+}
+
+/// `flexdist db --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]`
+///
+/// # Errors
+/// Propagates flag errors and file I/O failures.
+pub fn db(args: &Args) -> Result<String, String> {
+    let purpose = match args.get_str("purpose", "sym").as_str() {
+        "lu" => Purpose::Lu,
+        "sym" | "symmetric" => Purpose::Symmetric,
+        other => return Err(format!("unknown purpose {other:?} (expected lu or sym)")),
+    };
+    let p_max: u32 = args.get("pmax", 32)?;
+    let seeds: u64 = args.get("seeds", 20)?;
+    let db = PatternDb::build(purpose, p_max, seeds).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for e in db.iter() {
+        let _ = writeln!(
+            out,
+            "P = {:>3}: {:?} {}x{}  T = {:.3}",
+            e.p,
+            e.scheme,
+            e.pattern.rows(),
+            e.pattern.cols(),
+            e.cost
+        );
+    }
+    let _ = writeln!(out, "{} entries ({purpose:?})", db.len());
+    let path = args.get_str("out", "");
+    if !path.is_empty() {
+        std::fs::write(&path, db.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}

@@ -1,0 +1,118 @@
+//! Implementation of the `flexdist` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `pattern`  — build and print a distribution pattern with its costs;
+//! * `plan`     — rank all strategies for a node budget (the paper's
+//!   "my reservation got P nodes, what now?" scenario);
+//! * `simulate` — run the cluster simulator on a chosen setup;
+//! * `gantt`    — render an ASCII utilization chart of a simulated run;
+//! * `db`       — build the per-`P` best-pattern database as JSON.
+//!
+//! All command functions return the output as a `String` (printed by
+//! `main`), which keeps them unit-testable.
+
+pub mod args;
+pub mod commands;
+pub mod scheme;
+
+pub use args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+flexdist — data distributions for dense factorizations on any node count
+
+USAGE: flexdist <COMMAND> [--key value ...]
+
+COMMANDS:
+  pattern   --p N [--scheme 2dbc|g2dbc|sbc|gcrm] [--seeds K] [--print]
+  plan      --p N [--tiles T]
+  simulate  --op lu|chol|syrk --p N [--scheme S] [--n M] [--tile NB]
+  gantt     --op lu|chol --p N [--t T] [--width W]
+  db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
+
+Run a command with bad flags to see its specific requirements.";
+
+/// Dispatch a full argv (without the program name). Returns the rendered
+/// output or an error message.
+///
+/// # Errors
+/// Returns usage/validation messages for unknown commands or bad flags.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "pattern" => commands::pattern(&args),
+        "plan" => commands::plan(&args),
+        "simulate" => commands::simulate(&args),
+        "gantt" => commands::gantt(&args),
+        "db" => commands::db(&args),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn empty_argv_prints_usage() {
+        assert!(run(&[]).unwrap_err().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run(&sv(&["frobnicate"])).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(run(&sv(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn pattern_command_end_to_end() {
+        let out = run(&sv(&["pattern", "--p", "10", "--print"])).unwrap();
+        assert!(out.contains("G-2DBC"), "{out}");
+        assert!(out.contains("LU cost"), "{out}");
+        // The printed 6x10 grid (paper Fig. 3).
+        assert!(out.contains('9'), "{out}");
+    }
+
+    #[test]
+    fn simulate_command_end_to_end() {
+        let out = run(&sv(&[
+            "simulate", "--op", "lu", "--p", "6", "--n", "6000", "--tile", "500",
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("messages"), "{out}");
+    }
+
+    #[test]
+    fn gantt_command_end_to_end() {
+        let out = run(&sv(&["gantt", "--op", "chol", "--p", "3", "--t", "6", "--width", "20"]))
+            .unwrap();
+        assert!(out.contains("node   0 |"), "{out}");
+    }
+
+    #[test]
+    fn plan_command_end_to_end() {
+        let out = run(&sv(&["plan", "--p", "7", "--tiles", "14"])).unwrap();
+        assert!(out.contains("G-2DBC"), "{out}");
+        assert!(out.contains("GCR&M"), "{out}");
+    }
+
+    #[test]
+    fn db_command_without_out_prints_summary() {
+        let out = run(&sv(&["db", "--purpose", "lu", "--pmax", "6", "--seeds", "2"])).unwrap();
+        assert!(out.contains("P =   6") && out.contains("5 entries"), "{out}");
+    }
+}

@@ -1,0 +1,13 @@
+//! `flexdist` — the command-line front end. All logic lives in the library
+//! (`flexdist_cli`) so it stays unit-testable.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match flexdist_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

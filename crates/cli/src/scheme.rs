@@ -1,0 +1,119 @@
+//! Resolving `--scheme` flags into concrete patterns.
+
+use crate::args::Args;
+use flexdist_core::{g2dbc, gcrm, sbc, twodbc, Pattern};
+
+/// A named distribution scheme selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Plain 2DBC (most square shape).
+    TwoDbc,
+    /// Generalized 2DBC.
+    G2dbc,
+    /// Symmetric block cyclic (extended).
+    Sbc,
+    /// GCR&M search.
+    Gcrm,
+}
+
+impl SchemeKind {
+    /// Parse the `--scheme` token.
+    ///
+    /// # Errors
+    /// Errors on unknown names.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "2dbc" => Ok(Self::TwoDbc),
+            "g2dbc" => Ok(Self::G2dbc),
+            "sbc" => Ok(Self::Sbc),
+            "gcrm" => Ok(Self::Gcrm),
+            other => Err(format!(
+                "unknown scheme {other:?} (expected 2dbc, g2dbc, sbc or gcrm)"
+            )),
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::TwoDbc => "2DBC",
+            Self::G2dbc => "G-2DBC",
+            Self::Sbc => "SBC",
+            Self::Gcrm => "GCR&M",
+        }
+    }
+
+    /// Build the pattern for `p` nodes. GCR&M uses `seeds` restarts.
+    ///
+    /// # Errors
+    /// Errors when the scheme cannot serve this `p` (SBC inadmissible).
+    pub fn build(self, p: u32, seeds: u64) -> Result<Pattern, String> {
+        match self {
+            Self::TwoDbc => Ok(twodbc::best_2dbc(p)),
+            Self::G2dbc => Ok(g2dbc::g2dbc(p)),
+            Self::Sbc => sbc::sbc_extended(p).map_err(|e| e.to_string()),
+            Self::Gcrm => gcrm::search(
+                p,
+                &gcrm::GcrmConfig {
+                    n_seeds: seeds,
+                    ..Default::default()
+                },
+            )
+            .map(|r| r.best)
+            .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Resolve the scheme and pattern from common flags: `--scheme` (default
+/// `g2dbc` for LU-ish uses, callers may override the default), `--p`
+/// (required), `--seeds`.
+///
+/// # Errors
+/// Propagates parsing and admissibility errors.
+pub fn pattern_from_args(args: &Args, default_scheme: &str) -> Result<(SchemeKind, Pattern), String> {
+    let p: u32 = args.require("p")?;
+    if p == 0 {
+        return Err("--p must be positive".to_string());
+    }
+    let seeds: u64 = args.get("seeds", 30)?;
+    let kind = SchemeKind::parse(&args.get_str("scheme", default_scheme))?;
+    let pattern = kind.build(p, seeds)?;
+    Ok((kind, pattern))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_names() {
+        assert_eq!(SchemeKind::parse("2dbc").unwrap(), SchemeKind::TwoDbc);
+        assert_eq!(SchemeKind::parse("gcrm").unwrap(), SchemeKind::Gcrm);
+        assert!(SchemeKind::parse("nope").is_err());
+    }
+
+    #[test]
+    fn builds_patterns() {
+        assert_eq!(SchemeKind::G2dbc.build(23, 1).unwrap().cols(), 23);
+        assert!(SchemeKind::Sbc.build(23, 1).is_err());
+        assert!(SchemeKind::Sbc.build(21, 1).is_ok());
+        let g = SchemeKind::Gcrm.build(5, 3).unwrap();
+        assert!(g.is_square());
+    }
+
+    #[test]
+    fn resolves_from_args() {
+        let args = Args::parse(&["--p".into(), "10".into()]).unwrap();
+        let (kind, pat) = pattern_from_args(&args, "g2dbc").unwrap();
+        assert_eq!(kind, SchemeKind::G2dbc);
+        assert_eq!((pat.rows(), pat.cols()), (6, 10));
+    }
+
+    #[test]
+    fn zero_p_rejected() {
+        let args = Args::parse(&["--p".into(), "0".into()]).unwrap();
+        assert!(pattern_from_args(&args, "g2dbc").is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Pattern database — the deployment vehicle the paper's conclusion
+//! sketches: "one could imagine to provide a database containing, for each
+//! possible value of P, a very efficient pattern for the symmetric case"
+//! (§VI). Since patterns depend only on `P` (never on the matrix size),
+//! they are computed once and reused forever.
+//!
+//! A [`PatternDb`] holds one entry per node count, each carrying the best
+//! pattern found for a *purpose* (LU or symmetric), its cost, and how it
+//! was produced. The database serializes to JSON.
+
+use crate::cost::{cholesky_cost, lu_cost};
+use crate::gcrm::{self, GcrmConfig};
+use crate::pattern::Pattern;
+use crate::{g2dbc, sbc, twodbc, PatternError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a stored pattern is optimized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Purpose {
+    /// Non-symmetric factorizations (LU): minimize `x̄ + ȳ`.
+    Lu,
+    /// Symmetric factorizations (Cholesky, SYRK): minimize `z̄`.
+    Symmetric,
+}
+
+/// How a stored pattern was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain 2D block cyclic.
+    TwoDbc,
+    /// Generalized 2DBC (paper §IV).
+    G2dbc,
+    /// Symmetric block cyclic (SC'22 baseline).
+    Sbc,
+    /// Greedy ColRow & Matching (paper §V).
+    Gcrm,
+}
+
+/// One database entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// Node count.
+    pub p: u32,
+    /// Producing scheme.
+    pub scheme: Scheme,
+    /// Communication cost under the entry's purpose metric.
+    pub cost: f64,
+    /// The pattern itself.
+    pub pattern: Pattern,
+}
+
+/// A per-`P` registry of the best known patterns for one [`Purpose`].
+///
+/// ```
+/// use flexdist_core::db::{PatternDb, Purpose, Scheme};
+///
+/// let db = PatternDb::build(Purpose::Lu, 12, 4).unwrap();
+/// // Awkward counts are served by G-2DBC, exact fits by plain 2DBC.
+/// assert_eq!(db.get(11).unwrap().scheme, Scheme::G2dbc);
+/// assert_eq!(db.get(12).unwrap().scheme, Scheme::TwoDbc);
+/// // The database round-trips through JSON.
+/// let back = PatternDb::from_json(&db.to_json()).unwrap();
+/// assert_eq!(db, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternDb {
+    purpose: Purpose,
+    entries: BTreeMap<u32, DbEntry>,
+}
+
+impl PatternDb {
+    /// Empty database for the given purpose.
+    #[must_use]
+    pub fn new(purpose: Purpose) -> Self {
+        Self {
+            purpose,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The purpose this database optimizes for.
+    #[must_use]
+    pub fn purpose(&self) -> Purpose {
+        self.purpose
+    }
+
+    /// Number of stored node counts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the stored entry for `p` nodes.
+    #[must_use]
+    pub fn get(&self, p: u32) -> Option<&DbEntry> {
+        self.entries.get(&p)
+    }
+
+    /// Insert `pattern` for `p` nodes if it beats (or first fills) the
+    /// stored entry; returns whether it was adopted. The cost is computed
+    /// with the database's purpose metric; symmetric candidates must be
+    /// square.
+    pub fn offer(&mut self, p: u32, scheme: Scheme, pattern: Pattern) -> bool {
+        let cost = match self.purpose {
+            Purpose::Lu => lu_cost(&pattern),
+            Purpose::Symmetric => {
+                if !pattern.is_square() {
+                    return false;
+                }
+                cholesky_cost(&pattern)
+            }
+        };
+        match self.entries.get(&p) {
+            Some(existing) if existing.cost <= cost + 1e-12 => false,
+            _ => {
+                self.entries.insert(
+                    p,
+                    DbEntry {
+                        p,
+                        scheme,
+                        cost,
+                        pattern,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Build a database covering `2..=p_max` with every applicable scheme:
+    /// for LU, best 2DBC and G-2DBC; for the symmetric case, SBC (where
+    /// admissible) and a GCR&M search with `seeds` restarts.
+    ///
+    /// # Errors
+    /// Propagates GCR&M failures (which cannot occur for `p ≥ 2` with the
+    /// default size bound).
+    pub fn build(purpose: Purpose, p_max: u32, seeds: u64) -> Result<Self, PatternError> {
+        let mut db = Self::new(purpose);
+        for p in 2..=p_max {
+            match purpose {
+                Purpose::Lu => {
+                    db.offer(p, Scheme::TwoDbc, twodbc::best_2dbc(p));
+                    db.offer(p, Scheme::G2dbc, g2dbc::g2dbc(p));
+                }
+                Purpose::Symmetric => {
+                    if let Ok(pat) = sbc::sbc_extended(p) {
+                        db.offer(p, Scheme::Sbc, pat);
+                    }
+                    let res = gcrm::search(
+                        p,
+                        &GcrmConfig {
+                            n_seeds: seeds,
+                            ..GcrmConfig::default()
+                        },
+                    )?;
+                    db.offer(p, Scheme::Gcrm, res.best);
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Serialize to pretty JSON.
+    ///
+    /// # Panics
+    /// Never (all entry types are serializable).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PatternDb serializes")
+    }
+
+    /// Parse a database back from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying parse error message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Iterate over entries in increasing `P`.
+    pub fn iter(&self) -> impl Iterator<Item = &DbEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_database_prefers_g2dbc_for_awkward_p() {
+        let db = PatternDb::build(Purpose::Lu, 24, 4).unwrap();
+        assert_eq!(db.len(), 23);
+        // P = 23 must be served by G-2DBC (cost ~9.65 vs 24 for 23x1).
+        let e = db.get(23).unwrap();
+        assert_eq!(e.scheme, Scheme::G2dbc);
+        assert!(e.cost < 10.0);
+        // P = 16 is a perfect square: both schemes coincide at cost 8; the
+        // first offered (2DBC) wins ties.
+        let e = db.get(16).unwrap();
+        assert_eq!(e.cost, 8.0);
+        assert_eq!(e.scheme, Scheme::TwoDbc);
+    }
+
+    #[test]
+    fn symmetric_database_mixes_sbc_and_gcrm() {
+        let db = PatternDb::build(Purpose::Symmetric, 12, 6).unwrap();
+        assert_eq!(db.len(), 11);
+        for e in db.iter() {
+            assert!(e.pattern.is_square(), "P = {}", e.p);
+            assert!(e.cost >= 1.0);
+        }
+        // Every P is covered even where SBC doesn't exist (e.g. 7).
+        assert!(db.get(7).is_some());
+    }
+
+    #[test]
+    fn offer_keeps_the_cheaper_pattern() {
+        let mut db = PatternDb::new(Purpose::Lu);
+        let bad = twodbc::two_dbc(6, 1);
+        let good = twodbc::two_dbc(3, 2);
+        assert!(db.offer(6, Scheme::TwoDbc, bad.clone()));
+        assert!(db.offer(6, Scheme::TwoDbc, good));
+        assert_eq!(db.get(6).unwrap().cost, 5.0);
+        // Re-offering the worse one changes nothing.
+        assert!(!db.offer(6, Scheme::TwoDbc, bad));
+        assert_eq!(db.get(6).unwrap().cost, 5.0);
+    }
+
+    #[test]
+    fn symmetric_database_rejects_rectangular_offers() {
+        let mut db = PatternDb::new(Purpose::Symmetric);
+        assert!(!db.offer(6, Scheme::TwoDbc, twodbc::two_dbc(3, 2)));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = PatternDb::build(Purpose::Lu, 8, 2).unwrap();
+        let json = db.to_json();
+        let back = PatternDb::from_json(&json).unwrap();
+        assert_eq!(db, back);
+        assert!(PatternDb::from_json("not json").is_err());
+    }
+}

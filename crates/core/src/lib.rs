@@ -1,0 +1,127 @@
+//! # flexdist-core
+//!
+//! Data distribution patterns for dense linear algebra factorizations, after
+//! *Data Distribution Schemes for Dense Linear Algebra Factorizations on Any
+//! Number of Nodes* (Beaumont, Collin, Eyraud-Dubois, Vérité — IPDPS 2023).
+//!
+//! A matrix split into square tiles is distributed over `P` homogeneous nodes
+//! by replicating a small [`Pattern`] cyclically: tile `(i, j)` belongs to the
+//! node in pattern cell `(i mod r, j mod c)`. Under the *owner-computes* rule
+//! the pattern alone determines both load balance and communication volume of
+//! tiled LU and Cholesky factorizations (paper §III).
+//!
+//! This crate provides:
+//!
+//! * [`Pattern`] — the grid of node ids (possibly with *undefined* diagonal
+//!   cells for symmetric schemes) plus validation and statistics;
+//! * [`cost`] — the paper's communication-cost metric `T(G)`
+//!   (`x̄ + ȳ` for LU, `z̄` for Cholesky, Eq. 1/2) and reference bounds;
+//! * [`twodbc`] — classical 2D Block-Cyclic patterns and best-shape search;
+//! * [`g2dbc`] — **G-2DBC**, the paper's generalized 2DBC valid for any `P`
+//!   with cost `≤ 2√P + 2/√P` (§IV, Lemma 2);
+//! * [`sbc`] — the Symmetric Block Cyclic baseline of Beaumont et al.
+//!   (SC'22), valid for `P = a(a−1)/2` or `P = a²/2`;
+//! * [`gcrm`] — **GCR&M**, the greedy-colrow-and-matching heuristic building
+//!   symmetric patterns for any `P` (§V, Algorithm 1), plus the multi-seed /
+//!   multi-size search driver used in the paper's evaluation;
+//! * [`db`] — the per-`P` best-pattern database the paper's conclusion
+//!   proposes, with JSON (de)serialization.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flexdist_core::{g2dbc, cost};
+//!
+//! // 23 nodes: no good plain 2DBC shape exists (23 is prime).
+//! let pattern = g2dbc::g2dbc(23);
+//! assert_eq!((pattern.rows(), pattern.cols()), (20, 23)); // b(b-1) x P
+//! let t = cost::lu_cost(&pattern);
+//! // Lemma 2: within 2/sqrt(P) of the ideal 2*sqrt(P).
+//! assert!(t <= 2.0 * (23f64).sqrt() + 2.0 / (23f64).sqrt());
+//! ```
+
+pub mod cost;
+pub mod db;
+pub mod g2dbc;
+pub mod gcrm;
+pub mod pattern;
+pub mod sbc;
+pub mod twodbc;
+
+pub use cost::{cholesky_cost, lu_cost, symmetric_cost, CostReport};
+pub use pattern::{NodeId, Pattern};
+
+/// Errors produced while building or validating distribution patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A pattern dimension was zero.
+    EmptyPattern,
+    /// The requested node count was zero.
+    ZeroNodes,
+    /// Operation requires a square pattern (Cholesky cost, GCR&M).
+    NotSquare {
+        /// Pattern rows.
+        rows: usize,
+        /// Pattern columns.
+        cols: usize,
+    },
+    /// `P` is not admissible for the requested SBC family.
+    SbcInadmissible {
+        /// Requested node count.
+        p: u32,
+    },
+    /// Pattern size `r` violates the balance condition
+    /// `ceil(r(r-1)/P) <= r^2 / P` (paper Eq. 3).
+    UnbalanceableSize {
+        /// Requested node count.
+        p: u32,
+        /// Requested pattern size.
+        r: usize,
+    },
+    /// A cell referenced a node id `>= n_nodes`.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: NodeId,
+        /// Declared number of nodes.
+        n_nodes: u32,
+    },
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyPattern => write!(f, "pattern has a zero dimension"),
+            Self::ZeroNodes => write!(f, "node count must be positive"),
+            Self::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square pattern, got {rows}x{cols}")
+            }
+            Self::SbcInadmissible { p } => write!(
+                f,
+                "P = {p} is not of the form a(a-1)/2 or a^2/2; no SBC pattern exists"
+            ),
+            Self::UnbalanceableSize { p, r } => write!(
+                f,
+                "pattern size r = {r} cannot be balanced over P = {p} nodes (Eq. 3)"
+            ),
+            Self::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node id {node} out of range (n_nodes = {n_nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PatternError::UnbalanceableSize { p: 23, r: 5 };
+        let s = e.to_string();
+        assert!(s.contains("23") && s.contains('5'));
+        let e = PatternError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Symmetric Block Cyclic (SBC) distribution — the baseline of Beaumont,
+//! Duchon, Eyraud-Dubois, Langou, Vérité (SC'22), reimplemented here as the
+//! comparison point for GCR&M (paper §I, §V).
+//!
+//! SBC builds a *square* `a × a` pattern in which every node appears on
+//! exactly two colrows, halving the per-node colrow presence compared to
+//! 2DBC and reducing the symmetric cost from `2√P − 1` to about `√(2P)`.
+//! It exists only for two node-count families:
+//!
+//! * `P = a(a−1)/2` — nodes are the unordered pairs `{u, v}` with
+//!   `u < v < a`; node `{u, v}` owns the two off-diagonal cells `(u, v)` and
+//!   `(v, u)`. Diagonal cells are left undefined and resolved per replica
+//!   (*extended* variant) or pinned to a colrow member (*basic* variant).
+//!   Cost: `z̄ = a − 1 ≈ √(2P) − 0.5`.
+//! * `P = a²/2` with `a` even — the pair nodes above plus `a/2` *diagonal
+//!   nodes*; diagonal node `k` owns cells `(2k, 2k)` and `(2k+1, 2k+1)`.
+//!   Cost: `z̄ = a = √(2P)`.
+
+use crate::pattern::{NodeId, Pattern};
+use crate::PatternError;
+
+/// Which SBC family a node count belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbcFamily {
+    /// `P = a(a−1)/2` (triangular numbers): pair nodes only.
+    Triangular {
+        /// Pattern size `a`.
+        a: usize,
+    },
+    /// `P = a²/2`, `a` even: pair nodes plus `a/2` diagonal nodes.
+    HalfSquare {
+        /// Pattern size `a`.
+        a: usize,
+    },
+}
+
+impl SbcFamily {
+    /// Pattern size `a` for this family.
+    #[must_use]
+    pub fn size(self) -> usize {
+        match self {
+            Self::Triangular { a } | Self::HalfSquare { a } => a,
+        }
+    }
+}
+
+/// Determine whether an SBC pattern exists for `P` nodes, and in which
+/// family. `P = a(a−1)/2` is preferred when `P` belongs to both families
+/// (never happens for `P > 1` since `a(a−1)/2 = b²/2` has no common values
+/// in range, but the tie-break is deterministic anyway).
+///
+/// ```
+/// use flexdist_core::sbc;
+///
+/// assert!(sbc::admissible(28).is_some());  // 28 = 8*7/2
+/// assert!(sbc::admissible(32).is_some());  // 32 = 8²/2
+/// assert!(sbc::admissible(23).is_none());  // the paper's motivating case
+/// ```
+#[must_use]
+pub fn admissible(p: u32) -> Option<SbcFamily> {
+    if p == 0 {
+        return None;
+    }
+    // a(a-1)/2 = p  =>  a = (1 + sqrt(1 + 8p)) / 2.
+    let disc = 1.0 + 8.0 * f64::from(p);
+    let a = ((1.0 + disc.sqrt()) / 2.0).round() as usize;
+    if a >= 2 && a * (a - 1) / 2 == p as usize {
+        return Some(SbcFamily::Triangular { a });
+    }
+    // a^2 / 2 = p, a even  =>  a = sqrt(2p).
+    let a = (2.0 * f64::from(p)).sqrt().round() as usize;
+    if a >= 2 && a.is_multiple_of(2) && a * a == 2 * p as usize {
+        return Some(SbcFamily::HalfSquare { a });
+    }
+    None
+}
+
+/// All admissible SBC node counts `≤ p_max`, in increasing order.
+#[must_use]
+pub fn admissible_up_to(p_max: u32) -> Vec<u32> {
+    (1..=p_max).filter(|&p| admissible(p).is_some()).collect()
+}
+
+/// The largest admissible SBC node count `≤ p`, if any. This is the
+/// paper's experimental fallback: "since there exists no SBC distribution
+/// using all the available nodes, it is necessary to use fewer nodes"
+/// (§V-C).
+#[must_use]
+pub fn largest_admissible_at_most(p: u32) -> Option<u32> {
+    (1..=p).rev().find(|&q| admissible(q).is_some())
+}
+
+/// Node id of the pair `{u, v}` (`u != v`) in an `a × a` SBC pattern.
+/// Pairs are numbered by the standard triangular enumeration of `u < v`.
+fn pair_node(a: usize, u: usize, v: usize) -> NodeId {
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    debug_assert!(hi < a && lo < hi);
+    // Number of pairs {x, y} with x < y and x < lo, plus offset within row:
+    // sum_{x=0}^{lo-1} (a - 1 - x) = lo(a-1) - lo(lo-1)/2.
+    let before: usize = lo * (a - 1) - lo * (lo.saturating_sub(1)) / 2;
+    (before + (hi - lo - 1)) as NodeId
+}
+
+/// Build the SBC pattern for `P` nodes with the diagonal left *undefined*
+/// (the **extended** variant: diagonal tiles are assigned greedily when the
+/// pattern is replicated over a matrix — see `flexdist-dist`).
+///
+/// For the `a²/2` family the diagonal *is* defined (diagonal nodes own it by
+/// construction).
+///
+/// # Errors
+/// [`PatternError::SbcInadmissible`] if `P` is not in either family.
+pub fn sbc_extended(p: u32) -> Result<Pattern, PatternError> {
+    let family = admissible(p).ok_or(PatternError::SbcInadmissible { p })?;
+    let a = family.size();
+    let mut pat = Pattern::undefined(a, a, p);
+    for u in 0..a {
+        for v in 0..a {
+            if u != v {
+                pat.set(u, v, pair_node(a, u, v));
+            }
+        }
+    }
+    if let SbcFamily::HalfSquare { a } = family {
+        let n_pairs = (a * (a - 1) / 2) as NodeId;
+        for k in 0..a / 2 {
+            let node = n_pairs + k as NodeId;
+            pat.set(2 * k, 2 * k, node);
+            pat.set(2 * k + 1, 2 * k + 1, node);
+        }
+    }
+    Ok(pat)
+}
+
+/// Build the **basic** SBC pattern: like [`sbc_extended`] but with diagonal
+/// cells statically pinned. Cell `(i, i)` goes to the pair node
+/// `{i, (i+1) mod a}`, which already appears on colrow `i`, so the
+/// communication cost is unchanged; only the static load balance differs
+/// (those nodes own one extra cell).
+///
+/// # Errors
+/// [`PatternError::SbcInadmissible`] if `P` is not in either family.
+pub fn sbc_basic(p: u32) -> Result<Pattern, PatternError> {
+    let family = admissible(p).ok_or(PatternError::SbcInadmissible { p })?;
+    let mut pat = sbc_extended(p)?;
+    if matches!(family, SbcFamily::Triangular { .. }) {
+        let a = family.size();
+        for i in 0..a {
+            pat.set(i, i, pair_node(a, i, (i + 1) % a));
+        }
+    }
+    Ok(pat)
+}
+
+/// Analytic symmetric cost of the SBC pattern: `a − 1` for the triangular
+/// family, `a` for the half-square family.
+///
+/// # Errors
+/// [`PatternError::SbcInadmissible`] if `P` is not in either family.
+pub fn analytic_cost(p: u32) -> Result<f64, PatternError> {
+    match admissible(p).ok_or(PatternError::SbcInadmissible { p })? {
+        SbcFamily::Triangular { a } => Ok((a - 1) as f64),
+        SbcFamily::HalfSquare { a } => Ok(a as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cholesky_cost;
+
+    #[test]
+    fn admissible_families() {
+        // Triangular: 1, 3, 6, 10, 15, 21, 28, 36, 45 ...
+        assert_eq!(admissible(21), Some(SbcFamily::Triangular { a: 7 }));
+        assert_eq!(admissible(28), Some(SbcFamily::Triangular { a: 8 }));
+        assert_eq!(admissible(36), Some(SbcFamily::Triangular { a: 9 }));
+        // Half squares: 2, 8, 18, 32, 50 ...
+        assert_eq!(admissible(32), Some(SbcFamily::HalfSquare { a: 8 }));
+        assert_eq!(admissible(8), Some(SbcFamily::HalfSquare { a: 4 }));
+        // Not admissible (the paper's motivating cases).
+        for p in [23u32, 31, 35, 39] {
+            assert_eq!(admissible(p), None, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn admissible_list_matches_paper_fallbacks() {
+        // Table Ib: for P = 23 use 21 nodes; 31 -> 28; 35 -> 32; 39 -> 36.
+        assert_eq!(largest_admissible_at_most(23), Some(21));
+        assert_eq!(largest_admissible_at_most(31), Some(28));
+        assert_eq!(largest_admissible_at_most(35), Some(32));
+        assert_eq!(largest_admissible_at_most(39), Some(36));
+    }
+
+    #[test]
+    fn admissible_up_to_enumerates_both_families() {
+        let list = admissible_up_to(40);
+        assert_eq!(list, vec![1, 2, 3, 6, 8, 10, 15, 18, 21, 28, 32, 36]);
+    }
+
+    #[test]
+    fn pair_node_is_a_bijection() {
+        let a = 9;
+        let mut seen = vec![false; a * (a - 1) / 2];
+        for u in 0..a {
+            for v in (u + 1)..a {
+                let id = pair_node(a, u, v) as usize;
+                assert!(!seen[id], "pair ({u},{v}) collides at id {id}");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn triangular_pattern_structure() {
+        let p = sbc_extended(21).unwrap();
+        assert_eq!((p.rows(), p.cols()), (7, 7));
+        assert_eq!(p.n_undefined(), 7); // whole diagonal
+        assert!(p.validate().is_ok());
+        // Every node owns exactly two cells, symmetric across the diagonal.
+        assert!(p.is_balanced());
+        assert_eq!(p.node_cell_counts(), vec![2; 21]);
+        for u in 0..7 {
+            for v in 0..7 {
+                if u != v {
+                    assert_eq!(p.get(u, v), p.get(v, u), "symmetry at ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_square_pattern_structure() {
+        let p = sbc_extended(32).unwrap();
+        assert_eq!((p.rows(), p.cols()), (8, 8));
+        assert!(p.is_fully_defined());
+        assert!(p.validate().is_ok());
+        assert!(p.is_balanced());
+        assert_eq!(p.node_cell_counts(), vec![2; 32]);
+    }
+
+    #[test]
+    fn table_1b_sbc_costs() {
+        // Paper Table Ib: P=21 -> T=6, P=28 -> 7, P=32 -> 8, P=36 -> 8.
+        for (p, expect) in [(21u32, 6.0), (28, 7.0), (32, 8.0), (36, 8.0)] {
+            let pat = sbc_extended(p).unwrap();
+            assert_eq!(cholesky_cost(&pat), expect, "P = {p}");
+            assert_eq!(analytic_cost(p).unwrap(), expect, "analytic P = {p}");
+        }
+    }
+
+    #[test]
+    fn basic_variant_does_not_increase_cost() {
+        for p in [21u32, 28, 32, 36] {
+            let basic = sbc_basic(p).unwrap();
+            let ext = sbc_extended(p).unwrap();
+            assert!(basic.is_fully_defined());
+            assert_eq!(cholesky_cost(&basic), cholesky_cost(&ext), "P = {p}");
+        }
+    }
+
+    #[test]
+    fn every_node_on_exactly_two_colrows() {
+        for p in [21u32, 32, 36] {
+            let pat = sbc_extended(p).unwrap();
+            let a = pat.rows();
+            let mut colrows_per_node = vec![0usize; p as usize];
+            for node in 0..p {
+                for i in 0..a {
+                    if pat.colrow_nodes(i).contains(&node) {
+                        colrows_per_node[node as usize] += 1;
+                    }
+                }
+            }
+            assert!(
+                colrows_per_node.iter().all(|&v| v == 2),
+                "P = {p}: {colrows_per_node:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sbc_cost_tracks_sqrt_2p() {
+        for p in admissible_up_to(200) {
+            if p < 3 {
+                continue;
+            }
+            let t = analytic_cost(p).unwrap();
+            let reference = crate::cost::sbc_cost_reference(p);
+            assert!(
+                (t - reference).abs() <= 1.0,
+                "P = {p}: T = {t}, sqrt(2P) = {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn inadmissible_p_errors() {
+        assert_eq!(
+            sbc_extended(23).unwrap_err(),
+            PatternError::SbcInadmissible { p: 23 }
+        );
+        assert!(admissible(0).is_none());
+    }
+}

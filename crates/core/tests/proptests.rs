@@ -1,0 +1,136 @@
+//! Property-based tests of the pattern constructions and cost metrics.
+
+use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc, Pattern};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemma 1 for arbitrary P: G-2DBC is perfectly balanced and valid.
+    #[test]
+    fn g2dbc_balanced_for_any_p(p in 1u32..400) {
+        let pat = g2dbc::g2dbc(p);
+        prop_assert!(pat.validate().is_ok());
+        prop_assert!(pat.is_balanced());
+        prop_assert_eq!(pat.n_nodes(), p);
+        // Dimensions per the construction.
+        let params = g2dbc::G2dbcParams::new(p);
+        prop_assert_eq!((pat.rows(), pat.cols()), params.pattern_dims());
+    }
+
+    /// Lemma 2 for arbitrary P: cost within 2/sqrt(P) of ideal.
+    #[test]
+    fn g2dbc_cost_bound_for_any_p(p in 1u32..600) {
+        let t = g2dbc::G2dbcParams::new(p).lu_cost();
+        prop_assert!(t <= cost::g2dbc_cost_bound(p) + 1e-9,
+            "P = {}: T = {} > bound {}", p, t, cost::g2dbc_cost_bound(p));
+        // And never better than the unconstrained optimum 2*sqrt(P) minus
+        // rounding slack.
+        prop_assert!(t + 1.0 >= cost::ideal_lu_cost(p));
+    }
+
+    /// The analytic G-2DBC cost always matches the measured pattern cost.
+    #[test]
+    fn g2dbc_analytic_matches_measured(p in 1u32..200) {
+        let params = g2dbc::G2dbcParams::new(p);
+        let pat = g2dbc::g2dbc(p);
+        prop_assert!((cost::lu_cost(&pat) - params.lu_cost()).abs() < 1e-9);
+    }
+
+    /// Cyclic ownership is periodic in both directions.
+    #[test]
+    fn tile_owner_periodicity(r in 1usize..12, c in 1usize..12, i in 0usize..600, j in 0usize..600) {
+        let pat = twodbc::two_dbc(r, c);
+        prop_assert_eq!(pat.tile_owner(i, j), pat.tile_owner(i + r, j));
+        prop_assert_eq!(pat.tile_owner(i, j), pat.tile_owner(i, j + c));
+        prop_assert_eq!(pat.tile_owner(i, j), Some(((i % r) * c + (j % c)) as u32));
+    }
+
+    /// 2DBC costs are exactly r + c / r + c - 1.
+    #[test]
+    fn twodbc_costs(r in 1usize..15, c in 1usize..15) {
+        let pat = twodbc::two_dbc(r, c);
+        prop_assert_eq!(cost::lu_cost(&pat), (r + c) as f64);
+        let sym = cost::symmetric_cost(&pat, usize::MAX);
+        prop_assert!((sym - (r + c - 1) as f64).abs() < 1e-9);
+    }
+
+    /// best_shape returns a true factorization minimizing r + c.
+    #[test]
+    fn best_shape_is_optimal(p in 1u32..500) {
+        let (r, c) = twodbc::best_shape(p);
+        prop_assert_eq!((r * c) as u32, p);
+        prop_assert!(r >= c);
+        for (r2, c2) in twodbc::factor_pairs(p) {
+            prop_assert!(r + c <= r2 + c2);
+        }
+    }
+
+    /// SBC: every admissible P yields a balanced, 2-cells-per-node pattern
+    /// whose measured cost equals the analytic formula.
+    #[test]
+    fn sbc_structure_for_any_admissible_p(pick in 0usize..1000) {
+        let admissible = sbc::admissible_up_to(600);
+        let p = admissible[pick % admissible.len()];
+        prop_assume!(p >= 3);
+        let pat = sbc::sbc_extended(p).unwrap();
+        prop_assert!(pat.validate().is_ok());
+        prop_assert!(pat.is_balanced());
+        prop_assert!(pat.node_cell_counts().iter().all(|&ct| ct == 2));
+        prop_assert_eq!(cost::cholesky_cost(&pat), sbc::analytic_cost(p).unwrap());
+        // Symmetric pattern: cell (i,j) == cell (j,i) off the diagonal.
+        for i in 0..pat.rows() {
+            for j in 0..i {
+                prop_assert_eq!(pat.get(i, j), pat.get(j, i));
+            }
+        }
+    }
+
+    /// GCR&M produces structurally valid patterns for random eligible sizes.
+    #[test]
+    fn gcrm_run_once_valid(p in 4u32..40, seed in 0u64..1000, size_pick in 0usize..100) {
+        let sizes = gcrm::eligible_sizes(p, 6.0);
+        prop_assume!(!sizes.is_empty());
+        let r = sizes[size_pick % sizes.len()];
+        let pat = gcrm::run_once(p, r, seed, gcrm::LoadMetric::Colrows).unwrap();
+        prop_assert_eq!((pat.rows(), pat.cols()), (r, r));
+        prop_assert_eq!(pat.n_undefined(), r);
+        // All off-diagonal cells assigned; total = r(r-1).
+        let total: usize = pat.node_cell_counts().iter().sum();
+        prop_assert_eq!(total, r * (r - 1));
+        // Cost bounded by the trivial upper bound P and at least 1.
+        let z = cost::cholesky_cost(&pat);
+        prop_assert!(z >= 1.0 && z <= p as f64);
+    }
+
+    /// The colrow metric on a square pattern equals the generic period-
+    /// averaged symmetric cost.
+    #[test]
+    fn symmetric_cost_consistency(pick in 0usize..1000) {
+        let admissible = sbc::admissible_up_to(200);
+        let p = admissible[pick % admissible.len()];
+        prop_assume!(p >= 3);
+        let pat = sbc::sbc_basic(p).unwrap();
+        let a = cost::cholesky_cost(&pat);
+        let b = cost::symmetric_cost(&pat, usize::MAX);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Transposition preserves every cost-relevant quantity (with rows and
+    /// columns swapped).
+    #[test]
+    fn transpose_swaps_costs(r in 1usize..10, c in 1usize..10) {
+        let pat = twodbc::two_dbc(r, c);
+        let t = pat.transposed();
+        prop_assert_eq!(cost::mean_row_distinct(&pat), cost::mean_col_distinct(&t));
+        prop_assert_eq!(cost::mean_col_distinct(&pat), cost::mean_row_distinct(&t));
+        prop_assert_eq!(cost::lu_cost(&pat), cost::lu_cost(&t));
+    }
+
+    /// Pattern (de)serialization round-trips.
+    #[test]
+    fn pattern_serde_roundtrip(p in 1u32..100) {
+        let pat = g2dbc::g2dbc(p);
+        let json = serde_json::to_string(&pat).unwrap();
+        let back: Pattern = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(pat, back);
+    }
+}

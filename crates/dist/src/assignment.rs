@@ -1,0 +1,310 @@
+//! Mapping matrix tiles to nodes by cyclic pattern replication.
+
+use flexdist_core::{NodeId, Pattern};
+use serde::{Deserialize, Serialize};
+
+/// Owner map of a `t × t` tiled matrix: `owner(i, j)` is the node that
+/// stores tile `(i, j)` and, under the owner-computes rule, performs every
+/// task writing it.
+///
+/// Built from a [`Pattern`] by cyclic replication (`tile (i,j) → cell
+/// (i mod r, j mod c)`). Patterns with undefined diagonal cells use the
+/// *extended* assignment of paper §V: every tile landing on an undefined
+/// cell is placed greedily on the least-loaded node among those already
+/// present on the corresponding pattern colrow, so different replicas of
+/// the same pattern cell may end up on different nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileAssignment {
+    t: usize,
+    n_nodes: u32,
+    owners: Vec<NodeId>,
+}
+
+impl TileAssignment {
+    /// Replicate a fully-defined pattern over a `t × t` tile grid.
+    ///
+    /// ```
+    /// use flexdist_core::twodbc;
+    /// use flexdist_dist::TileAssignment;
+    ///
+    /// let a = TileAssignment::cyclic(&twodbc::two_dbc(2, 3), 12);
+    /// assert_eq!(a.owner(0, 0), 0);
+    /// assert_eq!(a.owner(2, 3), 0); // wraps every 2 rows / 3 columns
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `t == 0` or if the pattern has undefined cells (use
+    /// [`TileAssignment::extended`] for those).
+    #[must_use]
+    pub fn cyclic(pattern: &Pattern, t: usize) -> Self {
+        assert!(t > 0, "matrix must have at least one tile");
+        assert!(
+            pattern.is_fully_defined(),
+            "pattern has undefined cells; use TileAssignment::extended"
+        );
+        let mut owners = Vec::with_capacity(t * t);
+        for i in 0..t {
+            for j in 0..t {
+                owners.push(pattern.tile_owner(i, j).expect("fully defined"));
+            }
+        }
+        Self {
+            t,
+            n_nodes: pattern.n_nodes(),
+            owners,
+        }
+    }
+
+    /// Replicate a square pattern whose diagonal cells may be undefined
+    /// (extended SBC / GCR&M). Tiles `(i, j)` with `i ≡ j (mod r)` map to a
+    /// diagonal pattern cell; when that cell is undefined the tile is
+    /// assigned to the least-loaded node among the nodes of pattern colrow
+    /// `i mod r` (load counted over the lower triangle, since symmetric
+    /// factorizations only store that half). The upper triangle mirrors the
+    /// lower one so the full map stays symmetric.
+    ///
+    /// Fully-defined patterns pass through unchanged (identical to
+    /// [`TileAssignment::cyclic`]).
+    ///
+    /// # Panics
+    /// Panics if `t == 0`, the pattern is not square, or an undefined cell
+    /// lies off the pattern diagonal.
+    #[must_use]
+    pub fn extended(pattern: &Pattern, t: usize) -> Self {
+        assert!(t > 0, "matrix must have at least one tile");
+        if pattern.is_fully_defined() {
+            return Self::cyclic(pattern, t);
+        }
+        assert!(
+            pattern.is_square(),
+            "undefined cells are only supported in square patterns"
+        );
+        let r = pattern.rows();
+        let n = pattern.n_nodes();
+        // Node sets per pattern colrow, precomputed once.
+        let colrow_nodes: Vec<Vec<NodeId>> =
+            (0..r).map(|i| pattern.colrow_nodes(i)).collect();
+
+        let mut owners = vec![NodeId::MAX; t * t];
+        let mut loads = vec![0usize; n as usize];
+
+        // First pass: defined cells of the lower triangle (i >= j).
+        for i in 0..t {
+            for j in 0..=i {
+                if let Some(node) = pattern.tile_owner(i, j) {
+                    owners[i * t + j] = node;
+                    loads[node as usize] += 1;
+                }
+            }
+        }
+        // Second pass: undefined cells, greedily balanced. Row-major order
+        // over the lower triangle, matching the paper's "successively
+        // assigning undefined tiles to the least loaded node among those
+        // present in the colrow".
+        for i in 0..t {
+            for j in 0..=i {
+                if owners[i * t + j] == NodeId::MAX {
+                    let cr = i % r;
+                    debug_assert_eq!(cr, j % r, "undefined cells are diagonal");
+                    let candidates = &colrow_nodes[cr];
+                    assert!(
+                        !candidates.is_empty(),
+                        "pattern colrow {cr} has no defined node"
+                    );
+                    let node = *candidates
+                        .iter()
+                        .min_by_key(|&&c| loads[c as usize])
+                        .expect("non-empty candidates");
+                    owners[i * t + j] = node;
+                    loads[node as usize] += 1;
+                }
+            }
+        }
+        // Mirror to the upper triangle.
+        for i in 0..t {
+            for j in (i + 1)..t {
+                owners[i * t + j] = owners[j * t + i];
+            }
+        }
+        Self {
+            t,
+            n_nodes: n,
+            owners,
+        }
+    }
+
+    /// Build an assignment from an arbitrary owner function (used by the
+    /// heterogeneous rectangle-partition distributions of
+    /// `flexdist-hetero`, which are not pattern-replications).
+    ///
+    /// # Panics
+    /// Panics if `t == 0`, `n_nodes == 0`, or the function returns an id
+    /// `>= n_nodes`.
+    #[must_use]
+    pub fn from_owner_fn(
+        t: usize,
+        n_nodes: u32,
+        mut owner: impl FnMut(usize, usize) -> NodeId,
+    ) -> Self {
+        assert!(t > 0, "matrix must have at least one tile");
+        assert!(n_nodes > 0, "need at least one node");
+        let mut owners = Vec::with_capacity(t * t);
+        for i in 0..t {
+            for j in 0..t {
+                let o = owner(i, j);
+                assert!(o < n_nodes, "owner {o} out of range ({n_nodes})");
+                owners.push(o);
+            }
+        }
+        Self { t, n_nodes, owners }
+    }
+
+    /// Number of tiles per matrix dimension.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.t
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Owner of tile `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn owner(&self, i: usize, j: usize) -> NodeId {
+        assert!(i < self.t && j < self.t, "tile ({i},{j}) out of bounds");
+        self.owners[i * self.t + j]
+    }
+
+    /// Tiles owned by each node over the full square.
+    #[must_use]
+    pub fn tile_counts_full(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_nodes as usize];
+        for &o in &self.owners {
+            counts[o as usize] += 1;
+        }
+        counts
+    }
+
+    /// Tiles owned by each node over the lower triangle (`i >= j`), the
+    /// relevant measure for symmetric factorizations.
+    #[must_use]
+    pub fn tile_counts_lower(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_nodes as usize];
+        for i in 0..self.t {
+            for j in 0..=i {
+                counts[self.owners[i * self.t + j] as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::{g2dbc, gcrm, sbc, twodbc};
+
+    #[test]
+    fn cyclic_replication_wraps() {
+        let pat = twodbc::two_dbc(2, 3);
+        let a = TileAssignment::cyclic(&pat, 7);
+        assert_eq!(a.owner(0, 0), 0);
+        assert_eq!(a.owner(2, 3), 0);
+        assert_eq!(a.owner(3, 5), 5);
+        assert_eq!(a.owner(6, 6), a.owner(0, 0));
+    }
+
+    #[test]
+    fn cyclic_full_counts_are_balanced_on_multiples() {
+        let pat = twodbc::two_dbc(4, 4);
+        let a = TileAssignment::cyclic(&pat, 16);
+        let counts = a.tile_counts_full();
+        assert!(counts.iter().all(|&c| c == 16), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn cyclic_rejects_undefined_patterns() {
+        let pat = sbc::sbc_extended(21).unwrap();
+        let _ = TileAssignment::cyclic(&pat, 10);
+    }
+
+    #[test]
+    fn extended_fills_diagonal_cells_from_colrow() {
+        let pat = sbc::sbc_extended(21).unwrap(); // 7x7, diagonal undefined
+        let t = 35;
+        let a = TileAssignment::extended(&pat, t);
+        for i in 0..t {
+            for j in 0..t {
+                let o = a.owner(i, j);
+                assert!(o < 21, "tile ({i},{j}) unassigned");
+                if i % 7 == j % 7 {
+                    // Tile maps to a diagonal pattern cell: its owner must
+                    // come from the pattern colrow (the invariant that keeps
+                    // the communication cost unchanged, paper §V).
+                    let cr = pat.colrow_nodes(i % 7);
+                    assert!(cr.contains(&o), "tile ({i},{j}) owner {o} not on colrow");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extended_is_symmetric() {
+        let pat = sbc::sbc_extended(28).unwrap();
+        let a = TileAssignment::extended(&pat, 23);
+        for i in 0..23 {
+            for j in 0..23 {
+                assert_eq!(a.owner(i, j), a.owner(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn extended_balances_diagonal_load() {
+        // With many replicas, the greedy diagonal placement keeps the lower
+        // triangle load spread tight: max/min close to 1.
+        let pat = sbc::sbc_extended(21).unwrap();
+        let t = 70; // 10 pattern replicas per dimension
+        let a = TileAssignment::extended(&pat, t);
+        let counts = a.tile_counts_lower();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Lower triangle has t(t+1)/2 = 2485 tiles over 21 nodes ~ 118 each.
+        assert!(
+            max - min <= 12,
+            "diagonal balancing too loose: {min}..{max} ({counts:?})"
+        );
+    }
+
+    #[test]
+    fn extended_on_defined_pattern_equals_cyclic() {
+        let pat = g2dbc::g2dbc(10);
+        let a = TileAssignment::extended(&pat, 12);
+        let b = TileAssignment::cyclic(&pat, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extended_works_for_gcrm_patterns() {
+        let pat = gcrm::run_once(13, 12, 7, gcrm::LoadMetric::Colrows).unwrap();
+        let a = TileAssignment::extended(&pat, 30);
+        let counts = a.tile_counts_lower();
+        assert_eq!(counts.iter().sum::<usize>(), 30 * 31 / 2);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn owner_bounds_checked() {
+        let pat = twodbc::two_dbc(2, 2);
+        let a = TileAssignment::cyclic(&pat, 4);
+        let _ = a.owner(4, 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # flexdist-dist
+//!
+//! Replicating a distribution [`Pattern`](flexdist_core::Pattern) over a
+//! concrete tiled matrix, and analysing the result.
+//!
+//! * [`TileAssignment`] — the `t × t` map from matrix tiles to owner nodes,
+//!   including the **extended** greedy placement of undefined (diagonal)
+//!   pattern cells used by extended SBC and GCR&M (paper §V);
+//! * [`comm`] — exact per-iteration communication-volume counting for
+//!   right-looking LU and Cholesky under the owner-computes rule, together
+//!   with the closed-form estimates of paper Eq. 1 / Eq. 2;
+//! * [`load`] — per-node tile-count and flop-weighted load reports.
+
+pub mod assignment;
+pub mod comm;
+pub mod load;
+
+pub use assignment::TileAssignment;
+pub use comm::{cholesky_comm_volume, gemm_comm_volume, lu_comm_volume, CommBreakdown};
+pub use load::LoadReport;

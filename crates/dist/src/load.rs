@@ -1,0 +1,155 @@
+//! Per-node load statistics for a tile assignment.
+//!
+//! Two weightings are provided: raw tile counts (storage balance) and
+//! flop-weighted counts (compute balance over the whole factorization).
+//! Under the owner-computes rule, the work attached to tile `(i, j)` is the
+//! chain of updates it receives: one GEMM per iteration `ℓ < min(i, j)`,
+//! plus the panel operation at `ℓ = min(i, j)`. Weighting each tile by
+//! `min(i, j) + 1` therefore ranks nodes by total kernel invocations, a
+//! good proxy for flops when all tiles have the same size.
+
+use crate::assignment::TileAssignment;
+use serde::{Deserialize, Serialize};
+
+/// Which factorization the load is measured for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadKind {
+    /// Full-matrix LU.
+    Lu,
+    /// Lower-triangle Cholesky.
+    Cholesky,
+}
+
+/// Per-node load summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// What was measured.
+    pub kind: LoadKind,
+    /// Weighted work units per node.
+    pub work: Vec<f64>,
+    /// Plain tile counts per node.
+    pub tiles: Vec<usize>,
+}
+
+impl LoadReport {
+    /// Compute the report for `a`.
+    #[must_use]
+    pub fn new(a: &TileAssignment, kind: LoadKind) -> Self {
+        let t = a.tiles();
+        let n = a.n_nodes() as usize;
+        let mut work = vec![0.0; n];
+        let mut tiles = vec![0usize; n];
+        for i in 0..t {
+            let cols: Box<dyn Iterator<Item = usize>> = match kind {
+                LoadKind::Lu => Box::new(0..t),
+                LoadKind::Cholesky => Box::new(0..=i),
+            };
+            for j in cols {
+                let o = a.owner(i, j) as usize;
+                tiles[o] += 1;
+                work[o] += (i.min(j) + 1) as f64;
+            }
+        }
+        Self { kind, work, tiles }
+    }
+
+    /// Ratio of the maximum node work to the mean (1.0 = perfectly
+    /// balanced; the factorization's parallel efficiency upper bound is the
+    /// reciprocal of this).
+    #[must_use]
+    pub fn max_over_mean(&self) -> f64 {
+        let max = self.work.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.work.iter().sum::<f64>() / self.work.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        max / mean
+    }
+
+    /// Coefficient of variation of the per-node work (std / mean).
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let n = self.work.len() as f64;
+        let mean = self.work.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self.work.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::{g2dbc, sbc, twodbc};
+
+    #[test]
+    fn lu_tile_counts_match_assignment() {
+        let pat = twodbc::two_dbc(2, 2);
+        let a = TileAssignment::cyclic(&pat, 8);
+        let rep = LoadReport::new(&a, LoadKind::Lu);
+        assert_eq!(rep.tiles.iter().sum::<usize>(), 64);
+        assert_eq!(rep.tiles, a.tile_counts_full());
+    }
+
+    #[test]
+    fn cholesky_counts_lower_triangle_only() {
+        let pat = twodbc::two_dbc(2, 2);
+        let a = TileAssignment::cyclic(&pat, 8);
+        let rep = LoadReport::new(&a, LoadKind::Cholesky);
+        assert_eq!(rep.tiles.iter().sum::<usize>(), 8 * 9 / 2);
+        assert_eq!(rep.tiles, a.tile_counts_lower());
+    }
+
+    #[test]
+    fn square_2dbc_is_well_balanced_for_lu() {
+        let pat = twodbc::two_dbc(4, 4);
+        let a = TileAssignment::cyclic(&pat, 64);
+        let rep = LoadReport::new(&a, LoadKind::Lu);
+        assert!(rep.max_over_mean() < 1.18, "{}", rep.max_over_mean());
+        assert!(rep.coefficient_of_variation() < 0.06);
+    }
+
+    #[test]
+    fn g2dbc_is_well_balanced_for_awkward_p() {
+        let pat = g2dbc::g2dbc(23);
+        let a = TileAssignment::cyclic(&pat, 120);
+        let rep = LoadReport::new(&a, LoadKind::Lu);
+        assert!(
+            rep.max_over_mean() < 1.08,
+            "G-2DBC imbalance {}",
+            rep.max_over_mean()
+        );
+    }
+
+    #[test]
+    fn degenerate_grid_balances_but_communicates() {
+        // The 23x1 grid is *balanced* (that is not its problem; cost is).
+        let pat = twodbc::two_dbc(23, 1);
+        let a = TileAssignment::cyclic(&pat, 115);
+        let rep = LoadReport::new(&a, LoadKind::Lu);
+        assert!(rep.max_over_mean() < 1.18, "{}", rep.max_over_mean());
+    }
+
+    #[test]
+    fn sbc_extended_balances_cholesky() {
+        let pat = sbc::sbc_extended(21).unwrap();
+        let a = crate::TileAssignment::extended(&pat, 105);
+        let rep = LoadReport::new(&a, LoadKind::Cholesky);
+        assert!(
+            rep.max_over_mean() < 1.12,
+            "SBC imbalance {}",
+            rep.max_over_mean()
+        );
+    }
+
+    #[test]
+    fn max_over_mean_of_empty_work_is_one() {
+        let pat = twodbc::two_dbc(1, 1);
+        let a = TileAssignment::cyclic(&pat, 1);
+        let rep = LoadReport::new(&a, LoadKind::Lu);
+        assert!(rep.max_over_mean() >= 1.0);
+        assert_eq!(rep.coefficient_of_variation(), 0.0);
+    }
+}

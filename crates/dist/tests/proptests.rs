@@ -1,0 +1,104 @@
+//! Property-based tests of tile assignment and communication counting.
+
+use flexdist_core::{cost, g2dbc, sbc, twodbc};
+use flexdist_dist::comm::{cholesky_comm_estimate, lu_comm_estimate};
+use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Eq. 1 is an over-approximation of the exact LU volume and converges
+    /// from above (domain shrinking only removes sends).
+    #[test]
+    fn lu_estimate_overapproximates(r in 1usize..6, c in 1usize..6, mult in 2usize..8) {
+        let pat = twodbc::two_dbc(r, c);
+        let t = mult * r.max(c);
+        let a = TileAssignment::cyclic(&pat, t);
+        let exact = lu_comm_volume(&a).trailing as f64;
+        let est = lu_comm_estimate(&pat, t);
+        prop_assert!(est >= exact - 1e-6, "estimate {} < exact {}", est, exact);
+    }
+
+    /// Same for Cholesky (Eq. 2) over SBC patterns.
+    #[test]
+    fn cholesky_estimate_overapproximates(pick in 0usize..6, mult in 2usize..6) {
+        let admissible = [3u32, 6, 8, 10, 15, 21];
+        let p = admissible[pick];
+        let pat = sbc::sbc_basic(p).unwrap();
+        let t = mult * pat.rows();
+        let a = TileAssignment::extended(&pat, t);
+        let exact = cholesky_comm_volume(&a).trailing as f64;
+        let est = cholesky_comm_estimate(&pat, t);
+        prop_assert!(est >= exact - 1e-6, "estimate {} < exact {}", est, exact);
+    }
+
+    /// Extended assignment: tiles on diagonal pattern cells always land on
+    /// a node of the corresponding pattern colrow, and the map is symmetric.
+    #[test]
+    fn extended_respects_colrows(pick in 0usize..5, t in 4usize..30) {
+        let admissible = [6u32, 10, 15, 21, 28];
+        let p = admissible[pick];
+        let pat = sbc::sbc_extended(p).unwrap();
+        let r = pat.rows();
+        let a = TileAssignment::extended(&pat, t);
+        for i in 0..t {
+            for j in 0..t {
+                prop_assert_eq!(a.owner(i, j), a.owner(j, i));
+                if i % r == j % r {
+                    let cr = pat.colrow_nodes(i % r);
+                    prop_assert!(cr.contains(&a.owner(i, j)));
+                } else {
+                    prop_assert_eq!(Some(a.owner(i, j)), pat.tile_owner(i, j));
+                }
+            }
+        }
+    }
+
+    /// Lower communication cost implies lower exact volume, across the
+    /// 2DBC shape family at fixed P (monotonicity of Eq. 1 in T).
+    #[test]
+    fn cost_orders_volumes_within_2dbc_family(mult in 3usize..8) {
+        let shapes = [(12usize, 1usize), (6, 2), (4, 3)];
+        let t = 12 * mult;
+        let mut last: Option<(f64, u64)> = None;
+        for (r, c) in shapes {
+            let pat = twodbc::two_dbc(r, c);
+            let vol = lu_comm_volume(&TileAssignment::cyclic(&pat, t)).trailing;
+            let tc = cost::lu_cost(&pat);
+            if let Some((pt, pv)) = last {
+                // Strictly smaller cost => strictly smaller volume.
+                if tc < pt {
+                    prop_assert!(vol < pv, "T {} < {} but volume {} >= {}", tc, pt, vol, pv);
+                }
+            }
+            last = Some((tc, vol));
+        }
+    }
+
+    /// Full tile counts are exactly balanced whenever t is a multiple of
+    /// both pattern dimensions (each replica contributes one full pattern).
+    #[test]
+    fn cyclic_balance_on_multiples(p in 2u32..60, mult in 1usize..4) {
+        let pat = g2dbc::g2dbc(p);
+        let t_lcm = flexdist_core::cost::lcm(pat.rows(), pat.cols());
+        prop_assume!(t_lcm * mult <= 400);
+        let a = TileAssignment::cyclic(&pat, t_lcm * mult);
+        let counts = a.tile_counts_full();
+        let first = counts[0];
+        prop_assert!(counts.iter().all(|&ct| ct == first), "{:?}", counts);
+    }
+
+    /// Panel volume is always dominated by trailing volume for big enough
+    /// matrices (the paper's justification for dropping it from Eq. 1/2).
+    #[test]
+    fn panel_term_is_lower_order(p in 4u32..40, mult in 4usize..8) {
+        let pat = g2dbc::g2dbc(p);
+        let t = pat.rows().max(pat.cols()) * mult / 2;
+        prop_assume!((8..=220).contains(&t));
+        let a = TileAssignment::cyclic(&pat, t);
+        let v = lu_comm_volume(&a);
+        prop_assert!(v.panel <= v.trailing,
+            "panel {} > trailing {} at t = {}", v.panel, v.trailing, t);
+    }
+}

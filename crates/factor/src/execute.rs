@@ -1,0 +1,453 @@
+//! Real multithreaded execution of a tiled factorization.
+//!
+//! The same task graph that drives the simulator is replayed with the
+//! actual `f64` kernels on a pool of worker threads, validating the whole
+//! distributed algorithm numerically. "Nodes" share memory here (this is
+//! the laptop-scale stand-in for the MPI cluster), but the DAG, the
+//! owner-computes mapping and the dependency structure are identical, and
+//! inter-node tile reads are counted so the communication profile can be
+//! checked against the simulator's.
+
+use crate::graphs::{Op, TaskList};
+use crossbeam::channel;
+use flexdist_kernels::matrix::TiledMatrix;
+use flexdist_kernels::{
+    gemm_nn, gemm_nt, getrf_nopiv, potrf, syrk_ln, trsm_left_lower_unit,
+    trsm_right_lower_trans, trsm_right_upper, KernelError,
+};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Outcome of a real execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Task reads whose tile owner differs from the executing node — the
+    /// shared-memory analogue of an inter-node transfer (no per-version
+    /// dedup, so this upper-bounds the simulator's message count).
+    pub remote_reads: u64,
+    /// First kernel error encountered (the run still drains the DAG).
+    pub error: Option<KernelError>,
+}
+
+/// Execute the task list against `matrix` on `n_threads` workers.
+///
+/// The matrix is consumed and returned factorized in place (packed `L`/`U`
+/// for LU, `L` in the lower triangle for Cholesky). For
+/// [`crate::Operation::Syrk`] an extra zero output matrix is allocated
+/// internally and returned instead of the input.
+///
+/// # Panics
+/// Panics if the task list was built for a different tile count than the
+/// matrix, or if `n_threads == 0`.
+pub fn execute(tl: &TaskList, matrix: TiledMatrix, n_threads: usize) -> (TiledMatrix, ExecReport) {
+    assert!(
+        !tl.ops.iter().any(|op| matches!(op, Op::GemmAb { .. })),
+        "GEMM task lists need two inputs; use execute_pair"
+    );
+    execute_impl(tl, matrix, None, n_threads)
+}
+
+/// Execute a two-input task list (`Operation::Gemm`): `C ← A·B`. Returns
+/// the freshly-allocated `C` and the report.
+///
+/// # Panics
+/// Panics on tile-count/size mismatches or `n_threads == 0`.
+pub fn execute_pair(
+    tl: &TaskList,
+    a: TiledMatrix,
+    b: TiledMatrix,
+    n_threads: usize,
+) -> (TiledMatrix, ExecReport) {
+    assert_eq!(a.tiles(), b.tiles(), "A/B tile mismatch");
+    assert_eq!(a.nb(), b.nb(), "A/B tile size mismatch");
+    execute_impl(tl, a, Some(b), n_threads)
+}
+
+fn execute_impl(
+    tl: &TaskList,
+    matrix: TiledMatrix,
+    second: Option<TiledMatrix>,
+    n_threads: usize,
+) -> (TiledMatrix, ExecReport) {
+    assert!(n_threads > 0, "need at least one worker thread");
+    assert_eq!(tl.t, matrix.tiles(), "task list / matrix tile mismatch");
+    let t = tl.t;
+    let nb = matrix.nb();
+    let n_tasks = tl.graph.n_tasks();
+
+    let to_store = |m: &TiledMatrix| -> Vec<RwLock<flexdist_kernels::Tile>> {
+        let mut v = Vec::with_capacity(t * t);
+        for i in 0..t {
+            for j in 0..t {
+                v.push(RwLock::new(m.tile(i, j).clone()));
+            }
+        }
+        v
+    };
+    // Tile storage: input/in-place matrix, an optional second input (GEMM's
+    // B), plus a C output for SYRK/GEMM accumulations.
+    let a_tiles = to_store(&matrix);
+    let b_tiles: Vec<RwLock<flexdist_kernels::Tile>> =
+        second.as_ref().map(&to_store).unwrap_or_default();
+    let needs_c = tl
+        .ops
+        .iter()
+        .any(|op| matches!(op, Op::SyrkAccumulate { .. } | Op::GemmAb { .. }));
+    let c_tiles: Vec<RwLock<flexdist_kernels::Tile>> = if needs_c {
+        (0..t * t)
+            .map(|_| RwLock::new(flexdist_kernels::Tile::zeros(nb)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Dependency counters and ready queue.
+    let deps: Vec<AtomicU32> = (0..n_tasks)
+        .map(|id| AtomicU32::new(tl.graph.n_deps_of(id as u32)))
+        .collect();
+    let (ready_tx, ready_rx) = channel::unbounded::<u32>();
+    for id in 0..n_tasks as u32 {
+        if deps[id as usize].load(Ordering::Relaxed) == 0 {
+            ready_tx.send(id).expect("queue open");
+        }
+    }
+    let completed = AtomicUsize::new(0);
+    let remote_reads = AtomicU64::new(0);
+    let first_error: Mutex<Option<KernelError>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let ready_rx = ready_rx.clone();
+            let ready_tx = ready_tx.clone();
+            let a_tiles = &a_tiles;
+            let b_tiles = &b_tiles;
+            let c_tiles = &c_tiles;
+            let deps = &deps;
+            let completed = &completed;
+            let remote_reads = &remote_reads;
+            let first_error = &first_error;
+            scope.spawn(move |_| {
+                while let Ok(id) = ready_rx.recv() {
+                    if id == u32::MAX {
+                        // Shutdown sentinel: propagate and exit.
+                        let _ = ready_tx.send(u32::MAX);
+                        break;
+                    }
+                    let op = tl.ops[id as usize];
+                    count_remote_reads(tl, id, remote_reads);
+                    if let Err(e) = run_op(op, t, nb, a_tiles, b_tiles, c_tiles) {
+                        first_error.lock().get_or_insert(e);
+                    }
+                    for &s in tl.graph.successors_of(id) {
+                        if deps[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let _ = ready_tx.send(s);
+                        }
+                    }
+                    if completed.fetch_add(1, Ordering::AcqRel) + 1 == n_tasks {
+                        let _ = ready_tx.send(u32::MAX);
+                    }
+                }
+            });
+        }
+        drop(ready_tx);
+        drop(ready_rx);
+    })
+    .expect("worker thread panicked");
+
+    assert_eq!(completed.load(Ordering::Acquire), n_tasks, "DAG not drained");
+
+    // Collect the result.
+    let c_lower_only = tl
+        .ops
+        .iter()
+        .any(|op| matches!(op, Op::SyrkAccumulate { .. }));
+    let mut out = TiledMatrix::zeros(t, nb);
+    let src = if needs_c { &c_tiles } else { &a_tiles };
+    for i in 0..t {
+        for j in 0..t {
+            if c_lower_only && j > i {
+                continue; // SYRK output is lower-triangular.
+            }
+            *out.tile_mut(i, j) = src[i * t + j].read().clone();
+        }
+    }
+    let report = ExecReport {
+        tasks: n_tasks,
+        remote_reads: remote_reads.load(Ordering::Acquire),
+        error: first_error.into_inner(),
+    };
+    (out, report)
+}
+
+/// Count reads of data whose home node differs from the executing node —
+/// the transfers an MPI execution would perform (before replica caching).
+fn count_remote_reads(tl: &TaskList, id: u32, counter: &AtomicU64) {
+    let node = tl.graph.node_of(id);
+    let remote = tl
+        .graph
+        .reads_of(id)
+        .iter()
+        .filter(|&&d| tl.graph.data_owner(d) != node)
+        .count() as u64;
+    if remote > 0 {
+        counter.fetch_add(remote, Ordering::Relaxed);
+    }
+}
+
+/// Execute one kernel against the shared tile storage. Locks are acquired
+/// write-tile-last with reads sorted by linear index, which together with
+/// the DAG's exclusive-writer guarantee keeps the locking deadlock-free.
+fn run_op(
+    op: Op,
+    t: usize,
+    nb: usize,
+    a: &[RwLock<flexdist_kernels::Tile>],
+    b: &[RwLock<flexdist_kernels::Tile>],
+    c: &[RwLock<flexdist_kernels::Tile>],
+) -> Result<(), KernelError> {
+    let idx = |i: usize, j: usize| i * t + j;
+    match op {
+        Op::Getrf { l } => {
+            let mut d = a[idx(l, l)].write();
+            getrf_nopiv(d.as_mut_slice(), nb)
+        }
+        Op::Potrf { l } => {
+            let mut d = a[idx(l, l)].write();
+            potrf(d.as_mut_slice(), nb)
+        }
+        Op::TrsmColUpper { i, l } => {
+            let diag = a[idx(l, l)].read();
+            let mut b = a[idx(i, l)].write();
+            trsm_right_upper(diag.as_slice(), b.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::TrsmRowLower { l, j } => {
+            let diag = a[idx(l, l)].read();
+            let mut b = a[idx(l, j)].write();
+            trsm_left_lower_unit(diag.as_slice(), b.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::TrsmLowerTrans { i, l } => {
+            let diag = a[idx(l, l)].read();
+            let mut b = a[idx(i, l)].write();
+            trsm_right_lower_trans(diag.as_slice(), b.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::GemmNn { i, j, l } => {
+            let left = a[idx(i, l)].read();
+            let right = a[idx(l, j)].read();
+            let mut out = a[idx(i, j)].write();
+            gemm_nn(-1.0, left.as_slice(), right.as_slice(), 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::GemmNt { i, j, l } => {
+            let left = a[idx(i, l)].read();
+            let right = a[idx(j, l)].read();
+            let mut out = a[idx(i, j)].write();
+            gemm_nt(-1.0, left.as_slice(), right.as_slice(), 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::SyrkUpdate { j, l } => {
+            let src = a[idx(j, l)].read();
+            let mut out = a[idx(j, j)].write();
+            syrk_ln(-1.0, src.as_slice(), 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::GemmAb { i, j, l } => {
+            let left = a[idx(i, l)].read();
+            let right = b[idx(l, j)].read();
+            let mut out = c[idx(i, j)].write();
+            gemm_nn(1.0, left.as_slice(), right.as_slice(), 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::SyrkAccumulate { i, j, l } => {
+            if i == j {
+                let src = a[idx(j, l)].read();
+                let mut out = c[idx(j, j)].write();
+                syrk_ln(1.0, src.as_slice(), 1.0, out.as_mut_slice(), nb);
+            } else {
+                let left = a[idx(i, l)].read();
+                let right = a[idx(j, l)].read();
+                let mut out = c[idx(i, j)].write();
+                gemm_nt(1.0, left.as_slice(), right.as_slice(), 1.0, out.as_mut_slice(), nb);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{build_graph, Operation};
+    use crate::residual::{cholesky_residual, lu_residual, syrk_residual};
+    use flexdist_core::{g2dbc, sbc, twodbc};
+    use flexdist_dist::TileAssignment;
+    use flexdist_kernels::KernelCostModel;
+
+    fn cost(nb: usize) -> KernelCostModel {
+        KernelCostModel::uniform(nb, 10.0)
+    }
+
+    #[test]
+    fn lu_factorization_is_numerically_correct() {
+        let (t, nb) = (6, 8);
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, 11);
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl = build_graph(Operation::Lu, &assign, &cost(nb));
+        let (factored, rep) = execute(&tl, a0.clone(), 4);
+        assert!(rep.error.is_none(), "{:?}", rep.error);
+        assert_eq!(rep.tasks, tl.graph.n_tasks());
+        let res = lu_residual(&a0, &factored);
+        assert!(res < 1e-11, "LU residual {res}");
+    }
+
+    #[test]
+    fn lu_with_g2dbc_distribution_matches_single_thread() {
+        let (t, nb) = (5, 6);
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, 7);
+        let assign = TileAssignment::cyclic(&g2dbc::g2dbc(10), t);
+        let tl = build_graph(Operation::Lu, &assign, &cost(nb));
+        let (par, _) = execute(&tl, a0.clone(), 4);
+        let (seq, _) = execute(&tl, a0.clone(), 1);
+        // The DAG forces a deterministic result up to FP addition order,
+        // which is itself fixed per-kernel: results must match exactly.
+        assert!(par.diff_norm(&seq) == 0.0, "parallel != sequential");
+        assert!(lu_residual(&a0, &par) < 1e-11);
+    }
+
+    #[test]
+    fn cholesky_on_sbc_is_numerically_correct() {
+        let (t, nb) = (7, 8);
+        let mut a0 = TiledMatrix::random_spd(t, nb, 5);
+        a0.symmetrize_from_lower();
+        let pat = sbc::sbc_extended(21).unwrap();
+        let assign = TileAssignment::extended(&pat, t);
+        let tl = build_graph(Operation::Cholesky, &assign, &cost(nb));
+        let (factored, rep) = execute(&tl, a0.clone(), 4);
+        assert!(rep.error.is_none(), "{:?}", rep.error);
+        let res = cholesky_residual(&a0, &factored);
+        assert!(res < 1e-11, "Cholesky residual {res}");
+    }
+
+    #[test]
+    fn cholesky_on_gcrm_is_numerically_correct() {
+        let (t, nb) = (8, 6);
+        let a0 = TiledMatrix::random_spd(t, nb, 9);
+        let pat = flexdist_core::gcrm::run_once(
+            13,
+            12,
+            3,
+            flexdist_core::gcrm::LoadMetric::Colrows,
+        )
+        .unwrap();
+        let assign = TileAssignment::extended(&pat, t);
+        let tl = build_graph(Operation::Cholesky, &assign, &cost(nb));
+        let (factored, rep) = execute(&tl, a0.clone(), 3);
+        assert!(rep.error.is_none());
+        assert!(cholesky_residual(&a0, &factored) < 1e-11);
+    }
+
+    #[test]
+    fn syrk_matches_reference_product() {
+        let (t, nb) = (4, 5);
+        let a0 = TiledMatrix::random_uniform(t, nb, 13);
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl = build_graph(Operation::Syrk, &assign, &cost(nb));
+        let (c, rep) = execute(&tl, a0.clone(), 4);
+        assert!(rep.error.is_none());
+        let res = syrk_residual(&a0, &c);
+        assert!(res < 1e-12, "SYRK residual {res}");
+    }
+
+    #[test]
+    fn remote_reads_counted() {
+        let (t, nb) = (4, 4);
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, 3);
+        // Single node: no remote reads. Multi-node: some.
+        let one = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), t);
+        let tl1 = build_graph(Operation::Lu, &one, &cost(nb));
+        let (_, rep1) = execute(&tl1, a0.clone(), 2);
+        assert_eq!(rep1.remote_reads, 0);
+
+        let four = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl4 = build_graph(Operation::Lu, &four, &cost(nb));
+        let (_, rep4) = execute(&tl4, a0, 2);
+        assert!(rep4.remote_reads > 0);
+    }
+
+    #[test]
+    fn potrf_error_is_reported_not_swallowed() {
+        let (t, nb) = (3, 4);
+        // Definitely not SPD.
+        let mut a0 = TiledMatrix::zeros(t, nb);
+        for d in 0..t {
+            for k in 0..nb {
+                a0.tile_mut(d, d).set(k, k, -1.0);
+            }
+        }
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), t);
+        let tl = build_graph(Operation::Cholesky, &assign, &cost(nb));
+        let (_, rep) = execute(&tl, a0, 2);
+        assert!(matches!(
+            rep.error,
+            Some(KernelError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn tile_count_mismatch_rejected() {
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), 4);
+        let tl = build_graph(Operation::Lu, &assign, &cost(4));
+        let m = TiledMatrix::zeros(5, 4);
+        let _ = execute(&tl, m, 1);
+    }
+}
+
+#[cfg(test)]
+mod gemm_tests {
+    use super::*;
+    use crate::graphs::{build_graph, Operation};
+    use crate::residual::gemm_residual;
+    use flexdist_core::{g2dbc, twodbc};
+    use flexdist_dist::TileAssignment;
+    use flexdist_kernels::KernelCostModel;
+
+    #[test]
+    fn gemm_matches_reference_product() {
+        let (t, nb) = (5, 6);
+        let a0 = TiledMatrix::random_uniform(t, nb, 1);
+        let b0 = TiledMatrix::random_uniform(t, nb, 2);
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl = build_graph(Operation::Gemm, &assign, &KernelCostModel::uniform(nb, 10.0));
+        let (c, rep) = execute_pair(&tl, a0.clone(), b0.clone(), 4);
+        assert!(rep.error.is_none());
+        assert_eq!(rep.tasks, t * t * t);
+        let res = gemm_residual(&a0, &b0, &c);
+        assert!(res < 1e-13, "GEMM residual {res}");
+    }
+
+    #[test]
+    fn gemm_deterministic_across_threads() {
+        let (t, nb) = (4, 5);
+        let a0 = TiledMatrix::random_uniform(t, nb, 3);
+        let b0 = TiledMatrix::random_uniform(t, nb, 4);
+        let assign = TileAssignment::cyclic(&g2dbc::g2dbc(5), t);
+        let tl = build_graph(Operation::Gemm, &assign, &KernelCostModel::uniform(nb, 10.0));
+        let (c1, _) = execute_pair(&tl, a0.clone(), b0.clone(), 1);
+        let (c4, _) = execute_pair(&tl, a0, b0, 4);
+        assert_eq!(c1.diff_norm(&c4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two inputs")]
+    fn single_input_entry_rejects_gemm_lists() {
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), 2);
+        let tl = build_graph(Operation::Gemm, &assign, &KernelCostModel::uniform(4, 10.0));
+        let m = TiledMatrix::zeros(2, 4);
+        let _ = execute(&tl, m, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # flexdist-factor
+//!
+//! Tiled dense factorizations on top of the distribution and runtime
+//! substrates: the "Chameleon" layer of the reproduction.
+//!
+//! Four operations are provided, each as a tiled algorithm
+//! submitted in sequential-task-flow order (dependencies inferred by
+//! `flexdist-runtime`):
+//!
+//! * **LU** without pivoting (`getrf_nopiv`, the variant Chameleon uses in
+//!   the paper's experiments) on a full `t × t` tile matrix;
+//! * **Cholesky** (`potrf`) on the lower triangle of an SPD matrix;
+//! * **SYRK** (`C ← A·Aᵀ`, lower triangle) — the other symmetric kernel the
+//!   SBC/GCR&M distributions target;
+//! * **GEMM** (`C ← A·B`, two inputs) — the uniform-work kernel the
+//!   communication-lower-bound literature starts from, and the native
+//!   workload of the heterogeneous rectangle partitions.
+//!
+//! Each operation can be
+//!
+//! * [`simulate`](simulate())d on a configurable cluster (makespan,
+//!   GFlop/s, message counts — the paper's plotted quantities), or
+//! * [`execute`](execute())d for real on a thread pool with the actual
+//!   `f64` kernels, validating the distributed algorithm numerically.
+
+pub mod execute;
+pub mod graphs;
+pub mod residual;
+pub mod simulate;
+pub mod solve;
+
+pub use execute::{execute, execute_pair, ExecReport};
+pub use graphs::{build_graph, Op, Operation, TaskList};
+pub use simulate::{simulate, SimSetup};
+pub use solve::{cholesky_solve, lu_solve, solve_residual, BlockVector};

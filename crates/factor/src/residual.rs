@@ -1,0 +1,112 @@
+//! Numerical validation of factorization outputs.
+
+use flexdist_kernels::matrix::TiledMatrix;
+
+/// Relative LU residual `‖A − L·U‖_F / ‖A‖_F` from the original matrix and
+/// the packed in-place factorization result.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn lu_residual(original: &TiledMatrix, factored: &TiledMatrix) -> f64 {
+    let (l, u) = factored.extract_lu();
+    let rec = l.multiply(&u);
+    rec.diff_norm(original) / original.frobenius_norm()
+}
+
+/// Relative Cholesky residual `‖A − L·Lᵀ‖_F / ‖A‖_F`. Only the lower
+/// triangle of `factored` is read; `original` must be fully symmetric.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn cholesky_residual(original: &TiledMatrix, factored: &TiledMatrix) -> f64 {
+    let l = factored.extract_cholesky_l();
+    let mut lt = TiledMatrix::zeros(l.tiles(), l.nb());
+    for i in 0..l.tiles() {
+        for j in 0..l.tiles() {
+            *lt.tile_mut(j, i) = l.tile(i, j).transposed();
+        }
+    }
+    let rec = l.multiply(&lt);
+    rec.diff_norm(original) / original.frobenius_norm()
+}
+
+/// Relative SYRK residual `‖C − A·Aᵀ‖_F / ‖A·Aᵀ‖_F`, comparing the computed
+/// lower triangle against a dense reference product.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn syrk_residual(a: &TiledMatrix, c_lower: &TiledMatrix) -> f64 {
+    let mut at = TiledMatrix::zeros(a.tiles(), a.nb());
+    for i in 0..a.tiles() {
+        for j in 0..a.tiles() {
+            *at.tile_mut(j, i) = a.tile(i, j).transposed();
+        }
+    }
+    let full = a.multiply(&at);
+    // Compare only the lower tile triangle (C's upper half is implicit).
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for i in 0..a.tiles() {
+        for j in 0..=i {
+            let cf = full.tile(i, j);
+            let cc = c_lower.tile(i, j);
+            let nb = a.nb();
+            for jj in 0..nb {
+                for ii in 0..nb {
+                    // On diagonal tiles only the lower element triangle of C
+                    // is defined (SYRK leaves the strict upper half alone).
+                    if i == j && ii < jj {
+                        continue;
+                    }
+                    let d = cf.get(ii, jj) - cc.get(ii, jj);
+                    num += d * d;
+                    den += cf.get(ii, jj) * cf.get(ii, jj);
+                }
+            }
+        }
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Relative GEMM residual `‖C − A·B‖_F / ‖A·B‖_F` against a dense
+/// reference product.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn gemm_residual(a: &TiledMatrix, b: &TiledMatrix, c: &TiledMatrix) -> f64 {
+    let reference = a.multiply(b);
+    reference.diff_norm(c) / reference.frobenius_norm().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_kernels::Tile;
+
+    #[test]
+    fn residual_zero_for_exact_identity_factors() {
+        // A = I: LU = I * I, Cholesky L = I.
+        let t = 3;
+        let nb = 4;
+        let mut a = TiledMatrix::zeros(t, nb);
+        for d in 0..t {
+            *a.tile_mut(d, d) = Tile::identity(nb);
+        }
+        assert!(lu_residual(&a, &a) < 1e-14);
+        assert!(cholesky_residual(&a, &a) < 1e-14);
+    }
+
+    #[test]
+    fn residual_detects_wrong_factors() {
+        let t = 2;
+        let nb = 3;
+        let a = TiledMatrix::random_spd(t, nb, 3);
+        let wrong = TiledMatrix::random_uniform(t, nb, 4);
+        assert!(cholesky_residual(&a, &wrong) > 0.1);
+        assert!(lu_residual(&a, &wrong) > 0.1);
+    }
+}

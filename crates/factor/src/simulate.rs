@@ -1,0 +1,164 @@
+//! Convenience wrapper: distribution pattern → task graph → cluster
+//! simulation.
+
+use crate::graphs::{build_graph, Operation};
+use flexdist_core::Pattern;
+use flexdist_dist::TileAssignment;
+use flexdist_kernels::KernelCostModel;
+use flexdist_runtime::{MachineConfig, SimReport};
+
+/// A complete simulated experiment description.
+///
+/// ```
+/// use flexdist_core::g2dbc;
+/// use flexdist_factor::{Operation, SimSetup};
+/// use flexdist_kernels::KernelCostModel;
+/// use flexdist_runtime::MachineConfig;
+///
+/// let setup = SimSetup {
+///     operation: Operation::Lu,
+///     t: 20,
+///     cost: KernelCostModel::uniform(500, 30.0),
+///     machine: MachineConfig::paper_testbed(10),
+/// };
+/// let report = setup.run(&g2dbc::g2dbc(10));
+/// assert!(report.makespan > 0.0);
+/// assert!(report.messages > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    /// The operation to run.
+    pub operation: Operation,
+    /// Tiles per matrix dimension.
+    pub t: usize,
+    /// Kernel timing model (also fixes the tile size `nb`).
+    pub cost: KernelCostModel,
+    /// Cluster description.
+    pub machine: MachineConfig,
+}
+
+impl SimSetup {
+    /// Matrix dimension `m = t · nb`.
+    #[must_use]
+    pub fn matrix_dim(&self) -> usize {
+        self.t * self.cost.nb
+    }
+
+    /// Simulate the operation under `pattern` (replicated with the extended
+    /// diagonal rule when the pattern has undefined cells).
+    ///
+    /// # Panics
+    /// Panics if the pattern's node count exceeds the machine's.
+    #[must_use]
+    pub fn run(&self, pattern: &Pattern) -> SimReport {
+        assert!(
+            pattern.n_nodes() <= self.machine.nodes,
+            "pattern uses {} nodes but the machine has {}",
+            pattern.n_nodes(),
+            self.machine.nodes
+        );
+        let assignment = TileAssignment::extended(pattern, self.t);
+        self.run_assignment(&assignment)
+    }
+
+    /// Simulate with an explicit tile assignment.
+    #[must_use]
+    pub fn run_assignment(&self, assignment: &TileAssignment) -> SimReport {
+        let tl = build_graph(self.operation, assignment, &self.cost);
+        simulate(&tl, &self.machine)
+    }
+}
+
+/// Simulate a prebuilt task list on `machine`.
+#[must_use]
+pub fn simulate(tl: &crate::graphs::TaskList, machine: &MachineConfig) -> SimReport {
+    flexdist_runtime::simulate(&tl.graph, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::{g2dbc, sbc, twodbc};
+
+    fn setup(op: Operation, nodes: u32, t: usize) -> SimSetup {
+        SimSetup {
+            operation: op,
+            t,
+            cost: KernelCostModel::uniform(64, 5.0),
+            machine: {
+                let mut m = MachineConfig::test_machine(nodes, 4);
+                m.latency = 2e-6;
+                m.bandwidth = 2e9;
+                m
+            },
+        }
+    }
+
+    #[test]
+    fn single_node_lu_has_no_messages() {
+        let s = setup(Operation::Lu, 1, 8);
+        let r = s.run(&twodbc::two_dbc(1, 1));
+        assert_eq!(r.messages, 0);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_speed_up_large_lu() {
+        let t = 24;
+        let one = setup(Operation::Lu, 1, t).run(&twodbc::two_dbc(1, 1));
+        let four = setup(Operation::Lu, 4, t).run(&twodbc::two_dbc(2, 2));
+        assert!(
+            four.makespan < one.makespan / 2.0,
+            "4 nodes {} vs 1 node {}",
+            four.makespan,
+            one.makespan
+        );
+    }
+
+    #[test]
+    fn g2dbc_beats_degenerate_grid_in_simulation() {
+        // The headline claim of the paper, at small scale: for P = 23 the
+        // G-2DBC distribution outruns the 23x1 2DBC grid.
+        let t = 23;
+        let s = setup(Operation::Lu, 23, t);
+        let bad = s.run(&twodbc::two_dbc(23, 1));
+        let good = s.run(&g2dbc::g2dbc(23));
+        assert!(
+            good.makespan < bad.makespan,
+            "G-2DBC {} !< 23x1 {}",
+            good.makespan,
+            bad.makespan
+        );
+        assert!(good.messages < bad.messages);
+    }
+
+    #[test]
+    fn cholesky_on_sbc_runs_and_communicates_less_than_2dbc() {
+        let t = 24;
+        let s = setup(Operation::Cholesky, 36, t);
+        let sbc_r = s.run(&sbc::sbc_extended(36).unwrap());
+        let dbc_r = s.run(&twodbc::two_dbc(6, 6));
+        assert!(sbc_r.messages < dbc_r.messages);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let s = setup(Operation::Cholesky, 4, 16);
+        let r = s.run(&twodbc::two_dbc(2, 2));
+        let u = r.utilization();
+        assert!(u > 0.05 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn matrix_dim_derives_from_cost_model() {
+        let s = setup(Operation::Lu, 1, 10);
+        assert_eq!(s.matrix_dim(), 640);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn pattern_larger_than_machine_rejected() {
+        let s = setup(Operation::Lu, 2, 4);
+        let _ = s.run(&twodbc::two_dbc(2, 2));
+    }
+}

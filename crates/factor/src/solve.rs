@@ -1,0 +1,244 @@
+//! Tiled triangular solves: turning a factorization into a solver.
+//!
+//! Once `A = L·U` (no pivoting) or `A = L·Lᵀ` has been computed in place,
+//! a linear system `A·X = B` is solved by two sweeps of block forward /
+//! backward substitution over the tile rows of `B`. The right-hand side is
+//! a *block column vector*: `t` tiles of `nb × nb`, i.e. `nb` simultaneous
+//! right-hand sides (the natural tiled granularity).
+//!
+//! These sweeps are short (`O(t²)` kernels against the factorization's
+//! `O(t³)`), so they are provided as direct sequential routines rather than
+//! task graphs; the distributed story is dominated by the factorization.
+
+use flexdist_kernels::matrix::TiledMatrix;
+use flexdist_kernels::{
+    gemm_nn, gemm_tn, trsm_left_lower_nonunit, trsm_left_lower_trans_nonunit,
+    trsm_left_lower_unit, trsm_left_upper_nonunit, Tile,
+};
+
+/// A block column vector: `t` stacked `nb × nb` tiles (`nb` right-hand
+/// sides at once).
+pub type BlockVector = Vec<Tile>;
+
+/// Random block vector for tests and examples.
+#[must_use]
+pub fn random_block_vector(t: usize, nb: usize, seed: u64) -> BlockVector {
+    (0..t)
+        .map(|i| Tile::random(nb, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Solve `A·X = B` given the packed in-place LU factorization of `A`
+/// (strictly-lower `L` with unit diagonal, upper `U`): forward sweep with
+/// `L`, backward sweep with `U`. Returns `X`.
+///
+/// # Panics
+/// Panics if `b.len() != factored.tiles()` or a tile size mismatches.
+#[must_use]
+pub fn lu_solve(factored: &TiledMatrix, b: &BlockVector) -> BlockVector {
+    let t = factored.tiles();
+    let nb = factored.nb();
+    assert_eq!(b.len(), t, "right-hand side has wrong block count");
+    assert!(b.iter().all(|tile| tile.nb() == nb), "tile size mismatch");
+    let mut x: BlockVector = b.clone();
+
+    // Forward: L y = b  (unit lower).
+    for i in 0..t {
+        let (before, rest) = x.split_at_mut(i);
+        let xi = &mut rest[0];
+        for (k, xk) in before.iter().enumerate() {
+            gemm_nn(
+                -1.0,
+                factored.tile(i, k).as_slice(),
+                xk.as_slice(),
+                1.0,
+                xi.as_mut_slice(),
+                nb,
+            );
+        }
+        trsm_left_lower_unit(factored.tile(i, i).as_slice(), xi.as_mut_slice(), nb);
+    }
+    // Backward: U x = y.
+    for i in (0..t).rev() {
+        let (head, tail) = x.split_at_mut(i + 1);
+        let xi = &mut head[i];
+        for (off, xk) in tail.iter().enumerate() {
+            let k = i + 1 + off;
+            gemm_nn(
+                -1.0,
+                factored.tile(i, k).as_slice(),
+                xk.as_slice(),
+                1.0,
+                xi.as_mut_slice(),
+                nb,
+            );
+        }
+        trsm_left_upper_nonunit(factored.tile(i, i).as_slice(), xi.as_mut_slice(), nb);
+    }
+    x
+}
+
+/// Solve `A·X = B` given the in-place Cholesky factorization of `A`
+/// (`L` in the lower tile triangle): forward sweep with `L`, backward with
+/// `Lᵀ`. Returns `X`.
+///
+/// # Panics
+/// Panics if `b.len() != factored.tiles()` or a tile size mismatches.
+#[must_use]
+pub fn cholesky_solve(factored: &TiledMatrix, b: &BlockVector) -> BlockVector {
+    let t = factored.tiles();
+    let nb = factored.nb();
+    assert_eq!(b.len(), t, "right-hand side has wrong block count");
+    assert!(b.iter().all(|tile| tile.nb() == nb), "tile size mismatch");
+    let mut x: BlockVector = b.clone();
+
+    // Forward: L y = b (non-unit lower).
+    for i in 0..t {
+        let (before, rest) = x.split_at_mut(i);
+        let xi = &mut rest[0];
+        for (k, xk) in before.iter().enumerate() {
+            gemm_nn(
+                -1.0,
+                factored.tile(i, k).as_slice(),
+                xk.as_slice(),
+                1.0,
+                xi.as_mut_slice(),
+                nb,
+            );
+        }
+        trsm_left_lower_nonunit(factored.tile(i, i).as_slice(), xi.as_mut_slice(), nb);
+    }
+    // Backward: L^T x = y. Off-diagonal blocks come from the lower
+    // triangle transposed: (L^T)_{ik} = (L_{ki})^T for k > i.
+    for i in (0..t).rev() {
+        let (head, tail) = x.split_at_mut(i + 1);
+        let xi = &mut head[i];
+        for (off, xk) in tail.iter().enumerate() {
+            let k = i + 1 + off;
+            gemm_tn(
+                -1.0,
+                factored.tile(k, i).as_slice(),
+                xk.as_slice(),
+                1.0,
+                xi.as_mut_slice(),
+                nb,
+            );
+        }
+        trsm_left_lower_trans_nonunit(factored.tile(i, i).as_slice(), xi.as_mut_slice(), nb);
+    }
+    x
+}
+
+/// Relative solve residual `‖A·X − B‖_F / ‖B‖_F` against the *original*
+/// (unfactored) matrix.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn solve_residual(a: &TiledMatrix, x: &BlockVector, b: &BlockVector) -> f64 {
+    let t = a.tiles();
+    let nb = a.nb();
+    assert_eq!(x.len(), t);
+    assert_eq!(b.len(), t);
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (i, bi) in b.iter().enumerate() {
+        let mut acc = Tile::zeros(nb);
+        for (k, xk) in x.iter().enumerate() {
+            gemm_nn(
+                1.0,
+                a.tile(i, k).as_slice(),
+                xk.as_slice(),
+                1.0,
+                acc.as_mut_slice(),
+                nb,
+            );
+        }
+        for (p, q) in acc.as_slice().iter().zip(bi.as_slice()) {
+            let d = p - q;
+            num += d * d;
+            den += q * q;
+        }
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{build_graph, Operation};
+    use crate::execute::execute;
+    use flexdist_core::twodbc;
+    use flexdist_dist::TileAssignment;
+    use flexdist_kernels::KernelCostModel;
+
+    #[test]
+    fn lu_solve_recovers_solution() {
+        let (t, nb) = (5, 8);
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, 17);
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl = build_graph(Operation::Lu, &assign, &KernelCostModel::uniform(nb, 10.0));
+        let (factored, rep) = execute(&tl, a0.clone(), 3);
+        assert!(rep.error.is_none());
+
+        let b = random_block_vector(t, nb, 99);
+        let x = lu_solve(&factored, &b);
+        let res = solve_residual(&a0, &x, &b);
+        assert!(res < 1e-11, "LU solve residual {res}");
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let (t, nb) = (6, 6);
+        let a0 = TiledMatrix::random_spd(t, nb, 23);
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 3), t);
+        let tl = build_graph(
+            Operation::Cholesky,
+            &assign,
+            &KernelCostModel::uniform(nb, 10.0),
+        );
+        let (factored, rep) = execute(&tl, a0.clone(), 3);
+        assert!(rep.error.is_none());
+
+        let b = random_block_vector(t, nb, 5);
+        let x = cholesky_solve(&factored, &b);
+        let res = solve_residual(&a0, &x, &b);
+        assert!(res < 1e-11, "Cholesky solve residual {res}");
+    }
+
+    #[test]
+    fn identity_system_is_fixed_point() {
+        let (t, nb) = (3, 4);
+        let mut a = TiledMatrix::zeros(t, nb);
+        for d in 0..t {
+            *a.tile_mut(d, d) = Tile::identity(nb);
+        }
+        // A = I factored in place is still I (for both LU and Cholesky).
+        let b = random_block_vector(t, nb, 1);
+        let x = lu_solve(&a, &b);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert_eq!(xi, bi);
+        }
+        let x = cholesky_solve(&a, &b);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert_eq!(xi, bi);
+        }
+    }
+
+    #[test]
+    fn residual_detects_wrong_solution() {
+        let (t, nb) = (3, 4);
+        let a0 = TiledMatrix::random_spd(t, nb, 8);
+        let b = random_block_vector(t, nb, 2);
+        let wrong = random_block_vector(t, nb, 3);
+        assert!(solve_residual(&a0, &wrong, &b) > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong block count")]
+    fn mismatched_rhs_rejected() {
+        let a = TiledMatrix::zeros(3, 4);
+        let b = random_block_vector(2, 4, 0);
+        let _ = lu_solve(&a, &b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the factorization layer: numerical correctness
+//! on random matrices and distributions, and graph-structure invariants.
+
+use flexdist_core::{g2dbc, gcrm, sbc, twodbc, Pattern};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::residual::{cholesky_residual, lu_residual, syrk_residual};
+use flexdist_factor::{build_graph, execute, Operation};
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1usize..4, 1usize..4).prop_map(|(r, c)| twodbc::two_dbc(r, c)),
+        (2u32..15).prop_map(g2dbc::g2dbc),
+        Just(sbc::sbc_extended(6).unwrap()),
+        Just(sbc::sbc_extended(10).unwrap()),
+        (0u64..20).prop_map(|s| {
+            gcrm::run_once(7, 7, s, gcrm::LoadMetric::Colrows).unwrap()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// LU on random diagonally-dominant matrices is correct under any
+    /// distribution and any thread count.
+    #[test]
+    fn lu_correct_under_any_distribution(
+        pattern in arb_pattern(),
+        t in 2usize..7,
+        seed in 0u64..100,
+        threads in 1usize..5,
+    ) {
+        let nb = 5;
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, seed);
+        let assignment = TileAssignment::extended(&pattern, t);
+        let tl = build_graph(Operation::Lu, &assignment, &KernelCostModel::uniform(nb, 10.0));
+        let (factored, rep) = execute(&tl, a0.clone(), threads);
+        prop_assert!(rep.error.is_none());
+        prop_assert!(lu_residual(&a0, &factored) < 1e-10);
+    }
+
+    /// Cholesky on random SPD matrices is correct under any distribution.
+    #[test]
+    fn cholesky_correct_under_any_distribution(
+        pattern in arb_pattern(),
+        t in 2usize..7,
+        seed in 0u64..100,
+        threads in 1usize..5,
+    ) {
+        let nb = 5;
+        let a0 = TiledMatrix::random_spd(t, nb, seed);
+        let assignment = TileAssignment::extended(&pattern, t);
+        let tl = build_graph(
+            Operation::Cholesky,
+            &assignment,
+            &KernelCostModel::uniform(nb, 10.0),
+        );
+        let (factored, rep) = execute(&tl, a0.clone(), threads);
+        prop_assert!(rep.error.is_none());
+        prop_assert!(cholesky_residual(&a0, &factored) < 1e-10);
+    }
+
+    /// SYRK matches the dense reference for random inputs.
+    #[test]
+    fn syrk_correct(t in 1usize..5, seed in 0u64..100, threads in 1usize..4) {
+        let nb = 4;
+        let a0 = TiledMatrix::random_uniform(t, nb, seed);
+        let assignment = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let tl = build_graph(Operation::Syrk, &assignment, &KernelCostModel::uniform(nb, 10.0));
+        let (c, rep) = execute(&tl, a0.clone(), threads);
+        prop_assert!(rep.error.is_none());
+        prop_assert!(syrk_residual(&a0, &c) < 1e-11);
+    }
+
+    /// The result is bit-identical regardless of the thread count: the DAG
+    /// fixes the floating-point evaluation order.
+    #[test]
+    fn thread_count_does_not_change_bits(t in 2usize..6, seed in 0u64..50) {
+        let nb = 4;
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, seed);
+        let assignment = TileAssignment::cyclic(&twodbc::two_dbc(2, 1), t);
+        let tl = build_graph(Operation::Lu, &assignment, &KernelCostModel::uniform(nb, 10.0));
+        let (r1, _) = execute(&tl, a0.clone(), 1);
+        let (r4, _) = execute(&tl, a0, 4);
+        prop_assert_eq!(r1.diff_norm(&r4), 0.0);
+    }
+
+    /// Task counts follow the closed-form formulas for any t.
+    #[test]
+    fn task_counts(t in 1usize..12) {
+        let assignment = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), t);
+        let cost = KernelCostModel::uniform(4, 10.0);
+        let lu = build_graph(Operation::Lu, &assignment, &cost).graph.n_tasks();
+        let lu_expect: usize = (0..t).map(|l| {
+            let k = t - 1 - l;
+            1 + 2 * k + k * k
+        }).sum();
+        prop_assert_eq!(lu, lu_expect);
+
+        let ch = build_graph(Operation::Cholesky, &assignment, &cost).graph.n_tasks();
+        let ch_expect: usize = (0..t).map(|l| {
+            let k = t - 1 - l;
+            1 + 2 * k + k * k.saturating_sub(1) / 2
+        }).sum();
+        prop_assert_eq!(ch, ch_expect);
+    }
+}

@@ -1,0 +1,215 @@
+//! Converting geometric partitions into tile assignments and patterns.
+
+use crate::partition::RectPartition;
+use crate::speeds::NodeSpeeds;
+use flexdist_core::Pattern;
+use flexdist_dist::TileAssignment;
+
+/// Discretize a rectangle partition of the unit square onto a `t × t` tile
+/// grid: tile `(i, j)` goes to the rectangle containing its center
+/// (row `i` ↦ `y`, column `j` ↦ `x`).
+///
+/// # Panics
+/// Panics if `t == 0`.
+#[must_use]
+pub fn rect_tile_assignment(partition: &RectPartition, t: usize) -> TileAssignment {
+    assert!(t > 0);
+    let n_nodes = partition.rects().len() as u32;
+    TileAssignment::from_owner_fn(t, n_nodes, |i, j| {
+        let y = (i as f64 + 0.5) / t as f64;
+        let x = (j as f64 + 0.5) / t as f64;
+        partition.owner_at(x, y)
+    })
+}
+
+/// Discretize a rectangle partition onto a small `s × s` *pattern* for
+/// cyclic replication.
+///
+/// A static block partition is the right shape for uniform-work kernels
+/// (matrix multiplication, SYRK), but for factorizations the trailing
+/// matrix shrinks towards the bottom-right corner and nodes owning
+/// upper-left rectangles idle out. Replicating the partition cyclically —
+/// exactly what 2DBC does to the square grid — restores temporal balance
+/// while keeping each node's share proportional to its speed.
+///
+/// # Panics
+/// Panics if `s == 0`.
+#[must_use]
+pub fn rect_cyclic_pattern(partition: &RectPartition, s: usize) -> Pattern {
+    assert!(s > 0);
+    let n_nodes = partition.rects().len() as u32;
+    Pattern::from_fn(s, s, n_nodes, |i, j| {
+        let y = (i as f64 + 0.5) / s as f64;
+        let x = (j as f64 + 0.5) / s as f64;
+        partition.owner_at(x, y)
+    })
+}
+
+/// Baseline heterogeneous distribution: contiguous blocks of *columns*
+/// proportional to node speeds (1D block layout). Simple, perfectly
+/// load-balanceable, but its per-node half-perimeter is `wᵢ + 1`, so the
+/// total cost is `1 + P` — far from `Σ2√a` for large `P`. This is the
+/// strawman the 2D partitioning beats.
+///
+/// # Panics
+/// Panics if `t == 0`.
+#[must_use]
+pub fn weighted_columns_assignment(speeds: &NodeSpeeds, t: usize) -> TileAssignment {
+    assert!(t > 0);
+    let areas = speeds.areas();
+    // Cumulative column boundaries, rounded to tiles by largest remainder.
+    let mut boundaries = Vec::with_capacity(areas.len() + 1);
+    boundaries.push(0usize);
+    let mut acc = 0.0;
+    for a in &areas {
+        acc += a;
+        let edge = (acc * t as f64).round() as usize;
+        boundaries.push(edge.min(t));
+    }
+    *boundaries.last_mut().expect("non-empty") = t;
+    TileAssignment::from_owner_fn(t, areas.len() as u32, |_i, j| {
+        // Column j belongs to the node whose [b_k, b_{k+1}) contains it.
+        match boundaries.binary_search(&j) {
+            Ok(k) => {
+                // j is exactly a boundary: it starts segment k, unless this
+                // is a zero-width segment collapsed on it.
+                let mut k = k;
+                while k + 1 < boundaries.len() && boundaries[k + 1] == j {
+                    k += 1;
+                }
+                (k.min(areas.len() - 1)) as u32
+            }
+            Err(k) => (k - 1).min(areas.len() - 1) as u32,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::column_partition;
+    use flexdist_dist::{lu_comm_volume, LoadReport};
+
+    #[test]
+    fn rect_assignment_respects_quotas_approximately() {
+        let speeds = NodeSpeeds::new(vec![1.0, 2.0, 3.0, 2.0]);
+        let res = column_partition(&speeds);
+        let t = 40;
+        let a = rect_tile_assignment(&res.partition, t);
+        let counts = a.tile_counts_full();
+        let areas = speeds.areas();
+        for (node, (&got, &want)) in counts.iter().zip(&areas).enumerate() {
+            let expect = want * (t * t) as f64;
+            let rel = (got as f64 - expect).abs() / expect;
+            assert!(rel < 0.08, "node {node}: {got} tiles vs {expect}");
+        }
+    }
+
+    #[test]
+    fn rect_assignment_is_contiguous_blocks() {
+        // Each node's tiles form an axis-aligned block: the set of rows and
+        // columns it owns must be intervals.
+        let speeds = NodeSpeeds::new(vec![2.0, 1.0, 1.0]);
+        let res = column_partition(&speeds);
+        let t = 24;
+        let a = rect_tile_assignment(&res.partition, t);
+        for node in 0..3u32 {
+            let mut cols: Vec<usize> = Vec::new();
+            for j in 0..t {
+                if (0..t).any(|i| a.owner(i, j) == node) {
+                    cols.push(j);
+                }
+            }
+            assert!(
+                cols.windows(2).all(|w| w[1] == w[0] + 1),
+                "node {node} columns not contiguous: {cols:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_columns_match_speeds() {
+        let speeds = NodeSpeeds::new(vec![1.0, 3.0]);
+        let t = 16;
+        let a = weighted_columns_assignment(&speeds, t);
+        let counts = a.tile_counts_full();
+        assert_eq!(counts[0], 4 * t);
+        assert_eq!(counts[1], 12 * t);
+    }
+
+    #[test]
+    fn weighted_columns_cover_all_tiles() {
+        let speeds = NodeSpeeds::new(vec![0.1, 0.1, 5.0, 0.1]);
+        let t = 13;
+        let a = weighted_columns_assignment(&speeds, t);
+        let counts = a.tile_counts_full();
+        assert_eq!(counts.iter().sum::<usize>(), t * t);
+    }
+
+    #[test]
+    fn rect_partition_communicates_less_than_1d_columns() {
+        // The point of 2D partitioning: lower LU volume than the 1D layout
+        // at equal load balance.
+        let speeds = NodeSpeeds::new(vec![4.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0]);
+        let t = 48;
+        let rect = rect_tile_assignment(&column_partition(&speeds).partition, t);
+        let cols = weighted_columns_assignment(&speeds, t);
+        let v_rect = lu_comm_volume(&rect).total();
+        let v_cols = lu_comm_volume(&cols).total();
+        assert!(
+            v_rect < v_cols,
+            "rect partition {v_rect} !< 1D columns {v_cols}"
+        );
+        // Load balance comparable (weighted by tile counts only).
+        let lr = LoadReport::new(&rect, flexdist_dist::load::LoadKind::Lu);
+        assert!(lr.tiles.iter().all(|&c| c > 0));
+    }
+}
+
+#[cfg(test)]
+mod cyclic_tests {
+    use super::*;
+    use crate::partition::column_partition;
+    use flexdist_dist::LoadReport;
+
+    #[test]
+    fn cyclic_pattern_is_valid_and_proportional() {
+        let speeds = NodeSpeeds::new(vec![3.0, 1.0, 1.0, 1.0]);
+        let res = column_partition(&speeds);
+        let pat = rect_cyclic_pattern(&res.partition, 12);
+        assert!(pat.validate().is_ok());
+        let counts = pat.node_cell_counts();
+        // Node 0 holds ~half the cells.
+        let share0 = counts[0] as f64 / (12.0 * 12.0);
+        assert!((share0 - 0.5).abs() < 0.08, "share {share0}");
+    }
+
+    #[test]
+    fn cyclic_pattern_balances_lu_over_time() {
+        // Weighted (min(i,j)+1) load under cyclic replication must track
+        // speeds much better than the static block layout does.
+        let speeds = NodeSpeeds::new(vec![3.0, 3.0, 1.0, 1.0, 1.0, 1.0]);
+        let res = column_partition(&speeds);
+        let t = 60;
+        let cyclic =
+            TileAssignment::cyclic(&rect_cyclic_pattern(&res.partition, 10), t);
+        let static_a = rect_tile_assignment(&res.partition, t);
+        let areas = speeds.areas();
+        let skew = |a: &TileAssignment| {
+            let rep = LoadReport::new(a, flexdist_dist::load::LoadKind::Lu);
+            let total: f64 = rep.work.iter().sum();
+            // Max deviation of weighted-work share from the speed share.
+            rep.work
+                .iter()
+                .zip(&areas)
+                .map(|(w, sp)| (w / total - sp).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let s_cyc = skew(&cyclic);
+        let s_sta = skew(&static_a);
+        assert!(
+            s_cyc < s_sta / 2.0,
+            "cyclic skew {s_cyc} not clearly better than static {s_sta}"
+        );
+    }
+}

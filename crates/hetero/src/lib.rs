@@ -1,0 +1,31 @@
+//! # flexdist-hetero
+//!
+//! Distributions for **heterogeneous** nodes — the research avenue the
+//! paper's conclusion names ("another avenue of research could be to extend
+//! these results to the case of heterogeneous nodes", §VI), built on the
+//! matrix-partitioning line of work the paper surveys in §II-B.
+//!
+//! Given `P` nodes of relative speeds `v₁…v_P`, the matrix is partitioned
+//! into `P` rectangles whose areas are proportional to the speeds (so the
+//! load is balanced) while minimizing the sum of rectangle half-perimeters
+//! (which, for Cannon-style algorithms, is proportional to the volume each
+//! node exchanges per step — §II-B). Optimal partitioning is NP-complete;
+//! the classical practical compromise implemented here is **column-based
+//! partitioning** (Beaumont, Boudet, Rastello, Robert 2002): rectangles are
+//! arranged in full-height columns, and the optimal column structure for a
+//! *sorted* area sequence is found exactly by dynamic programming in
+//! `O(P²)`.
+//!
+//! The resulting [`RectPartition`] converts to a
+//! [`TileAssignment`](flexdist_dist::TileAssignment) for a concrete tile
+//! grid, and pairs with the runtime's per-node worker counts
+//! (`MachineConfig::per_node_workers`) for end-to-end heterogeneous
+//! simulations.
+
+pub mod assignment;
+pub mod partition;
+pub mod speeds;
+
+pub use assignment::{rect_cyclic_pattern, rect_tile_assignment, weighted_columns_assignment};
+pub use partition::{column_partition, ColumnPartitionResult, Rect, RectPartition};
+pub use speeds::NodeSpeeds;

@@ -1,0 +1,379 @@
+//! Column-based rectangle partitioning of the unit square.
+//!
+//! Problem (PERI-SUM, §II-B of the paper's survey): partition the unit
+//! square into `P` rectangles of prescribed areas `a₁…a_P` (`Σa = 1`)
+//! minimizing the sum of half-perimeters `Σ (wᵢ + hᵢ)`. This is
+//! NP-complete in general; restricting rectangles to full-height *columns*
+//! makes it exactly solvable:
+//!
+//! * sort areas in non-increasing order;
+//! * a column holding the consecutive areas `a_j…a_{i−1}` has width
+//!   `w = Σₖ aₖ` and contributes `(i−j)·w + 1` to the objective (each
+//!   rectangle is `w × aₖ/w`, and the heights of a column sum to 1);
+//! * dynamic programming over prefixes finds the optimal column split in
+//!   `O(P²)`.
+//!
+//! For sorted inputs, column-based partitioning is a known constant-factor
+//! approximation of the unrestricted optimum, whose absolute lower bound is
+//! `Σ 2√aₖ` (AM-GM per rectangle). Both the achieved cost and that lower
+//! bound are reported.
+
+use crate::speeds::NodeSpeeds;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle of the unit square owned by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Owning node (index into the original speed vector).
+    pub node: u32,
+    /// Left edge.
+    pub x0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y0: f64,
+    /// Bottom edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter `w + h` — the per-step communication proxy.
+    #[must_use]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Whether the point lies inside (left/top inclusive).
+    #[must_use]
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+}
+
+/// A full partition of the unit square into per-node rectangles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RectPartition {
+    rects: Vec<Rect>,
+}
+
+impl RectPartition {
+    /// The rectangles, one per node, in column order.
+    #[must_use]
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Sum of half-perimeters (the PERI-SUM objective).
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.rects.iter().map(Rect::half_perimeter).sum()
+    }
+
+    /// Owner of the point `(x, y) ∈ [0,1)²`.
+    ///
+    /// # Panics
+    /// Panics if the point is outside every rectangle (cannot happen for
+    /// partitions built by [`column_partition`]).
+    #[must_use]
+    pub fn owner_at(&self, x: f64, y: f64) -> u32 {
+        self.rects
+            .iter()
+            .find(|r| r.contains(x, y))
+            .unwrap_or_else(|| panic!("point ({x},{y}) not covered"))
+            .node
+    }
+
+    /// Verify this is a genuine partition: areas match `areas` within
+    /// `tol`, rectangles are disjoint and cover the unit square.
+    #[must_use]
+    pub fn is_valid_for(&self, areas: &[f64], tol: f64) -> bool {
+        if self.rects.len() != areas.len() {
+            return false;
+        }
+        let mut per_node = vec![0.0f64; areas.len()];
+        let mut total = 0.0;
+        for r in &self.rects {
+            if r.width() < -tol || r.height() < -tol {
+                return false;
+            }
+            per_node[r.node as usize] += r.area();
+            total += r.area();
+        }
+        if (total - 1.0).abs() > tol {
+            return false;
+        }
+        per_node
+            .iter()
+            .zip(areas)
+            .all(|(got, want)| (got - want).abs() <= tol)
+    }
+}
+
+/// Outcome of the column-based partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPartitionResult {
+    /// The geometric partition.
+    pub partition: RectPartition,
+    /// Achieved `Σ (w + h)`.
+    pub cost: f64,
+    /// Unrestricted lower bound `Σ 2√aₖ`.
+    pub lower_bound: f64,
+    /// Number of columns used.
+    pub columns: usize,
+}
+
+/// Absolute lower bound on the PERI-SUM objective: `Σ 2√aₖ`.
+#[must_use]
+pub fn perimeter_lower_bound(areas: &[f64]) -> f64 {
+    areas.iter().map(|a| 2.0 * a.sqrt()).sum()
+}
+
+/// Optimal *column-based* partition for the given node speeds, by dynamic
+/// programming over the sorted area sequence.
+///
+/// ```
+/// use flexdist_hetero::{column_partition, NodeSpeeds};
+///
+/// // One node 3x faster than the other three.
+/// let speeds = NodeSpeeds::new(vec![3.0, 1.0, 1.0, 1.0]);
+/// let result = column_partition(&speeds);
+/// assert!(result.partition.is_valid_for(&speeds.areas(), 1e-9));
+/// assert!(result.cost >= result.lower_bound);
+/// ```
+///
+/// # Panics
+/// Panics if `speeds` is empty (prevented by [`NodeSpeeds`]'s invariants).
+#[must_use]
+pub fn column_partition(speeds: &NodeSpeeds) -> ColumnPartitionResult {
+    let areas = speeds.areas();
+    let p = areas.len();
+    // Sort descending, remembering original node indices.
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&x, &y| areas[y].total_cmp(&areas[x]));
+    let sorted: Vec<f64> = order.iter().map(|&i| areas[i]).collect();
+    let prefix: Vec<f64> = std::iter::once(0.0)
+        .chain(sorted.iter().scan(0.0, |acc, a| {
+            *acc += a;
+            Some(*acc)
+        }))
+        .collect();
+
+    // dp[i] = (cost, split) for the first i sorted areas.
+    let mut dp = vec![(f64::INFINITY, 0usize); p + 1];
+    dp[0] = (0.0, 0);
+    for i in 1..=p {
+        for j in 0..i {
+            let width = prefix[i] - prefix[j];
+            let col_cost = (i - j) as f64 * width + 1.0;
+            let cand = dp[j].0 + col_cost;
+            if cand < dp[i].0 {
+                dp[i] = (cand, j);
+            }
+        }
+    }
+
+    // Recover column boundaries.
+    let mut splits = Vec::new();
+    let mut i = p;
+    while i > 0 {
+        let j = dp[i].1;
+        splits.push((j, i));
+        i = j;
+    }
+    splits.reverse();
+
+    // Materialize the geometry: columns left to right, rectangles stacked
+    // top to bottom inside each column.
+    let mut rects = Vec::with_capacity(p);
+    let mut x = 0.0;
+    for &(j, i) in &splits {
+        let width = prefix[i] - prefix[j];
+        let mut y = 0.0;
+        for k in j..i {
+            let h = sorted[k] / width;
+            rects.push(Rect {
+                node: order[k] as u32,
+                x0: x,
+                x1: x + width,
+                y0: y,
+                y1: y + h,
+            });
+            y += h;
+        }
+        // Snap the last rectangle of the column to the square's edge to
+        // absorb floating-point drift.
+        if let Some(last) = rects.last_mut() {
+            last.y1 = 1.0;
+        }
+        x += width;
+    }
+    // Snap the last column to the right edge.
+    let x_end = x;
+    for r in rects.iter_mut().filter(|r| (r.x1 - x_end).abs() < 1e-12) {
+        r.x1 = 1.0;
+    }
+
+    let partition = RectPartition { rects };
+    let cost = dp[p].0;
+    ColumnPartitionResult {
+        lower_bound: perimeter_lower_bound(&areas),
+        cost,
+        columns: splits.len(),
+        partition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_the_whole_square() {
+        let res = column_partition(&NodeSpeeds::uniform(1));
+        assert_eq!(res.columns, 1);
+        assert!((res.cost - 2.0).abs() < 1e-12);
+        assert_eq!(res.partition.rects().len(), 1);
+        assert!(res.partition.is_valid_for(&[1.0], 1e-12));
+    }
+
+    #[test]
+    fn uniform_four_nodes_forms_2x2() {
+        // Optimal column partition of 4 equal areas: 2 columns of 2, each
+        // rect 0.5 x 0.5, cost 4.0 = lower bound.
+        let res = column_partition(&NodeSpeeds::uniform(4));
+        assert_eq!(res.columns, 2);
+        assert!((res.cost - 4.0).abs() < 1e-12);
+        assert!((res.lower_bound - 4.0).abs() < 1e-12);
+        assert!(res
+            .partition
+            .rects()
+            .iter()
+            .all(|r| (r.width() - 0.5).abs() < 1e-12 && (r.height() - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn perfect_square_counts_reach_lower_bound() {
+        for q in 2u32..6 {
+            let res = column_partition(&NodeSpeeds::uniform(q * q));
+            assert!(
+                (res.cost - res.lower_bound).abs() < 1e-9,
+                "P = {}: {} vs {}",
+                q * q,
+                res.cost,
+                res.lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_bruteforce_on_small_instances() {
+        // Exhaustive enumeration of contiguous column splits over the
+        // sorted sequence (2^(P-1) splits).
+        fn brute(areas: &[f64]) -> f64 {
+            let p = areas.len();
+            let mut sorted = areas.to_vec();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << (p - 1)) {
+                let mut cost = 0.0;
+                let mut start = 0;
+                for end in 1..=p {
+                    let boundary = end == p || mask >> (end - 1) & 1 == 1;
+                    if boundary {
+                        let w: f64 = sorted[start..end].iter().sum();
+                        cost += (end - start) as f64 * w + 1.0;
+                        start = end;
+                    }
+                }
+                best = best.min(cost);
+            }
+            best
+        }
+        let cases: &[&[f64]] = &[
+            &[0.5, 0.5],
+            &[0.7, 0.2, 0.1],
+            &[0.4, 0.3, 0.2, 0.1],
+            &[0.3, 0.25, 0.2, 0.15, 0.1],
+            &[0.35, 0.25, 0.2, 0.1, 0.05, 0.05],
+        ];
+        for areas in cases {
+            let speeds = NodeSpeeds::new(areas.to_vec());
+            let dp = column_partition(&speeds).cost;
+            let bf = brute(areas);
+            assert!((dp - bf).abs() < 1e-9, "{areas:?}: dp {dp} vs brute {bf}");
+        }
+    }
+
+    #[test]
+    fn partition_is_geometrically_valid() {
+        for speeds in [
+            NodeSpeeds::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            NodeSpeeds::new(vec![10.0, 1.0, 1.0]),
+            NodeSpeeds::uniform(7),
+            NodeSpeeds::new(vec![5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0]),
+        ] {
+            let res = column_partition(&speeds);
+            assert!(
+                res.partition.is_valid_for(&speeds.areas(), 1e-9),
+                "invalid partition for {speeds:?}"
+            );
+            assert!(res.cost >= res.lower_bound - 1e-9);
+            // Every point probes to exactly one owner.
+            for gx in 0..10 {
+                for gy in 0..10 {
+                    let x = (f64::from(gx) + 0.5) / 10.0;
+                    let y = (f64::from(gy) + 0.5) / 10.0;
+                    let _ = res.partition.owner_at(x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_speeds_give_bigger_rect_to_faster_node() {
+        let speeds = NodeSpeeds::new(vec![1.0, 9.0]);
+        let res = column_partition(&speeds);
+        let a0: f64 = res
+            .partition
+            .rects()
+            .iter()
+            .filter(|r| r.node == 0)
+            .map(Rect::area)
+            .sum();
+        let a1: f64 = res
+            .partition
+            .rects()
+            .iter()
+            .filter(|r| r.node == 1)
+            .map(Rect::area)
+            .sum();
+        assert!((a0 - 0.1).abs() < 1e-9);
+        assert!((a1 - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_cost_formula() {
+        // Two nodes 0.5/0.5: either one column (cost 2*1 + 1 = 3... as
+        // count*w + 1 = 2*1+1 = 3) or two columns (2 * (1*0.5 + 1) = 3).
+        let res = column_partition(&NodeSpeeds::uniform(2));
+        assert!((res.cost - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Relative node speeds and the areas they induce.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative speeds of a heterogeneous node set. Only ratios matter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpeeds {
+    speeds: Vec<f64>,
+}
+
+impl NodeSpeeds {
+    /// Wrap raw relative speeds.
+    ///
+    /// # Panics
+    /// Panics if empty or any speed is not strictly positive and finite.
+    #[must_use]
+    pub fn new(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "need at least one node");
+        assert!(
+            speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+            "speeds must be positive and finite"
+        );
+        Self { speeds }
+    }
+
+    /// Speeds proportional to per-node worker counts (the natural model
+    /// when heterogeneity comes from core counts).
+    ///
+    /// # Panics
+    /// Panics if empty or any count is zero.
+    #[must_use]
+    pub fn from_worker_counts(workers: &[u32]) -> Self {
+        Self::new(workers.iter().map(|&w| f64::from(w)).collect())
+    }
+
+    /// A homogeneous set of `p` nodes.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn uniform(p: u32) -> Self {
+        Self::new(vec![1.0; p as usize])
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// True when there are no nodes (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Raw speeds.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Normalized areas `a_p = v_p / Σv` (summing to 1), the target
+    /// rectangle areas of the partitioning problem.
+    #[must_use]
+    pub fn areas(&self) -> Vec<f64> {
+        let total: f64 = self.speeds.iter().sum();
+        self.speeds.iter().map(|s| s / total).collect()
+    }
+
+    /// Integer tile quotas for a `t × t` grid: `round(a_p · t²)` adjusted
+    /// (largest-remainder method) so the quotas sum to exactly `t²`.
+    #[must_use]
+    pub fn tile_quotas(&self, t: usize) -> Vec<usize> {
+        let total_tiles = t * t;
+        let areas = self.areas();
+        let mut quotas: Vec<usize> = areas
+            .iter()
+            .map(|a| (a * total_tiles as f64).floor() as usize)
+            .collect();
+        let mut remainder = total_tiles - quotas.iter().sum::<usize>();
+        // Hand the leftover tiles to the largest fractional parts.
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&x, &y| {
+            let fx = areas[x] * total_tiles as f64 - quotas[x] as f64;
+            let fy = areas[y] * total_tiles as f64 - quotas[y] as f64;
+            fy.total_cmp(&fx)
+        });
+        for &i in order.iter().cycle().take(remainder.min(total_tiles)) {
+            quotas[i] += 1;
+            remainder -= 1;
+            if remainder == 0 {
+                break;
+            }
+        }
+        quotas
+    }
+
+    /// Ideal heterogeneous makespan lower bound for `work` total units:
+    /// `work / Σv` (every node fully busy at its own speed).
+    #[must_use]
+    pub fn makespan_lower_bound(&self, work: f64) -> f64 {
+        work / self.speeds.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_normalize() {
+        let s = NodeSpeeds::new(vec![1.0, 3.0]);
+        assert_eq!(s.areas(), vec![0.25, 0.75]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn uniform_is_equal_shares() {
+        let s = NodeSpeeds::uniform(4);
+        assert!(s.areas().iter().all(|&a| (a - 0.25).abs() < 1e-15));
+    }
+
+    #[test]
+    fn quotas_sum_to_grid() {
+        let s = NodeSpeeds::new(vec![1.0, 2.0, 4.0]);
+        for t in [1usize, 3, 7, 20] {
+            let q = s.tile_quotas(t);
+            assert_eq!(q.iter().sum::<usize>(), t * t, "t = {t}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn quotas_proportional() {
+        let s = NodeSpeeds::new(vec![1.0, 3.0]);
+        let q = s.tile_quotas(10);
+        assert_eq!(q, vec![25, 75]);
+    }
+
+    #[test]
+    fn worker_counts_constructor() {
+        let s = NodeSpeeds::from_worker_counts(&[2, 6]);
+        assert_eq!(s.areas(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = NodeSpeeds::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn lower_bound_scales() {
+        let s = NodeSpeeds::new(vec![1.0, 1.0]);
+        assert_eq!(s.makespan_lower_bound(10.0), 5.0);
+    }
+}

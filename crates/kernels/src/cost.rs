@@ -1,0 +1,147 @@
+//! Flop counts and duration model for the elementary kernels.
+//!
+//! The discrete-event simulator charges each task the time its kernel would
+//! take on one worker core running at a configurable sustained rate. Flop
+//! counts are the standard dense-kernel formulas for `nb × nb` tiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The elementary kernels of tiled LU / Cholesky / SYRK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Tile LU factorization (no pivoting).
+    Getrf,
+    /// Tile Cholesky factorization.
+    Potrf,
+    /// Triangular solve against a tile.
+    Trsm,
+    /// General tile multiply-accumulate.
+    Gemm,
+    /// Symmetric rank-`nb` update.
+    Syrk,
+}
+
+impl Kernel {
+    /// Floating-point operations of this kernel on an `nb × nb` tile.
+    #[must_use]
+    pub fn flops(self, nb: usize) -> f64 {
+        let n = nb as f64;
+        match self {
+            // 2/3 n^3 (+ lower order, ignored consistently).
+            Kernel::Getrf => 2.0 / 3.0 * n * n * n,
+            // 1/3 n^3.
+            Kernel::Potrf => 1.0 / 3.0 * n * n * n,
+            // n^3.
+            Kernel::Trsm => n * n * n,
+            // 2 n^3.
+            Kernel::Gemm => 2.0 * n * n * n,
+            // n^3 (n^2 dot products of length n, symmetric half counted).
+            Kernel::Syrk => n * n * n,
+        }
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Getrf => "getrf",
+            Kernel::Potrf => "potrf",
+            Kernel::Trsm => "trsm",
+            Kernel::Gemm => "gemm",
+            Kernel::Syrk => "syrk",
+        }
+    }
+}
+
+/// Converts kernel invocations into simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCostModel {
+    /// Tile size `nb`.
+    pub nb: usize,
+    /// Sustained per-core GEMM rate in GFlop/s.
+    pub core_gflops: f64,
+    /// Efficiency factor applied to the non-GEMM kernels (panel kernels run
+    /// below GEMM speed in practice; 1.0 = same speed).
+    pub panel_efficiency: f64,
+}
+
+impl KernelCostModel {
+    /// Model with uniform kernel speed.
+    #[must_use]
+    pub fn uniform(nb: usize, core_gflops: f64) -> Self {
+        Self {
+            nb,
+            core_gflops,
+            panel_efficiency: 1.0,
+        }
+    }
+
+    /// Duration in seconds of one kernel invocation on one core.
+    ///
+    /// # Panics
+    /// Panics if the configured rate is not positive.
+    #[must_use]
+    pub fn duration(&self, kernel: Kernel) -> f64 {
+        assert!(self.core_gflops > 0.0, "core rate must be positive");
+        let eff = match kernel {
+            Kernel::Gemm => 1.0,
+            _ => self.panel_efficiency.max(1e-3),
+        };
+        kernel.flops(self.nb) / (self.core_gflops * 1e9 * eff)
+    }
+
+    /// Bytes of one `nb × nb` `f64` tile (the message size unit).
+    #[must_use]
+    pub fn tile_bytes(&self) -> u64 {
+        (self.nb * self.nb * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_ratios_are_canonical() {
+        let nb = 500;
+        assert_eq!(Kernel::Gemm.flops(nb), 2.0 * 500f64.powi(3));
+        assert!((Kernel::Gemm.flops(nb) / Kernel::Trsm.flops(nb) - 2.0).abs() < 1e-12);
+        assert!((Kernel::Gemm.flops(nb) / Kernel::Getrf.flops(nb) - 3.0).abs() < 1e-12);
+        assert!((Kernel::Gemm.flops(nb) / Kernel::Potrf.flops(nb) - 6.0).abs() < 1e-12);
+        assert!((Kernel::Gemm.flops(nb) / Kernel::Syrk.flops(nb) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_scales_with_rate() {
+        let slow = KernelCostModel::uniform(500, 10.0);
+        let fast = KernelCostModel::uniform(500, 20.0);
+        let r = slow.duration(Kernel::Gemm) / fast.duration(Kernel::Gemm);
+        assert!((r - 2.0).abs() < 1e-12);
+        // 2*500^3 flops at 10 GF/s = 25 ms.
+        assert!((slow.duration(Kernel::Gemm) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn panel_efficiency_slows_panel_kernels_only() {
+        let m = KernelCostModel {
+            nb: 100,
+            core_gflops: 10.0,
+            panel_efficiency: 0.5,
+        };
+        let u = KernelCostModel::uniform(100, 10.0);
+        assert_eq!(m.duration(Kernel::Gemm), u.duration(Kernel::Gemm));
+        assert!((m.duration(Kernel::Potrf) / u.duration(Kernel::Potrf) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_bytes_for_paper_tile_size() {
+        let m = KernelCostModel::uniform(500, 10.0);
+        assert_eq!(m.tile_bytes(), 500 * 500 * 8);
+    }
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::Gemm.name(), "gemm");
+        assert_eq!(Kernel::Potrf.name(), "potrf");
+    }
+}

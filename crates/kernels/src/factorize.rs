@@ -1,0 +1,200 @@
+//! Tile-level factorization kernels: unblocked Cholesky (POTRF) and
+//! no-pivoting LU (GETRF), the diagonal-tile operations of the tiled
+//! algorithms.
+
+/// Numerical failures surfaced by the factorization kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// POTRF hit a non-positive leading minor at the given index: the tile
+    /// (hence the matrix) is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// GETRF (no pivoting) hit an exactly-zero pivot.
+    ZeroPivot {
+        /// Index of the zero pivot.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotPositiveDefinite { index } => {
+                write!(f, "matrix not positive definite at diagonal index {index}")
+            }
+            Self::ZeroPivot { index } => write!(f, "zero pivot at index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// In-place Cholesky factorization of the lower triangle: on success the
+/// lower triangle of `a` holds `L` with `A = L·Lᵀ`. The strictly upper
+/// triangle is not referenced and left as-is.
+///
+/// # Errors
+/// [`KernelError::NotPositiveDefinite`] if a leading minor is not positive.
+pub fn potrf(a: &mut [f64], n: usize) -> Result<(), KernelError> {
+    debug_assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        // d = A[j,j] - sum_{k<j} L[j,k]^2
+        let mut d = a[j + j * n];
+        for k in 0..j {
+            let l = a[j + k * n];
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(KernelError::NotPositiveDefinite { index: j });
+        }
+        let ljj = d.sqrt();
+        a[j + j * n] = ljj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[i + j * n];
+            for k in 0..j {
+                s -= a[i + k * n] * a[j + k * n];
+            }
+            a[i + j * n] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// In-place LU factorization *without pivoting* (Chameleon's
+/// `getrf_nopiv`): on success `a` holds the packed factors — strictly lower
+/// triangle is `L` (unit diagonal implicit), upper triangle including the
+/// diagonal is `U`.
+///
+/// # Errors
+/// [`KernelError::ZeroPivot`] if a pivot is exactly zero (the paper's
+/// experiments use random matrices, for which this never triggers).
+pub fn getrf_nopiv(a: &mut [f64], n: usize) -> Result<(), KernelError> {
+    debug_assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        let pivot = a[k + k * n];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(KernelError::ZeroPivot { index: k });
+        }
+        // Scale the column below the pivot.
+        for i in (k + 1)..n {
+            a[i + k * n] /= pivot;
+        }
+        // Rank-1 update of the trailing block.
+        for j in (k + 1)..n {
+            let ukj = a[k + j * n];
+            if ukj == 0.0 {
+                continue;
+            }
+            for i in (k + 1)..n {
+                a[i + j * n] -= a[i + k * n] * ukj;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm_nn;
+    use crate::tile::Tile;
+
+    /// Diagonally dominant symmetric tile: guaranteed SPD.
+    fn spd_tile(n: usize, seed: u64) -> Tile {
+        let r = Tile::random(n, seed);
+        Tile::from_fn(n, |i, j| {
+            let sym = 0.5 * (r.get(i, j) + r.get(j, i));
+            if i == j {
+                sym + n as f64 + 1.0
+            } else {
+                sym
+            }
+        })
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let n = 12;
+        let a0 = spd_tile(n, 21);
+        let mut a = a0.clone();
+        potrf(a.as_mut_slice(), n).unwrap();
+        let mut l = a.clone();
+        l.keep_lower();
+        // R = L * L^T - A0 must be ~0 (lower triangle suffices by symmetry).
+        let lt = l.transposed();
+        let mut rec = Tile::zeros(n);
+        gemm_nn(1.0, l.as_slice(), lt.as_slice(), 0.0, rec.as_mut_slice(), n);
+        for j in 0..n {
+            for i in 0..n {
+                assert!(
+                    (rec.get(i, j) - a0.get(i, j)).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    rec.get(i, j),
+                    a0.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let n = 4;
+        let mut a = Tile::identity(n);
+        a.set(2, 2, -1.0);
+        assert_eq!(
+            potrf(a.as_mut_slice(), n),
+            Err(KernelError::NotPositiveDefinite { index: 2 })
+        );
+    }
+
+    #[test]
+    fn getrf_reconstructs() {
+        let n = 10;
+        // Diagonally dominant -> no pivoting needed, well conditioned.
+        let r = Tile::random(n, 33);
+        let a0 = Tile::from_fn(n, |i, j| {
+            if i == j {
+                r.get(i, j) + n as f64 + 1.0
+            } else {
+                r.get(i, j)
+            }
+        });
+        let mut a = a0.clone();
+        getrf_nopiv(a.as_mut_slice(), n).unwrap();
+        let l = a.unit_lower();
+        let mut u = a.clone();
+        u.keep_upper();
+        let mut rec = Tile::zeros(n);
+        gemm_nn(1.0, l.as_slice(), u.as_slice(), 0.0, rec.as_mut_slice(), n);
+        for j in 0..n {
+            for i in 0..n {
+                assert!(
+                    (rec.get(i, j) - a0.get(i, j)).abs() < 1e-10,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn getrf_detects_zero_pivot() {
+        let n = 3;
+        let a0 = Tile::zeros(n);
+        let mut a = a0;
+        assert_eq!(
+            getrf_nopiv(a.as_mut_slice(), n),
+            Err(KernelError::ZeroPivot { index: 0 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(KernelError::NotPositiveDefinite { index: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(KernelError::ZeroPivot { index: 1 }.to_string().contains('1'));
+    }
+}

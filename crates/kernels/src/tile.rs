@@ -1,0 +1,204 @@
+//! The square, column-major [`Tile`] container.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A square `nb × nb` tile of `f64` values in column-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    nb: usize,
+    data: Vec<f64>,
+}
+
+impl Tile {
+    /// Zero-filled tile.
+    ///
+    /// # Panics
+    /// Panics if `nb == 0`.
+    #[must_use]
+    pub fn zeros(nb: usize) -> Self {
+        assert!(nb > 0, "tile size must be positive");
+        Self {
+            nb,
+            data: vec![0.0; nb * nb],
+        }
+    }
+
+    /// Identity tile.
+    #[must_use]
+    pub fn identity(nb: usize) -> Self {
+        let mut t = Self::zeros(nb);
+        for i in 0..nb {
+            t.data[i + i * nb] = 1.0;
+        }
+        t
+    }
+
+    /// Tile built from a closure over `(row, col)`.
+    #[must_use]
+    pub fn from_fn(nb: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut t = Self::zeros(nb);
+        for j in 0..nb {
+            for i in 0..nb {
+                t.data[i + j * nb] = f(i, j);
+            }
+        }
+        t
+    }
+
+    /// Tile with i.i.d. uniform entries in `[-1, 1]` from a seeded RNG.
+    #[must_use]
+    pub fn random(nb: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = Self::zeros(nb);
+        for v in &mut t.data {
+            *v = rng.gen_range(-1.0..=1.0);
+        }
+        t
+    }
+
+    /// Tile dimension `nb`.
+    #[must_use]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nb && j < self.nb);
+        self.data[i + j * self.nb]
+    }
+
+    /// Set element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nb && j < self.nb);
+        self.data[i + j * self.nb] = v;
+    }
+
+    /// Raw column-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        let nb = self.nb;
+        Self::from_fn(nb, |i, j| self.data[j + i * nb])
+    }
+
+    /// Zero out the strictly upper triangle (keep `L` including diagonal).
+    pub fn keep_lower(&mut self) {
+        for j in 0..self.nb {
+            for i in 0..j {
+                self.data[i + j * self.nb] = 0.0;
+            }
+        }
+    }
+
+    /// Zero out the strictly lower triangle (keep `U` including diagonal).
+    pub fn keep_upper(&mut self) {
+        for j in 0..self.nb {
+            for i in (j + 1)..self.nb {
+                self.data[i + j * self.nb] = 0.0;
+            }
+        }
+    }
+
+    /// Unit-lower-triangular part: strictly lower triangle of `self` with
+    /// ones on the diagonal (the `L` factor of an LU decomposition stored in
+    /// packed form).
+    #[must_use]
+    pub fn unit_lower(&self) -> Self {
+        Self::from_fn(self.nb, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout() {
+        let t = Tile::from_fn(3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(t.get(2, 1), 21.0);
+        // Column-major: element (2,1) sits at index 2 + 1*3 = 5.
+        assert_eq!(t.as_slice()[5], 21.0);
+    }
+
+    #[test]
+    fn identity_and_norms() {
+        let t = Tile::identity(4);
+        assert_eq!(t.frobenius_norm(), 2.0);
+        assert_eq!(t.max_abs(), 1.0);
+        assert_eq!(t.get(3, 3), 1.0);
+        assert_eq!(t.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = Tile::random(8, 42);
+        let b = Tile::random(8, 42);
+        let c = Tile::random(8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tile::random(5, 7);
+        assert_eq!(t.transposed().transposed(), t);
+        assert_eq!(t.transposed().get(1, 4), t.get(4, 1));
+    }
+
+    #[test]
+    fn triangle_extraction() {
+        let t = Tile::from_fn(3, |i, j| (1 + i * 3 + j) as f64);
+        let mut lower = t.clone();
+        lower.keep_lower();
+        assert_eq!(lower.get(0, 2), 0.0);
+        assert_eq!(lower.get(2, 0), t.get(2, 0));
+        let mut upper = t.clone();
+        upper.keep_upper();
+        assert_eq!(upper.get(2, 0), 0.0);
+        assert_eq!(upper.get(0, 2), t.get(0, 2));
+        let ul = t.unit_lower();
+        assert_eq!(ul.get(1, 1), 1.0);
+        assert_eq!(ul.get(2, 1), t.get(2, 1));
+        assert_eq!(ul.get(1, 2), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the dense tile kernels.
+
+use flexdist_kernels::{
+    gemm_nn, gemm_nt, getrf_nopiv, potrf, syrk_ln, trsm_left_lower_unit,
+    trsm_right_lower_trans, trsm_right_upper, Tile, TiledMatrix,
+};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn matmul_ref(a: &Tile, b: &Tile) -> Tile {
+    let n = a.nb();
+    Tile::from_fn(n, |i, j| (0..n).map(|k| a.get(i, k) * b.get(k, j)).sum())
+}
+
+fn spd_tile(nb: usize, seed: u64) -> Tile {
+    let r = Tile::random(nb, seed);
+    Tile::from_fn(nb, |i, j| {
+        let sym = 0.5 * (r.get(i, j) + r.get(j, i));
+        if i == j {
+            sym + nb as f64 + 1.0
+        } else {
+            sym
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GEMM agrees with the naive triple loop.
+    #[test]
+    fn gemm_nn_matches_reference(nb in 1usize..12, sa in 0u64..50, sb in 0u64..50) {
+        let a = Tile::random(nb, sa);
+        let b = Tile::random(nb, sb.wrapping_add(1000));
+        let mut c = Tile::zeros(nb);
+        gemm_nn(1.0, a.as_slice(), b.as_slice(), 0.0, c.as_mut_slice(), nb);
+        let expect = matmul_ref(&a, &b);
+        for j in 0..nb {
+            for i in 0..nb {
+                prop_assert!(close(c.get(i, j), expect.get(i, j), 1e-12));
+            }
+        }
+    }
+
+    /// GEMM-NT equals GEMM-NN against the explicit transpose.
+    #[test]
+    fn gemm_nt_equals_nn_of_transpose(nb in 1usize..12, sa in 0u64..50, sb in 0u64..50) {
+        let a = Tile::random(nb, sa);
+        let b = Tile::random(nb, sb.wrapping_add(77));
+        let mut c1 = Tile::zeros(nb);
+        let mut c2 = Tile::zeros(nb);
+        gemm_nt(1.0, a.as_slice(), b.as_slice(), 0.0, c1.as_mut_slice(), nb);
+        let bt = b.transposed();
+        gemm_nn(1.0, a.as_slice(), bt.as_slice(), 0.0, c2.as_mut_slice(), nb);
+        prop_assert!(c1.as_slice().iter().zip(c2.as_slice()).all(|(x, y)| close(*x, *y, 1e-12)));
+    }
+
+    /// SYRK equals GEMM-NT of a tile with itself, on the lower triangle.
+    #[test]
+    fn syrk_equals_self_gemm_nt(nb in 1usize..12, s in 0u64..50) {
+        let a = Tile::random(nb, s);
+        let mut c1 = Tile::random(nb, s.wrapping_add(5));
+        let mut c2 = c1.clone();
+        syrk_ln(-2.0, a.as_slice(), 0.5, c1.as_mut_slice(), nb);
+        gemm_nt(-2.0, a.as_slice(), a.as_slice(), 0.5, c2.as_mut_slice(), nb);
+        for j in 0..nb {
+            for i in j..nb {
+                prop_assert!(close(c1.get(i, j), c2.get(i, j), 1e-12));
+            }
+        }
+    }
+
+    /// The three TRSM variants invert their corresponding products.
+    #[test]
+    fn trsm_variants_invert(nb in 1usize..10, s in 0u64..50) {
+        // Well-conditioned triangular factors.
+        let l = Tile::from_fn(nb, |i, j| match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 1.5 + j as f64,
+            std::cmp::Ordering::Greater => 0.3 * (((i * 7 + j + s as usize) % 5) as f64 - 2.0) / 2.0,
+            std::cmp::Ordering::Less => 0.0,
+        });
+        let u = l.transposed();
+        let lu_unit = Tile::from_fn(nb, |i, j| if i == j { 1.0 } else { l.get(i, j) });
+        let x = Tile::random(nb, s.wrapping_add(9));
+
+        // B = X·U, solve right-upper.
+        let mut b = matmul_ref(&x, &u);
+        trsm_right_upper(u.as_slice(), b.as_mut_slice(), nb);
+        prop_assert!(b.as_slice().iter().zip(x.as_slice()).all(|(p, q)| close(*p, *q, 1e-9)));
+
+        // B = L_unit·X, solve left-lower-unit.
+        let mut b = matmul_ref(&lu_unit, &x);
+        trsm_left_lower_unit(lu_unit.as_slice(), b.as_mut_slice(), nb);
+        prop_assert!(b.as_slice().iter().zip(x.as_slice()).all(|(p, q)| close(*p, *q, 1e-9)));
+
+        // B = X·L^T, solve right-lower-trans.
+        let mut b = matmul_ref(&x, &l.transposed());
+        trsm_right_lower_trans(l.as_slice(), b.as_mut_slice(), nb);
+        prop_assert!(b.as_slice().iter().zip(x.as_slice()).all(|(p, q)| close(*p, *q, 1e-9)));
+    }
+
+    /// POTRF reconstructs: L·Lᵀ == A for random SPD tiles.
+    #[test]
+    fn potrf_reconstructs(nb in 1usize..14, s in 0u64..50) {
+        let a0 = spd_tile(nb, s);
+        let mut a = a0.clone();
+        potrf(a.as_mut_slice(), nb).unwrap();
+        let mut l = a;
+        l.keep_lower();
+        let rec = matmul_ref(&l, &l.transposed());
+        for j in 0..nb {
+            for i in 0..nb {
+                prop_assert!(close(rec.get(i, j), a0.get(i, j), 1e-9));
+            }
+        }
+    }
+
+    /// GETRF (no pivoting) reconstructs on diagonally dominant tiles.
+    #[test]
+    fn getrf_reconstructs(nb in 1usize..14, s in 0u64..50) {
+        let r = Tile::random(nb, s);
+        let a0 = Tile::from_fn(nb, |i, j| {
+            if i == j { r.get(i, j) + nb as f64 + 1.0 } else { r.get(i, j) }
+        });
+        let mut a = a0.clone();
+        getrf_nopiv(a.as_mut_slice(), nb).unwrap();
+        let l = a.unit_lower();
+        let mut u = a;
+        u.keep_upper();
+        let rec = matmul_ref(&l, &u);
+        for j in 0..nb {
+            for i in 0..nb {
+                prop_assert!(close(rec.get(i, j), a0.get(i, j), 1e-9));
+            }
+        }
+    }
+
+    /// SPD generator really produces symmetric positive-definite matrices
+    /// (checked via a successful dense Cholesky of the tiled layout).
+    #[test]
+    fn spd_matrix_is_spd(t in 1usize..4, nb in 1usize..6, s in 0u64..30) {
+        let m = TiledMatrix::random_spd(t, nb, s);
+        let n = m.dim();
+        // Pack into one dense column-major buffer and POTRF it.
+        let mut dense = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dense[i + j * n] = m.get_element(i, j);
+            }
+        }
+        prop_assert!(potrf(&mut dense, n).is_ok());
+    }
+
+    /// Frobenius norm is subadditive under tile-wise sum of two matrices.
+    #[test]
+    fn frobenius_triangle_inequality(t in 1usize..3, nb in 1usize..5, s in 0u64..30) {
+        let a = TiledMatrix::random_uniform(t, nb, s);
+        let b = TiledMatrix::random_uniform(t, nb, s.wrapping_add(3));
+        // ||A - B|| <= ||A|| + ||B||.
+        prop_assert!(a.diff_norm(&b) <= a.frobenius_norm() + b.frobenius_norm() + 1e-12);
+    }
+}

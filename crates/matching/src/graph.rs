@@ -1,0 +1,168 @@
+//! Bipartite graph container with capacitated-right-side expansion.
+
+use crate::{greedy_matching, hopcroft_karp, Matching};
+
+/// A bipartite graph `(L, R, E)` stored as left-side adjacency lists.
+///
+/// Left vertices are `0..n_left`, right vertices `0..n_right`. Edges are
+/// directed from left to right for storage purposes only.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Create a graph with `n_left` left and `n_right` right vertices and no
+    /// edges.
+    #[must_use]
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Self {
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
+    }
+
+    /// Number of left vertices.
+    #[must_use]
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    #[must_use]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Total number of edges.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Add an edge between left vertex `u` and right vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len(), "left vertex {u} out of range");
+        assert!(v < self.n_right, "right vertex {v} out of range");
+        self.adj[u].push(v);
+    }
+
+    /// Neighbours of left vertex `u`.
+    #[must_use]
+    pub fn neighbours(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Left-side adjacency lists.
+    #[must_use]
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adj
+    }
+
+    /// Maximum matching via Hopcroft-Karp.
+    #[must_use]
+    pub fn maximum_matching(&self) -> Matching {
+        hopcroft_karp(&self.adj, self.n_right)
+    }
+
+    /// Maximal (greedy) matching; at least half the maximum size.
+    #[must_use]
+    pub fn maximal_matching_greedy(&self) -> Matching {
+        greedy_matching(&self.adj, self.n_right)
+    }
+
+    /// Build the "capacitated" expansion used by GCR&M: every right vertex
+    /// `v` is replaced by `copies` identical copies `v*copies .. v*copies +
+    /// copies`, and a maximum matching is computed on the expanded graph.
+    ///
+    /// Returns, for each left vertex, the *original* right vertex it is
+    /// matched to (copies are collapsed back), or `None` if unmatched.
+    /// This realizes a degree-constrained assignment where each right vertex
+    /// may absorb up to `copies` left vertices.
+    #[must_use]
+    pub fn capacitated_assignment(&self, copies: usize) -> Vec<Option<usize>> {
+        if copies == 0 {
+            return vec![None; self.n_left()];
+        }
+        let mut expanded: Vec<Vec<usize>> = Vec::with_capacity(self.n_left());
+        for nbrs in &self.adj {
+            let mut row = Vec::with_capacity(nbrs.len() * copies);
+            for &v in nbrs {
+                for c in 0..copies {
+                    row.push(v * copies + c);
+                }
+            }
+            expanded.push(row);
+        }
+        let m = hopcroft_karp(&expanded, self.n_right * copies);
+        m.left_to_right
+            .into_iter()
+            .map(|mv| mv.map(|v| v / copies))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = BipartiteGraph::new(3, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(2, 1);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 2);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbours(0), &[0, 1]);
+        assert!(g.neighbours(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "right vertex")]
+    fn add_edge_bounds_checked() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn maximum_matching_on_small_graph() {
+        let mut g = BipartiteGraph::new(3, 3);
+        // A classic augmenting-path case: greedy can get stuck at 2.
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 1);
+        let m = g.maximum_matching();
+        assert_eq!(m.size(), 2); // only 2 right vertices are reachable
+        assert!(m.is_consistent(g.adjacency()));
+    }
+
+    #[test]
+    fn capacitated_assignment_respects_capacity() {
+        // 5 left vertices all adjacent to right vertex 0, capacity 3.
+        let mut g = BipartiteGraph::new(5, 1);
+        for u in 0..5 {
+            g.add_edge(u, 0);
+        }
+        let assign = g.capacitated_assignment(3);
+        let matched = assign.iter().filter(|a| a.is_some()).count();
+        assert_eq!(matched, 3);
+        for a in assign.into_iter().flatten() {
+            assert_eq!(a, 0);
+        }
+    }
+
+    #[test]
+    fn capacitated_assignment_zero_copies() {
+        let mut g = BipartiteGraph::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        assert_eq!(g.capacitated_assignment(0), vec![None, None]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Greedy maximal matching (baseline / fast path).
+
+use crate::Matching;
+
+/// Compute a *maximal* (not necessarily maximum) matching by scanning left
+/// vertices in order and matching each to its first free neighbour.
+///
+/// Runs in `O(E)`. A maximal matching has size at least half the maximum,
+/// which makes this a useful baseline for the GCR&M ablation and a cheap
+/// lower bound in tests.
+#[must_use]
+pub fn greedy_matching(adj: &[Vec<usize>], n_right: usize) -> Matching {
+    let mut left_to_right = vec![None; adj.len()];
+    let mut right_to_left = vec![None; n_right];
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if right_to_left[v].is_none() {
+                right_to_left[v] = Some(u);
+                left_to_right[u] = Some(v);
+                break;
+            }
+        }
+    }
+    Matching {
+        left_to_right,
+        right_to_left,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp;
+
+    #[test]
+    fn greedy_is_maximal() {
+        // No edge should remain with both endpoints free.
+        let adj = vec![vec![0, 1], vec![0], vec![1, 2], vec![2]];
+        let m = greedy_matching(&adj, 3);
+        assert!(m.is_consistent(&adj));
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(
+                    m.left_to_right[u].is_some() || m.right_to_left[v].is_some(),
+                    "edge ({u},{v}) left unmatched on both sides"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_at_least_half_of_maximum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = 40 + trial;
+            let mut adj = vec![Vec::new(); n];
+            for row in adj.iter_mut() {
+                for v in 0..n {
+                    if rng.gen_bool(0.05) {
+                        row.push(v);
+                    }
+                }
+            }
+            let g = greedy_matching(&adj, n).size();
+            let opt = hopcroft_karp(&adj, n).size();
+            assert!(2 * g >= opt, "greedy {g} < half of optimal {opt}");
+            assert!(g <= opt);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Bipartite matching algorithms.
+//!
+//! This crate is a small, dependency-free substrate used by the GCR&M
+//! distribution heuristic of
+//! *Data Distribution Schemes for Dense Linear Algebra Factorizations on Any
+//! Number of Nodes* (IPDPS 2023), whose second phase assigns pattern cells to
+//! node copies via maximum bipartite matching (Algorithm 1, lines 11-12).
+//!
+//! Two algorithms are provided:
+//!
+//! * [`hopcroft_karp`] — maximum matching in `O(E · √V)`; the workhorse.
+//! * [`greedy_matching`] — a maximal (not maximum) matching in `O(E)`;
+//!   useful as a fast baseline and as a correctness oracle lower bound.
+//!
+//! A convenience wrapper [`BipartiteGraph`] stores the adjacency of the left
+//! side and exposes both algorithms plus a multi-copy ("capacitated right
+//! side") helper used by GCR&M, where every node on the right side is
+//! replicated `k` times.
+
+mod graph;
+mod greedy;
+mod hk;
+
+pub use graph::BipartiteGraph;
+pub use greedy::greedy_matching;
+pub use hk::hopcroft_karp;
+
+/// Result of a matching computation.
+///
+/// `left_to_right[u] = Some(v)` iff left vertex `u` is matched to right
+/// vertex `v`. The number of matched pairs is [`Matching::size`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// For each left vertex, the matched right vertex (if any).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right vertex, the matched left vertex (if any).
+    pub right_to_left: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.left_to_right.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Check internal consistency: the two direction maps must mirror each
+    /// other and every edge used must exist in `adj`.
+    #[must_use]
+    pub fn is_consistent(&self, adj: &[Vec<usize>]) -> bool {
+        for (u, m) in self.left_to_right.iter().enumerate() {
+            if let Some(v) = *m {
+                if self.right_to_left.get(v).copied().flatten() != Some(u) {
+                    return false;
+                }
+                if !adj[u].contains(&v) {
+                    return false;
+                }
+            }
+        }
+        for (v, m) in self.right_to_left.iter().enumerate() {
+            if let Some(u) = *m {
+                if self.left_to_right.get(u).copied().flatten() != Some(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_size_counts_pairs() {
+        let m = Matching {
+            left_to_right: vec![Some(0), None, Some(2)],
+            right_to_left: vec![Some(0), None, Some(2)],
+        };
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn consistency_detects_mirror_violation() {
+        let m = Matching {
+            left_to_right: vec![Some(0)],
+            right_to_left: vec![None],
+        };
+        assert!(!m.is_consistent(&[vec![0]]));
+    }
+
+    #[test]
+    fn consistency_detects_phantom_edge() {
+        let m = Matching {
+            left_to_right: vec![Some(1)],
+            right_to_left: vec![None, Some(0)],
+        };
+        // Edge (0, 1) is not present in the adjacency.
+        assert!(!m.is_consistent(&[vec![0]]));
+    }
+}

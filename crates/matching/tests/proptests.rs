@@ -1,0 +1,100 @@
+//! Property-based tests of the matching algorithms against a slow oracle.
+
+use flexdist_matching::{greedy_matching, hopcroft_karp, BipartiteGraph};
+use proptest::prelude::*;
+
+/// Kuhn's algorithm as an O(V·E) oracle.
+fn kuhn_max_matching(adj: &[Vec<usize>], n_right: usize) -> usize {
+    fn try_augment(
+        u: usize,
+        adj: &[Vec<usize>],
+        seen: &mut [bool],
+        pair_v: &mut [Option<usize>],
+    ) -> bool {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                if pair_v[v].is_none() || try_augment(pair_v[v].unwrap(), adj, seen, pair_v) {
+                    pair_v[v] = Some(u);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut pair_v = vec![None; n_right];
+    let mut total = 0;
+    for u in 0..adj.len() {
+        let mut seen = vec![false; n_right];
+        if try_augment(u, adj, &mut seen, &mut pair_v) {
+            total += 1;
+        }
+    }
+    total
+}
+
+fn arb_graph() -> impl Strategy<Value = (Vec<Vec<usize>>, usize)> {
+    (1usize..40, 1usize..40).prop_flat_map(|(nl, nr)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0..nr, 0..8),
+                nl..=nl,
+            ),
+            Just(nr),
+        )
+    })
+}
+
+proptest! {
+    /// Hopcroft-Karp matches the oracle's maximum size and is consistent.
+    #[test]
+    fn hk_is_maximum((adj, n_right) in arb_graph()) {
+        let m = hopcroft_karp(&adj, n_right);
+        prop_assert!(m.is_consistent(&adj));
+        prop_assert_eq!(m.size(), kuhn_max_matching(&adj, n_right));
+    }
+
+    /// Greedy is maximal: every edge touches a matched endpoint; and its
+    /// size is within a factor 2 of the maximum.
+    #[test]
+    fn greedy_is_maximal_and_half_optimal((adj, n_right) in arb_graph()) {
+        let g = greedy_matching(&adj, n_right);
+        prop_assert!(g.is_consistent(&adj));
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                prop_assert!(g.left_to_right[u].is_some() || g.right_to_left[v].is_some());
+            }
+        }
+        let opt = hopcroft_karp(&adj, n_right).size();
+        prop_assert!(g.size() <= opt);
+        prop_assert!(2 * g.size() >= opt);
+    }
+
+    /// Matching size never exceeds either side.
+    #[test]
+    fn size_bounded_by_sides((adj, n_right) in arb_graph()) {
+        let m = hopcroft_karp(&adj, n_right);
+        prop_assert!(m.size() <= adj.len());
+        prop_assert!(m.size() <= n_right);
+    }
+
+    /// Capacitated assignment respects capacities and edge membership.
+    #[test]
+    fn capacitated_respects_capacity((adj, n_right) in arb_graph(), copies in 1usize..4) {
+        let mut g = BipartiteGraph::new(adj.len(), n_right);
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                g.add_edge(u, v);
+            }
+        }
+        let assign = g.capacitated_assignment(copies);
+        let mut counts = vec![0usize; n_right];
+        for (u, a) in assign.iter().enumerate() {
+            if let Some(v) = *a {
+                prop_assert!(adj[u].contains(&v), "assigned along a non-edge");
+                counts[v] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c <= copies));
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulated machine description.
+
+use serde::{Deserialize, Serialize};
+
+/// Ready-queue ordering policy applied per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Highest task priority first, submission order breaking ties —
+    /// Chameleon-style panel-first scheduling. The default.
+    #[default]
+    Priority,
+    /// Strict submission order, ignoring priorities (a naive runtime).
+    Fifo,
+    /// Most recently ready first (depth-first-ish; exposes how much the
+    /// priority scheme matters).
+    Lifo,
+}
+
+/// Where a remote tile fetch is sourced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SourceSelection {
+    /// Always from the tile version's producer (the last writer's node) —
+    /// the plain MPI point-to-point behaviour of the paper's Chameleon
+    /// (§II-C: no collective communication schemes).
+    #[default]
+    Holder,
+    /// From whichever node already holds a valid replica and has the
+    /// earliest-free send port. This approximates tree/pipelined broadcast
+    /// by relaying through earlier receivers — the ablation for the
+    /// paper's "each tile is sent to its destination as a separate
+    /// message" design point.
+    AnyReplica,
+}
+
+/// Parameters of the simulated cluster.
+///
+/// The defaults are calibrated to the paper's testbed (§IV-D): nodes with 36
+/// Intel Skylake cores of which ~34 run kernels (one core drives the StarPU
+/// scheduler and one the MPI thread), connected by a 100 Gb/s OmniPath
+/// fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of nodes `P`.
+    pub nodes: u32,
+    /// Worker cores per node executing kernels (all nodes, unless
+    /// [`MachineConfig::per_node_workers`] overrides it).
+    pub workers_per_node: u32,
+    /// Optional per-node worker counts for *heterogeneous* clusters
+    /// (paper §VI names heterogeneity as the next step; see
+    /// `flexdist-hetero`). When set, its length must equal `nodes` and it
+    /// takes precedence over `workers_per_node`.
+    pub per_node_workers: Option<Vec<u32>>,
+    /// Per-message latency in seconds.
+    pub latency: f64,
+    /// Link bandwidth in bytes/second (per node port, full duplex: the send
+    /// and receive directions are independent).
+    pub bandwidth: f64,
+    /// Whether received tiles are cached per node until the next write
+    /// (StarPU behaviour). Disabling re-fetches for every consumer task —
+    /// the `ablation_replica_cache` experiment.
+    pub replica_cache: bool,
+    /// Ready-queue policy.
+    pub scheduler: SchedulerPolicy,
+    /// Remote-fetch sourcing policy.
+    pub source_selection: SourceSelection,
+}
+
+impl MachineConfig {
+    /// The PlaFRIM-like testbed of the paper with `nodes` nodes.
+    #[must_use]
+    pub fn paper_testbed(nodes: u32) -> Self {
+        Self {
+            nodes,
+            workers_per_node: 34,
+            per_node_workers: None,
+            latency: 5e-6,
+            // 100 Gb/s ~ 12.5 GB/s per direction.
+            bandwidth: 12.5e9,
+            replica_cache: true,
+            scheduler: SchedulerPolicy::Priority,
+            source_selection: SourceSelection::Holder,
+        }
+    }
+
+    /// A small machine for unit tests: deterministic, low worker counts.
+    #[must_use]
+    pub fn test_machine(nodes: u32, workers_per_node: u32) -> Self {
+        Self {
+            nodes,
+            workers_per_node,
+            per_node_workers: None,
+            latency: 1e-5,
+            bandwidth: 1e9,
+            replica_cache: true,
+            scheduler: SchedulerPolicy::Priority,
+            source_selection: SourceSelection::Holder,
+        }
+    }
+
+    /// Worker count of `node`.
+    ///
+    /// # Panics
+    /// Panics if a per-node override is set with the wrong length.
+    #[must_use]
+    pub fn workers_of(&self, node: u32) -> u32 {
+        match &self.per_node_workers {
+            Some(v) => {
+                assert_eq!(
+                    v.len(),
+                    self.nodes as usize,
+                    "per_node_workers length must equal nodes"
+                );
+                v[node as usize]
+            }
+            None => self.workers_per_node,
+        }
+    }
+
+    /// Total worker count across the machine.
+    #[must_use]
+    pub fn total_workers(&self) -> u32 {
+        match &self.per_node_workers {
+            Some(v) => v.iter().sum(),
+            None => self.nodes * self.workers_per_node,
+        }
+    }
+
+    /// Time to push one message of `bytes` through a port.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let m = MachineConfig::paper_testbed(23);
+        assert_eq!(m.nodes, 23);
+        assert_eq!(m.workers_per_node, 34);
+        assert!(m.replica_cache);
+    }
+
+    #[test]
+    fn transfer_time_combines_latency_and_bandwidth() {
+        let mut m = MachineConfig::test_machine(1, 1);
+        m.latency = 1.0;
+        m.bandwidth = 100.0;
+        assert!((m.transfer_time(200) - 3.0).abs() < 1e-12);
+        // A 500x500 f64 tile over the paper fabric: ~160 us + latency.
+        let p = MachineConfig::paper_testbed(4);
+        let t = p.transfer_time(500 * 500 * 8);
+        assert!(t > 1e-4 && t < 3e-4, "{t}");
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+
+    #[test]
+    fn per_node_workers_override() {
+        let mut m = MachineConfig::test_machine(3, 4);
+        assert_eq!(m.workers_of(1), 4);
+        assert_eq!(m.total_workers(), 12);
+        m.per_node_workers = Some(vec![2, 8, 4]);
+        assert_eq!(m.workers_of(0), 2);
+        assert_eq!(m.workers_of(1), 8);
+        assert_eq!(m.total_workers(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn per_node_workers_wrong_length_panics() {
+        let mut m = MachineConfig::test_machine(3, 4);
+        m.per_node_workers = Some(vec![1, 2]);
+        let _ = m.workers_of(0);
+    }
+
+    #[test]
+    fn scheduler_default_is_priority() {
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Priority);
+    }
+}

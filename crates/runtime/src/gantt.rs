@@ -1,0 +1,135 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! Turns the [`TaskSpan`](crate::TaskSpan) stream of
+//! [`simulate_traced`](crate::simulate_traced) into a terminal-friendly
+//! utilization chart: one row per node, time binned across the width,
+//! shading by the fraction of the node's workers busy in each bin.
+
+use crate::sim::TaskSpan;
+use crate::MachineConfig;
+
+/// Shading ramp from idle to fully busy.
+const RAMP: [char; 5] = [' ', '.', ':', 'x', '#'];
+
+/// Render the trace as one text row per node, `width` characters of
+/// timeline each, plus a time axis. Shading reflects worker occupancy:
+/// `' '` idle, `'#'` all workers busy.
+///
+/// # Panics
+/// Panics if `width == 0`.
+#[must_use]
+pub fn render_gantt(trace: &[TaskSpan], config: &MachineConfig, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let makespan = trace.iter().fold(0.0f64, |m, s| m.max(s.end));
+    let n_nodes = config.nodes as usize;
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+    // busy[node][bin] = worker-seconds inside the bin.
+    let bin_w = makespan / width as f64;
+    let mut busy = vec![vec![0.0f64; width]; n_nodes];
+    for span in trace {
+        let first = ((span.start / bin_w) as usize).min(width - 1);
+        let last = ((span.end / bin_w) as usize).min(width - 1);
+        for (bin, busy_bin) in busy[span.node as usize]
+            .iter_mut()
+            .enumerate()
+            .take(last + 1)
+            .skip(first)
+        {
+            let lo = (bin as f64 * bin_w).max(span.start);
+            let hi = ((bin + 1) as f64 * bin_w).min(span.end);
+            if hi > lo {
+                *busy_bin += hi - lo;
+            }
+        }
+    }
+    for (node, row) in busy.iter().enumerate() {
+        let workers = f64::from(config.workers_of(node as u32));
+        out.push_str(&format!("node {node:>3} |"));
+        for &b in row {
+            let frac = (b / (bin_w * workers)).clamp(0.0, 1.0);
+            let idx = (frac * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx]);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:>9}0{}{makespan:.4}s\n",
+        "",
+        "-".repeat(width.saturating_sub(1)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+    use crate::sim::simulate_traced;
+
+    fn chain_graph(node: u32, n: usize) -> crate::TaskGraph {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(node, 8);
+        for _ in 0..n {
+            b.submit(TaskSpec {
+                node,
+                duration: 1.0,
+                flops: 0.0,
+                priority: 0,
+                label: "c",
+                accesses: vec![Access::read_write(d)],
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fully_busy_single_worker_renders_solid() {
+        let g = chain_graph(0, 4);
+        let m = MachineConfig::test_machine(1, 1);
+        let (_, trace) = simulate_traced(&g, &m);
+        let chart = render_gantt(&trace, &m, 8);
+        let row = chart.lines().next().unwrap();
+        assert!(row.starts_with("node   0 |"));
+        assert_eq!(row.matches('#').count(), 8, "{chart}");
+    }
+
+    #[test]
+    fn idle_node_renders_blank() {
+        let g = chain_graph(0, 2);
+        let m = MachineConfig::test_machine(2, 1);
+        let (_, trace) = simulate_traced(&g, &m);
+        let chart = render_gantt(&trace, &m, 10);
+        let node1 = chart.lines().nth(1).unwrap();
+        assert!(node1.contains("|          |"), "{chart}");
+    }
+
+    #[test]
+    fn half_busy_multiworker_uses_mid_ramp() {
+        // 2 workers, but a serial chain: only one is ever busy.
+        let g = chain_graph(0, 4);
+        let m = MachineConfig::test_machine(1, 2);
+        let (_, trace) = simulate_traced(&g, &m);
+        let chart = render_gantt(&trace, &m, 4);
+        let row = chart.lines().next().unwrap();
+        assert_eq!(row.matches(':').count(), 4, "{chart}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let m = MachineConfig::test_machine(1, 1);
+        assert!(render_gantt(&[], &m, 10).contains("empty"));
+    }
+
+    #[test]
+    fn axis_shows_makespan() {
+        let g = chain_graph(0, 3);
+        let m = MachineConfig::test_machine(1, 1);
+        let (report, trace) = simulate_traced(&g, &m);
+        let chart = render_gantt(&trace, &m, 12);
+        assert!(chart.contains(&format!("{:.4}s", report.makespan)));
+    }
+}

@@ -1,0 +1,443 @@
+//! Task-graph construction with sequential-task-flow dependency inference.
+
+use crate::{DataId, NodeId, TaskId};
+
+/// How a task touches a datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read only — the datum must be (fetched and) valid on the task's node.
+    Read,
+    /// Write only — previous contents are overwritten, no fetch needed.
+    Write,
+    /// Read-modify-write.
+    ReadWrite,
+}
+
+/// One declared access of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The datum.
+    pub data: DataId,
+    /// The mode.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Shorthand for a read access.
+    #[must_use]
+    pub fn read(data: DataId) -> Self {
+        Self {
+            data,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// Shorthand for a write access.
+    #[must_use]
+    pub fn write(data: DataId) -> Self {
+        Self {
+            data,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Shorthand for a read-write access.
+    #[must_use]
+    pub fn read_write(data: DataId) -> Self {
+        Self {
+            data,
+            mode: AccessMode::ReadWrite,
+        }
+    }
+}
+
+/// A task as submitted by the application layer.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Executing node (owner-computes: the owner of the written tile).
+    pub node: NodeId,
+    /// Wall-clock duration on one worker core, in seconds.
+    pub duration: f64,
+    /// Flops performed (for throughput accounting).
+    pub flops: f64,
+    /// Scheduling priority; larger runs earlier among ready tasks.
+    pub priority: i64,
+    /// Display label (kernel name).
+    pub label: &'static str,
+    /// Declared data accesses.
+    pub accesses: Vec<Access>,
+}
+
+/// Fully-built immutable task graph.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) data_owner: Vec<NodeId>,
+    pub(crate) data_bytes: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    pub(crate) node: NodeId,
+    pub(crate) duration: f64,
+    pub(crate) flops: f64,
+    pub(crate) priority: i64,
+    #[allow(dead_code)]
+    pub(crate) label: &'static str,
+    pub(crate) reads: Vec<DataId>,
+    pub(crate) writes: Vec<DataId>,
+    pub(crate) successors: Vec<TaskId>,
+    pub(crate) n_deps: u32,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of registered data handles.
+    #[must_use]
+    pub fn n_data(&self) -> usize {
+        self.data_owner.len()
+    }
+
+    /// Total flops across all tasks.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Sum of task durations (sequential execution time).
+    #[must_use]
+    pub fn sequential_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Critical-path length in seconds (longest dependency chain), a lower
+    /// bound on any schedule's makespan.
+    #[must_use]
+    pub fn critical_path(&self) -> f64 {
+        // Tasks are topologically ordered by construction (dependencies
+        // always point from lower to higher ids in an STF submission).
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        let mut best = 0.0f64;
+        for (id, t) in self.tasks.iter().enumerate() {
+            let f = finish[id] + t.duration;
+            best = best.max(f);
+            for &s in &t.successors {
+                let slot = &mut finish[s as usize];
+                if *slot < f {
+                    *slot = f;
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of dependency edges.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.tasks.iter().map(|t| t.successors.len()).sum()
+    }
+
+    /// Successor task ids of `id` (edges inferred at submission).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn successors_of(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id as usize].successors
+    }
+
+    /// Number of predecessors of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn n_deps_of(&self, id: TaskId) -> u32 {
+        self.tasks[id as usize].n_deps
+    }
+
+    /// Executing node of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node_of(&self, id: TaskId) -> NodeId {
+        self.tasks[id as usize].node
+    }
+
+    /// Home node of datum `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn data_owner(&self, d: DataId) -> NodeId {
+        self.data_owner[d as usize]
+    }
+
+    /// Data read by task `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn reads_of(&self, id: TaskId) -> &[DataId] {
+        &self.tasks[id as usize].reads
+    }
+}
+
+/// Per-datum hazard-tracking state during submission.
+#[derive(Debug, Clone, Default)]
+struct DataState {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Builds a [`TaskGraph`] by sequential submission, inferring RAW, WAR and
+/// WAW dependencies exactly as a sequential-task-flow runtime does.
+///
+/// ```
+/// use flexdist_runtime::{Access, GraphBuilder, TaskSpec};
+///
+/// let mut b = GraphBuilder::new();
+/// let tile = b.add_data(0, 8 * 500 * 500);
+/// let producer = b.submit(TaskSpec {
+///     node: 0, duration: 1e-3, flops: 1e6, priority: 1,
+///     label: "potrf", accesses: vec![Access::read_write(tile)],
+/// });
+/// let consumer = b.submit(TaskSpec {
+///     node: 1, duration: 2e-3, flops: 2e6, priority: 0,
+///     label: "trsm", accesses: vec![Access::read(tile)],
+/// });
+/// let graph = b.build();
+/// assert_eq!(graph.successors_of(producer), &[consumer]);
+/// assert_eq!(graph.n_deps_of(consumer), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    tasks: Vec<Task>,
+    data_owner: Vec<NodeId>,
+    data_bytes: Vec<u64>,
+    state: Vec<DataState>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a datum with its home node and size in bytes.
+    pub fn add_data(&mut self, owner: NodeId, bytes: u64) -> DataId {
+        let id = self.data_owner.len() as DataId;
+        self.data_owner.push(owner);
+        self.data_bytes.push(bytes);
+        self.state.push(DataState::default());
+        id
+    }
+
+    /// Submit the next task in program order. Returns its id.
+    ///
+    /// # Panics
+    /// Panics if the spec references an unregistered datum or has a negative
+    /// duration.
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        assert!(spec.duration >= 0.0, "negative task duration");
+        let id = self.tasks.len() as TaskId;
+        let mut deps: Vec<TaskId> = Vec::new();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+
+        for access in &spec.accesses {
+            let d = access.data as usize;
+            assert!(d < self.state.len(), "unregistered datum {d}");
+            match access.mode {
+                AccessMode::Read => {
+                    // RAW: run after the value's producer.
+                    if let Some(w) = self.state[d].last_writer {
+                        deps.push(w);
+                    }
+                    self.state[d].readers_since_write.push(id);
+                    reads.push(access.data);
+                }
+                AccessMode::Write | AccessMode::ReadWrite => {
+                    let st = &mut self.state[d];
+                    // WAW.
+                    if let Some(w) = st.last_writer {
+                        deps.push(w);
+                    }
+                    // WAR: wait for every reader of the previous version.
+                    deps.append(&mut st.readers_since_write);
+                    st.last_writer = Some(id);
+                    if access.mode == AccessMode::ReadWrite {
+                        reads.push(access.data);
+                    }
+                    writes.push(access.data);
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&p| p != id);
+        let n_deps = deps.len() as u32;
+        for p in deps {
+            self.tasks[p as usize].successors.push(id);
+        }
+        self.tasks.push(Task {
+            node: spec.node,
+            duration: spec.duration,
+            flops: spec.flops,
+            priority: spec.priority,
+            label: spec.label,
+            reads,
+            writes,
+            successors: Vec::new(),
+            n_deps,
+        });
+        id
+    }
+
+    /// Finalize the graph.
+    #[must_use]
+    pub fn build(self) -> TaskGraph {
+        TaskGraph {
+            tasks: self.tasks,
+            data_owner: self.data_owner,
+            data_bytes: self.data_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(node: NodeId, accesses: Vec<Access>) -> TaskSpec {
+        TaskSpec {
+            node,
+            duration: 1.0,
+            flops: 1.0,
+            priority: 0,
+            label: "t",
+            accesses,
+        }
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        let w = b.submit(spec(0, vec![Access::write(d)]));
+        let r = b.submit(spec(0, vec![Access::read(d)]));
+        let g = b.build();
+        assert_eq!(g.tasks[w as usize].successors, vec![r]);
+        assert_eq!(g.tasks[r as usize].n_deps, 1);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        b.submit(spec(0, vec![Access::write(d)]));
+        let r = b.submit(spec(0, vec![Access::read(d)]));
+        let w2 = b.submit(spec(0, vec![Access::write(d)]));
+        let g = b.build();
+        // w2 depends on both the first writer (WAW) and the reader (WAR).
+        assert!(g.tasks[r as usize].successors.contains(&w2));
+        assert_eq!(g.tasks[w2 as usize].n_deps, 2);
+    }
+
+    #[test]
+    fn waw_dependency_chains() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        let w1 = b.submit(spec(0, vec![Access::write(d)]));
+        let w2 = b.submit(spec(0, vec![Access::write(d)]));
+        let w3 = b.submit(spec(0, vec![Access::write(d)]));
+        let g = b.build();
+        assert_eq!(g.tasks[w1 as usize].successors, vec![w2]);
+        assert_eq!(g.tasks[w2 as usize].successors, vec![w3]);
+    }
+
+    #[test]
+    fn independent_readers_do_not_depend_on_each_other() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        let w = b.submit(spec(0, vec![Access::write(d)]));
+        let r1 = b.submit(spec(1, vec![Access::read(d)]));
+        let r2 = b.submit(spec(2, vec![Access::read(d)]));
+        let g = b.build();
+        assert_eq!(g.tasks[w as usize].successors, vec![r1, r2]);
+        assert!(g.tasks[r1 as usize].successors.is_empty());
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_deps_collapse() {
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_data(0, 8);
+        let d2 = b.add_data(0, 8);
+        let w = b.submit(spec(0, vec![Access::write(d1), Access::write(d2)]));
+        let r = b.submit(spec(0, vec![Access::read(d1), Access::read(d2)]));
+        let g = b.build();
+        // Two shared data, but only one edge.
+        assert_eq!(g.tasks[w as usize].successors, vec![r]);
+        assert_eq!(g.tasks[r as usize].n_deps, 1);
+    }
+
+    #[test]
+    fn read_write_reads_previous_version() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        let w = b.submit(spec(0, vec![Access::write(d)]));
+        let rw = b.submit(spec(0, vec![Access::read_write(d)]));
+        let g = b.build();
+        assert_eq!(g.tasks[w as usize].successors, vec![rw]);
+        assert_eq!(g.tasks[rw as usize].reads, vec![d]);
+        assert_eq!(g.tasks[rw as usize].writes, vec![d]);
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_diamond() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for _ in 0..4 {
+            b.submit(spec(0, vec![Access::read_write(d)]));
+        }
+        let g = b.build();
+        assert!((g.critical_path() - 4.0).abs() < 1e-12);
+        assert!((g.sequential_time() - 4.0).abs() < 1e-12);
+
+        // Diamond: w -> (r1, r2) -> w2. Critical path = 3 tasks.
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        b.submit(spec(0, vec![Access::write(d)]));
+        b.submit(spec(1, vec![Access::read(d)]));
+        b.submit(spec(2, vec![Access::read(d)]));
+        b.submit(spec(0, vec![Access::write(d)]));
+        let g = b.build();
+        assert!((g.critical_path() - 3.0).abs() < 1e-12);
+        assert!((g.sequential_time() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 64);
+        b.submit(TaskSpec {
+            node: 0,
+            duration: 0.5,
+            flops: 100.0,
+            priority: 3,
+            label: "x",
+            accesses: vec![Access::write(d)],
+        });
+        let g = b.build();
+        assert_eq!(g.n_tasks(), 1);
+        assert_eq!(g.n_data(), 1);
+        assert_eq!(g.total_flops(), 100.0);
+    }
+}

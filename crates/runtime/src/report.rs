@@ -1,0 +1,105 @@
+//! Simulation output.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end execution time in seconds.
+    pub makespan: f64,
+    /// Total flops of the task graph.
+    pub total_flops: f64,
+    /// Number of point-to-point messages sent.
+    pub messages: u64,
+    /// Bytes moved across the network.
+    pub bytes_sent: u64,
+    /// Per-node worker-busy seconds (summed over the node's workers).
+    pub busy_per_node: Vec<f64>,
+    /// Per-node peak resident bytes (home tiles plus cached replicas) —
+    /// the memory/communication trade-off metric of the 2.5D line of work
+    /// the paper surveys in §II-A.
+    pub peak_memory_per_node: Vec<u64>,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Total workers across the machine (utilization accounting).
+    pub total_workers: u32,
+}
+
+impl SimReport {
+    /// Aggregate throughput in GFlop/s.
+    #[must_use]
+    pub fn gflops(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops / self.makespan / 1e9
+    }
+
+    /// Throughput per node in GFlop/s (the paper's per-node performance
+    /// metric).
+    #[must_use]
+    pub fn gflops_per_node(&self) -> f64 {
+        if self.busy_per_node.is_empty() {
+            return 0.0;
+        }
+        self.gflops() / self.busy_per_node.len() as f64
+    }
+
+    /// Largest per-node peak resident memory in bytes.
+    #[must_use]
+    pub fn max_peak_memory(&self) -> u64 {
+        self.peak_memory_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average worker utilization in `[0, 1]`: busy time over
+    /// `makespan × workers` across the whole machine.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy_per_node.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_per_node.iter().sum();
+        let capacity = self.makespan * f64::from(self.total_workers);
+        busy / capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 2.0,
+            total_flops: 4e9,
+            messages: 10,
+            bytes_sent: 1000,
+            busy_per_node: vec![1.0, 3.0],
+            peak_memory_per_node: vec![100, 300],
+            tasks: 5,
+            total_workers: 4,
+        }
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let r = report();
+        assert!((r.gflops() - 2.0).abs() < 1e-12);
+        assert!((r.gflops_per_node() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let r = report();
+        // busy 4.0 over capacity 2.0 * 2 nodes * 2 workers = 8.0.
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan_is_safe() {
+        let mut r = report();
+        r.makespan = 0.0;
+        assert_eq!(r.gflops(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

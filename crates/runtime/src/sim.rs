@@ -1,0 +1,1060 @@
+//! Discrete-event simulation of a task graph on a cluster.
+//!
+//! Machine model (per [`MachineConfig`]):
+//!
+//! * each node runs `workers_per_node` identical worker cores; a ready task
+//!   occupies one core for its declared duration;
+//! * each node has one send port and one receive port; a tile transfer
+//!   occupies the source's send port and the destination's receive port for
+//!   `latency + bytes/bandwidth` seconds (store-and-forward, ports
+//!   serialize), fully overlapped with computation — matching the paper's
+//!   observation that Chameleon/StarPU overlaps its point-to-point MPI
+//!   messages with kernels (§II-C);
+//! * a task becomes *runnable* once its dependencies are done **and** all
+//!   its read data are resident on its node; missing tiles are fetched from
+//!   the current holder (the last writer's node);
+//! * with the replica cache enabled, a received tile stays valid on the node
+//!   until the tile is next written (StarPU's data replication), so each
+//!   tile version is sent at most once per consuming node — the property
+//!   that makes the number of messages proportional to the paper's
+//!   communication volume metric.
+//!
+//! The simulator is deterministic: event ties are broken by a monotonic
+//! sequence number and ready-queue ties by submission order.
+
+use crate::config::{MachineConfig, SchedulerPolicy};
+use crate::graph::TaskGraph;
+use crate::report::SimReport;
+use crate::{DataId, NodeId, TaskId};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One executed task in a simulation trace (a Paje-like span).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Node it ran on.
+    pub node: NodeId,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// Totally ordered wrapper for simulation timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    TaskDone(TaskId),
+    TransferDone(DataId, NodeId),
+}
+
+/// Bitset over nodes (replica sets). Sized for arbitrary `P`.
+#[derive(Debug, Clone)]
+struct NodeSetMask {
+    words: Vec<u64>,
+}
+
+impl NodeSetMask {
+    fn new(n_nodes: u32) -> Self {
+        Self {
+            words: vec![0; (n_nodes as usize).div_ceil(64)],
+        }
+    }
+
+    fn contains(&self, n: NodeId) -> bool {
+        self.words[n as usize / 64] & (1u64 << (n % 64)) != 0
+    }
+
+    fn insert(&mut self, n: NodeId) {
+        self.words[n as usize / 64] |= 1u64 << (n % 64);
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterate over the member node ids.
+    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some((wi * 64) as NodeId + b)
+            })
+        })
+    }
+}
+
+struct SimState<'g> {
+    graph: &'g TaskGraph,
+    config: &'g MachineConfig,
+    now: f64,
+    events: BinaryHeap<Reverse<(Time, u64, EventKey)>>,
+    seq: u64,
+    // Per task.
+    deps_left: Vec<u32>,
+    fetches_left: Vec<u32>,
+    // Per node.
+    idle_workers: Vec<u32>,
+    ready: Vec<BinaryHeap<(i64, Reverse<TaskId>)>>,
+    out_free: Vec<f64>,
+    in_free: Vec<f64>,
+    busy: Vec<f64>,
+    // Per datum.
+    holder: Vec<NodeId>,
+    replicas: Vec<NodeSetMask>,
+    in_flight: HashMap<(DataId, NodeId), Vec<TaskId>>,
+    /// Nodes whose ready queue or worker pool changed since the last
+    /// dispatch pass. Dispatch is deferred to the end of each event batch so
+    /// that tasks becoming ready at the same timestamp compete by priority
+    /// rather than by enqueue order.
+    dirty_nodes: Vec<usize>,
+    /// Monotonic counter stamping ready-queue insertions (LIFO policy).
+    ready_seq: i64,
+    /// Optional execution trace (one span per task).
+    trace: Option<Vec<TaskSpan>>,
+    /// Currently resident bytes per node (home data + valid replicas).
+    mem_now: Vec<u64>,
+    /// High-water mark of `mem_now`.
+    mem_peak: Vec<u64>,
+    /// `AnyReplica` mode: destinations waiting for a free source, per datum
+    /// (BTreeMap for deterministic pump order).
+    pending_dests: std::collections::BTreeMap<DataId, std::collections::VecDeque<NodeId>>,
+    // Stats.
+    messages: u64,
+    bytes: u64,
+    completed: usize,
+    makespan: f64,
+}
+
+/// Compact encoding of [`Event`] so the heap entry stays `Copy + Ord`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey(u64);
+
+impl EventKey {
+    fn task(t: TaskId) -> Self {
+        Self(u64::from(t))
+    }
+
+    fn transfer(d: DataId, n: NodeId) -> Self {
+        debug_assert!(n < (1 << 24), "node id exceeds event encoding");
+        Self(1 << 63 | u64::from(d) << 24 | u64::from(n))
+    }
+
+    fn decode(self) -> Event {
+        if self.0 >> 63 == 1 {
+            let payload = self.0 & !(1 << 63);
+            Event::TransferDone((payload >> 24) as DataId, (payload & 0xFF_FFFF) as NodeId)
+        } else {
+            Event::TaskDone(self.0 as TaskId)
+        }
+    }
+}
+
+/// Simulate `graph` on `config`'s machine. Returns the execution report.
+///
+/// # Panics
+/// Panics if a task or datum references a node `>= config.nodes`, or if the
+/// graph deadlocks (impossible for graphs built by [`crate::GraphBuilder`],
+/// whose dependencies always point backwards in submission order).
+#[must_use]
+pub fn simulate(graph: &TaskGraph, config: &MachineConfig) -> SimReport {
+    simulate_inner(graph, config, false).0
+}
+
+/// Like [`simulate`], but also returns the per-task execution trace
+/// (a [`TaskSpan`] for every task, in completion order).
+///
+/// # Panics
+/// Same conditions as [`simulate`].
+#[must_use]
+pub fn simulate_traced(graph: &TaskGraph, config: &MachineConfig) -> (SimReport, Vec<TaskSpan>) {
+    let (report, trace) = simulate_inner(graph, config, true);
+    (report, trace.expect("tracing was requested"))
+}
+
+fn simulate_inner(
+    graph: &TaskGraph,
+    config: &MachineConfig,
+    traced: bool,
+) -> (SimReport, Option<Vec<TaskSpan>>) {
+    let n_nodes = config.nodes as usize;
+    assert!(n_nodes > 0, "machine must have at least one node");
+    for t in &graph.tasks {
+        assert!((t.node as usize) < n_nodes, "task node out of range");
+    }
+    for &o in &graph.data_owner {
+        assert!((o as usize) < n_nodes, "data owner out of range");
+    }
+
+    let n_tasks = graph.tasks.len();
+    let mut st = SimState {
+        graph,
+        config,
+        now: 0.0,
+        events: BinaryHeap::new(),
+        seq: 0,
+        deps_left: graph.tasks.iter().map(|t| t.n_deps).collect(),
+        fetches_left: vec![0; n_tasks],
+        idle_workers: (0..config.nodes).map(|n| config.workers_of(n)).collect(),
+        ready: (0..n_nodes).map(|_| BinaryHeap::new()).collect(),
+        out_free: vec![0.0; n_nodes],
+        in_free: vec![0.0; n_nodes],
+        busy: vec![0.0; n_nodes],
+        holder: graph.data_owner.clone(),
+        replicas: graph
+            .data_owner
+            .iter()
+            .map(|&o| {
+                let mut m = NodeSetMask::new(config.nodes);
+                m.insert(o);
+                m
+            })
+            .collect(),
+        in_flight: HashMap::new(),
+        dirty_nodes: Vec::new(),
+        ready_seq: 0,
+        trace: traced.then(|| Vec::with_capacity(n_tasks)),
+        mem_now: {
+            let mut mem = vec![0u64; n_nodes];
+            for (d, &o) in graph.data_owner.iter().enumerate() {
+                mem[o as usize] += graph.data_bytes[d];
+            }
+            mem
+        },
+        mem_peak: Vec::new(),
+        pending_dests: std::collections::BTreeMap::new(),
+        messages: 0,
+        bytes: 0,
+        completed: 0,
+        makespan: 0.0,
+    };
+    st.mem_peak = st.mem_now.clone();
+
+    // Seed: tasks with no dependencies request their inputs.
+    for id in 0..n_tasks as TaskId {
+        if st.deps_left[id as usize] == 0 {
+            st.request_inputs(id);
+        }
+    }
+    st.dispatch_dirty();
+
+    while let Some(Reverse((Time(t), _, key))) = st.events.pop() {
+        st.now = t;
+        st.makespan = st.makespan.max(t);
+        match key.decode() {
+            Event::TaskDone(id) => st.on_task_done(id),
+            Event::TransferDone(d, n) => st.on_transfer_done(d, n),
+        }
+        // Drain every event sharing this timestamp before dispatching, so
+        // simultaneous completions release their successors together.
+        while let Some(Reverse((Time(t2), _, _))) = st.events.peek().copied() {
+            if t2 > t {
+                break;
+            }
+            let Reverse((_, _, key2)) = st.events.pop().expect("peeked");
+            match key2.decode() {
+                Event::TaskDone(id) => st.on_task_done(id),
+                Event::TransferDone(d, n) => st.on_transfer_done(d, n),
+            }
+        }
+        st.dispatch_dirty();
+    }
+
+    assert_eq!(
+        st.completed, n_tasks,
+        "simulation finished with {} of {} tasks executed (deadlock?)",
+        st.completed, n_tasks
+    );
+
+    let report = SimReport {
+        makespan: st.makespan,
+        total_flops: graph.total_flops(),
+        messages: st.messages,
+        bytes_sent: st.bytes,
+        busy_per_node: st.busy,
+        peak_memory_per_node: st.mem_peak,
+        tasks: n_tasks,
+        total_workers: config.total_workers(),
+    };
+    (report, st.trace)
+}
+
+impl SimState<'_> {
+    fn push_event(&mut self, at: f64, key: EventKey) {
+        self.seq += 1;
+        self.events.push(Reverse((Time(at), self.seq, key)));
+    }
+
+    /// All dependencies of `id` are satisfied: fetch missing read data, then
+    /// (possibly immediately) mark ready.
+    fn request_inputs(&mut self, id: TaskId) {
+        let task = &self.graph.tasks[id as usize];
+        let node = task.node;
+        let mut pending = 0u32;
+        for &d in &task.reads {
+            if self.replicas[d as usize].contains(node) {
+                continue;
+            }
+            pending += 1;
+            match self.in_flight.entry((d, node)) {
+                Entry::Occupied(mut e) if self.config.replica_cache => {
+                    // A transfer of this tile to this node is already on the
+                    // wire (or queued); piggyback on it.
+                    e.get_mut().push(id);
+                }
+                entry => {
+                    // Either nothing in flight, or caching is disabled (each
+                    // consumer pays its own message).
+                    match entry {
+                        Entry::Occupied(mut e) => e.get_mut().push(id),
+                        Entry::Vacant(v) => {
+                            v.insert(vec![id]);
+                        }
+                    }
+                    match self.config.source_selection {
+                        crate::config::SourceSelection::Holder => {
+                            let src = self.holder[d as usize];
+                            self.schedule_transfer(src, d, node);
+                        }
+                        crate::config::SourceSelection::AnyReplica => {
+                            assert!(
+                                self.config.replica_cache,
+                                "AnyReplica sourcing requires the replica cache"
+                            );
+                            // Defer: the transfer starts when some replica
+                            // holder's send port is free, so later requests
+                            // can relay from earlier receivers (binomial-
+                            // tree-like broadcast).
+                            self.pending_dests.entry(d).or_default().push_back(node);
+                        }
+                    }
+                }
+            }
+        }
+        if pending == 0 {
+            self.mark_ready(id);
+        } else {
+            self.fetches_left[id as usize] = pending;
+            if self.config.source_selection == crate::config::SourceSelection::AnyReplica {
+                self.pump_pending_transfers();
+            }
+        }
+    }
+
+    /// Reserve ports and schedule the completion event of one transfer.
+    fn schedule_transfer(&mut self, src: NodeId, d: DataId, dst: NodeId) {
+        let bytes = self.graph.data_bytes[d as usize];
+        let start = self
+            .now
+            .max(self.out_free[src as usize])
+            .max(self.in_free[dst as usize]);
+        let end = start + self.config.transfer_time(bytes);
+        self.out_free[src as usize] = end;
+        self.in_free[dst as usize] = end;
+        self.messages += 1;
+        self.bytes += bytes;
+        self.push_event(end, EventKey::transfer(d, dst));
+    }
+
+    /// `AnyReplica` mode: start queued transfers whose datum has a replica
+    /// holder with a currently-free send port. Called whenever time
+    /// advances past a transfer completion (new replica and/or freed port).
+    fn pump_pending_transfers(&mut self) {
+        let data: Vec<DataId> = self.pending_dests.keys().copied().collect();
+        for d in data {
+            while let Some(queue) = self.pending_dests.get_mut(&d) {
+                if queue.is_empty() {
+                    self.pending_dests.remove(&d);
+                    break;
+                }
+                // A source is usable when it holds the replica and its send
+                // port is free now.
+                let src = self.replicas[d as usize]
+                    .iter()
+                    .find(|&s| self.out_free[s as usize] <= self.now);
+                let Some(src) = src else {
+                    break;
+                };
+                let dst = self.pending_dests.get_mut(&d).expect("checked").pop_front().expect("non-empty");
+                self.schedule_transfer(src, d, dst);
+            }
+        }
+        self.pending_dests.retain(|_, q| !q.is_empty());
+    }
+
+    fn on_transfer_done(&mut self, d: DataId, node: NodeId) {
+        if self.config.replica_cache {
+            if !self.replicas[d as usize].contains(node) {
+                self.replicas[d as usize].insert(node);
+                self.add_memory(node, self.graph.data_bytes[d as usize]);
+            }
+        } else {
+            // Uncached transfers still occupy the consumer transiently;
+            // count the high-water mark as if held for the reading task.
+            self.add_memory(node, self.graph.data_bytes[d as usize]);
+            self.mem_now[node as usize] -= self.graph.data_bytes[d as usize];
+        }
+        if self.config.source_selection == crate::config::SourceSelection::AnyReplica {
+            // A port just freed and a new replica exists: restart the pump.
+            self.pump_pending_transfers();
+        }
+        let waiters = self.in_flight.remove(&(d, node)).unwrap_or_default();
+        if !self.config.replica_cache {
+            // Without caching, transfers were scheduled one per waiter but
+            // share the event key; wake exactly one waiter per event.
+            // (Each waiter scheduled its own TransferDone, so waking the
+            // first pending one keeps the accounting exact.)
+            let mut waiters = waiters;
+            if let Some(w) = waiters.pop() {
+                if !waiters.is_empty() {
+                    self.in_flight.insert((d, node), waiters);
+                }
+                self.finish_fetch(w);
+            }
+            return;
+        }
+        for w in waiters {
+            self.finish_fetch(w);
+        }
+    }
+
+    fn add_memory(&mut self, node: NodeId, bytes: u64) {
+        let slot = &mut self.mem_now[node as usize];
+        *slot += bytes;
+        let peak = &mut self.mem_peak[node as usize];
+        if *slot > *peak {
+            *peak = *slot;
+        }
+    }
+
+    fn finish_fetch(&mut self, id: TaskId) {
+        let left = &mut self.fetches_left[id as usize];
+        debug_assert!(*left > 0);
+        *left -= 1;
+        if *left == 0 {
+            self.mark_ready(id);
+        }
+    }
+
+    fn mark_ready(&mut self, id: TaskId) {
+        let task = &self.graph.tasks[id as usize];
+        let node = task.node as usize;
+        // The heap pops its maximum key; encode the policy into the key.
+        let key = match self.config.scheduler {
+            SchedulerPolicy::Priority => task.priority,
+            SchedulerPolicy::Fifo => 0,
+            SchedulerPolicy::Lifo => {
+                self.ready_seq += 1;
+                self.ready_seq
+            }
+        };
+        self.ready[node].push((key, Reverse(id)));
+        self.dirty_nodes.push(node);
+    }
+
+    fn dispatch_dirty(&mut self) {
+        while let Some(node) = self.dirty_nodes.pop() {
+            self.dispatch(node);
+        }
+    }
+
+    fn dispatch(&mut self, node: usize) {
+        while self.idle_workers[node] > 0 {
+            let Some((_, Reverse(id))) = self.ready[node].pop() else {
+                break;
+            };
+            self.idle_workers[node] -= 1;
+            let dur = self.graph.tasks[id as usize].duration;
+            self.busy[node] += dur;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TaskSpan {
+                    task: id,
+                    node: node as NodeId,
+                    start: self.now,
+                    end: self.now + dur,
+                });
+            }
+            self.push_event(self.now + dur, EventKey::task(id));
+        }
+    }
+
+    fn on_task_done(&mut self, id: TaskId) {
+        self.completed += 1;
+        let node = self.graph.tasks[id as usize].node as usize;
+        self.idle_workers[node] += 1;
+        // Writes create a new version: the writer's node becomes the only
+        // holder; cached replicas elsewhere are invalidated (freeing their
+        // memory).
+        for wi in 0..self.graph.tasks[id as usize].writes.len() {
+            let d = self.graph.tasks[id as usize].writes[wi];
+            let bytes = self.graph.data_bytes[d as usize];
+            let mut writer_had_it = false;
+            let evicted: Vec<NodeId> = self.replicas[d as usize].iter().collect();
+            for n2 in evicted {
+                if n2 as usize == node {
+                    writer_had_it = true;
+                } else {
+                    self.mem_now[n2 as usize] -= bytes;
+                }
+            }
+            self.holder[d as usize] = node as NodeId;
+            self.replicas[d as usize].clear();
+            self.replicas[d as usize].insert(node as NodeId);
+            if !writer_had_it {
+                self.add_memory(node as NodeId, bytes);
+            }
+        }
+        for si in 0..self.graph.tasks[id as usize].successors.len() {
+            let s = self.graph.tasks[id as usize].successors[si];
+            let left = &mut self.deps_left[s as usize];
+            debug_assert!(*left > 0);
+            *left -= 1;
+            if *left == 0 {
+                self.request_inputs(s);
+            }
+        }
+        self.dirty_nodes.push(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+
+    fn spec(node: NodeId, duration: f64, accesses: Vec<Access>) -> TaskSpec {
+        TaskSpec {
+            node,
+            duration,
+            flops: duration * 1e9,
+            priority: 0,
+            label: "k",
+            accesses,
+        }
+    }
+
+    fn machine(nodes: u32, workers: u32) -> MachineConfig {
+        let mut m = MachineConfig::test_machine(nodes, workers);
+        m.latency = 0.0;
+        m.bandwidth = 1e9;
+        m
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let r = simulate(&g, &machine(2, 2));
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.tasks, 0);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn sequential_chain_time_adds_up() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for _ in 0..5 {
+            b.submit(spec(0, 1.0, vec![Access::read_write(d)]));
+        }
+        let g = b.build();
+        let r = simulate(&g, &machine(1, 4));
+        assert!((r.makespan - 5.0).abs() < 1e-12);
+        assert_eq!(r.messages, 0);
+        assert!((r.busy_per_node[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            let d = b.add_data(0, 8);
+            b.submit(spec(0, 1.0, vec![Access::write(d)]));
+        }
+        let g = b.build();
+        // 4 workers: all at once.
+        assert!((simulate(&g, &machine(1, 4)).makespan - 1.0).abs() < 1e-12);
+        // 2 workers: two waves.
+        assert!((simulate(&g, &machine(1, 2)).makespan - 2.0).abs() < 1e-12);
+        // 1 worker: serial.
+        assert!((simulate(&g, &machine(1, 1)).makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_read_costs_one_message() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(spec(0, 1.0, vec![Access::write(d)]));
+        b.submit(spec(1, 1.0, vec![Access::read(d)]));
+        let g = b.build();
+        let m = machine(2, 1);
+        let r = simulate(&g, &m);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.bytes_sent, 1000);
+        // write (1.0) + transfer (1000 / 1e9 s) + read (1.0).
+        let expect = 1.0 + 1000.0 / 1e9 + 1.0;
+        assert!((r.makespan - expect).abs() < 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn replica_cache_dedups_messages() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(spec(0, 1.0, vec![Access::write(d)]));
+        // Three readers on the same remote node: one message with cache.
+        let e1 = b.add_data(1, 8);
+        let e2 = b.add_data(1, 8);
+        let e3 = b.add_data(1, 8);
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(e1)]));
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(e2)]));
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(e3)]));
+        let g = b.build();
+
+        let cached = simulate(&g, &machine(2, 1));
+        assert_eq!(cached.messages, 1);
+
+        let mut nocache = machine(2, 1);
+        nocache.replica_cache = false;
+        let r = simulate(&g, &nocache);
+        assert_eq!(r.messages, 3, "without cache each reader fetches");
+    }
+
+    #[test]
+    fn write_invalidates_replicas() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        let s1 = b.add_data(1, 8);
+        let s2 = b.add_data(1, 8);
+        b.submit(spec(0, 1.0, vec![Access::write(d)]));
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(s1)]));
+        //
+
+        b.submit(spec(0, 1.0, vec![Access::read_write(d)])); // new version
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(s2)]));
+        let g = b.build();
+        let r = simulate(&g, &machine(2, 1));
+        // Node 1 must fetch d twice: once per version.
+        assert_eq!(r.messages, 2);
+    }
+
+    #[test]
+    fn owner_does_not_fetch_its_own_data() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(1, 1000);
+        b.submit(spec(1, 1.0, vec![Access::read(d)]));
+        let g = b.build();
+        let r = simulate(&g, &machine(2, 1));
+        assert_eq!(r.messages, 0);
+        assert!((r.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_serializes_on_send_port() {
+        // One producer node sends two different tiles to two different
+        // consumers; the shared send port serializes the transfers.
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_data(0, 1_000_000_000); // 1 s at 1 GB/s
+        let d2 = b.add_data(0, 1_000_000_000);
+        b.submit(spec(1, 0.0, vec![Access::read(d1)]));
+        b.submit(spec(2, 0.0, vec![Access::read(d2)]));
+        let g = b.build();
+        let r = simulate(&g, &machine(3, 1));
+        assert_eq!(r.messages, 2);
+        // Transfers can't overlap on node 0's out port: makespan ~ 2 s.
+        assert!((r.makespan - 2.0).abs() < 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn priorities_order_ready_tasks() {
+        let mut b = GraphBuilder::new();
+        let lo = b.add_data(0, 8);
+        let hi = b.add_data(0, 8);
+        let mut s_lo = spec(0, 1.0, vec![Access::write(lo)]);
+        s_lo.priority = 0;
+        let mut s_hi = spec(0, 1.0, vec![Access::write(hi)]);
+        s_hi.priority = 10;
+        b.submit(s_lo);
+        b.submit(s_hi);
+        // A reader of `hi` on another node: if `hi` runs first, its result
+        // ships while `lo` computes, shortening the makespan.
+        b.submit(spec(1, 1.0, vec![Access::read(hi)]));
+        let g = b.build();
+        let r = simulate(&g, &machine(2, 1));
+        // hi at [0,1], transfer ~8ns, reader at [~1, ~2]; lo at [1,2].
+        assert!(r.makespan < 2.5, "{}", r.makespan);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = GraphBuilder::new();
+        let data: Vec<_> = (0..20).map(|i| b.add_data(i % 3, 5000)).collect();
+        for _ in 0..200 {
+            let d = data[rng.gen_range(0..20)];
+            let e = data[rng.gen_range(0..20)];
+            let node = rng.gen_range(0..3);
+            let mut acc = vec![Access::read(d)];
+            if e != d {
+                acc.push(Access::read_write(e));
+            }
+            b.submit(spec(node, rng.gen_range(0.001..0.01), acc));
+        }
+        let g = b.build();
+        let m = machine(3, 2);
+        let r1 = simulate(&g, &m);
+        let r2 = simulate(&g, &m);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.tasks, 200);
+        // Makespan is bounded below by the critical path.
+        assert!(r1.makespan >= g.critical_path() - 1e-9);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_and_work_bound() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for i in 0..6 {
+            b.submit(spec(i % 2, 1.0, vec![Access::read_write(d)]));
+        }
+        let g = b.build();
+        let m = machine(2, 1);
+        let r = simulate(&g, &m);
+        assert!(r.makespan >= g.critical_path() - 1e-9);
+        assert!(r.makespan >= g.sequential_time() / 2.0 - 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::config::SchedulerPolicy;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+
+    fn spec(node: NodeId, duration: f64, priority: i64, accesses: Vec<Access>) -> TaskSpec {
+        TaskSpec {
+            node,
+            duration,
+            flops: 0.0,
+            priority,
+            label: "k",
+            accesses,
+        }
+    }
+
+    fn one_node_machine(policy: SchedulerPolicy) -> MachineConfig {
+        let mut m = MachineConfig::test_machine(1, 1);
+        m.scheduler = policy;
+        m
+    }
+
+    /// Three independent tasks with priorities 1, 3, 2 on a single worker.
+    fn priority_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        for p in [1i64, 3, 2] {
+            let d = b.add_data(0, 8);
+            b.submit(spec(0, 1.0, p, vec![Access::write(d)]));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn priority_policy_runs_high_priority_first() {
+        let g = priority_graph();
+        let (_, trace) = simulate_traced(&g, &one_node_machine(SchedulerPolicy::Priority));
+        let order: Vec<TaskId> = trace.iter().map(|s| s.task).collect();
+        assert_eq!(order, vec![1, 2, 0], "highest priority first");
+    }
+
+    #[test]
+    fn fifo_policy_runs_in_submission_order() {
+        let g = priority_graph();
+        let (_, trace) = simulate_traced(&g, &one_node_machine(SchedulerPolicy::Fifo));
+        let order: Vec<TaskId> = trace.iter().map(|s| s.task).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lifo_policy_runs_most_recent_first() {
+        let g = priority_graph();
+        let (_, trace) = simulate_traced(&g, &one_node_machine(SchedulerPolicy::Lifo));
+        let order: Vec<TaskId> = trace.iter().map(|s| s.task).collect();
+        // All three become ready together at t = 0 in submission order, so
+        // LIFO pops the last submitted first.
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn trace_spans_are_consistent() {
+        // Random-ish graph; validate span invariants:
+        // one span per task, end = start + duration, no worker
+        // over-subscription on any node.
+        let mut b = GraphBuilder::new();
+        let d: Vec<_> = (0..4).map(|i| b.add_data(i % 2, 64)).collect();
+        for i in 0..30usize {
+            b.submit(spec(
+                (i % 2) as NodeId,
+                0.5 + (i % 3) as f64 * 0.25,
+                0,
+                vec![Access::read(d[i % 4]), Access::read_write(d[(i + 1) % 4])],
+            ));
+        }
+        let g = b.build();
+        let workers = 2u32;
+        let (report, trace) = simulate_traced(&g, &MachineConfig::test_machine(2, workers));
+        assert_eq!(trace.len(), g.n_tasks());
+        let mut seen = vec![false; g.n_tasks()];
+        for span in &trace {
+            assert!(!seen[span.task as usize], "duplicate span");
+            seen[span.task as usize] = true;
+            assert!(span.end <= report.makespan + 1e-12);
+            assert!(span.start >= 0.0);
+        }
+        // Over-subscription check: at each span start, count overlapping
+        // spans on the same node.
+        for s in &trace {
+            let overlapping = trace
+                .iter()
+                .filter(|o| {
+                    o.node == s.node && o.start < s.end - 1e-15 && s.start < o.end - 1e-15
+                })
+                .count();
+            assert!(
+                overlapping <= workers as usize,
+                "node {} runs {} tasks concurrently",
+                s.node,
+                overlapping
+            );
+        }
+    }
+
+    #[test]
+    fn traced_report_equals_untraced() {
+        let g = priority_graph();
+        let m = one_node_machine(SchedulerPolicy::Priority);
+        let (traced, _) = simulate_traced(&g, &m);
+        let plain = simulate(&g, &m);
+        assert_eq!(traced, plain);
+    }
+
+    #[test]
+    fn heterogeneous_workers_shift_load() {
+        // 8 independent unit tasks on each of 2 nodes; node 1 has 4 workers,
+        // node 0 has 1: node 0 takes 8 s, node 1 takes 2 s.
+        let mut b = GraphBuilder::new();
+        for node in 0..2u32 {
+            for _ in 0..8 {
+                let d = b.add_data(node, 8);
+                b.submit(spec(node, 1.0, 0, vec![Access::write(d)]));
+            }
+        }
+        let g = b.build();
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.per_node_workers = Some(vec![1, 4]);
+        let r = simulate(&g, &m);
+        assert!((r.makespan - 8.0).abs() < 1e-9, "{}", r.makespan);
+        assert_eq!(r.total_workers, 5);
+        // Same graph on uniform 4-worker nodes: 2 s.
+        let uniform = MachineConfig::test_machine(2, 4);
+        assert!((simulate(&g, &uniform).makespan - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod memory_and_source_tests {
+    use super::*;
+    use crate::config::SourceSelection;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+
+    fn spec(node: NodeId, duration: f64, accesses: Vec<Access>) -> TaskSpec {
+        TaskSpec {
+            node,
+            duration,
+            flops: 0.0,
+            priority: 0,
+            label: "k",
+            accesses,
+        }
+    }
+
+    #[test]
+    fn peak_memory_counts_home_data() {
+        let mut b = GraphBuilder::new();
+        b.add_data(0, 1000);
+        b.add_data(0, 500);
+        b.add_data(1, 200);
+        let g = b.build();
+        let r = simulate(&g, &MachineConfig::test_machine(2, 1));
+        assert_eq!(r.peak_memory_per_node, vec![1500, 200]);
+        assert_eq!(r.max_peak_memory(), 1500);
+    }
+
+    #[test]
+    fn replicas_raise_peak_until_invalidated() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        let s = b.add_data(1, 10);
+        b.submit(spec(0, 1.0, vec![Access::write(d)]));
+        // Node 1 reads d: gains a 1000-byte replica.
+        b.submit(spec(1, 1.0, vec![Access::read(d), Access::write(s)]));
+        // Node 0 rewrites d: node 1's replica is invalidated, but the peak
+        // remembers it.
+        b.submit(spec(0, 1.0, vec![Access::read_write(d)]));
+        let g = b.build();
+        let r = simulate(&g, &MachineConfig::test_machine(2, 1));
+        assert_eq!(r.peak_memory_per_node[1], 10 + 1000);
+        assert_eq!(r.peak_memory_per_node[0], 1000);
+    }
+
+    #[test]
+    fn any_replica_sourcing_relieves_the_producer_port() {
+        // One producer, many consumers on distinct nodes, long transfers:
+        // with Holder sourcing all transfers serialize on node 0's port;
+        // with AnyReplica later consumers fetch from earlier receivers.
+        let consumers = 6u32;
+        let build = || {
+            let mut b = GraphBuilder::new();
+            let d = b.add_data(0, 1_000_000_000); // 1 s per hop at 1 GB/s
+            b.submit(spec(0, 0.001, vec![Access::write(d)]));
+            for n in 1..=consumers {
+                b.submit(spec(n, 0.001, vec![Access::read(d)]));
+            }
+            b.build()
+        };
+        let g = build();
+        let mut holder_cfg = MachineConfig::test_machine(consumers + 1, 1);
+        holder_cfg.latency = 0.0;
+        let mut relay_cfg = holder_cfg.clone();
+        relay_cfg.source_selection = SourceSelection::AnyReplica;
+
+        let serial = simulate(&g, &holder_cfg);
+        let relayed = simulate(&g, &relay_cfg);
+        // Serial: ~consumers seconds; relayed: ~log2(consumers+1) rounds.
+        assert!(serial.makespan > consumers as f64 * 0.9, "{}", serial.makespan);
+        assert!(
+            relayed.makespan < serial.makespan * 0.7,
+            "relay {} !<< serial {}",
+            relayed.makespan,
+            serial.makespan
+        );
+        // Same number of messages either way: relaying moves sources, not
+        // volume.
+        assert_eq!(serial.messages, relayed.messages);
+    }
+
+    #[test]
+    fn node_set_mask_iterates_sorted() {
+        let mut m = NodeSetMask::new(130);
+        for n in [0u32, 63, 64, 65, 129] {
+            m.insert(n);
+        }
+        let got: Vec<NodeId> = m.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 129]);
+        m.clear();
+        assert_eq!(m.iter().count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod extreme_machine_tests {
+    use super::*;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+
+    fn two_node_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(TaskSpec {
+            node: 0,
+            duration: 1.0,
+            flops: 1e9,
+            priority: 0,
+            label: "w",
+            accesses: vec![Access::write(d)],
+        });
+        b.submit(TaskSpec {
+            node: 1,
+            duration: 1.0,
+            flops: 1e9,
+            priority: 0,
+            label: "r",
+            accesses: vec![Access::read(d)],
+        });
+        b.build()
+    }
+
+    #[test]
+    fn infinite_bandwidth_leaves_only_latency() {
+        let g = two_node_graph();
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.bandwidth = f64::INFINITY;
+        m.latency = 0.25;
+        let r = simulate(&g, &m);
+        assert!((r.makespan - 2.25).abs() < 1e-12, "{}", r.makespan);
+    }
+
+    #[test]
+    fn zero_latency_leaves_only_bandwidth() {
+        let g = two_node_graph();
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.latency = 0.0;
+        m.bandwidth = 2000.0; // 0.5 s for 1000 bytes
+        let r = simulate(&g, &m);
+        assert!((r.makespan - 2.5).abs() < 1e-12, "{}", r.makespan);
+    }
+
+    #[test]
+    fn tiny_bandwidth_makes_comm_dominate() {
+        let g = two_node_graph();
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.latency = 0.0;
+        m.bandwidth = 10.0; // 100 s transfer
+        let r = simulate(&g, &m);
+        assert!(r.makespan > 100.0);
+        // Work accounting is unaffected by comm time.
+        assert!((r.busy_per_node.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete_instantly() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for _ in 0..50 {
+            b.submit(TaskSpec {
+                node: 0,
+                duration: 0.0,
+                flops: 0.0,
+                priority: 0,
+                label: "z",
+                accesses: vec![Access::read_write(d)],
+            });
+        }
+        let g = b.build();
+        let r = simulate(&g, &MachineConfig::test_machine(1, 1));
+        assert_eq!(r.tasks, 50);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.gflops(), 0.0);
+    }
+}

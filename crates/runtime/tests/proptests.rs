@@ -1,0 +1,157 @@
+//! Property-based tests of the STF runtime and the discrete-event
+//! simulator: scheduling-theory bounds and conservation laws on random
+//! task graphs.
+
+use flexdist_runtime::{simulate, Access, GraphBuilder, MachineConfig, TaskSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomTask {
+    node: u32,
+    duration: f64,
+    reads: Vec<u8>,
+    write: u8,
+}
+
+fn arb_graph(
+    max_nodes: u32,
+    n_data: u8,
+    max_tasks: usize,
+) -> impl Strategy<Value = (u32, Vec<RandomTask>)> {
+    (1..=max_nodes).prop_flat_map(move |nodes| {
+        let task = (
+            0..nodes,
+            1u32..100,
+            proptest::collection::vec(0..n_data, 0..3),
+            0..n_data,
+        )
+            .prop_map(|(node, d, reads, write)| RandomTask {
+                node,
+                duration: f64::from(d) * 1e-3,
+                reads,
+                write,
+            });
+        (
+            Just(nodes),
+            proptest::collection::vec(task, 1..max_tasks),
+        )
+    })
+}
+
+fn build(nodes: u32, tasks: &[RandomTask]) -> flexdist_runtime::TaskGraph {
+    let mut b = GraphBuilder::new();
+    let data: Vec<_> = (0..16).map(|i| b.add_data(i % nodes, 4096)).collect();
+    for t in tasks {
+        let mut accesses: Vec<Access> = t
+            .reads
+            .iter()
+            .filter(|&&d| d as usize != t.write as usize)
+            .map(|&d| Access::read(data[d as usize]))
+            .collect();
+        accesses.push(Access::read_write(data[t.write as usize]));
+        b.submit(TaskSpec {
+            node: t.node,
+            duration: t.duration,
+            flops: t.duration * 1e9,
+            priority: 0,
+            label: "rand",
+            accesses,
+        });
+    }
+    b.build()
+}
+
+fn machine(nodes: u32, workers: u32) -> MachineConfig {
+    let mut m = MachineConfig::test_machine(nodes, workers);
+    m.latency = 1e-6;
+    m.bandwidth = 1e9;
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every random STF graph completes, and the makespan respects both the
+    /// critical-path and total-work lower bounds.
+    #[test]
+    fn makespan_lower_bounds((nodes, tasks) in arb_graph(4, 16, 60), workers in 1u32..4) {
+        let g = build(nodes, &tasks);
+        let r = simulate(&g, &machine(nodes, workers));
+        prop_assert_eq!(r.tasks, g.n_tasks());
+        prop_assert!(r.makespan >= g.critical_path() - 1e-9,
+            "makespan {} < critical path {}", r.makespan, g.critical_path());
+        let capacity = f64::from(nodes * workers);
+        prop_assert!(r.makespan >= g.sequential_time() / capacity - 1e-9);
+        // And the trivial upper bound: serial execution plus all transfers.
+        let max_transfer = 1e-6 + 4096.0 / 1e9;
+        let upper = g.sequential_time() + r.messages as f64 * max_transfer + 1e-9;
+        prop_assert!(r.makespan <= upper, "makespan {} > serial bound {}", r.makespan, upper);
+    }
+
+    /// Busy time equals the sum of task durations (work conservation), and
+    /// utilization never exceeds 1.
+    #[test]
+    fn work_conservation((nodes, tasks) in arb_graph(3, 12, 50), workers in 1u32..4) {
+        let g = build(nodes, &tasks);
+        let r = simulate(&g, &machine(nodes, workers));
+        let busy: f64 = r.busy_per_node.iter().sum();
+        prop_assert!((busy - g.sequential_time()).abs() < 1e-9);
+        prop_assert!(r.utilization() <= 1.0 + 1e-9);
+    }
+
+    /// Messages are conserved: byte count = messages × data size, and the
+    /// count never exceeds total remote reads.
+    #[test]
+    fn message_accounting((nodes, tasks) in arb_graph(4, 16, 60)) {
+        let g = build(nodes, &tasks);
+        let r = simulate(&g, &machine(nodes, 2));
+        prop_assert_eq!(r.bytes_sent, r.messages * 4096);
+        let total_reads: u64 = tasks.iter().map(|t| t.reads.len() as u64 + 1).sum();
+        prop_assert!(r.messages <= total_reads);
+    }
+
+    /// Determinism: identical graphs and machines give identical reports.
+    #[test]
+    fn deterministic((nodes, tasks) in arb_graph(4, 16, 40)) {
+        let g = build(nodes, &tasks);
+        let m = machine(nodes, 2);
+        prop_assert_eq!(simulate(&g, &m), simulate(&g, &m));
+    }
+
+    /// Disabling the replica cache can only increase messages and makespan
+    /// never decreases below the cached run by more than numerical noise.
+    #[test]
+    fn cache_monotonicity((nodes, tasks) in arb_graph(4, 12, 40)) {
+        let g = build(nodes, &tasks);
+        let cached = simulate(&g, &machine(nodes, 2));
+        let mut m = machine(nodes, 2);
+        m.replica_cache = false;
+        let uncached = simulate(&g, &m);
+        prop_assert!(uncached.messages >= cached.messages);
+    }
+
+    /// Adding workers never hurts: makespan is non-increasing in the worker
+    /// count for communication-free graphs.
+    #[test]
+    fn more_workers_helps_without_comm(durations in proptest::collection::vec(1u32..50, 1..40)) {
+        let mut b = GraphBuilder::new();
+        for &d in &durations {
+            let h = b.add_data(0, 8);
+            b.submit(TaskSpec {
+                node: 0,
+                duration: f64::from(d) * 1e-3,
+                flops: 0.0,
+                priority: 0,
+                label: "w",
+                accesses: vec![Access::write(h)],
+            });
+        }
+        let g = b.build();
+        let mut prev = f64::INFINITY;
+        for workers in [1u32, 2, 4, 8] {
+            let r = simulate(&g, &machine(1, workers));
+            prop_assert!(r.makespan <= prev + 1e-9);
+            prev = r.makespan;
+        }
+    }
+}

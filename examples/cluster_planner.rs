@@ -1,0 +1,145 @@
+//! Cluster planner: given the number of nodes your reservation actually got,
+//! rank every distribution strategy this library knows — the paper's
+//! practical scenario ("it is common that the number of available nodes is
+//! not of the form P = r²", §I).
+//!
+//! Usage: `cargo run --release --example cluster_planner -- [P] [tiles]`
+//! (defaults: P = 23, tiles = 60).
+
+use flexdist::core::{cost, g2dbc, gcrm, sbc, twodbc, Pattern};
+use flexdist::dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+use flexdist::factor::{Operation, SimSetup};
+use flexdist::kernels::KernelCostModel;
+use flexdist::runtime::MachineConfig;
+
+struct Candidate {
+    name: String,
+    nodes: u32,
+    pattern: Pattern,
+    symmetric_only: bool,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: u32 = args
+        .next()
+        .map(|a| a.parse().expect("P must be an integer"))
+        .unwrap_or(23);
+    let t: usize = args
+        .next()
+        .map(|a| a.parse().expect("tiles must be an integer"))
+        .unwrap_or(60);
+
+    println!("Planning a factorization on {p} nodes ({t}x{t} tiles)\n");
+
+    let mut candidates = Vec::new();
+
+    // Plain 2DBC with all nodes (however bad the shape is).
+    let (r, c) = twodbc::best_shape(p);
+    candidates.push(Candidate {
+        name: format!("2DBC {r}x{c} (all nodes)"),
+        nodes: p,
+        pattern: twodbc::two_dbc(r, c),
+        symmetric_only: false,
+    });
+    // Best 2DBC using possibly fewer nodes.
+    let (q, r2, c2) = twodbc::best_2dbc_at_most(p);
+    if q != p {
+        candidates.push(Candidate {
+            name: format!("2DBC {r2}x{c2} ({q} nodes)"),
+            nodes: q,
+            pattern: twodbc::two_dbc(r2, c2),
+            symmetric_only: false,
+        });
+    }
+    // G-2DBC with all nodes.
+    let g = g2dbc::g2dbc(p);
+    candidates.push(Candidate {
+        name: format!("G-2DBC {}x{}", g.rows(), g.cols()),
+        nodes: p,
+        pattern: g,
+        symmetric_only: false,
+    });
+    // Largest SBC at most P (symmetric ops only).
+    if let Some(ps) = sbc::largest_admissible_at_most(p) {
+        let pat = sbc::sbc_extended(ps).expect("admissible");
+        candidates.push(Candidate {
+            name: format!("SBC {}x{} ({ps} nodes)", pat.rows(), pat.cols()),
+            nodes: ps,
+            pattern: pat,
+            symmetric_only: true,
+        });
+    }
+    // GCR&M with all nodes (symmetric ops only).
+    let search = gcrm::search(
+        p,
+        &gcrm::GcrmConfig {
+            n_seeds: 40,
+            ..Default::default()
+        },
+    )
+    .expect("GCR&M covers all P");
+    candidates.push(Candidate {
+        name: format!("GCR&M {}x{}", search.best.rows(), search.best.cols()),
+        nodes: p,
+        pattern: search.best,
+        symmetric_only: true,
+    });
+
+    let cost_model = KernelCostModel::uniform(500, 30.0);
+
+    println!(
+        "{:<24} {:>5} | {:>8} {:>12} {:>10} | {:>8} {:>12} {:>10}",
+        "strategy", "nodes", "T(LU)", "LU msgs", "LU time", "T(Chol)", "Chol msgs", "Chol time"
+    );
+    println!("{}", "-".repeat(110));
+    for cand in &candidates {
+        let assignment = TileAssignment::extended(&cand.pattern, t);
+        let machine = MachineConfig::paper_testbed(cand.nodes.max(cand.pattern.n_nodes()));
+
+        let (lu_t, lu_msgs, lu_time) = if cand.symmetric_only {
+            ("-".into(), "-".into(), "-".into())
+        } else {
+            let rep = SimSetup {
+                operation: Operation::Lu,
+                t,
+                cost: cost_model,
+                machine: machine.clone(),
+            }
+            .run_assignment(&assignment);
+            (
+                format!("{:.2}", cost::lu_cost(&cand.pattern)),
+                format!("{}", lu_comm_volume(&assignment).total()),
+                format!("{:.2}s", rep.makespan),
+            )
+        };
+
+        let chol_rep = SimSetup {
+            operation: Operation::Cholesky,
+            t,
+            cost: cost_model,
+            machine,
+        }
+        .run_assignment(&assignment);
+        let chol_cost = cost::symmetric_cost(&cand.pattern, 4096);
+
+        println!(
+            "{:<24} {:>5} | {:>8} {:>12} {:>10} | {:>8.2} {:>12} {:>9.2}s",
+            cand.name,
+            cand.nodes,
+            lu_t,
+            lu_msgs,
+            lu_time,
+            chol_cost,
+            cholesky_comm_volume(&assignment).total(),
+            chol_rep.makespan
+        );
+    }
+
+    println!(
+        "\nReference costs: 2*sqrt(P) = {:.2}, sqrt(2P) = {:.2}, sqrt(3P/2) = {:.2}",
+        cost::ideal_lu_cost(p),
+        cost::sbc_cost_reference(p),
+        cost::gcrm_cost_reference(p)
+    );
+}

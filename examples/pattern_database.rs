@@ -1,0 +1,62 @@
+//! Build the pattern database the paper's conclusion envisions: "one could
+//! imagine to provide a database containing, for each possible value of P,
+//! a very efficient pattern for the symmetric case" (§VI).
+//!
+//! Produces `patterns_lu.json` and `patterns_sym.json` with, per node
+//! count, the best pattern over all applicable schemes, and prints a
+//! summary table with the SBC / 2DBC references.
+//!
+//! Usage: `cargo run --release --example pattern_database -- [P_max] [seeds]`
+//! (defaults: P_max = 32, seeds = 30).
+
+use flexdist::core::db::{PatternDb, Purpose};
+use flexdist::core::{cost, sbc, twodbc};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p_max: u32 = args.next().map(|a| a.parse().unwrap()).unwrap_or(32);
+    let seeds: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(30);
+
+    let lu = PatternDb::build(Purpose::Lu, p_max, seeds).expect("LU database");
+    let sym = PatternDb::build(Purpose::Symmetric, p_max, seeds).expect("symmetric database");
+
+    println!(
+        "{:>4} | {:>22} | {:>26} | {:>8} {:>8}",
+        "P", "LU best (scheme, T)", "symmetric best (scheme, T)", "SBC", "2DBC-sym"
+    );
+    println!("{}", "-".repeat(84));
+    for p in 2..=p_max {
+        let le = lu.get(p).expect("covered");
+        let se = sym.get(p).expect("covered");
+        let (r, c) = twodbc::best_shape(p);
+        println!(
+            "{:>4} | {:>14?} {:>7.3} | {:>18?} {:>7.3} | {:>8} {:>8.0}",
+            p,
+            le.scheme,
+            le.cost,
+            se.scheme,
+            se.cost,
+            sbc::analytic_cost(p)
+                .map_or("-".into(), |t| format!("{t:.0}")),
+            (r + c - 1) as f64,
+        );
+    }
+    println!(
+        "\nReference envelopes at P = {p_max}: sqrt(2P) = {:.3}, sqrt(3P/2) = {:.3}",
+        cost::sbc_cost_reference(p_max),
+        cost::gcrm_cost_reference(p_max)
+    );
+
+    std::fs::write("patterns_lu.json", lu.to_json()).expect("write patterns_lu.json");
+    std::fs::write("patterns_sym.json", sym.to_json()).expect("write patterns_sym.json");
+    println!(
+        "Wrote {} LU and {} symmetric patterns to patterns_lu.json / patterns_sym.json",
+        lu.len(),
+        sym.len()
+    );
+
+    // Round-trip sanity: the files load back identically.
+    let back = PatternDb::from_json(&std::fs::read_to_string("patterns_sym.json").unwrap())
+        .expect("parse back");
+    assert_eq!(back.len(), sym.len());
+}

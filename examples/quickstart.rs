@@ -1,0 +1,74 @@
+//! Quickstart: build distribution patterns for an awkward node count,
+//! compare their communication costs, and simulate a small LU factorization.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use flexdist::core::{cost, g2dbc, gcrm, twodbc};
+use flexdist::factor::{Operation, SimSetup};
+use flexdist::kernels::KernelCostModel;
+use flexdist::runtime::MachineConfig;
+
+fn main() {
+    // 23 nodes: a prime, the paper's motivating worst case for plain 2DBC.
+    let p = 23u32;
+
+    println!("== Patterns for P = {p} ==\n");
+
+    let flat = twodbc::two_dbc(23, 1);
+    println!(
+        "2DBC 23x1 grid:            LU cost T = {:>7.3}",
+        cost::lu_cost(&flat)
+    );
+
+    let (q, r, c) = twodbc::best_2dbc_at_most(p);
+    println!(
+        "best 2DBC with <= P nodes: {r}x{c} using {q} nodes, T = {:>7.3}",
+        (r + c) as f64
+    );
+
+    let g = g2dbc::g2dbc(p);
+    println!(
+        "G-2DBC (all {p} nodes):     {}x{} pattern,      T = {:>7.3}  (ideal 2*sqrt(P) = {:.3})",
+        g.rows(),
+        g.cols(),
+        cost::lu_cost(&g),
+        cost::ideal_lu_cost(p)
+    );
+
+    println!("\nThe G-2DBC pattern itself (each node appears b(b-1) times):\n{g}");
+
+    // Symmetric case: GCR&M pattern for Cholesky.
+    let search = gcrm::search(
+        p,
+        &gcrm::GcrmConfig {
+            n_seeds: 30,
+            ..Default::default()
+        },
+    )
+    .expect("GCR&M always finds a pattern");
+    println!(
+        "GCR&M ({}x{}):  Cholesky cost T = {:.3}   (SBC reference sqrt(2P) = {:.3})",
+        search.best.rows(),
+        search.best.cols(),
+        search.best_cost,
+        cost::sbc_cost_reference(p)
+    );
+
+    // Simulate a small LU on the paper-like machine.
+    println!("\n== Simulated LU, 80x80 tiles of 500x500 (m = 40,000) ==\n");
+    let setup = SimSetup {
+        operation: Operation::Lu,
+        t: 80,
+        cost: KernelCostModel::uniform(500, 30.0),
+        machine: MachineConfig::paper_testbed(p),
+    };
+    for (name, pattern) in [("2DBC 23x1", &flat), ("G-2DBC", &g)] {
+        let rep = setup.run(pattern);
+        println!(
+            "{name:>10}: makespan {:>7.3} s | {:>8.1} GFlop/s total | {:>7} messages",
+            rep.makespan,
+            rep.gflops(),
+            rep.messages
+        );
+    }
+}
