@@ -2,7 +2,9 @@
 //! GFlop/s these achieve is what the `KernelCostModel` abstracts).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use flexdist_kernels::{gemm_nn, gemm_nn_blocked, getrf_nopiv, potrf, syrk_ln, trsm_right_lower_trans, Tile};
+use flexdist_kernels::{
+    gemm_nn, gemm_nn_blocked, getrf_nopiv, potrf, syrk_ln, trsm_right_lower_trans, Tile,
+};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_nn");
@@ -121,5 +123,10 @@ fn bench_factor_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_gemm_blocked, bench_factor_kernels);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_blocked,
+    bench_factor_kernels
+);
 criterion_main!(benches);

@@ -48,5 +48,11 @@ fn bench_cost_eval(c: &mut Criterion) {
     c.bench_function("lu_cost_2dbc_10x10", |b| b.iter(|| lu_cost(black_box(&d))));
 }
 
-criterion_group!(benches, bench_g2dbc, bench_sbc, bench_gcrm_run_once, bench_cost_eval);
+criterion_group!(
+    benches,
+    bench_g2dbc,
+    bench_sbc,
+    bench_gcrm_run_once,
+    bench_cost_eval
+);
 criterion_main!(benches);

@@ -32,8 +32,7 @@ fn bench_simulation(c: &mut Criterion) {
 
 fn bench_cholesky_simulation(c: &mut Criterion) {
     let cost = paper_cost_model();
-    let assignment =
-        TileAssignment::extended(&flexdist_core::sbc::sbc_extended(28).unwrap(), 80);
+    let assignment = TileAssignment::extended(&flexdist_core::sbc::sbc_extended(28).unwrap(), 80);
     let tl = build_graph(Operation::Cholesky, &assignment, &cost);
     let machine = paper_machine(28);
     let mut group = c.benchmark_group("simulate_cholesky");

@@ -18,7 +18,13 @@ fn main() {
     let extended = sbc::sbc_extended(p).expect("P must be SBC-admissible");
 
     eprintln!("# Ablation: SBC basic vs extended diagonal assignment, P = {p}, t = {t}");
-    tsv_header(&["variant", "comm_total", "comm_trailing", "load_max_over_mean", "load_cv"]);
+    tsv_header(&[
+        "variant",
+        "comm_total",
+        "comm_trailing",
+        "load_max_over_mean",
+        "load_cv",
+    ]);
     for (name, pattern) in [("basic", &basic), ("extended", &extended)] {
         let assignment = TileAssignment::extended(pattern, t);
         let comm = cholesky_comm_volume(&assignment);

@@ -18,7 +18,13 @@ fn main() {
     let t = tiles_for(m);
 
     eprintln!("# Ablation: replica cache on/off, LU, P = {p}, m = {m}");
-    tsv_header(&["distribution", "cache", "messages", "makespan_s", "gflops_total"]);
+    tsv_header(&[
+        "distribution",
+        "cache",
+        "messages",
+        "makespan_s",
+        "gflops_total",
+    ]);
     let patterns = [
         ("2DBC flat".to_string(), twodbc::two_dbc(p as usize, 1)),
         ("G-2DBC".to_string(), g2dbc::g2dbc(p)),

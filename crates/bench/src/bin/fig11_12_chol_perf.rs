@@ -7,7 +7,9 @@
 //!
 //! `cargo run --release -p flexdist-bench --bin fig11_12_chol_perf [-- --pmax 35 --full]`
 
-use flexdist_bench::{f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
+use flexdist_bench::{
+    f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args,
+};
 use flexdist_core::{gcrm, sbc};
 use flexdist_factor::{Operation, SimSetup};
 
@@ -38,7 +40,13 @@ fn main() {
         gcrm_res.best_cost,
     );
     tsv_header(&[
-        "m", "distribution", "nodes", "gflops_total", "gflops_per_node", "makespan_s", "messages",
+        "m",
+        "distribution",
+        "nodes",
+        "gflops_total",
+        "gflops_per_node",
+        "makespan_s",
+        "messages",
     ]);
 
     for &m in &sizes {

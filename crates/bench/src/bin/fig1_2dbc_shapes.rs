@@ -7,7 +7,9 @@
 //!
 //! `cargo run --release -p flexdist-bench --bin fig1_2dbc_shapes [-- --full]`
 
-use flexdist_bench::{f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
+use flexdist_bench::{
+    f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args,
+};
 use flexdist_core::twodbc;
 use flexdist_factor::{Operation, SimSetup};
 
@@ -18,7 +20,13 @@ fn main() {
 
     eprintln!("# Figure 1: LU with 2DBC pattern shapes (P = r*c nodes each)");
     tsv_header(&[
-        "m", "shape", "nodes", "gflops_total", "gflops_per_node", "makespan_s", "messages",
+        "m",
+        "shape",
+        "nodes",
+        "gflops_total",
+        "gflops_per_node",
+        "makespan_s",
+        "messages",
     ]);
     for &m in &sizes {
         let t = tiles_for(m);

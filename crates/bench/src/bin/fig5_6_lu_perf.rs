@@ -9,7 +9,9 @@
 //!
 //! `cargo run --release -p flexdist-bench --bin fig5_6_lu_perf [-- --pmax 39 --full]`
 
-use flexdist_bench::{f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
+use flexdist_bench::{
+    f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args,
+};
 use flexdist_core::{g2dbc, twodbc, Pattern};
 use flexdist_factor::{Operation, SimSetup};
 
@@ -37,7 +39,13 @@ fn main() {
 
     eprintln!("# Figures 5/6: LU, G-2DBC vs 2DBC fallbacks, P = {p_max}");
     tsv_header(&[
-        "m", "distribution", "nodes", "gflops_total", "gflops_per_node", "makespan_s", "messages",
+        "m",
+        "distribution",
+        "nodes",
+        "gflops_total",
+        "gflops_per_node",
+        "makespan_s",
+        "messages",
     ]);
 
     let mut candidates: Vec<(String, u32, Pattern)> = fallback_shapes

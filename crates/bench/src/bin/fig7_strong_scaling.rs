@@ -25,7 +25,13 @@ fn main() {
     match op_name.as_str() {
         "lu" => {
             eprintln!("# Figure 7a: LU strong scaling, N = {n} (t = {t})");
-            tsv_header(&["P", "distribution", "nodes_used", "gflops_total", "makespan_s"]);
+            tsv_header(&[
+                "P",
+                "distribution",
+                "nodes_used",
+                "gflops_total",
+                "makespan_s",
+            ]);
             for &p in &ps {
                 // Classical: best 2DBC possibly dropping nodes.
                 let (q, r, c) = twodbc::best_2dbc_at_most(p);
@@ -51,7 +57,13 @@ fn main() {
         }
         "chol" => {
             eprintln!("# Figure 7b: Cholesky strong scaling, N = {n} (t = {t})");
-            tsv_header(&["P", "distribution", "nodes_used", "gflops_total", "makespan_s"]);
+            tsv_header(&[
+                "P",
+                "distribution",
+                "nodes_used",
+                "gflops_total",
+                "makespan_s",
+            ]);
             for &p in &ps {
                 let q = sbc::largest_admissible_at_most(p).expect("P >= 1");
                 let pat = sbc::sbc_extended(q).expect("admissible");

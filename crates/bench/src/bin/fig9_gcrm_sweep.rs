@@ -43,5 +43,9 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         eprintln!("#   r = {s:>3}: min cost {best:.3}");
     }
-    eprintln!("# overall best: r = {}, T = {:.3}", res.best.rows(), res.best_cost);
+    eprintln!(
+        "# overall best: r = {}, T = {:.3}",
+        res.best.rows(),
+        res.best_cost
+    );
 }

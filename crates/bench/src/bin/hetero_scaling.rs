@@ -64,7 +64,12 @@ fn main() {
     for op in [Operation::Gemm, Operation::Syrk, Operation::Lu] {
         eprintln!("# --- {} ---", op.name());
         tsv_header(&[
-            "op", "distribution", "makespan_s", "gflops_total", "messages", "lu_comm_volume",
+            "op",
+            "distribution",
+            "makespan_s",
+            "gflops_total",
+            "messages",
+            "lu_comm_volume",
         ]);
         for (name, assignment) in &candidates {
             let rep = SimSetup {

@@ -12,7 +12,10 @@ fn main() {
     let seeds: u64 = args.get("seeds", 100);
 
     println!("Table Ia: LU factorization");
-    println!("{:>4} | {:>8} {:>8} | {:>8} {:>8}", "P", "2DBC", "T", "G-2DBC", "T");
+    println!(
+        "{:>4} | {:>8} {:>8} | {:>8} {:>8}",
+        "P", "2DBC", "T", "G-2DBC", "T"
+    );
     for p in [16u32, 20, 21, 22, 23, 30, 31, 35, 36, 39] {
         let (r, c) = twodbc::best_shape(p);
         let params = g2dbc::G2dbcParams::new(p);
@@ -25,13 +28,24 @@ fn main() {
             p,
             format!("{r}x{c}"),
             f3((r + c) as f64),
-            if show_g { format!("{gr}x{gc}") } else { String::new() },
-            if show_g { f3(lu_cost(&pat)) } else { String::new() },
+            if show_g {
+                format!("{gr}x{gc}")
+            } else {
+                String::new()
+            },
+            if show_g {
+                f3(lu_cost(&pat))
+            } else {
+                String::new()
+            },
         );
     }
 
     println!("\nTable Ib: Cholesky factorization");
-    println!("{:>4} | {:>8} {:>8} | {:>8} {:>8}", "P", "SBC", "T", "GCR&M", "T");
+    println!(
+        "{:>4} | {:>8} {:>8} | {:>8} {:>8}",
+        "P", "SBC", "T", "GCR&M", "T"
+    );
     for p in [21u32, 23, 28, 31, 32, 35, 36, 39] {
         let (sbc_dim, sbc_t) = match sbc::sbc_extended(p) {
             Ok(pat) => (

@@ -21,9 +21,15 @@ fn main() {
         "lu" => (Operation::Lu, g2dbc::g2dbc(p)),
         "chol" => (
             Operation::Cholesky,
-            gcrm::search(p, &gcrm::GcrmConfig { n_seeds: 10, ..Default::default() })
-                .expect("GCR&M covers every P")
-                .best,
+            gcrm::search(
+                p,
+                &gcrm::GcrmConfig {
+                    n_seeds: 10,
+                    ..Default::default()
+                },
+            )
+            .expect("GCR&M covers every P")
+            .best,
         ),
         other => panic!("--op must be lu or chol, got {other:?}"),
     };

@@ -51,7 +51,8 @@ impl Args {
             .map
             .get(key)
             .ok_or_else(|| format!("missing required flag --{key}"))?;
-        v.parse().map_err(|_| format!("--{key} {v:?}: cannot parse"))
+        v.parse()
+            .map_err(|_| format!("--{key} {v:?}: cannot parse"))
     }
 
     /// String lookup with default.

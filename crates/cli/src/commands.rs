@@ -5,10 +5,17 @@ use crate::scheme::pattern_from_args;
 use flexdist_core::db::{PatternDb, Purpose};
 use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
-use flexdist_factor::{build_graph, Operation, SimSetup};
-use flexdist_kernels::KernelCostModel;
-use flexdist_runtime::{render_gantt, simulate_traced, MachineConfig};
+use flexdist_factor::{build_graph, execute_traced, Operation, SimSetup};
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+use flexdist_runtime::{
+    render_gantt, render_worker_gantt, sim_trace_to_json_string, simulate_traced, MachineConfig,
+};
 use std::fmt::Write as _;
+
+/// Write a JSON trace document to `path`.
+fn write_trace(path: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
 
 fn parse_op(token: &str) -> Result<Operation, String> {
     match token {
@@ -116,7 +123,12 @@ pub fn plan(args: &Args) -> Result<String, String> {
     row(&format!("G-2DBC {}x{}", g.rows(), g.cols()), p, &g, true);
     if let Some(ps) = sbc::largest_admissible_at_most(p) {
         if let Ok(pat) = sbc::sbc_extended(ps) {
-            row(&format!("SBC {0}x{0} ({ps} nodes)", pat.rows()), ps, &pat, false);
+            row(
+                &format!("SBC {0}x{0} ({ps} nodes)", pat.rows()),
+                ps,
+                &pat,
+                false,
+            );
         }
     }
     if let Ok(res) = gcrm::search(
@@ -164,7 +176,16 @@ pub fn simulate(args: &Args) -> Result<String, String> {
         cost: KernelCostModel::uniform(nb, gflops),
         machine: machine_from_args(args, p)?,
     };
-    let rep = setup.run(&pat);
+    let trace_out = args.get_str("trace-out", "");
+    let rep = if trace_out.is_empty() {
+        setup.run(&pat)
+    } else {
+        let assignment = TileAssignment::extended(&pat, t);
+        let tl = build_graph(op, &assignment, &setup.cost);
+        let (rep, trace) = simulate_traced(&tl.graph, &setup.machine);
+        write_trace(&trace_out, &sim_trace_to_json_string(&trace, &rep))?;
+        rep
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -187,6 +208,9 @@ pub fn simulate(args: &Args) -> Result<String, String> {
         rep.max_peak_memory() as f64 / (1024.0 * 1024.0)
     );
     let _ = writeln!(out, "  utilization     {:.1} %", 100.0 * rep.utilization());
+    if !trace_out.is_empty() {
+        let _ = writeln!(out, "  trace           wrote {trace_out}");
+    }
     Ok(out)
 }
 
@@ -217,7 +241,95 @@ pub fn gantt(args: &Args) -> Result<String, String> {
         rep.makespan,
         rep.tasks
     );
-    out.push_str(&render_gantt(&trace, &machine, width));
+    if args.flag("lanes") {
+        out.push_str(&render_worker_gantt(&trace, &machine, width));
+    } else {
+        out.push_str(&render_gantt(&trace, &machine, width));
+    }
+    let trace_out = args.get_str("trace-out", "");
+    if !trace_out.is_empty() {
+        write_trace(&trace_out, &sim_trace_to_json_string(&trace, &rep))?;
+        let _ = writeln!(out, "wrote {trace_out}");
+    }
+    Ok(out)
+}
+
+/// `flexdist execute --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
+/// [--scheme S] [--seed S] [--trace-out FILE]`
+///
+/// Runs the factorization for real (actual `f64` kernels on a local
+/// work-stealing thread pool) and reports numerics plus scheduler counters.
+///
+/// # Errors
+/// Propagates flag and admissibility errors, and trace write failures.
+pub fn execute(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (kind, pat) = pattern_from_args(args, default_scheme)?;
+    let p = pat.n_nodes();
+    let t: usize = args.get("t", 8)?;
+    let nb: usize = args.get("nb", 64)?;
+    let threads: usize = args.get("threads", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    if threads == 0 {
+        return Err("--threads must be positive".to_string());
+    }
+    let assignment = TileAssignment::extended(&pat, t);
+    let tl = build_graph(op, &assignment, &KernelCostModel::uniform(nb, 30.0));
+    let a0 = match op {
+        Operation::Lu => TiledMatrix::random_diag_dominant(t, nb, seed),
+        Operation::Cholesky => {
+            let mut m = TiledMatrix::random_spd(t, nb, seed);
+            m.symmetrize_from_lower();
+            m
+        }
+        Operation::Syrk => TiledMatrix::random_uniform(t, nb, seed),
+        Operation::Gemm => return Err("execute does not support --op gemm".to_string()),
+    };
+    let (result, rep, trace) = execute_traced(&tl, a0.clone(), threads);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} with {} on {p} nodes, {t}x{t} tiles of {nb}, {threads} worker threads:",
+        op.name(),
+        kind.name()
+    );
+    if let Some(e) = &rep.error {
+        let _ = writeln!(out, "  kernel error    {e}");
+    } else {
+        let residual = match op {
+            Operation::Lu => flexdist_factor::residual::lu_residual(&a0, &result),
+            Operation::Cholesky => flexdist_factor::residual::cholesky_residual(&a0, &result),
+            Operation::Syrk => flexdist_factor::residual::syrk_residual(&a0, &result),
+            Operation::Gemm => unreachable!("rejected above"),
+        };
+        let _ = writeln!(out, "  residual        {residual:.3e}");
+    }
+    let _ = writeln!(out, "  tasks           {}", rep.tasks);
+    let _ = writeln!(out, "  remote reads    {}", rep.remote_reads);
+    let _ = writeln!(
+        out,
+        "  tasks stolen    {} (peak queue depth {})",
+        rep.tasks_stolen(),
+        rep.max_queue_depth()
+    );
+    for (w, stats) in rep.workers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  worker {w:>2}       {:>5} run, {:>4} stolen, idle {:.1} ms",
+            stats.executed,
+            stats.stolen,
+            stats.idle.as_secs_f64() * 1e3
+        );
+    }
+    let trace_out = args.get_str("trace-out", "");
+    if !trace_out.is_empty() {
+        write_trace(&trace_out, &trace.to_json(&tl))?;
+        let _ = writeln!(out, "  trace           wrote {trace_out}");
+    }
     Ok(out)
 }
 

@@ -7,7 +7,12 @@
 //!   "my reservation got P nodes, what now?" scenario);
 //! * `simulate` — run the cluster simulator on a chosen setup;
 //! * `gantt`    — render an ASCII utilization chart of a simulated run;
+//! * `execute`  — run the factorization for real on a local work-stealing
+//!   thread pool (actual `f64` kernels) and report numerics + counters;
 //! * `db`       — build the per-`P` best-pattern database as JSON.
+//!
+//! `simulate`, `gantt` and `execute` accept `--trace-out FILE` to dump the
+//! span-level execution trace as JSON.
 //!
 //! All command functions return the output as a `String` (printed by
 //! `main`), which keeps them unit-testable.
@@ -28,7 +33,11 @@ COMMANDS:
   pattern   --p N [--scheme 2dbc|g2dbc|sbc|gcrm] [--seeds K] [--print]
   plan      --p N [--tiles T]
   simulate  --op lu|chol|syrk --p N [--scheme S] [--n M] [--tile NB]
-  gantt     --op lu|chol --p N [--t T] [--width W]
+            [--trace-out FILE]
+  gantt     --op lu|chol --p N [--t T] [--width W] [--lanes]
+            [--trace-out FILE]
+  execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
+            [--seed S] [--trace-out FILE]
   db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
 
 Run a command with bad flags to see its specific requirements.";
@@ -48,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "plan" => commands::plan(&args),
         "simulate" => commands::simulate(&args),
         "gantt" => commands::gantt(&args),
+        "execute" => commands::execute(&args),
         "db" => commands::db(&args),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -69,7 +79,9 @@ mod tests {
 
     #[test]
     fn unknown_command_rejected() {
-        assert!(run(&sv(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&sv(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
@@ -98,9 +110,101 @@ mod tests {
 
     #[test]
     fn gantt_command_end_to_end() {
-        let out = run(&sv(&["gantt", "--op", "chol", "--p", "3", "--t", "6", "--width", "20"]))
-            .unwrap();
+        let out = run(&sv(&[
+            "gantt", "--op", "chol", "--p", "3", "--t", "6", "--width", "20",
+        ]))
+        .unwrap();
         assert!(out.contains("node   0 |"), "{out}");
+    }
+
+    #[test]
+    fn execute_command_end_to_end() {
+        let out = run(&sv(&[
+            "execute",
+            "--op",
+            "lu",
+            "--p",
+            "4",
+            "--t",
+            "4",
+            "--nb",
+            "8",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("residual"), "{out}");
+        assert!(out.contains("tasks stolen"), "{out}");
+        assert!(out.contains("worker  1"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_writes_parseable_json() {
+        let dir = std::env::temp_dir();
+        let sim_path = dir.join("flexdist_cli_test_sim_trace.json");
+        let exec_path = dir.join("flexdist_cli_test_exec_trace.json");
+        let sim = sim_path.to_str().unwrap();
+        let exec = exec_path.to_str().unwrap();
+
+        let out = run(&sv(&[
+            "simulate",
+            "--op",
+            "lu",
+            "--p",
+            "4",
+            "--n",
+            "2000",
+            "--tile",
+            "500",
+            "--trace-out",
+            sim,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let doc = flexdist_json::parse(&std::fs::read_to_string(sim).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(flexdist_json::Value::as_str),
+            Some("sim-trace")
+        );
+        assert!(!doc.get("spans").unwrap().as_array().unwrap().is_empty());
+
+        let out = run(&sv(&[
+            "execute",
+            "--op",
+            "chol",
+            "--p",
+            "4",
+            "--t",
+            "4",
+            "--nb",
+            "8",
+            "--threads",
+            "2",
+            "--scheme",
+            "2dbc",
+            "--trace-out",
+            exec,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let doc = flexdist_json::parse(&std::fs::read_to_string(exec).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(flexdist_json::Value::as_str),
+            Some("exec-trace")
+        );
+        assert!(!doc.get("events").unwrap().as_array().unwrap().is_empty());
+
+        let _ = std::fs::remove_file(sim);
+        let _ = std::fs::remove_file(exec);
+    }
+
+    #[test]
+    fn gantt_lanes_shows_per_worker_rows() {
+        let out = run(&sv(&[
+            "gantt", "--op", "chol", "--p", "3", "--t", "6", "--width", "20", "--lanes",
+        ]))
+        .unwrap();
+        assert!(out.contains("n  0.w0"), "{out}");
     }
 
     #[test]
@@ -112,7 +216,19 @@ mod tests {
 
     #[test]
     fn db_command_without_out_prints_summary() {
-        let out = run(&sv(&["db", "--purpose", "lu", "--pmax", "6", "--seeds", "2"])).unwrap();
-        assert!(out.contains("P =   6") && out.contains("5 entries"), "{out}");
+        let out = run(&sv(&[
+            "db",
+            "--purpose",
+            "lu",
+            "--pmax",
+            "6",
+            "--seeds",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("P =   6") && out.contains("5 entries"),
+            "{out}"
+        );
     }
 }

@@ -72,7 +72,10 @@ impl SchemeKind {
 ///
 /// # Errors
 /// Propagates parsing and admissibility errors.
-pub fn pattern_from_args(args: &Args, default_scheme: &str) -> Result<(SchemeKind, Pattern), String> {
+pub fn pattern_from_args(
+    args: &Args,
+    default_scheme: &str,
+) -> Result<(SchemeKind, Pattern), String> {
     let p: u32 = args.require("p")?;
     if p == 0 {
         return Err("--p must be positive".to_string());

@@ -233,7 +233,7 @@ mod tests {
         let p = Pattern::from_fn(4, 6, 24, |i, j| (i * 6 + j) as NodeId);
         let exact = symmetric_cost(&p, usize::MAX);
         let capped = symmetric_cost(&p, 2); // truncated period
-        // Capped value uses fewer colrows but stays in a sane range.
+                                            // Capped value uses fewer colrows but stays in a sane range.
         assert!(capped >= 1.0 && capped <= p.n_nodes() as f64);
         assert!((exact - (4.0 + 6.0 - 1.0)).abs() < 1e-9);
     }

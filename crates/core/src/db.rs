@@ -12,11 +12,10 @@ use crate::cost::{cholesky_cost, lu_cost};
 use crate::gcrm::{self, GcrmConfig};
 use crate::pattern::Pattern;
 use crate::{g2dbc, sbc, twodbc, PatternError};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What a stored pattern is optimized for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Purpose {
     /// Non-symmetric factorizations (LU): minimize `x̄ + ȳ`.
     Lu,
@@ -24,8 +23,32 @@ pub enum Purpose {
     Symmetric,
 }
 
+impl Purpose {
+    /// Stable tag used in the JSON encoding.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Purpose::Lu => "lu",
+            Purpose::Symmetric => "symmetric",
+        }
+    }
+
+    /// Inverse of [`Purpose::as_str`].
+    ///
+    /// # Errors
+    /// Rejects unknown tags.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(tag: &str) -> Result<Self, String> {
+        match tag {
+            "lu" => Ok(Purpose::Lu),
+            "symmetric" => Ok(Purpose::Symmetric),
+            other => Err(format!("unknown purpose tag {other:?}")),
+        }
+    }
+}
+
 /// How a stored pattern was obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// Plain 2D block cyclic.
     TwoDbc,
@@ -37,8 +60,36 @@ pub enum Scheme {
     Gcrm,
 }
 
+impl Scheme {
+    /// Stable tag used in the JSON encoding.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::TwoDbc => "2dbc",
+            Scheme::G2dbc => "g2dbc",
+            Scheme::Sbc => "sbc",
+            Scheme::Gcrm => "gcrm",
+        }
+    }
+
+    /// Inverse of [`Scheme::as_str`].
+    ///
+    /// # Errors
+    /// Rejects unknown tags.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(tag: &str) -> Result<Self, String> {
+        match tag {
+            "2dbc" => Ok(Scheme::TwoDbc),
+            "g2dbc" => Ok(Scheme::G2dbc),
+            "sbc" => Ok(Scheme::Sbc),
+            "gcrm" => Ok(Scheme::Gcrm),
+            other => Err(format!("unknown scheme tag {other:?}")),
+        }
+    }
+}
+
 /// One database entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DbEntry {
     /// Node count.
     pub p: u32,
@@ -63,7 +114,7 @@ pub struct DbEntry {
 /// let back = PatternDb::from_json(&db.to_json()).unwrap();
 /// assert_eq!(db, back);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternDb {
     purpose: Purpose,
     entries: BTreeMap<u32, DbEntry>,
@@ -168,12 +219,26 @@ impl PatternDb {
     }
 
     /// Serialize to pretty JSON.
-    ///
-    /// # Panics
-    /// Never (all entry types are serializable).
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("PatternDb serializes")
+        use flexdist_json::Value;
+        let entries = self
+            .entries
+            .values()
+            .map(|e| {
+                flexdist_json::object(vec![
+                    ("p", Value::from(e.p)),
+                    ("scheme", Value::from(e.scheme.as_str())),
+                    ("cost", Value::from(e.cost)),
+                    ("pattern", e.pattern.to_json_value()),
+                ])
+            })
+            .collect();
+        flexdist_json::object(vec![
+            ("purpose", Value::from(self.purpose.as_str())),
+            ("entries", Value::Array(entries)),
+        ])
+        .to_pretty()
     }
 
     /// Parse a database back from JSON.
@@ -181,7 +246,48 @@ impl PatternDb {
     /// # Errors
     /// Returns the underlying parse error message.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        use flexdist_json::Value;
+        let doc = flexdist_json::parse(json).map_err(|e| e.to_string())?;
+        let purpose = doc
+            .get("purpose")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "PatternDb JSON: missing string field \"purpose\"".to_string())
+            .and_then(Purpose::from_str)?;
+        let raw = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "PatternDb JSON: missing array field \"entries\"".to_string())?;
+        let mut entries = BTreeMap::new();
+        for item in raw {
+            let p = item
+                .get("p")
+                .and_then(Value::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| "PatternDb JSON: entry missing node count \"p\"".to_string())?;
+            let scheme = item
+                .get("scheme")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "PatternDb JSON: entry missing \"scheme\"".to_string())
+                .and_then(Scheme::from_str)?;
+            let cost = item
+                .get("cost")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "PatternDb JSON: entry missing \"cost\"".to_string())?;
+            let pattern = item
+                .get("pattern")
+                .ok_or_else(|| "PatternDb JSON: entry missing \"pattern\"".to_string())
+                .and_then(Pattern::from_json_value)?;
+            entries.insert(
+                p,
+                DbEntry {
+                    p,
+                    scheme,
+                    cost,
+                    pattern,
+                },
+            );
+        }
+        Ok(Self { purpose, entries })
     }
 
     /// Iterate over entries in increasing `P`.

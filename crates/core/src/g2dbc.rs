@@ -202,7 +202,12 @@ mod tests {
         // P = 10 (paper Fig. 3): a = 4, b = 3, c = 2.
         assert_eq!(
             G2dbcParams::new(10),
-            G2dbcParams { p: 10, a: 4, b: 3, c: 2 }
+            G2dbcParams {
+                p: 10,
+                a: 4,
+                b: 3,
+                c: 2
+            }
         );
         // P = 23 (Table Ia): 20 x 23 pattern.
         let q = G2dbcParams::new(23);

@@ -231,12 +231,7 @@ where
 /// # Errors
 /// * [`PatternError::ZeroNodes`] if `p == 0`;
 /// * [`PatternError::UnbalanceableSize`] if Eq. 3 rejects `(P, r)`.
-pub fn run_once(
-    p: u32,
-    r: usize,
-    seed: u64,
-    metric: LoadMetric,
-) -> Result<Pattern, PatternError> {
+pub fn run_once(p: u32, r: usize, seed: u64, metric: LoadMetric) -> Result<Pattern, PatternError> {
     if p == 0 {
         return Err(PatternError::ZeroNodes);
     }
@@ -289,9 +284,8 @@ pub fn run_once(
             }
         }
     }
-    let covers = |node: usize, (i, j): (usize, usize)| {
-        st.flags[node * r + i] && st.flags[node * r + j]
-    };
+    let covers =
+        |node: usize, (i, j): (usize, usize)| st.flags[node * r + i] && st.flags[node * r + j];
     let mut graph = BipartiteGraph::new(cells.len(), pn);
     for (ci, &cell) in cells.iter().enumerate() {
         for node in 0..pn {
@@ -401,7 +395,14 @@ pub fn search(p: u32, config: &GcrmConfig) -> Result<GcrmSearch, PatternError> {
                 return None;
             }
             let cost = cholesky_cost(&pat);
-            Some((GcrmRecord { size: r, trial, cost }, pat))
+            Some((
+                GcrmRecord {
+                    size: r,
+                    trial,
+                    cost,
+                },
+                pat,
+            ))
         })
         .collect();
     let mut records = Vec::with_capacity(evaluated.len());
@@ -562,6 +563,47 @@ mod tests {
     }
 
     #[test]
+    fn table1_search_uses_all_nodes_below_sbc_reference() {
+        // Table Ib's GCR&M entries (P = 23, 31, 35, 39): the searched
+        // pattern is square with an undefined diagonal, employs all P
+        // nodes, and its Cholesky cost z̄ stays below SBC's sqrt(2P)
+        // reference — the paper's "fills the gaps between SBC sizes
+        // without losing its quality" claim.
+        let config = GcrmConfig {
+            n_seeds: 6,
+            ..GcrmConfig::default()
+        };
+        for p in [23u32, 31, 35, 39] {
+            let res = search(p, &config).unwrap();
+            let pat = &res.best;
+            assert!(pat.is_square(), "P = {p}");
+            assert_eq!(pat.n_undefined(), pat.rows(), "P = {p}: diagonal");
+            let used = pat.node_cell_counts().iter().filter(|&&c| c > 0).count();
+            assert_eq!(used, p as usize, "P = {p}: idle nodes");
+            let z = crate::cost::cholesky_cost(pat);
+            assert!(
+                z <= sbc_cost_reference(p),
+                "P = {p}: z̄ = {z} above sqrt(2P) = {}",
+                sbc_cost_reference(p)
+            );
+        }
+    }
+
+    #[test]
+    fn colrow_cost_is_transpose_invariant() {
+        // The "symmetric" in GCR&M is the colrow metric, not cell-level
+        // mirror symmetry: cells (i,j) and (j,i) may land on different
+        // nodes (the matching assigns them independently), but row i and
+        // column i are always charged together, so transposing the square
+        // pattern changes nothing.
+        let pat = run_once(23, 7, 3, LoadMetric::Colrows).unwrap();
+        let t = pat.transposed();
+        let z = crate::cost::cholesky_cost(&pat);
+        assert!((z - crate::cost::cholesky_cost(&t)).abs() < 1e-12);
+        assert!((z - crate::cost::symmetric_cost(&pat, usize::MAX)).abs() < 1e-9);
+    }
+
+    #[test]
     fn search_is_deterministic() {
         let config = GcrmConfig {
             n_seeds: 6,
@@ -602,9 +644,8 @@ mod tests {
 
     #[test]
     fn derive_seed_spreads() {
-        let s: std::collections::BTreeSet<u64> = (0..100u64)
-            .map(|t| derive_seed(0, 22, t))
-            .collect();
+        let s: std::collections::BTreeSet<u64> =
+            (0..100u64).map(|t| derive_seed(0, 22, t)).collect();
         assert_eq!(s.len(), 100);
     }
 }

@@ -8,7 +8,6 @@
 //! concrete matrix (paper §V).
 
 use crate::PatternError;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a compute node. Nodes are numbered `0..P`.
 pub type NodeId = u32;
@@ -17,7 +16,7 @@ pub type NodeId = u32;
 ///
 /// Cells are stored row-major. `None` marks an undefined cell (allowed only
 /// on the main diagonal of square patterns by [`Pattern::validate`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pattern {
     rows: usize,
     cols: usize,
@@ -100,6 +99,75 @@ impl Pattern {
         }
     }
 
+    /// JSON representation: `{"rows", "cols", "n_nodes", "cells"}` with
+    /// `cells` a row-major array of node ids or `null` for undefined.
+    #[must_use]
+    pub fn to_json_value(&self) -> flexdist_json::Value {
+        use flexdist_json::Value;
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| c.map_or(Value::Null, Value::from))
+            .collect();
+        flexdist_json::object(vec![
+            ("rows", Value::from(self.rows)),
+            ("cols", Value::from(self.cols)),
+            ("n_nodes", Value::from(self.n_nodes)),
+            ("cells", Value::Array(cells)),
+        ])
+    }
+
+    /// Rebuild a pattern from [`Pattern::to_json_value`] output.
+    ///
+    /// # Errors
+    /// Reports missing fields, shape mismatches and out-of-range ids.
+    pub fn from_json_value(v: &flexdist_json::Value) -> Result<Self, String> {
+        let field_u64 = |name: &str| {
+            v.get(name)
+                .and_then(flexdist_json::Value::as_u64)
+                .ok_or_else(|| format!("pattern JSON: missing integer field {name:?}"))
+        };
+        let rows = usize::try_from(field_u64("rows")?).map_err(|e| e.to_string())?;
+        let cols = usize::try_from(field_u64("cols")?).map_err(|e| e.to_string())?;
+        let n_nodes = u32::try_from(field_u64("n_nodes")?).map_err(|e| e.to_string())?;
+        if rows == 0 || cols == 0 || n_nodes == 0 {
+            return Err("pattern JSON: rows, cols and n_nodes must be positive".to_string());
+        }
+        let raw = v
+            .get("cells")
+            .and_then(flexdist_json::Value::as_array)
+            .ok_or_else(|| "pattern JSON: missing array field \"cells\"".to_string())?;
+        if raw.len() != rows * cols {
+            return Err(format!(
+                "pattern JSON: {} cells for a {rows}x{cols} pattern",
+                raw.len()
+            ));
+        }
+        let mut cells = Vec::with_capacity(raw.len());
+        for item in raw {
+            if item.is_null() {
+                cells.push(None);
+            } else {
+                let id = item
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| {
+                        "pattern JSON: cell is neither null nor a node id".to_string()
+                    })?;
+                if id >= n_nodes {
+                    return Err(format!("pattern JSON: node {id} out of range ({n_nodes})"));
+                }
+                cells.push(Some(id));
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            n_nodes,
+            cells,
+        })
+    }
+
     /// Number of pattern rows `r`.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -131,7 +199,10 @@ impl Pattern {
     /// Panics if out of bounds.
     #[must_use]
     pub fn get(&self, i: usize, j: usize) -> Option<NodeId> {
-        assert!(i < self.rows && j < self.cols, "cell ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "cell ({i},{j}) out of bounds"
+        );
         self.cells[i * self.cols + j]
     }
 
@@ -140,7 +211,10 @@ impl Pattern {
     /// # Panics
     /// Panics if out of bounds or `node >= n_nodes`.
     pub fn set(&mut self, i: usize, j: usize, node: NodeId) {
-        assert!(i < self.rows && j < self.cols, "cell ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "cell ({i},{j}) out of bounds"
+        );
         assert!(node < self.n_nodes, "node {node} out of range");
         self.cells[i * self.cols + j] = Some(node);
     }
@@ -156,9 +230,10 @@ impl Pattern {
 
     /// Iterator over all defined cells as `(row, col, node)`.
     pub fn defined_cells(&self) -> impl Iterator<Item = (usize, usize, NodeId)> + '_ {
-        self.cells.iter().enumerate().filter_map(move |(idx, c)| {
-            c.map(|n| (idx / self.cols, idx % self.cols, n))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, c)| c.map(|n| (idx / self.cols, idx % self.cols, n)))
     }
 
     /// Number of undefined cells.

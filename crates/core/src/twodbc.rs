@@ -76,8 +76,7 @@ pub fn best_2dbc_at_most(p: u32) -> (u32, usize, usize) {
             (q, r, c)
         })
         .max_by(|a, b| {
-            let score =
-                |&(q, r, c): &(u32, usize, usize)| f64::from(q) / (r + c) as f64;
+            let score = |&(q, r, c): &(u32, usize, usize)| f64::from(q) / (r + c) as f64;
             score(a)
                 .partial_cmp(&score(b))
                 .expect("scores are finite")
@@ -124,7 +123,10 @@ mod tests {
     fn factor_pairs_covers_all_divisors() {
         assert_eq!(factor_pairs(12), vec![(12, 1), (6, 2), (4, 3)]);
         assert_eq!(factor_pairs(23), vec![(23, 1)]);
-        assert_eq!(factor_pairs(36), vec![(36, 1), (18, 2), (12, 3), (9, 4), (6, 6)]);
+        assert_eq!(
+            factor_pairs(36),
+            vec![(36, 1), (18, 2), (12, 3), (9, 4), (6, 6)]
+        );
         assert_eq!(factor_pairs(1), vec![(1, 1)]);
     }
 
@@ -145,7 +147,16 @@ mod tests {
         // Paper Table Ia (2DBC column). Note: the paper prints T = 23 for the
         // degenerate 23x1 grid; the metric definition x̄ + ȳ gives 24
         // (see EXPERIMENTS.md).
-        for (p, expect) in [(16u32, 8.0), (20, 9.0), (21, 10.0), (22, 13.0), (30, 11.0), (35, 12.0), (36, 12.0), (39, 16.0)] {
+        for (p, expect) in [
+            (16u32, 8.0),
+            (20, 9.0),
+            (21, 10.0),
+            (22, 13.0),
+            (30, 11.0),
+            (35, 12.0),
+            (36, 12.0),
+            (39, 16.0),
+        ] {
             assert_eq!(best_2dbc_cost(p), expect, "P = {p}");
         }
         assert_eq!(best_2dbc_cost(23), 24.0);

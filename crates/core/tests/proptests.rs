@@ -27,6 +27,45 @@ proptest! {
         prop_assert!(t + 1.0 >= cost::ideal_lu_cost(p));
     }
 
+    /// Lemma 2 in its explicit form, for every P in the paper's range of
+    /// interest: the measured LU cost obeys T ≤ 2√P + 2/√P, every pattern
+    /// row holds exactly a = ⌈√P⌉ distinct nodes (the construction packs a
+    /// nodes per row), and loads are perfectly balanced.
+    #[test]
+    fn g2dbc_lemma2_bound_row_distinct_and_balance(p in 2u32..=200) {
+        let pat = g2dbc::g2dbc(p);
+        let sqrt_p = f64::from(p).sqrt();
+        let t = cost::lu_cost(&pat);
+        prop_assert!(t <= 2.0 * sqrt_p + 2.0 / sqrt_p + 1e-9,
+            "P = {}: T = {} > 2*sqrt(P) + 2/sqrt(P) = {}",
+            p, t, 2.0 * sqrt_p + 2.0 / sqrt_p);
+        let a = sqrt_p.ceil() as usize;
+        for i in 0..pat.rows() {
+            prop_assert_eq!(pat.distinct_in_row(i), a,
+                "P = {}: row {} has {} distinct nodes, not a = {}",
+                p, i, pat.distinct_in_row(i), a);
+        }
+        prop_assert!(pat.is_balanced());
+    }
+
+    /// GCR&M's symmetry is the colrow metric's: the pattern is square and
+    /// its Cholesky cost is invariant under transposition (row i and
+    /// column i are charged together), and agrees with the generic
+    /// symmetric cost.
+    #[test]
+    fn gcrm_square_and_colrow_cost_transpose_invariant(
+        p in 4u32..30, seed in 0u64..500, size_pick in 0usize..100
+    ) {
+        let sizes = gcrm::eligible_sizes(p, 6.0);
+        prop_assume!(!sizes.is_empty());
+        let r = sizes[size_pick % sizes.len()];
+        let pat = gcrm::run_once(p, r, seed, gcrm::LoadMetric::Colrows).unwrap();
+        prop_assert!(pat.is_square());
+        let z = cost::cholesky_cost(&pat);
+        prop_assert!((z - cost::cholesky_cost(&pat.transposed())).abs() < 1e-12);
+        prop_assert!((z - cost::symmetric_cost(&pat, usize::MAX)).abs() < 1e-9);
+    }
+
     /// The analytic G-2DBC cost always matches the measured pattern cost.
     #[test]
     fn g2dbc_analytic_matches_measured(p in 1u32..200) {
@@ -129,8 +168,9 @@ proptest! {
     #[test]
     fn pattern_serde_roundtrip(p in 1u32..100) {
         let pat = g2dbc::g2dbc(p);
-        let json = serde_json::to_string(&pat).unwrap();
-        let back: Pattern = serde_json::from_str(&json).unwrap();
+        let json = pat.to_json_value().to_string();
+        let parsed = flexdist_json::parse(&json).unwrap();
+        let back = Pattern::from_json_value(&parsed).unwrap();
         prop_assert_eq!(pat, back);
     }
 }

@@ -1,7 +1,6 @@
 //! Mapping matrix tiles to nodes by cyclic pattern replication.
 
 use flexdist_core::{NodeId, Pattern};
-use serde::{Deserialize, Serialize};
 
 /// Owner map of a `t × t` tiled matrix: `owner(i, j)` is the node that
 /// stores tile `(i, j)` and, under the owner-computes rule, performs every
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// cell is placed greedily on the least-loaded node among those already
 /// present on the corresponding pattern colrow, so different replicas of
 /// the same pattern cell may end up on different nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileAssignment {
     t: usize,
     n_nodes: u32,
@@ -82,8 +81,7 @@ impl TileAssignment {
         let r = pattern.rows();
         let n = pattern.n_nodes();
         // Node sets per pattern colrow, precomputed once.
-        let colrow_nodes: Vec<Vec<NodeId>> =
-            (0..r).map(|i| pattern.colrow_nodes(i)).collect();
+        let colrow_nodes: Vec<Vec<NodeId>> = (0..r).map(|i| pattern.colrow_nodes(i)).collect();
 
         let mut owners = vec![NodeId::MAX; t * t];
         let mut loads = vec![0usize; n as usize];

@@ -223,10 +223,8 @@ mod tests {
     #[test]
     fn two_tiles_two_nodes_lu_hand_count() {
         // 2x2 tiles on pattern [0 1 / 1 0] (anti-diagonal).
-        let pat = flexdist_core::Pattern::from_rows(
-            2,
-            &[vec![Some(0), Some(1)], vec![Some(1), Some(0)]],
-        );
+        let pat =
+            flexdist_core::Pattern::from_rows(2, &[vec![Some(0), Some(1)], vec![Some(1), Some(0)]]);
         let a = TileAssignment::cyclic(&pat, 2);
         // Iteration 0: (0,0)@0 -> owners of (1,0)=1 and (0,1)=1 -> 1 send.
         //   (1,0)@1 -> owner of (1,1)=0 -> 1 send.
@@ -239,10 +237,8 @@ mod tests {
 
     #[test]
     fn two_tiles_cholesky_hand_count() {
-        let pat = flexdist_core::Pattern::from_rows(
-            2,
-            &[vec![Some(0), Some(1)], vec![Some(1), Some(0)]],
-        );
+        let pat =
+            flexdist_core::Pattern::from_rows(2, &[vec![Some(0), Some(1)], vec![Some(1), Some(0)]]);
         let a = TileAssignment::cyclic(&pat, 2);
         // Iter 0: (0,0)@0 -> owner of (1,0)=1: panel 1.
         //   (1,0)@1 -> colrow 1 trailing = {(1,1)@0}: trailing 1.

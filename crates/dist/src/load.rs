@@ -9,10 +9,9 @@
 //! good proxy for flops when all tiles have the same size.
 
 use crate::assignment::TileAssignment;
-use serde::{Deserialize, Serialize};
 
 /// Which factorization the load is measured for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadKind {
     /// Full-matrix LU.
     Lu,
@@ -21,7 +20,7 @@ pub enum LoadKind {
 }
 
 /// Per-node load summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     /// What was measured.
     pub kind: LoadKind,
@@ -74,7 +73,12 @@ impl LoadReport {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self.work.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+        let var = self
+            .work
+            .iter()
+            .map(|w| (w - mean) * (w - mean))
+            .sum::<f64>()
+            / n;
         var.sqrt() / mean
     }
 }

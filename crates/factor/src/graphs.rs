@@ -135,7 +135,14 @@ impl<'a> Builder<'a> {
         self.handles[i * self.t + j]
     }
 
-    fn submit(&mut self, op: Op, kernel: Kernel, write_tile: (usize, usize), priority: i64, accesses: Vec<Access>) {
+    fn submit(
+        &mut self,
+        op: Op,
+        kernel: Kernel,
+        write_tile: (usize, usize),
+        priority: i64,
+        accesses: Vec<Access>,
+    ) {
         let node = self.a.owner(write_tile.0, write_tile.1);
         self.gb.submit(TaskSpec {
             node,
@@ -368,7 +375,9 @@ mod tests {
         let (a, c) = setup(5);
         let tl = build_graph(Operation::Lu, &a, &c);
         let t = 5usize;
-        let expect: usize = (0..t).map(|l| 1 + 2 * (t - 1 - l) + (t - 1 - l) * (t - 1 - l)).sum();
+        let expect: usize = (0..t)
+            .map(|l| 1 + 2 * (t - 1 - l) + (t - 1 - l) * (t - 1 - l))
+            .sum();
         assert_eq!(tl.graph.n_tasks(), expect);
         assert_eq!(tl.ops.len(), expect);
     }

@@ -28,8 +28,12 @@ pub mod graphs;
 pub mod residual;
 pub mod simulate;
 pub mod solve;
+pub mod steal;
 
-pub use execute::{execute, execute_pair, ExecReport};
+pub use execute::{
+    execute, execute_pair, execute_traced, execute_with, ExecEvent, ExecEventKind, ExecOptions,
+    ExecReport, ExecTrace, WorkerStats,
+};
 pub use graphs::{build_graph, Op, Operation, TaskList};
 pub use simulate::{simulate, SimSetup};
 pub use solve::{cholesky_solve, lu_solve, solve_residual, BlockVector};

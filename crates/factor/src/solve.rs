@@ -12,8 +12,8 @@
 
 use flexdist_kernels::matrix::TiledMatrix;
 use flexdist_kernels::{
-    gemm_nn, gemm_tn, trsm_left_lower_nonunit, trsm_left_lower_trans_nonunit,
-    trsm_left_lower_unit, trsm_left_upper_nonunit, Tile,
+    gemm_nn, gemm_tn, trsm_left_lower_nonunit, trsm_left_lower_trans_nonunit, trsm_left_lower_unit,
+    trsm_left_upper_nonunit, Tile,
 };
 
 /// A block column vector: `t` stacked `nb × nb` tiles (`nb` right-hand
@@ -166,8 +166,8 @@ pub fn solve_residual(a: &TiledMatrix, x: &BlockVector, b: &BlockVector) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graphs::{build_graph, Operation};
     use crate::execute::execute;
+    use crate::graphs::{build_graph, Operation};
     use flexdist_core::twodbc;
     use flexdist_dist::TileAssignment;
     use flexdist_kernels::KernelCostModel;

@@ -1,0 +1,224 @@
+//! Lock-free work-stealing deque for task ids.
+//!
+//! A bounded Chase–Lev deque (Chase & Lev, SPAA'05, with the memory
+//! orderings of Lê et al., PPoPP'13 "Correct and Efficient Work-Stealing
+//! for Weak Memory Models"). The owner pushes and pops at the *bottom*
+//! in LIFO order — which keeps the task graph's depth-first locality,
+//! panels before stale updates — while thieves steal from the *top*,
+//! taking the oldest (for this workload: highest-priority) entries.
+//!
+//! Payloads are bare `u32` task ids held in `AtomicU32` slots, so the
+//! implementation needs no `unsafe`: a torn or stale read is impossible
+//! and the `top` compare-exchange is the single commit point for both
+//! `steal` and the last-element `pop` race.
+//!
+//! The buffer never grows: executors size it to the total task count,
+//! and a task id enters a deque at most once, so `bottom - top` can
+//! never exceed that.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Took this task id.
+    Success(u32),
+}
+
+/// Bounded lock-free work-stealing deque of `u32` ids.
+#[derive(Debug)]
+pub struct WorkDeque {
+    /// Owner end. Only the owner mutates it.
+    bottom: AtomicI64,
+    /// Thief end. Advanced by successful `steal` / final-element `pop`.
+    top: AtomicI64,
+    buffer: Box<[AtomicU32]>,
+    mask: i64,
+}
+
+impl WorkDeque {
+    /// A deque able to hold at least `capacity` simultaneous entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buffer = (0..cap).map(|_| AtomicU32::new(0)).collect::<Vec<_>>();
+        Self {
+            bottom: AtomicI64::new(0),
+            top: AtomicI64::new(0),
+            buffer: buffer.into_boxed_slice(),
+            mask: (cap - 1) as i64,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: i64) -> &AtomicU32 {
+        &self.buffer[(index & self.mask) as usize]
+    }
+
+    /// Owner-side push to the bottom.
+    ///
+    /// # Panics
+    /// Panics if the deque is full (the executor sizes deques so this
+    /// cannot happen).
+    pub fn push(&self, id: u32) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(b - t <= self.mask, "work deque overflow");
+        self.slot(b).store(id, Ordering::Relaxed);
+        // Publish the slot before publishing the new bottom.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-side LIFO pop from the bottom.
+    pub fn pop(&self) -> Option<u32> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Make the bottom decrement visible before reading top
+        // (SeqCst pairs with the fence in `steal`).
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t < b {
+            // More than one element: the bottom one is ours alone.
+            return Some(self.slot(b).load(Ordering::Relaxed));
+        }
+        if t == b {
+            // Single element: race thieves for it via top.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then(|| self.slot(b).load(Ordering::Relaxed));
+        }
+        // Already empty: restore bottom.
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        None
+    }
+
+    /// Thief-side FIFO steal from the top.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let id = self.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(id)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Approximate current length (exact when quiescent).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        usize::try_from((b - t).max(0)).expect("non-negative")
+    }
+
+    /// Whether the deque appears empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn lifo_for_owner() {
+        let q = WorkDeque::with_capacity(8);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_for_thieves() {
+        let q = WorkDeque::with_capacity(8);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let q = WorkDeque::with_capacity(4);
+        for round in 0..100u32 {
+            q.push(round);
+            assert_eq!(q.pop(), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_item_once() {
+        let n: u32 = 100_000;
+        let q = WorkDeque::with_capacity(n as usize);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // Owner interleaves pushes and pops.
+            scope.spawn(|| {
+                for id in 0..n {
+                    q.push(id);
+                    if id % 3 == 0 {
+                        if let Some(v) = q.pop() {
+                            sum.fetch_add(u64::from(v), Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                while let Some(v) = q.pop() {
+                    sum.fetch_add(u64::from(v), Ordering::Relaxed);
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            // Thieves hammer the top.
+            for _ in 0..3 {
+                scope.spawn(|| loop {
+                    match q.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(u64::from(v), Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if count.load(Ordering::Relaxed) == u64::from(n) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), u64::from(n));
+        let expect = u64::from(n) * u64::from(n - 1) / 2;
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+}

@@ -1,0 +1,84 @@
+//! The work-stealing executor must be a pure function of the task graph:
+//! whatever the worker count and however the steals interleave, the DAG
+//! serializes every tile write, so the floating-point evaluation order —
+//! and therefore the factorization bit pattern — is fixed.
+
+use flexdist_core::{g2dbc, twodbc};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::residual::{cholesky_residual, lu_residual};
+use flexdist_factor::{build_graph, execute_traced, Operation};
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+
+#[test]
+fn lu_residual_bitwise_identical_across_worker_counts() {
+    let (t, nb) = (8, 12);
+    let a0 = TiledMatrix::random_diag_dominant(t, nb, 2024);
+    let assign = TileAssignment::cyclic(&g2dbc::g2dbc(7), t);
+    let tl = build_graph(Operation::Lu, &assign, &KernelCostModel::uniform(nb, 10.0));
+
+    let mut residuals = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (factored, rep, trace) = execute_traced(&tl, a0.clone(), workers);
+        assert!(rep.error.is_none(), "{workers} workers: {:?}", rep.error);
+        assert_eq!(rep.workers.len(), workers);
+        trace
+            .validate(&tl)
+            .unwrap_or_else(|e| panic!("{workers} workers: malformed trace: {e}"));
+        residuals.push(lu_residual(&a0, &factored));
+    }
+    assert!(residuals[0] < 1e-11, "residual {}", residuals[0]);
+    // Bitwise equality, not approximate: the same additions happened in
+    // the same order on every run.
+    assert_eq!(residuals[0].to_bits(), residuals[1].to_bits());
+    assert_eq!(residuals[0].to_bits(), residuals[2].to_bits());
+}
+
+#[test]
+fn cholesky_residual_bitwise_identical_across_worker_counts() {
+    let (t, nb) = (6, 10);
+    let mut a0 = TiledMatrix::random_spd(t, nb, 77);
+    a0.symmetrize_from_lower();
+    let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+    let tl = build_graph(
+        Operation::Cholesky,
+        &assign,
+        &KernelCostModel::uniform(nb, 10.0),
+    );
+
+    let baseline = {
+        let (factored, rep, _) = execute_traced(&tl, a0.clone(), 1);
+        assert!(rep.error.is_none());
+        cholesky_residual(&a0, &factored)
+    };
+    assert!(baseline < 1e-11, "residual {baseline}");
+    for workers in [2usize, 8] {
+        let (factored, rep, trace) = execute_traced(&tl, a0.clone(), workers);
+        assert!(rep.error.is_none());
+        trace.validate(&tl).expect("well-formed trace");
+        let res = cholesky_residual(&a0, &factored);
+        assert_eq!(
+            baseline.to_bits(),
+            res.to_bits(),
+            "{workers} workers drifted: {baseline} vs {res}"
+        );
+    }
+}
+
+#[test]
+fn trace_log_accounts_for_every_task_and_steal() {
+    let (t, nb) = (7, 8);
+    let a0 = TiledMatrix::random_diag_dominant(t, nb, 5);
+    let assign = TileAssignment::cyclic(&g2dbc::g2dbc(5), t);
+    let tl = build_graph(Operation::Lu, &assign, &KernelCostModel::uniform(nb, 10.0));
+    let (_, rep, trace) = execute_traced(&tl, a0, 4);
+    trace.validate(&tl).expect("well-formed trace");
+    // One start + one end per task, one event per successful steal, and
+    // the per-worker executed counters add back up to the task total.
+    assert_eq!(trace.n_tasks, rep.tasks);
+    assert_eq!(
+        trace.events.len(),
+        2 * rep.tasks + rep.tasks_stolen() as usize
+    );
+    let executed: u64 = rep.workers.iter().map(|w| w.executed).sum();
+    assert_eq!(executed as usize, rep.tasks);
+}

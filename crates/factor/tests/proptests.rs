@@ -14,9 +14,7 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
         (2u32..15).prop_map(g2dbc::g2dbc),
         Just(sbc::sbc_extended(6).unwrap()),
         Just(sbc::sbc_extended(10).unwrap()),
-        (0u64..20).prop_map(|s| {
-            gcrm::run_once(7, 7, s, gcrm::LoadMetric::Colrows).unwrap()
-        }),
+        (0u64..20).prop_map(|s| { gcrm::run_once(7, 7, s, gcrm::LoadMetric::Colrows).unwrap() }),
     ]
 }
 

@@ -191,8 +191,7 @@ mod cyclic_tests {
         let speeds = NodeSpeeds::new(vec![3.0, 3.0, 1.0, 1.0, 1.0, 1.0]);
         let res = column_partition(&speeds);
         let t = 60;
-        let cyclic =
-            TileAssignment::cyclic(&rect_cyclic_pattern(&res.partition, 10), t);
+        let cyclic = TileAssignment::cyclic(&rect_cyclic_pattern(&res.partition, 10), t);
         let static_a = rect_tile_assignment(&res.partition, t);
         let areas = speeds.areas();
         let skew = |a: &TileAssignment| {

@@ -19,10 +19,9 @@
 //! bound are reported.
 
 use crate::speeds::NodeSpeeds;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle of the unit square owned by one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Owning node (index into the original speed vector).
     pub node: u32,
@@ -69,7 +68,7 @@ impl Rect {
 }
 
 /// A full partition of the unit square into per-node rectangles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RectPartition {
     rects: Vec<Rect>,
 }

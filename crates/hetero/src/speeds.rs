@@ -1,9 +1,7 @@
 //! Relative node speeds and the areas they induce.
 
-use serde::{Deserialize, Serialize};
-
 /// Relative speeds of a heterogeneous node set. Only ratios matter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpeeds {
     speeds: Vec<f64>,
 }

@@ -7,9 +7,8 @@ use flexdist_hetero::{
 use proptest::prelude::*;
 
 fn arb_speeds() -> impl Strategy<Value = NodeSpeeds> {
-    proptest::collection::vec(1u32..20, 1..12).prop_map(|ws| {
-        NodeSpeeds::new(ws.into_iter().map(f64::from).collect())
-    })
+    proptest::collection::vec(1u32..20, 1..12)
+        .prop_map(|ws| NodeSpeeds::new(ws.into_iter().map(f64::from).collect()))
 }
 
 proptest! {

@@ -239,7 +239,14 @@ mod tests {
         let mut c_syrk = Tile::random(n, 7);
         let mut c_gemm = c_syrk.clone();
         syrk_ln(-1.0, a.as_slice(), 1.0, c_syrk.as_mut_slice(), n);
-        gemm_nt(-1.0, a.as_slice(), a.as_slice(), 1.0, c_gemm.as_mut_slice(), n);
+        gemm_nt(
+            -1.0,
+            a.as_slice(),
+            a.as_slice(),
+            1.0,
+            c_gemm.as_mut_slice(),
+            n,
+        );
         for j in 0..n {
             for i in j..n {
                 assert!((c_syrk.get(i, j) - c_gemm.get(i, j)).abs() < 1e-12);
@@ -559,8 +566,22 @@ mod blocked_tests {
             let c0 = Tile::random(n, 13);
             let mut c_plain = c0.clone();
             let mut c_blocked = c0.clone();
-            gemm_nn(-1.0, a.as_slice(), b.as_slice(), 0.5, c_plain.as_mut_slice(), n);
-            gemm_nn_blocked(-1.0, a.as_slice(), b.as_slice(), 0.5, c_blocked.as_mut_slice(), n);
+            gemm_nn(
+                -1.0,
+                a.as_slice(),
+                b.as_slice(),
+                0.5,
+                c_plain.as_mut_slice(),
+                n,
+            );
+            gemm_nn_blocked(
+                -1.0,
+                a.as_slice(),
+                b.as_slice(),
+                0.5,
+                c_blocked.as_mut_slice(),
+                n,
+            );
             for (x, y) in c_plain.as_slice().iter().zip(c_blocked.as_slice()) {
                 // Same sums in a different association order.
                 assert!((x - y).abs() < 1e-11 * (n as f64), "n = {n}: {x} vs {y}");

@@ -4,10 +4,8 @@
 //! take on one worker core running at a configurable sustained rate. Flop
 //! counts are the standard dense-kernel formulas for `nb × nb` tiles.
 
-use serde::{Deserialize, Serialize};
-
 /// The elementary kernels of tiled LU / Cholesky / SYRK.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Tile LU factorization (no pivoting).
     Getrf,
@@ -54,7 +52,7 @@ impl Kernel {
 }
 
 /// Converts kernel invocations into simulated seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCostModel {
     /// Tile size `nb`.
     pub nb: usize,

@@ -171,10 +171,7 @@ mod tests {
         gemm_nn(1.0, l.as_slice(), u.as_slice(), 0.0, rec.as_mut_slice(), n);
         for j in 0..n {
             for i in 0..n {
-                assert!(
-                    (rec.get(i, j) - a0.get(i, j)).abs() < 1e-10,
-                    "({i},{j})"
-                );
+                assert!((rec.get(i, j) - a0.get(i, j)).abs() < 1e-10, "({i},{j})");
             }
         }
     }
@@ -195,6 +192,8 @@ mod tests {
         assert!(KernelError::NotPositiveDefinite { index: 3 }
             .to_string()
             .contains('3'));
-        assert!(KernelError::ZeroPivot { index: 1 }.to_string().contains('1'));
+        assert!(KernelError::ZeroPivot { index: 1 }
+            .to_string()
+            .contains('1'));
     }
 }

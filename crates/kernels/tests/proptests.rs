@@ -1,8 +1,8 @@
 //! Property-based tests of the dense tile kernels.
 
 use flexdist_kernels::{
-    gemm_nn, gemm_nt, getrf_nopiv, potrf, syrk_ln, trsm_left_lower_unit,
-    trsm_right_lower_trans, trsm_right_upper, Tile, TiledMatrix,
+    gemm_nn, gemm_nt, getrf_nopiv, potrf, syrk_ln, trsm_left_lower_unit, trsm_right_lower_trans,
+    trsm_right_upper, Tile, TiledMatrix,
 };
 use proptest::prelude::*;
 

@@ -228,9 +228,7 @@ mod tests {
             for &v in &adj[u] {
                 if !seen[v] {
                     seen[v] = true;
-                    if pair_v[v].is_none()
-                        || try_kuhn(pair_v[v].unwrap(), adj, seen, pair_v)
-                    {
+                    if pair_v[v].is_none() || try_kuhn(pair_v[v].unwrap(), adj, seen, pair_v) {
                         pair_v[v] = Some(u);
                         return true;
                     }

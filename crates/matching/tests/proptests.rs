@@ -36,10 +36,7 @@ fn kuhn_max_matching(adj: &[Vec<usize>], n_right: usize) -> usize {
 fn arb_graph() -> impl Strategy<Value = (Vec<Vec<usize>>, usize)> {
     (1usize..40, 1usize..40).prop_flat_map(|(nl, nr)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(0..nr, 0..8),
-                nl..=nl,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0..nr, 0..8), nl..=nl),
             Just(nr),
         )
     })

@@ -1,9 +1,7 @@
 //! Simulated machine description.
 
-use serde::{Deserialize, Serialize};
-
 /// Ready-queue ordering policy applied per node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
     /// Highest task priority first, submission order breaking ties —
     /// Chameleon-style panel-first scheduling. The default.
@@ -17,7 +15,7 @@ pub enum SchedulerPolicy {
 }
 
 /// Where a remote tile fetch is sourced from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SourceSelection {
     /// Always from the tile version's producer (the last writer's node) —
     /// the plain MPI point-to-point behaviour of the paper's Chameleon
@@ -38,7 +36,7 @@ pub enum SourceSelection {
 /// Intel Skylake cores of which ~34 run kernels (one core drives the StarPU
 /// scheduler and one the MPI thread), connected by a 100 Gb/s OmniPath
 /// fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of nodes `P`.
     pub nodes: u32,

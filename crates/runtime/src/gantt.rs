@@ -64,6 +64,54 @@ pub fn render_gantt(trace: &[TaskSpan], config: &MachineConfig, width: usize) ->
     out
 }
 
+/// Render one row per `(node, worker)` lane. Each bin shows the first
+/// letter of the label of the task occupying the lane (`' '` when idle,
+/// `'*'` when several tasks share a bin), exposing the per-core schedule
+/// that the node-level chart averages away.
+///
+/// # Panics
+/// Panics if `width == 0`.
+#[must_use]
+pub fn render_worker_gantt(trace: &[TaskSpan], config: &MachineConfig, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let makespan = trace.iter().fold(0.0f64, |m, s| m.max(s.end));
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+    let bin_w = makespan / width as f64;
+    for node in 0..config.nodes {
+        for worker in 0..config.workers_of(node) {
+            let mut row = vec![' '; width];
+            for span in trace
+                .iter()
+                .filter(|s| s.node == node && s.worker == worker)
+            {
+                let first = ((span.start / bin_w) as usize).min(width - 1);
+                // Half-open on the right so a span ending exactly on a bin
+                // edge doesn't bleed into the next bin.
+                let last = ((span.end / bin_w).ceil() as usize)
+                    .saturating_sub(1)
+                    .clamp(first, width - 1);
+                let glyph = span.label.chars().next().unwrap_or('?');
+                for cell in &mut row[first..=last] {
+                    *cell = if *cell == ' ' { glyph } else { '*' };
+                }
+            }
+            out.push_str(&format!("n{node:>3}.w{worker:<2} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+    }
+    out.push_str(&format!(
+        "{:>9}0{}{makespan:.4}s\n",
+        "",
+        "-".repeat(width.saturating_sub(1)),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +170,22 @@ mod tests {
     fn empty_trace_is_handled() {
         let m = MachineConfig::test_machine(1, 1);
         assert!(render_gantt(&[], &m, 10).contains("empty"));
+        assert!(render_worker_gantt(&[], &m, 10).contains("empty"));
+    }
+
+    #[test]
+    fn worker_lanes_show_labels_per_slot() {
+        // Serial chain on a 2-worker node: only worker 0 is ever used.
+        let g = chain_graph(0, 4);
+        let m = MachineConfig::test_machine(1, 2);
+        let (_, trace) = simulate_traced(&g, &m);
+        let chart = render_worker_gantt(&trace, &m, 8);
+        let mut lines = chart.lines();
+        let w0 = lines.next().unwrap();
+        let w1 = lines.next().unwrap();
+        assert!(w0.starts_with("n  0.w0 "), "{chart}");
+        assert_eq!(w0.matches('c').count(), 8, "{chart}");
+        assert!(w1.contains("|        |"), "{chart}");
     }
 
     #[test]

@@ -82,7 +82,6 @@ pub(crate) struct Task {
     pub(crate) duration: f64,
     pub(crate) flops: f64,
     pub(crate) priority: i64,
-    #[allow(dead_code)]
     pub(crate) label: &'static str,
     pub(crate) reads: Vec<DataId>,
     pub(crate) writes: Vec<DataId>,
@@ -185,6 +184,33 @@ impl TaskGraph {
     #[must_use]
     pub fn reads_of(&self, id: TaskId) -> &[DataId] {
         &self.tasks[id as usize].reads
+    }
+
+    /// Scheduling priority of `id` (larger runs earlier among ready tasks).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn priority_of(&self, id: TaskId) -> i64 {
+        self.tasks[id as usize].priority
+    }
+
+    /// Display label (kernel name) of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn label_of(&self, id: TaskId) -> &'static str {
+        self.tasks[id as usize].label
+    }
+
+    /// Simulated duration of `id` in seconds.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn duration_of(&self, id: TaskId) -> f64 {
+        self.tasks[id as usize].duration
     }
 }
 

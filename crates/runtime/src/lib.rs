@@ -26,12 +26,14 @@ pub mod gantt;
 pub mod graph;
 pub mod report;
 pub mod sim;
+pub mod trace;
 
 pub use config::{MachineConfig, SchedulerPolicy, SourceSelection};
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, render_worker_gantt};
 pub use graph::{Access, AccessMode, GraphBuilder, TaskGraph, TaskSpec};
 pub use report::SimReport;
 pub use sim::{simulate, simulate_traced, TaskSpan};
+pub use trace::{sim_trace_to_json, sim_trace_to_json_string};
 
 /// Node index within the simulated cluster.
 pub type NodeId = u32;

@@ -1,9 +1,7 @@
 //! Simulation output.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of one simulated execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// End-to-end execution time in seconds.
     pub makespan: f64,
@@ -23,6 +21,11 @@ pub struct SimReport {
     pub tasks: usize,
     /// Total workers across the machine (utilization accounting).
     pub total_workers: u32,
+    /// Per-node peak ready-queue length — how much parallel slack each
+    /// node's scheduler ever had.
+    pub peak_ready_per_node: Vec<usize>,
+    /// Per-node idle worker-seconds (`makespan × workers − busy`).
+    pub idle_per_node: Vec<f64>,
 }
 
 impl SimReport {
@@ -78,6 +81,8 @@ mod tests {
             peak_memory_per_node: vec![100, 300],
             tasks: 5,
             total_workers: 4,
+            peak_ready_per_node: vec![2, 3],
+            idle_per_node: vec![3.0, 1.0],
         }
     }
 

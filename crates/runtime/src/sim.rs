@@ -37,6 +37,10 @@ pub struct TaskSpan {
     pub task: TaskId,
     /// Node it ran on.
     pub node: NodeId,
+    /// Worker slot within the node (`0..workers_of(node)`).
+    pub worker: u32,
+    /// Kernel label of the task (e.g. `"getrf"`).
+    pub label: &'static str,
     /// Start time in seconds.
     pub start: f64,
     /// End time in seconds.
@@ -117,9 +121,14 @@ struct SimState<'g> {
     // Per task.
     deps_left: Vec<u32>,
     fetches_left: Vec<u32>,
+    /// Worker slot each task ran on (filled at dispatch).
+    slot_of: Vec<u32>,
     // Per node.
-    idle_workers: Vec<u32>,
+    /// Stack of idle worker slot ids per node.
+    idle_slots: Vec<Vec<u32>>,
     ready: Vec<BinaryHeap<(i64, Reverse<TaskId>)>>,
+    /// Peak ready-queue length observed per node.
+    peak_ready: Vec<usize>,
     out_free: Vec<f64>,
     in_free: Vec<f64>,
     busy: Vec<f64>,
@@ -219,8 +228,13 @@ fn simulate_inner(
         seq: 0,
         deps_left: graph.tasks.iter().map(|t| t.n_deps).collect(),
         fetches_left: vec![0; n_tasks],
-        idle_workers: (0..config.nodes).map(|n| config.workers_of(n)).collect(),
+        slot_of: vec![0; n_tasks],
+        // Reversed so the owner pops slot 0 first.
+        idle_slots: (0..config.nodes)
+            .map(|n| (0..config.workers_of(n)).rev().collect())
+            .collect(),
         ready: (0..n_nodes).map(|_| BinaryHeap::new()).collect(),
+        peak_ready: vec![0; n_nodes],
         out_free: vec![0.0; n_nodes],
         in_free: vec![0.0; n_nodes],
         busy: vec![0.0; n_nodes],
@@ -290,6 +304,12 @@ fn simulate_inner(
         st.completed, n_tasks
     );
 
+    let idle_per_node: Vec<f64> = st
+        .busy
+        .iter()
+        .enumerate()
+        .map(|(n, &busy)| (st.makespan * f64::from(config.workers_of(n as NodeId)) - busy).max(0.0))
+        .collect();
     let report = SimReport {
         makespan: st.makespan,
         total_flops: graph.total_flops(),
@@ -299,6 +319,8 @@ fn simulate_inner(
         peak_memory_per_node: st.mem_peak,
         tasks: n_tasks,
         total_workers: config.total_workers(),
+        peak_ready_per_node: st.peak_ready,
+        idle_per_node,
     };
     (report, st.trace)
 }
@@ -399,7 +421,12 @@ impl SimState<'_> {
                 let Some(src) = src else {
                     break;
                 };
-                let dst = self.pending_dests.get_mut(&d).expect("checked").pop_front().expect("non-empty");
+                let dst = self
+                    .pending_dests
+                    .get_mut(&d)
+                    .expect("checked")
+                    .pop_front()
+                    .expect("non-empty");
                 self.schedule_transfer(src, d, dst);
             }
         }
@@ -473,6 +500,7 @@ impl SimState<'_> {
             }
         };
         self.ready[node].push((key, Reverse(id)));
+        self.peak_ready[node] = self.peak_ready[node].max(self.ready[node].len());
         self.dirty_nodes.push(node);
     }
 
@@ -483,17 +511,20 @@ impl SimState<'_> {
     }
 
     fn dispatch(&mut self, node: usize) {
-        while self.idle_workers[node] > 0 {
+        while !self.idle_slots[node].is_empty() {
             let Some((_, Reverse(id))) = self.ready[node].pop() else {
                 break;
             };
-            self.idle_workers[node] -= 1;
+            let slot = self.idle_slots[node].pop().expect("checked non-empty");
+            self.slot_of[id as usize] = slot;
             let dur = self.graph.tasks[id as usize].duration;
             self.busy[node] += dur;
             if let Some(trace) = &mut self.trace {
                 trace.push(TaskSpan {
                     task: id,
                     node: node as NodeId,
+                    worker: slot,
+                    label: self.graph.tasks[id as usize].label,
                     start: self.now,
                     end: self.now + dur,
                 });
@@ -505,7 +536,7 @@ impl SimState<'_> {
     fn on_task_done(&mut self, id: TaskId) {
         self.completed += 1;
         let node = self.graph.tasks[id as usize].node as usize;
-        self.idle_workers[node] += 1;
+        self.idle_slots[node].push(self.slot_of[id as usize]);
         // Writes create a new version: the writer's node becomes the only
         // holder; cached replicas elsewhere are invalidated (freeing their
         // memory).
@@ -714,8 +745,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let data: Vec<_> = (0..20).map(|i| b.add_data(i % 3, 5000)).collect();
         for _ in 0..200 {
-            let d = data[rng.gen_range(0..20)];
-            let e = data[rng.gen_range(0..20)];
+            let d = data[rng.gen_range(0..20usize)];
+            let e = data[rng.gen_range(0..20usize)];
             let node = rng.gen_range(0..3);
             let mut acc = vec![Access::read(d)];
             if e != d {
@@ -838,9 +869,7 @@ mod policy_tests {
         for s in &trace {
             let overlapping = trace
                 .iter()
-                .filter(|o| {
-                    o.node == s.node && o.start < s.end - 1e-15 && s.start < o.end - 1e-15
-                })
+                .filter(|o| o.node == s.node && o.start < s.end - 1e-15 && s.start < o.end - 1e-15)
                 .count();
             assert!(
                 overlapping <= workers as usize,
@@ -953,7 +982,11 @@ mod memory_and_source_tests {
         let serial = simulate(&g, &holder_cfg);
         let relayed = simulate(&g, &relay_cfg);
         // Serial: ~consumers seconds; relayed: ~log2(consumers+1) rounds.
-        assert!(serial.makespan > consumers as f64 * 0.9, "{}", serial.makespan);
+        assert!(
+            serial.makespan > consumers as f64 * 0.9,
+            "{}",
+            serial.makespan
+        );
         assert!(
             relayed.makespan < serial.makespan * 0.7,
             "relay {} !<< serial {}",

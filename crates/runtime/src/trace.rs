@@ -1,0 +1,102 @@
+//! JSON serialization of simulation traces.
+//!
+//! Mirrors the format of `flexdist-factor`'s executor traces so the same
+//! tooling can consume both: a top-level object with a `kind`
+//! discriminator, summary counters, and a `spans` array with one entry
+//! per executed task.
+
+use crate::report::SimReport;
+use crate::sim::TaskSpan;
+use flexdist_json::Value;
+
+/// Serialize a simulation trace (plus its report's summary counters) to a
+/// JSON value parseable by `flexdist_json::parse`.
+#[must_use]
+pub fn sim_trace_to_json(trace: &[TaskSpan], report: &SimReport) -> Value {
+    let spans = trace
+        .iter()
+        .map(|s| {
+            flexdist_json::object(vec![
+                ("task", Value::from(s.task)),
+                ("node", Value::from(s.node)),
+                ("worker", Value::from(s.worker)),
+                ("label", Value::from(s.label)),
+                ("start", Value::from(s.start)),
+                ("end", Value::from(s.end)),
+            ])
+        })
+        .collect();
+    flexdist_json::object(vec![
+        ("kind", Value::from("sim-trace")),
+        ("makespan", Value::from(report.makespan)),
+        ("tasks", Value::from(report.tasks)),
+        ("messages", Value::from(report.messages)),
+        ("bytes_sent", Value::from(report.bytes_sent)),
+        (
+            "peak_ready_per_node",
+            Value::Array(
+                report
+                    .peak_ready_per_node
+                    .iter()
+                    .map(|&q| Value::from(q))
+                    .collect(),
+            ),
+        ),
+        (
+            "idle_per_node",
+            Value::Array(
+                report
+                    .idle_per_node
+                    .iter()
+                    .map(|&s| Value::from(s))
+                    .collect(),
+            ),
+        ),
+        ("spans", Value::Array(spans)),
+    ])
+}
+
+/// Pretty-printed form of [`sim_trace_to_json`].
+#[must_use]
+pub fn sim_trace_to_json_string(trace: &[TaskSpan], report: &SimReport) -> String {
+    sim_trace_to_json(trace, report).to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+    use crate::sim::simulate_traced;
+    use crate::MachineConfig;
+
+    #[test]
+    fn sim_trace_round_trips_through_parser() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for _ in 0..3 {
+            b.submit(TaskSpec {
+                node: 0,
+                duration: 1.0,
+                flops: 1e9,
+                priority: 0,
+                label: "potrf",
+                accesses: vec![Access::read_write(d)],
+            });
+        }
+        let g = b.build();
+        let m = MachineConfig::test_machine(1, 1);
+        let (report, trace) = simulate_traced(&g, &m);
+        let json = sim_trace_to_json_string(&trace, &report);
+        let doc = flexdist_json::parse(&json).expect("trace JSON parses");
+        assert_eq!(doc.get("kind").and_then(Value::as_str), Some("sim-trace"));
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].get("label").and_then(Value::as_str), Some("potrf"));
+        // Worker slots and timestamps survive serialization.
+        assert!(spans.iter().all(|s| s.get("worker").is_some()));
+        assert_eq!(
+            doc.get("makespan").and_then(Value::as_f64),
+            Some(report.makespan)
+        );
+    }
+}

@@ -31,10 +31,7 @@ fn arb_graph(
                 reads,
                 write,
             });
-        (
-            Just(nodes),
-            proptest::collection::vec(task, 1..max_tasks),
-        )
+        (Just(nodes), proptest::collection::vec(task, 1..max_tasks))
     })
 }
 

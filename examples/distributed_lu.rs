@@ -36,12 +36,19 @@ fn main() {
 
     // Real execution with residual check.
     let a0 = TiledMatrix::random_diag_dominant(t, nb, 7);
-    let tl = build_graph(Operation::Lu, &assignment, &KernelCostModel::uniform(nb, 10.0));
+    let tl = build_graph(
+        Operation::Lu,
+        &assignment,
+        &KernelCostModel::uniform(nb, 10.0),
+    );
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let (factored, report) = execute(&tl, a0.clone(), threads);
     assert!(report.error.is_none(), "kernel error: {:?}", report.error);
     let res = lu_residual(&a0, &factored);
-    println!("Real run: {} tasks, residual ||A - LU||/||A|| = {res:.3e}", report.tasks);
+    println!(
+        "Real run: {} tasks, residual ||A - LU||/||A|| = {res:.3e}",
+        report.tasks
+    );
     assert!(res < 1e-10);
 
     // And actually *solve* a system with the factors.

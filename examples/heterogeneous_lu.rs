@@ -5,10 +5,10 @@
 //!
 //! Usage: `cargo run --release --example heterogeneous_lu`
 
+use flexdist::dist::TileAssignment;
 use flexdist::dist::{lu_comm_volume, LoadReport};
 use flexdist::factor::residual::lu_residual;
 use flexdist::factor::{build_graph, execute, Operation, SimSetup};
-use flexdist::dist::TileAssignment;
 use flexdist::hetero::{column_partition, rect_cyclic_pattern, rect_tile_assignment, NodeSpeeds};
 use flexdist::kernels::{KernelCostModel, TiledMatrix};
 use flexdist::runtime::MachineConfig;
@@ -28,7 +28,11 @@ fn main() {
     for r in res.partition.rects() {
         println!(
             "  node {}: [{:.3}, {:.3}] x [{:.3}, {:.3}]  (area {:.3})",
-            r.node, r.x0, r.x1, r.y0, r.y1,
+            r.node,
+            r.x0,
+            r.x1,
+            r.y0,
+            r.y1,
             r.area()
         );
     }
@@ -42,7 +46,10 @@ fn main() {
         load.tiles,
         speeds.tile_quotas(t)
     );
-    println!("LU comm volume: {} tile sends", lu_comm_volume(&assignment).total());
+    println!(
+        "LU comm volume: {} tile sends",
+        lu_comm_volume(&assignment).total()
+    );
 
     let mut machine = MachineConfig::paper_testbed(workers.len() as u32);
     machine.per_node_workers = Some(workers);

@@ -36,8 +36,7 @@ fn main() {
             le.cost,
             se.scheme,
             se.cost,
-            sbc::analytic_cost(p)
-                .map_or("-".into(), |t| format!("{t:.0}")),
+            sbc::analytic_cost(p).map_or("-".into(), |t| format!("{t:.0}")),
             (r + c - 1) as f64,
         );
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, release build, and the tier-1 test
+# suite. Everything runs with --offline — the workspace vendors its few
+# dependencies as shims, so no network (or pre-fetched registry) is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo build --offline --workspace --release
+run cargo test --offline --workspace -q
+
+echo "All checks passed."

@@ -1,0 +1,315 @@
+//! Minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of criterion's API its benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: a short warm-up, then
+//! `sample_size` timed samples of an adaptively chosen batch size, and
+//! a report of min / median / mean per-iteration wall time (plus
+//! elements/s when a throughput is set). No statistics machinery, no
+//! HTML reports — enough to compare hot paths before and after a
+//! change on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each batch
+/// routine individually regardless, so the variants only exist for
+/// call-site compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation: lets the report print elements/second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Collected timing samples for one benchmark run.
+struct Samples {
+    /// Mean per-iteration time of each sample.
+    per_iter: Vec<f64>,
+}
+
+impl Samples {
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let mut sorted = self.per_iter.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut line = format!(
+            "bench {name:<40} min {} | median {} | mean {}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(" | {:.3e} {unit}", count as f64 / median));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Runs closures handed to `Bencher::iter*` and records samples.
+pub struct Bencher {
+    sample_count: usize,
+    samples: Samples,
+}
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self {
+            sample_count,
+            samples: Samples {
+                per_iter: Vec::new(),
+            },
+        }
+    }
+
+    /// Time `routine` repeatedly. Batch size adapts so one sample
+    /// takes roughly `TARGET_SAMPLE_TIME`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: run once, scale the batch so a
+        // sample lands near the target duration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((TARGET_SAMPLE_TIME.as_secs_f64() / once) as usize).clamp(1, 1_000_000);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.per_iter.push(elapsed / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.per_iter.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.samples.report(&full, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.samples.report(&full, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(10);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.default_sample_size.max(10));
+        f(&mut b);
+        b.samples.report(name, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group!(smoke, quick_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("p_r", "36_8").to_string(), "p_r/36_8");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

@@ -1,0 +1,546 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the subset of proptest's API its test suites use:
+//!
+//! * `Strategy` with `prop_map`, `prop_flat_map` and `boxed`;
+//! * range strategies (`0u32..100`, `1usize..=8`, ...), tuples of
+//!   strategies, `Just`, `prop_oneof!` and `collection::vec`;
+//! * the `proptest!` macro with per-block `#![proptest_config(...)]`,
+//!   and `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   seed that reproduces it instead of a minimized input.
+//! * **Deterministic seeding.** Seeds derive from the test's name, so
+//!   a suite run is reproducible without a `proptest-regressions`
+//!   directory (which would be useless in CI images anyway).
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Source of randomness handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    #[inline]
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+}
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; generate a fresh case.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values: the heart of the shim.
+///
+/// Unlike real proptest there is no value tree; `generate` draws a
+/// value directly from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy (the `prop_oneof!` building block).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `base.prop_map(f)`.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// `base.prop_flat_map(f)`.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "collection::vec: empty size range");
+            Self {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's name.
+#[must_use]
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Driver behind the `proptest!` macro. Runs `config.cases` accepted
+/// cases; panics on the first failure with a reproducing seed.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 64 + 1024;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "proptest '{name}': too many rejected cases ({accepted}/{} accepted after {max_attempts} attempts)",
+            config.cases
+        );
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {accepted} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Supports an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                let ($($arg,)+) = ($($crate::Strategy::generate(&($strategy), __rng),)+);
+                let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value
+/// type. Each alternative is boxed, so `prop_oneof![range, mapped,
+/// Just(x)]` compiles as long as all branches yield the same value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(1usize..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (1u32..5).prop_flat_map(|n| (Just(n), 0u32..n.max(1)));
+        for _ in 0..200 {
+            let (n, k) = Strategy::generate(&s, &mut rng);
+            assert!(k < n);
+        }
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(Strategy::generate(&doubled, &mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let mut rng = TestRng::from_seed(3);
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn collection_vec_respects_sizes() {
+        let mut rng = TestRng::from_seed(4);
+        let s = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_single_arg(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_tuple_pattern((a, b) in (0u32..10, 10u32..20), c in 0usize..3) {
+            prop_assert!(a < 10, "a = {}", a);
+            prop_assert!(b >= 10);
+            prop_assert!(c < 3);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_seed() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(8),
+            "failing_case_panics_with_seed",
+            |rng| {
+                let v = Strategy::generate(&(0u32..100), rng);
+                prop_assert!(v > 1000, "forced: v = {}", v);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let one = |seed: u64| {
+            let mut rng = TestRng::from_seed(seed);
+            (0..10)
+                .map(|_| Strategy::generate(&(0u64..1_000_000), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(one(99), one(99));
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal, fully deterministic stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the tiny slice of the `rand 0.8` API it actually
+//! uses: seedable generators (`StdRng`, `SmallRng`), `gen_range` over
+//! integer and float ranges, and `gen_bool`. Call sites compile
+//! unchanged against this shim.
+//!
+//! The engine is SplitMix64 (Steele, Lea & Flood, OOPSLA'14): a 64-bit
+//! state, full-period, statistically solid for test-data generation,
+//! and — most importantly here — identical output on every platform,
+//! which keeps seeded matrices and GCR&M searches reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Low-level generator interface: a source of uniform `u64` words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 explicit mantissa bits; same construction as rand's
+        // `Standard` distribution for f64.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to sample itself, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = u128::from(rng.next_u64()) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Named generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    macro_rules! define_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone)]
+            pub struct $name {
+                state: u64,
+            }
+
+            impl SeedableRng for $name {
+                #[inline]
+                fn seed_from_u64(seed: u64) -> Self {
+                    // Scramble the seed once so that nearby seeds
+                    // (0, 1, 2, ...) start in distant states.
+                    let mut s = seed;
+                    let state = splitmix64(&mut s);
+                    Self { state }
+                }
+            }
+
+            impl RngCore for $name {
+                #[inline]
+                fn next_u64(&mut self) -> u64 {
+                    splitmix64(&mut self.state)
+                }
+            }
+        };
+    }
+
+    define_rng!(
+        /// Deterministic general-purpose generator (stands in for rand's `StdRng`).
+        StdRng
+    );
+    define_rng!(
+        /// Deterministic small generator (stands in for rand's `SmallRng`).
+        SmallRng
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..20);
+            assert!(x < 20);
+            let y: u32 = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let z: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.001..0.01);
+            assert!((0.001..0.01).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.05)).count();
+        assert!((300..=700).contains(&hits), "hits = {hits}");
+    }
+}

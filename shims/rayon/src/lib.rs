@@ -1,0 +1,164 @@
+//! Minimal, order-preserving stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors the slice of rayon's API it uses: `par_iter()` on
+//! slices/`Vec`s followed by `map`/`filter_map` and an ordered
+//! `collect`. Work is split into contiguous chunks, one per available
+//! core, and executed on `std::thread::scope` threads; chunk results
+//! are concatenated in order, so `collect` observes exactly the same
+//! sequence rayon's indexed parallel iterators guarantee.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Run `f` over each chunk of `items` on its own scoped thread and
+/// concatenate the per-chunk outputs in order.
+fn run_chunked<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> Option<R> + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().filter_map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().filter_map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> Option<R> + Sync,
+        R: Send,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of `par_iter().map(f)`.
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        run_chunked(self.items, |item| Some(f(item)))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Result of `par_iter().filter_map(f)`.
+pub struct ParFilterMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> Option<R> + Sync> ParFilterMap<'data, T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_filters() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let evens: Vec<u64> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(
+            evens,
+            (0..10_000).filter(|x| x % 2 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn borrows_from_captured_environment() {
+        let offset = 100u64;
+        let xs: Vec<u64> = (0..50).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x + offset).collect();
+        assert_eq!(out[49], 149);
+    }
+}

@@ -36,7 +36,11 @@ fn lu_pipeline_on_every_scheme_is_numerically_correct() {
         ("flat", twodbc::two_dbc(5, 1)),
     ] {
         let assignment = TileAssignment::cyclic(&pattern, t);
-        let tl = build_graph(Operation::Lu, &assignment, &KernelCostModel::uniform(nb, 10.0));
+        let tl = build_graph(
+            Operation::Lu,
+            &assignment,
+            &KernelCostModel::uniform(nb, 10.0),
+        );
         let (factored, rep) = execute(&tl, a0.clone(), 4);
         assert!(rep.error.is_none(), "{name}: {:?}", rep.error);
         let res = lu_residual(&a0, &factored);

@@ -63,9 +63,7 @@ fn g2dbc_reduces_to_2dbc_at_exact_fits() {
 #[test]
 fn g2dbc_improves_many_node_counts() {
     let improved = (2u32..=200)
-        .filter(|&p| {
-            g2dbc::G2dbcParams::new(p).lu_cost() < 0.8 * twodbc::best_2dbc_cost(p)
-        })
+        .filter(|&p| g2dbc::G2dbcParams::new(p).lu_cost() < 0.8 * twodbc::best_2dbc_cost(p))
         .count();
     assert!(improved > 66, "only {improved} of 199 improved by >20%");
 }
