@@ -1,11 +1,17 @@
 //! Criterion micro-benchmarks: discrete-event simulator throughput (tasks
 //! simulated per second determines how large a figure sweep is practical).
+//!
+//! Event throughput (one event = one task completion or message delivery)
+//! is reported as elem/s via the throughput annotation; `BENCH_sim.json`
+//! tracks the same metric across PRs (regenerate with
+//! `scripts/bench_sim.sh`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flexdist_bench::{paper_cost_model, paper_machine};
 use flexdist_core::{g2dbc, twodbc};
 use flexdist_dist::TileAssignment;
 use flexdist_factor::{build_graph, simulate, Operation};
+use flexdist_runtime::Simulator;
 
 fn bench_graph_build(c: &mut Criterion) {
     let assignment = TileAssignment::cyclic(&twodbc::two_dbc(4, 4), 60);
@@ -23,6 +29,8 @@ fn bench_simulation(c: &mut Criterion) {
         let assignment = TileAssignment::cyclic(&g2dbc::g2dbc(23), t);
         let tl = build_graph(Operation::Lu, &assignment, &cost);
         let machine = paper_machine(23);
+        let probe = simulate(&tl, &machine);
+        group.throughput(Throughput::Elements(probe.tasks as u64 + probe.messages));
         group.bench_with_input(BenchmarkId::from_parameter(t), &tl, |b, tl| {
             b.iter(|| simulate(black_box(tl), &machine));
         });
@@ -35,11 +43,33 @@ fn bench_cholesky_simulation(c: &mut Criterion) {
     let assignment = TileAssignment::extended(&flexdist_core::sbc::sbc_extended(28).unwrap(), 80);
     let tl = build_graph(Operation::Cholesky, &assignment, &cost);
     let machine = paper_machine(28);
+    let probe = simulate(&tl, &machine);
     let mut group = c.benchmark_group("simulate_cholesky");
     group.sample_size(10);
+    group.throughput(Throughput::Elements(probe.tasks as u64 + probe.messages));
     group.bench_function("t80_p28", |b| {
         b.iter(|| simulate(black_box(&tl), &machine));
     });
+    group.finish();
+}
+
+/// The sweep hot path: one `Simulator` per graph, `run` per machine config
+/// (what `runtime::batch` executes for every grid point).
+fn bench_reused_simulator(c: &mut Criterion) {
+    let cost = paper_cost_model();
+    let mut group = c.benchmark_group("simulate_lu_reused");
+    group.sample_size(10);
+    for t in [40usize, 80] {
+        let assignment = TileAssignment::cyclic(&g2dbc::g2dbc(23), t);
+        let tl = build_graph(Operation::Lu, &assignment, &cost);
+        let machine = paper_machine(23);
+        let probe = simulate(&tl, &machine);
+        group.throughput(Throughput::Elements(probe.tasks as u64 + probe.messages));
+        let mut sim = Simulator::new(&tl.graph);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &machine, |b, machine| {
+            b.iter(|| black_box(sim.run(machine)));
+        });
+    }
     group.finish();
 }
 
@@ -47,6 +77,7 @@ criterion_group!(
     benches,
     bench_graph_build,
     bench_simulation,
-    bench_cholesky_simulation
+    bench_cholesky_simulation,
+    bench_reused_simulator
 );
 criterion_main!(benches);

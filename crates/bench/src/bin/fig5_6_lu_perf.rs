@@ -7,13 +7,17 @@
 //! * `--pmax 39` reproduces Fig. 6: 2DBC 6x6 (36) and 13x3 (39) vs
 //!   G-2DBC (39).
 //!
+//! The (distribution × matrix size) grid runs through the batch engine:
+//! one task graph per (pattern, tile count), one machine per node budget,
+//! all points simulated in parallel on reusable simulators.
+//!
 //! `cargo run --release -p flexdist-bench --bin fig5_6_lu_perf [-- --pmax 39 --full]`
 
 use flexdist_bench::{
     f3, matrix_sizes, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args,
 };
 use flexdist_core::{g2dbc, twodbc, Pattern};
-use flexdist_factor::{Operation, SimSetup};
+use flexdist_factor::{Operation, SweepBuilder};
 
 fn main() {
     let args = Args::parse();
@@ -38,15 +42,6 @@ fn main() {
     };
 
     eprintln!("# Figures 5/6: LU, G-2DBC vs 2DBC fallbacks, P = {p_max}");
-    tsv_header(&[
-        "m",
-        "distribution",
-        "nodes",
-        "gflops_total",
-        "gflops_per_node",
-        "makespan_s",
-        "messages",
-    ]);
 
     let mut candidates: Vec<(String, u32, Pattern)> = fallback_shapes
         .iter()
@@ -61,25 +56,48 @@ fn main() {
     let g = g2dbc::g2dbc(p_max);
     candidates.push((format!("G-2DBC {}x{}", g.rows(), g.cols()), p_max, g));
 
+    let mut builder = SweepBuilder::new(Operation::Lu, paper_cost_model());
+    let mut rows: Vec<(usize, String, u32)> = Vec::new();
     for &m in &sizes {
         let t = tiles_for(m);
         for (name, nodes, pattern) in &candidates {
-            let rep = SimSetup {
-                operation: Operation::Lu,
+            builder.case(
+                &format!("{name}@t{t}"),
+                pattern,
                 t,
-                cost: paper_cost_model(),
-                machine: paper_machine(*nodes),
-            }
-            .run(pattern);
-            tsv_row(&[
-                m.to_string(),
-                name.clone(),
-                nodes.to_string(),
-                f3(rep.gflops()),
-                f3(rep.gflops_per_node()),
-                f3(rep.makespan),
-                rep.messages.to_string(),
-            ]);
+                &format!("p{nodes}"),
+                &paper_machine(*nodes),
+            );
+            rows.push((m, name.clone(), *nodes));
         }
+    }
+    let graphs = builder.graphs_built();
+    let results = builder.finish().run();
+    eprintln!(
+        "# {} points over {graphs} graphs in {:.3} s",
+        results.points.len(),
+        results.wall_seconds
+    );
+
+    tsv_header(&[
+        "m",
+        "distribution",
+        "nodes",
+        "gflops_total",
+        "gflops_per_node",
+        "makespan_s",
+        "messages",
+    ]);
+    for ((m, name, nodes), point) in rows.iter().zip(&results.points) {
+        let rep = &point.report;
+        tsv_row(&[
+            m.to_string(),
+            name.clone(),
+            nodes.to_string(),
+            f3(rep.gflops()),
+            f3(rep.gflops_per_node()),
+            f3(rep.makespan),
+            rep.messages.to_string(),
+        ]);
     }
 }

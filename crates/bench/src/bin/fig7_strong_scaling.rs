@@ -6,11 +6,23 @@
 //! nodes (most square 2DBC / largest admissible SBC), while the paper's
 //! schemes use all `P`.
 //!
+//! The grid runs through the batch engine (`runtime::batch`): every case is
+//! registered on a `SweepBuilder` first, duplicate graphs (several `P`
+//! falling back to the same 2DBC/SBC shape) are built once, and the points
+//! simulate in parallel on reusable simulators.
+//!
 //! `cargo run --release -p flexdist-bench --bin fig7_strong_scaling -- --op lu [--full]`
 
 use flexdist_bench::{f3, paper_cost_model, paper_machine, tiles_for, tsv_header, tsv_row, Args};
-use flexdist_core::{g2dbc, gcrm, sbc, twodbc};
-use flexdist_factor::{Operation, SimSetup};
+use flexdist_core::{g2dbc, gcrm, sbc, twodbc, Pattern};
+use flexdist_factor::{Operation, SweepBuilder};
+
+/// Grid row metadata, parallel to the sweep's point order.
+struct Row {
+    p: u32,
+    distribution: String,
+    nodes_used: u32,
+}
 
 fn main() {
     let args = Args::parse();
@@ -22,59 +34,59 @@ fn main() {
 
     let ps: Vec<u32> = vec![16, 20, 21, 22, 23, 25, 28, 30, 31, 32, 35, 36, 39];
 
-    match op_name.as_str() {
-        "lu" => {
+    let operation = match op_name.as_str() {
+        "lu" => Operation::Lu,
+        "chol" => Operation::Cholesky,
+        other => panic!("--op must be lu or chol, got {other:?}"),
+    };
+    let mut builder = SweepBuilder::new(operation, paper_cost_model());
+    let mut rows: Vec<Row> = Vec::new();
+    let mut case =
+        |builder: &mut SweepBuilder, p: u32, label: String, nodes: u32, pat: &Pattern| {
+            builder.case(&label, pat, t, &format!("p{nodes}"), &paper_machine(nodes));
+            rows.push(Row {
+                p,
+                distribution: label,
+                nodes_used: nodes,
+            });
+        };
+
+    match operation {
+        Operation::Lu => {
             eprintln!("# Figure 7a: LU strong scaling, N = {n} (t = {t})");
-            tsv_header(&[
-                "P",
-                "distribution",
-                "nodes_used",
-                "gflops_total",
-                "makespan_s",
-            ]);
             for &p in &ps {
                 // Classical: best 2DBC possibly dropping nodes.
                 let (q, r, c) = twodbc::best_2dbc_at_most(p);
-                let rep = sim(Operation::Lu, t, q, &twodbc::two_dbc(r, c));
-                tsv_row(&[
-                    p.to_string(),
+                case(
+                    &mut builder,
+                    p,
                     format!("2DBC {r}x{c}"),
-                    q.to_string(),
-                    f3(rep.gflops()),
-                    f3(rep.makespan),
-                ]);
+                    q,
+                    &twodbc::two_dbc(r, c),
+                );
                 // G-2DBC on all P nodes.
                 let g = g2dbc::g2dbc(p);
-                let rep = sim(Operation::Lu, t, p, &g);
-                tsv_row(&[
-                    p.to_string(),
+                case(
+                    &mut builder,
+                    p,
                     format!("G-2DBC {}x{}", g.rows(), g.cols()),
-                    p.to_string(),
-                    f3(rep.gflops()),
-                    f3(rep.makespan),
-                ]);
+                    p,
+                    &g,
+                );
             }
         }
-        "chol" => {
+        _ => {
             eprintln!("# Figure 7b: Cholesky strong scaling, N = {n} (t = {t})");
-            tsv_header(&[
-                "P",
-                "distribution",
-                "nodes_used",
-                "gflops_total",
-                "makespan_s",
-            ]);
             for &p in &ps {
                 let q = sbc::largest_admissible_at_most(p).expect("P >= 1");
                 let pat = sbc::sbc_extended(q).expect("admissible");
-                let rep = sim(Operation::Cholesky, t, q, &pat);
-                tsv_row(&[
-                    p.to_string(),
+                case(
+                    &mut builder,
+                    p,
                     format!("SBC {}x{}", pat.rows(), pat.cols()),
-                    q.to_string(),
-                    f3(rep.gflops()),
-                    f3(rep.makespan),
-                ]);
+                    q,
+                    &pat,
+                );
                 let res = gcrm::search(
                     p,
                     &gcrm::GcrmConfig {
@@ -83,31 +95,38 @@ fn main() {
                     },
                 )
                 .expect("GCR&M covers every P");
-                let rep = sim(Operation::Cholesky, t, p, &res.best);
-                tsv_row(&[
-                    p.to_string(),
+                case(
+                    &mut builder,
+                    p,
                     format!("GCR&M {}x{}", res.best.rows(), res.best.cols()),
-                    p.to_string(),
-                    f3(rep.gflops()),
-                    f3(rep.makespan),
-                ]);
+                    p,
+                    &res.best,
+                );
             }
         }
-        other => panic!("--op must be lu or chol, got {other:?}"),
     }
-}
 
-fn sim(
-    op: Operation,
-    t: usize,
-    nodes: u32,
-    pattern: &flexdist_core::Pattern,
-) -> flexdist_runtime::SimReport {
-    SimSetup {
-        operation: op,
-        t,
-        cost: paper_cost_model(),
-        machine: paper_machine(nodes),
+    let graphs = builder.graphs_built();
+    let results = builder.finish().run();
+    eprintln!(
+        "# {} points over {graphs} distinct graphs in {:.3} s",
+        results.points.len(),
+        results.wall_seconds
+    );
+    tsv_header(&[
+        "P",
+        "distribution",
+        "nodes_used",
+        "gflops_total",
+        "makespan_s",
+    ]);
+    for (row, point) in rows.iter().zip(&results.points) {
+        tsv_row(&[
+            row.p.to_string(),
+            row.distribution.clone(),
+            row.nodes_used.to_string(),
+            f3(point.report.gflops()),
+            f3(point.report.makespan),
+        ]);
     }
-    .run(pattern)
 }

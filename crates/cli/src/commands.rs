@@ -1,11 +1,11 @@
 //! Subcommand implementations. Each returns its rendered output.
 
 use crate::args::Args;
-use crate::scheme::pattern_from_args;
+use crate::scheme::{pattern_from_args, SchemeKind};
 use flexdist_core::db::{PatternDb, Purpose};
 use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
-use flexdist_factor::{build_graph, execute_traced, Operation, SimSetup};
+use flexdist_factor::{build_graph, execute_traced, Operation, SimSetup, SweepBuilder};
 use flexdist_kernels::{KernelCostModel, TiledMatrix};
 use flexdist_runtime::{
     render_gantt, render_worker_gantt, sim_trace_to_json_string, simulate_traced, MachineConfig,
@@ -228,6 +228,9 @@ pub fn gantt(args: &Args) -> Result<String, String> {
     let p = pat.n_nodes();
     let t: usize = args.get("t", 16)?;
     let width: usize = args.get("width", 72)?;
+    if width == 0 {
+        return Err("--width must be positive".to_string());
+    }
     let machine = machine_from_args(args, p)?;
     let assignment = TileAssignment::extended(&pat, t);
     let tl = build_graph(op, &assignment, &KernelCostModel::uniform(500, 30.0));
@@ -329,6 +332,85 @@ pub fn execute(args: &Args) -> Result<String, String> {
     if !trace_out.is_empty() {
         write_trace(&trace_out, &trace.to_json(&tl))?;
         let _ = writeln!(out, "  trace           wrote {trace_out}");
+    }
+    Ok(out)
+}
+
+/// `flexdist sweep --op lu|chol|syrk --p N [--schemes s1,s2,...]
+/// [--tiles t1,t2,...] [--tile NB] [--gflops G] [--seeds K] [--workers W]
+/// [--out FILE] [--json FILE]`
+///
+/// Runs the cross-product of the listed schemes and tile counts on the
+/// paper testbed sized for `P`, via the batch engine (each task graph is
+/// built once, grid points run in parallel on reusable simulators).
+/// Prints a TSV table; `--out` also writes the TSV to a file and
+/// `--json` dumps the full per-node reports as JSON.
+///
+/// # Errors
+/// Propagates flag, scheme and admissibility errors, and file I/O
+/// failures.
+pub fn sweep(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let p: u32 = args.require("p")?;
+    if p == 0 {
+        return Err("--p must be positive".to_string());
+    }
+    let default_schemes = match op {
+        Operation::Lu => "2dbc,g2dbc",
+        _ => "gcrm",
+    };
+    let seeds: u64 = args.get("seeds", 30)?;
+    let mut tiles = Vec::new();
+    for tok in args.get_str("tiles", "16,24,32").split(',') {
+        let t: usize = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad tile count {tok:?} in --tiles"))?;
+        if t == 0 {
+            return Err("--tiles entries must be positive".to_string());
+        }
+        tiles.push(t);
+    }
+    let nb: usize = args.get("tile", 500)?;
+    let gflops: f64 = args.get("gflops", 30.0)?;
+    let machine = machine_from_args(args, p)?;
+    let machine_label = format!("p{p}w{}", machine.workers_per_node);
+    let mut builder = SweepBuilder::new(op, KernelCostModel::uniform(nb, gflops));
+    for tok in args.get_str("schemes", default_schemes).split(',') {
+        let kind = SchemeKind::parse(tok.trim())?;
+        let pattern = kind.build(p, seeds)?;
+        for &t in &tiles {
+            builder.case(
+                &format!("{}@t{t}", kind.name()),
+                &pattern,
+                t,
+                &machine_label,
+                &machine,
+            );
+        }
+    }
+    let graphs = builder.graphs_built();
+    let results = builder.finish().run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# sweep: {} on P = {p}, {} points over {graphs} graphs, {:.3} s wall",
+        op.name(),
+        results.points.len(),
+        results.wall_seconds
+    );
+    let tsv = results.to_tsv();
+    out.push_str(&tsv);
+    let path = args.get_str("out", "");
+    if !path.is_empty() {
+        std::fs::write(&path, &tsv).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    let json_path = args.get_str("json", "");
+    if !json_path.is_empty() {
+        std::fs::write(&json_path, results.to_json().to_pretty())
+            .map_err(|e| format!("write {json_path}: {e}"))?;
+        let _ = writeln!(out, "wrote {json_path}");
     }
     Ok(out)
 }

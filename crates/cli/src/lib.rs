@@ -6,6 +6,8 @@
 //! * `plan`     — rank all strategies for a node budget (the paper's
 //!   "my reservation got P nodes, what now?" scenario);
 //! * `simulate` — run the cluster simulator on a chosen setup;
+//! * `sweep`    — run a schemes × tile-counts grid through the batch
+//!   engine and print a TSV table;
 //! * `gantt`    — render an ASCII utilization chart of a simulated run;
 //! * `execute`  — run the factorization for real on a local work-stealing
 //!   thread pool (actual `f64` kernels) and report numerics + counters;
@@ -34,6 +36,8 @@ COMMANDS:
   plan      --p N [--tiles T]
   simulate  --op lu|chol|syrk --p N [--scheme S] [--n M] [--tile NB]
             [--trace-out FILE]
+  sweep     --op lu|chol|syrk --p N [--schemes S1,S2] [--tiles T1,T2]
+            [--tile NB] [--out FILE] [--json FILE]
   gantt     --op lu|chol --p N [--t T] [--width W] [--lanes]
             [--trace-out FILE]
   execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
@@ -56,6 +60,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "pattern" => commands::pattern(&args),
         "plan" => commands::plan(&args),
         "simulate" => commands::simulate(&args),
+        "sweep" => commands::sweep(&args),
         "gantt" => commands::gantt(&args),
         "execute" => commands::execute(&args),
         "db" => commands::db(&args),
@@ -196,6 +201,51 @@ mod tests {
 
         let _ = std::fs::remove_file(sim);
         let _ = std::fs::remove_file(exec);
+    }
+
+    #[test]
+    fn sweep_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let tsv_path = dir.join("flexdist_cli_test_sweep.tsv");
+        let json_path = dir.join("flexdist_cli_test_sweep.json");
+        let tsv = tsv_path.to_str().unwrap();
+        let json = json_path.to_str().unwrap();
+        let out = run(&sv(&[
+            "sweep", "--op", "lu", "--p", "5", "--tiles", "6,8", "--tile", "200", "--out", tsv,
+            "--json", json,
+        ]))
+        .unwrap();
+        // 2 default LU schemes x 2 tile counts = 4 points over 4 graphs.
+        assert!(out.contains("4 points over 4 graphs"), "{out}");
+        assert!(out.contains("graph\tmachine\tmakespan_s"), "{out}");
+        assert!(out.contains("G-2DBC@t8\tp5w"), "{out}");
+        let table = std::fs::read_to_string(tsv).unwrap();
+        assert_eq!(table.lines().count(), 5);
+        let doc = flexdist_json::parse(&std::fs::read_to_string(json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(flexdist_json::Value::as_str),
+            Some("sweep")
+        );
+        assert_eq!(doc.get("points").unwrap().as_array().unwrap().len(), 4);
+        let _ = std::fs::remove_file(tsv);
+        let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_tiles() {
+        let err = run(&sv(&["sweep", "--op", "lu", "--p", "4", "--tiles", "8,x"])).unwrap_err();
+        assert!(err.contains("bad tile count"), "{err}");
+        let err = run(&sv(&["sweep", "--op", "lu", "--p", "4", "--tiles", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn gantt_zero_width_is_an_error_not_a_panic() {
+        let err = run(&sv(&[
+            "gantt", "--op", "chol", "--p", "3", "--t", "6", "--width", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--width must be positive"), "{err}");
     }
 
     #[test]

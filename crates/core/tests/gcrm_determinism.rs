@@ -1,0 +1,103 @@
+//! GCR&M search determinism: the multi-seed random-restart sweep is
+//! parallelized (per-(size, seed) jobs on rayon), and its winner must not
+//! depend on how those jobs land on threads. These tests pin the search
+//! output (a) across thread counts and (b) against a committed golden
+//! fixture, so a scheduling-dependent reduction or RNG-sharing regression
+//! shows up as a hard failure.
+//!
+//! Regenerate the fixture (after an *intentional* search change) with
+//! `GOLDEN_REGEN=1 cargo test -p flexdist-core --test gcrm_determinism \
+//!  -- --ignored regenerate_fixture`.
+
+use flexdist_core::gcrm::{search, GcrmConfig};
+use flexdist_json::Value;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/gcrm_golden.json"
+);
+
+fn config(n_seeds: u64) -> GcrmConfig {
+    GcrmConfig {
+        n_seeds,
+        ..Default::default()
+    }
+}
+
+/// The (p, n_seeds) cases pinned by the fixture.
+const CASES: [(u32, u64); 3] = [(7, 8), (13, 6), (23, 4)];
+
+fn search_to_json(p: u32, n_seeds: u64) -> Value {
+    let res = search(p, &config(n_seeds)).expect("GCR&M covers every P");
+    flexdist_json::object(vec![
+        ("p", Value::from(p)),
+        ("n_seeds", Value::from(n_seeds)),
+        ("rows", Value::from(res.best.rows())),
+        ("cols", Value::from(res.best.cols())),
+        ("best_cost_bits", Value::from(res.best_cost.to_bits())),
+        ("grid", Value::from(res.best.to_string())),
+        ("records", Value::from(res.records.len())),
+    ])
+}
+
+#[test]
+fn search_is_identical_at_1_2_and_8_threads() {
+    for &(p, n_seeds) in &CASES {
+        let runs: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                rayon::with_thread_count(threads, || {
+                    search(p, &config(n_seeds)).expect("GCR&M covers every P")
+                })
+            })
+            .collect();
+        for (i, r) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                r.best.to_string(),
+                runs[0].best.to_string(),
+                "winning pattern for P = {p} differs between 1 thread and run {i}"
+            );
+            assert_eq!(
+                r.best_cost.to_bits(),
+                runs[0].best_cost.to_bits(),
+                "best cost for P = {p} differs between 1 thread and run {i}"
+            );
+            assert_eq!(r.records, runs[0].records, "records differ for P = {p}");
+        }
+    }
+}
+
+#[test]
+fn search_matches_golden_fixture() {
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run the ignored regenerate_fixture test");
+    let expected = flexdist_json::parse(&text).expect("fixture parses");
+    let actual = Value::Array(
+        CASES
+            .iter()
+            .map(|&(p, n_seeds)| search_to_json(p, n_seeds))
+            .collect(),
+    );
+    assert_eq!(
+        actual,
+        expected,
+        "GCR&M search output drifted from the golden fixture.\nactual:\n{}",
+        actual.to_pretty()
+    );
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run with GOLDEN_REGEN=1 after intentional changes"]
+fn regenerate_fixture() {
+    assert!(
+        std::env::var("GOLDEN_REGEN").is_ok(),
+        "set GOLDEN_REGEN=1 to confirm fixture regeneration"
+    );
+    let doc = Value::Array(
+        CASES
+            .iter()
+            .map(|&(p, n_seeds)| search_to_json(p, n_seeds))
+            .collect(),
+    );
+    std::fs::write(FIXTURE, doc.to_pretty()).expect("write fixture");
+}

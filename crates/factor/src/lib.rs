@@ -29,6 +29,7 @@ pub mod residual;
 pub mod simulate;
 pub mod solve;
 pub mod steal;
+pub mod sweep;
 
 pub use execute::{
     execute, execute_pair, execute_traced, execute_with, ExecEvent, ExecEventKind, ExecOptions,
@@ -37,3 +38,4 @@ pub use execute::{
 pub use graphs::{build_graph, Op, Operation, TaskList};
 pub use simulate::{simulate, SimSetup};
 pub use solve::{cholesky_solve, lu_solve, solve_residual, BlockVector};
+pub use sweep::SweepBuilder;

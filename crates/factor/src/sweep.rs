@@ -1,0 +1,132 @@
+//! Factorization-level front end for the [`runtime batch
+//! engine`](flexdist_runtime::batch): turn (scheme, pattern, tile count,
+//! machine) cases into a deduplicated [`SweepSpec`].
+//!
+//! The figure harnesses and the `flexdist sweep` CLI describe grids in
+//! factorization vocabulary — a distribution pattern per scheme, a tile
+//! count per matrix size, a machine per node budget. [`SweepBuilder`]
+//! translates that into the runtime's graph/machine registry, building
+//! each task graph exactly once (keyed by its label) no matter how many
+//! grid points reference it.
+
+use crate::graphs::{build_graph, Operation};
+use flexdist_core::Pattern;
+use flexdist_dist::TileAssignment;
+use flexdist_kernels::KernelCostModel;
+use flexdist_runtime::{MachineConfig, SweepSpec};
+use std::collections::HashMap;
+
+/// Accumulates factorization cases into a [`SweepSpec`].
+///
+/// Graphs are cached by label: two cases with the same graph label share
+/// one graph (built on first use), so label uniquely identifying
+/// (pattern, tile count) is the caller's contract. Machines are cached by
+/// label the same way.
+#[derive(Debug)]
+pub struct SweepBuilder {
+    operation: Operation,
+    cost: KernelCostModel,
+    spec: SweepSpec,
+    graph_ids: HashMap<String, usize>,
+    machine_ids: HashMap<String, usize>,
+}
+
+impl SweepBuilder {
+    /// A builder for `operation` with kernel timings from `cost`.
+    #[must_use]
+    pub fn new(operation: Operation, cost: KernelCostModel) -> Self {
+        Self {
+            operation,
+            cost,
+            spec: SweepSpec::new(),
+            graph_ids: HashMap::new(),
+            machine_ids: HashMap::new(),
+        }
+    }
+
+    /// Add one grid point: simulate `pattern` (extended over `t × t`
+    /// tiles) on `machine`. The task graph is built only if `graph_label`
+    /// has not been seen before; ditto the machine for `machine_label`.
+    pub fn case(
+        &mut self,
+        graph_label: &str,
+        pattern: &Pattern,
+        t: usize,
+        machine_label: &str,
+        machine: &MachineConfig,
+    ) {
+        let g = match self.graph_ids.get(graph_label) {
+            Some(&g) => g,
+            None => {
+                let assignment = TileAssignment::extended(pattern, t);
+                let tl = build_graph(self.operation, &assignment, &self.cost);
+                let g = self.spec.add_graph(graph_label, tl.graph);
+                self.graph_ids.insert(graph_label.to_string(), g);
+                g
+            }
+        };
+        let m = match self.machine_ids.get(machine_label) {
+            Some(&m) => m,
+            None => {
+                let m = self.spec.add_machine(machine_label, machine.clone());
+                self.machine_ids.insert(machine_label.to_string(), m);
+                m
+            }
+        };
+        self.spec.pair(g, m);
+    }
+
+    /// Number of distinct graphs built so far.
+    #[must_use]
+    pub fn graphs_built(&self) -> usize {
+        self.graph_ids.len()
+    }
+
+    /// The assembled sweep, ready to [`run`](SweepSpec::run).
+    #[must_use]
+    pub fn finish(self) -> SweepSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::{g2dbc, twodbc};
+
+    #[test]
+    fn builder_dedupes_graphs_and_machines() {
+        let mut b = SweepBuilder::new(Operation::Lu, KernelCostModel::uniform(64, 5.0));
+        let pat = g2dbc::g2dbc(5);
+        let m = MachineConfig::test_machine(5, 2);
+        b.case("g2dbc@t8", &pat, 8, "p5", &m);
+        b.case("g2dbc@t8", &pat, 8, "p5", &m); // duplicate point, shared graph
+        b.case("g2dbc@t10", &pat, 10, "p5", &m);
+        assert_eq!(b.graphs_built(), 2);
+        let spec = b.finish();
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.graphs().len(), 2);
+        assert_eq!(spec.machines().len(), 1);
+        let results = spec.run();
+        // Duplicate points run the same simulation deterministically.
+        assert_eq!(results.points[0].report, results.points[1].report);
+        assert_ne!(results.points[0].report, results.points[2].report);
+    }
+
+    #[test]
+    fn sweep_matches_sim_setup() {
+        let mut b = SweepBuilder::new(Operation::Cholesky, KernelCostModel::uniform(64, 5.0));
+        let pat = twodbc::two_dbc(2, 2);
+        let machine = MachineConfig::test_machine(4, 2);
+        b.case("2dbc", &pat, 12, "p4", &machine);
+        let results = b.finish().run();
+        let reference = crate::SimSetup {
+            operation: Operation::Cholesky,
+            t: 12,
+            cost: KernelCostModel::uniform(64, 5.0),
+            machine,
+        }
+        .run(&pat);
+        assert_eq!(results.points[0].report, reference);
+    }
+}

@@ -19,15 +19,57 @@
 use std::fmt;
 
 /// A JSON document node.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Integers and floats are kept in separate variants so that 64-bit
+/// counters (`bytes_sent`, task ids in merged traces, `f64::to_bits`
+/// fixtures) survive a serialize/parse round trip losslessly: routing
+/// them through `f64` would silently drop bits above 2^53.
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
+    /// A floating-point number (anything written with a `.` or exponent).
     Number(f64),
+    /// A lossless integer. `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
     String(String),
     Array(Vec<Value>),
     /// Insertion-ordered key/value pairs.
     Object(Vec<(String, Value)>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // An integral float equals the integer of the same value
+            // (e.g. pre-existing `Number(5.0)` round-trips to `Int(5)`).
+            (Value::Int(i), Value::Number(f)) | (Value::Number(f), Value::Int(i)) => {
+                int_eq_float(*i, *f)
+            }
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Exact cross-type numeric equality: true iff `f` is finite, integral,
+/// and represents exactly the integer `i`.
+fn int_eq_float(i: i128, f: f64) -> bool {
+    if !f.is_finite() || f.fract() != 0.0 {
+        return false;
+    }
+    // Only integers up to 2^53 are exactly representable without further
+    // checks; beyond that, require a lossless i128 -> f64 -> i128 trip.
+    if f.abs() > 2f64.powi(126) {
+        return false;
+    }
+    (f as i128) == i && (i as f64) == f
 }
 
 impl Value {
@@ -40,21 +82,36 @@ impl Value {
         }
     }
 
+    /// Numeric field as `f64` (lossy above 2^53 for [`Value::Int`]).
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
             _ => None,
         }
     }
 
-    /// Numeric field as `u64`, if it is a non-negative integer.
+    /// Numeric field as `u64`, if it is a non-negative integer. Lossless
+    /// for [`Value::Int`] over the whole `u64` range.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
             Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
                 Some(*x as u64)
             }
+            _ => None,
+        }
+    }
+
+    /// Numeric field as `i128`, if it is an integer (including integral
+    /// floats within the exact range).
+    #[must_use]
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Number(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => Some(*x as i128),
             _ => None,
         }
     }
@@ -102,6 +159,9 @@ impl Value {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Number(x) => write_number(out, *x),
+            Value::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
             Value::String(s) => write_escaped(out, s),
             Value::Array(items) => {
                 out.push('[');
@@ -179,19 +239,25 @@ impl From<f64> for Value {
 
 impl From<u64> for Value {
     fn from(x: u64) -> Self {
-        Value::Number(x as f64)
+        Value::Int(i128::from(x))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(i128::from(x))
     }
 }
 
 impl From<u32> for Value {
     fn from(x: u32) -> Self {
-        Value::Number(f64::from(x))
+        Value::Int(i128::from(x))
     }
 }
 
 impl From<usize> for Value {
     fn from(x: usize) -> Self {
-        Value::Number(x as f64)
+        Value::Int(x as i128)
     }
 }
 
@@ -456,13 +522,18 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        // A bare integer literal (no fraction, no exponent) parses into
+        // the lossless integer variant; `i128` overflow falls back to f64.
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -473,6 +544,11 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| ParseError {
@@ -543,6 +619,61 @@ mod tests {
         assert_eq!(Value::from(42u64).to_string(), "42");
         assert_eq!(Value::from(2.5).to_string(), "2.5");
         assert_eq!(Value::Number(-0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn large_integers_round_trip_losslessly() {
+        // Counters above 2^53 (bytes_sent at full paper scale, f64 bit
+        // patterns in fixtures) must survive serialize + parse exactly.
+        for x in [
+            u64::MAX,
+            u64::MAX - 1,
+            (1u64 << 53) + 1,
+            9_007_199_254_740_993, // 2^53 + 1: first value f64 cannot hold
+        ] {
+            let v = Value::from(x);
+            let text = v.to_string();
+            assert_eq!(text, x.to_string());
+            let back = parse(&text).unwrap();
+            assert_eq!(back.as_u64(), Some(x), "{text}");
+            assert_eq!(back, v);
+        }
+        // Negative and i128-range integers.
+        let v = Value::from(i64::MIN);
+        assert_eq!(parse(&v.to_string()).unwrap().as_i128(), Some(-(1 << 63)));
+        // Integer literals overflowing i128 degrade to f64 instead of
+        // failing to parse.
+        let huge = "1".repeat(60);
+        assert!(matches!(parse(&huge).unwrap(), Value::Number(_)));
+    }
+
+    #[test]
+    fn integral_floats_equal_ints() {
+        // Pre-existing callers store integral values as f64; round trips
+        // now produce Int, so cross-variant equality must hold.
+        assert_eq!(Value::Number(5.0), Value::Int(5));
+        assert_eq!(parse("5").unwrap(), Value::Number(5.0));
+        assert_ne!(Value::Number(5.5), Value::Int(5));
+        assert_ne!(Value::Number(f64::NAN), Value::Int(5));
+        // Above 2^53 the float cannot pin down one integer exactly unless
+        // the round trip is lossless.
+        assert_ne!(Value::Number(9e18), Value::Int(9_000_000_000_000_000_001));
+    }
+
+    #[test]
+    fn nested_u64_max_survives_object_round_trip() {
+        let v = object(vec![
+            ("bytes_sent", Value::from(u64::MAX)),
+            ("makespan_bits", Value::from(0x4014_0000_0000_0000u64)),
+        ]);
+        for text in [v.to_string(), v.to_pretty()] {
+            let back = parse(&text).unwrap();
+            assert_eq!(back.get("bytes_sent").unwrap().as_u64(), Some(u64::MAX));
+            assert_eq!(
+                back.get("makespan_bits").unwrap().as_u64(),
+                Some(0x4014_0000_0000_0000)
+            );
+        }
     }
 
     #[test]

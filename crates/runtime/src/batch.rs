@@ -1,0 +1,409 @@
+//! Batch sweep engine: run a grid of (task graph × machine config)
+//! simulations with graph construction and simulator allocation amortized.
+//!
+//! The figure harnesses and the `flexdist sweep` CLI all evaluate grids —
+//! schemes × machine sizes × tile counts. Naively each grid point rebuilds
+//! its task graph and a fresh simulator; a [`SweepSpec`] instead registers
+//! every distinct graph exactly once, pairs it with the machine configs it
+//! should run on, and [`SweepSpec::run`] executes the grid in parallel
+//! (one worker per graph chunk, courtesy of the rayon shim) with a single
+//! reusable [`Simulator`] arena per graph. Results come back in
+//! deterministic grid order regardless of thread count, ready for TSV or
+//! JSON emission.
+
+use crate::config::MachineConfig;
+use crate::graph::TaskGraph;
+use crate::report::SimReport;
+use crate::sim::Simulator;
+use flexdist_json::Value;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A labeled task graph registered with a sweep.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Display label, e.g. `"lu_g2dbc_p23_t40"`.
+    pub label: String,
+    /// The graph (built exactly once, simulated many times).
+    pub graph: TaskGraph,
+}
+
+/// A labeled machine configuration registered with a sweep.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Display label, e.g. `"testbed_p23"`.
+    pub label: String,
+    /// The cluster description.
+    pub config: MachineConfig,
+}
+
+/// A grid of simulations over registered graphs and machines.
+///
+/// Grid points are explicit `(graph, machine)` index pairs, so a sweep can
+/// be a full cross-product ([`SweepSpec::cross`]) or any sparse subset
+/// (e.g. each pattern only on the machine sized for it).
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    graphs: Vec<GraphSpec>,
+    machines: Vec<MachineSpec>,
+    points: Vec<(usize, usize)>,
+}
+
+/// One completed grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label of the graph simulated.
+    pub graph: String,
+    /// Label of the machine it ran on.
+    pub machine: String,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+/// All grid points of a completed sweep, in registration order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// One entry per grid point, in the order the points were added.
+    pub points: Vec<SweepPoint>,
+    /// Wall-clock seconds the grid took (simulation only, graphs
+    /// excluded — they were built before the sweep started).
+    pub wall_seconds: f64,
+}
+
+impl SweepSpec {
+    /// An empty sweep.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a graph; returns its index for [`SweepSpec::pair`].
+    pub fn add_graph(&mut self, label: impl Into<String>, graph: TaskGraph) -> usize {
+        self.graphs.push(GraphSpec {
+            label: label.into(),
+            graph,
+        });
+        self.graphs.len() - 1
+    }
+
+    /// Register a machine config; returns its index for [`SweepSpec::pair`].
+    pub fn add_machine(&mut self, label: impl Into<String>, config: MachineConfig) -> usize {
+        self.machines.push(MachineSpec {
+            label: label.into(),
+            config,
+        });
+        self.machines.len() - 1
+    }
+
+    /// Add one grid point.
+    ///
+    /// # Panics
+    /// Panics if either index was not returned by the `add_*` methods.
+    pub fn pair(&mut self, graph: usize, machine: usize) {
+        assert!(graph < self.graphs.len(), "graph index out of range");
+        assert!(machine < self.machines.len(), "machine index out of range");
+        self.points.push((graph, machine));
+    }
+
+    /// Add the full cross-product of every registered graph with every
+    /// registered machine (graph-major order).
+    pub fn cross(&mut self) {
+        for g in 0..self.graphs.len() {
+            for m in 0..self.machines.len() {
+                self.points.push((g, m));
+            }
+        }
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no grid points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Registered graphs.
+    #[must_use]
+    pub fn graphs(&self) -> &[GraphSpec] {
+        &self.graphs
+    }
+
+    /// Registered machines.
+    #[must_use]
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
+    }
+
+    /// Execute every grid point and return the reports in point order.
+    ///
+    /// Points are grouped by graph; each graph gets one reusable
+    /// [`Simulator`] that runs all of its machine configs back to back,
+    /// and distinct graphs run on distinct shim-rayon workers. Output
+    /// order (and content — the simulator is deterministic) is identical
+    /// at any thread count.
+    ///
+    /// # Panics
+    /// Panics if a grid point's graph references a node outside its
+    /// machine (same conditions as [`crate::simulate`]).
+    #[must_use]
+    pub fn run(&self) -> SweepResults {
+        let start = Instant::now();
+        // Group point indices by graph so each graph's Simulator is built
+        // once and reused across all its machine configs.
+        let mut by_graph: Vec<Vec<usize>> = vec![Vec::new(); self.graphs.len()];
+        for (pi, &(g, _)) in self.points.iter().enumerate() {
+            by_graph[g].push(pi);
+        }
+        let per_graph: Vec<Vec<(usize, SimReport)>> = by_graph
+            .par_iter()
+            .map(|point_indices| {
+                let mut out = Vec::with_capacity(point_indices.len());
+                if point_indices.is_empty() {
+                    return out;
+                }
+                let g = self.points[point_indices[0]].0;
+                let mut sim = Simulator::new(&self.graphs[g].graph);
+                for &pi in point_indices {
+                    let (_, m) = self.points[pi];
+                    out.push((pi, sim.run(&self.machines[m].config)));
+                }
+                out
+            })
+            .collect();
+        let mut reports: Vec<Option<SimReport>> = vec![None; self.points.len()];
+        for (pi, report) in per_graph.into_iter().flatten() {
+            reports[pi] = Some(report);
+        }
+        let points = self
+            .points
+            .iter()
+            .zip(reports)
+            .map(|(&(g, m), report)| SweepPoint {
+                graph: self.graphs[g].label.clone(),
+                machine: self.machines[m].label.clone(),
+                report: report.expect("every grid point ran"),
+            })
+            .collect();
+        SweepResults {
+            points,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl SweepResults {
+    /// Column headers of [`SweepResults::to_tsv`].
+    pub const TSV_COLUMNS: [&'static str; 9] = [
+        "graph",
+        "machine",
+        "makespan_s",
+        "gflops",
+        "messages",
+        "bytes_sent",
+        "peak_mem_bytes",
+        "utilization",
+        "tasks",
+    ];
+
+    /// Tab-separated table of the grid, one row per point, with a header
+    /// row (the format the figure harnesses print).
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = Self::TSV_COLUMNS.join("\t");
+        out.push('\n');
+        for p in &self.points {
+            let r = &p.report;
+            out.push_str(&format!(
+                "{}\t{}\t{:.6}\t{:.3}\t{}\t{}\t{}\t{:.4}\t{}\n",
+                p.graph,
+                p.machine,
+                r.makespan,
+                r.gflops(),
+                r.messages,
+                r.bytes_sent,
+                r.max_peak_memory(),
+                r.utilization(),
+                r.tasks,
+            ));
+        }
+        out
+    }
+
+    /// JSON document of the grid (kind `"sweep"`), with full per-node
+    /// vectors per point.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                let r = &p.report;
+                flexdist_json::object(vec![
+                    ("graph", Value::from(p.graph.as_str())),
+                    ("machine", Value::from(p.machine.as_str())),
+                    ("makespan", Value::from(r.makespan)),
+                    ("total_flops", Value::from(r.total_flops)),
+                    ("gflops", Value::from(r.gflops())),
+                    ("messages", Value::from(r.messages)),
+                    ("bytes_sent", Value::from(r.bytes_sent)),
+                    ("tasks", Value::from(r.tasks)),
+                    ("total_workers", Value::from(r.total_workers)),
+                    ("utilization", Value::from(r.utilization())),
+                    (
+                        "busy_per_node",
+                        Value::Array(r.busy_per_node.iter().map(|&x| Value::from(x)).collect()),
+                    ),
+                    (
+                        "peak_memory_per_node",
+                        Value::Array(
+                            r.peak_memory_per_node
+                                .iter()
+                                .map(|&x| Value::from(x))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "peak_ready_per_node",
+                        Value::Array(
+                            r.peak_ready_per_node
+                                .iter()
+                                .map(|&x| Value::from(x))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "idle_per_node",
+                        Value::Array(r.idle_per_node.iter().map(|&x| Value::from(x)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        flexdist_json::object(vec![
+            ("kind", Value::from("sweep")),
+            ("wall_seconds", Value::from(self.wall_seconds)),
+            ("points", Value::Array(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+    use crate::sim::simulate;
+
+    fn chain_graph(nodes: u32, tasks: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let data: Vec<_> = (0..nodes).map(|n| b.add_data(n, 1000)).collect();
+        for i in 0..tasks {
+            let n = (i as u32) % nodes;
+            b.submit(TaskSpec {
+                node: n,
+                duration: 0.01 + (i % 5) as f64 * 0.002,
+                flops: 1e8,
+                priority: (tasks - i) as i64,
+                label: "k",
+                accesses: vec![
+                    Access::read(data[((i + 1) as u32 % nodes) as usize]),
+                    Access::read_write(data[n as usize]),
+                ],
+            });
+        }
+        b.build()
+    }
+
+    fn spec_3x2() -> SweepSpec {
+        let mut spec = SweepSpec::new();
+        for (i, tasks) in [30usize, 50, 80].into_iter().enumerate() {
+            spec.add_graph(format!("g{i}"), chain_graph(3, tasks));
+        }
+        spec.add_machine("m2w", MachineConfig::test_machine(3, 2));
+        spec.add_machine("m4w", MachineConfig::test_machine(3, 4));
+        spec.cross();
+        spec
+    }
+
+    #[test]
+    fn sweep_matches_individual_simulations_in_order() {
+        let spec = spec_3x2();
+        assert_eq!(spec.len(), 6);
+        let results = spec.run();
+        assert_eq!(results.points.len(), 6);
+        let mut i = 0;
+        for g in spec.graphs() {
+            for m in spec.machines() {
+                let p = &results.points[i];
+                assert_eq!(p.graph, g.label);
+                assert_eq!(p.machine, m.label);
+                assert_eq!(p.report, simulate(&g.graph, &m.config), "point {i}");
+                i += 1;
+            }
+        }
+        assert!(results.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn sweep_is_identical_across_thread_counts() {
+        let spec = spec_3x2();
+        let runs: Vec<SweepResults> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| rayon::with_thread_count(threads, || spec.run()))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.points.len(), runs[0].points.len());
+            for (a, b) in runs[0].points.iter().zip(&r.points) {
+                assert_eq!(a.graph, b.graph);
+                assert_eq!(a.machine, b.machine);
+                assert_eq!(a.report, b.report);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pairing_runs_only_selected_points() {
+        let mut spec = SweepSpec::new();
+        let g0 = spec.add_graph("g0", chain_graph(2, 20));
+        let g1 = spec.add_graph("g1", chain_graph(4, 20));
+        let small = spec.add_machine("p2", MachineConfig::test_machine(2, 1));
+        let big = spec.add_machine("p4", MachineConfig::test_machine(4, 1));
+        // g1 uses 4 nodes and would panic on the 2-node machine; sparse
+        // pairing keeps it off that config.
+        spec.pair(g0, small);
+        spec.pair(g0, big);
+        spec.pair(g1, big);
+        let results = spec.run();
+        assert_eq!(results.points.len(), 3);
+        assert_eq!(results.points[2].graph, "g1");
+        assert_eq!(results.points[2].machine, "p4");
+    }
+
+    #[test]
+    fn tsv_and_json_cover_every_point() {
+        let spec = spec_3x2();
+        let results = spec.run();
+        let tsv = results.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 1 + 6);
+        assert!(lines[0].starts_with("graph\tmachine\tmakespan_s"));
+        assert!(lines[1].starts_with("g0\tm2w\t"));
+
+        let json = results.to_json();
+        assert_eq!(json.get("kind").and_then(Value::as_str), Some("sweep"));
+        let points = json.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(points.len(), 6);
+        let reparsed = flexdist_json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let results = SweepSpec::new().run();
+        assert!(results.points.is_empty());
+        assert_eq!(results.to_tsv().lines().count(), 1);
+    }
+}

@@ -11,6 +11,20 @@ use crate::MachineConfig;
 /// Shading ramp from idle to fully busy.
 const RAMP: [char; 5] = [' ', '.', ':', 'x', '#'];
 
+/// The bins a span `[start, end)` overlaps, under half-open binning: bin
+/// `k` covers `[k·bin_w, (k+1)·bin_w)`. Returns `None` for zero-width
+/// spans — a span ending exactly where it starts occupies no bin, and a
+/// span ending exactly on a bin edge does not bleed into the next bin.
+/// Both renderers share this so node-level and lane-level charts agree.
+fn bin_range(start: f64, end: f64, bin_w: f64, width: usize) -> Option<(usize, usize)> {
+    if end <= start {
+        return None;
+    }
+    let first = ((start / bin_w) as usize).min(width - 1);
+    let last = ((end / bin_w).ceil() as usize - 1).clamp(first, width - 1);
+    Some((first, last))
+}
+
 /// Render the trace as one text row per node, `width` characters of
 /// timeline each, plus a time axis. Shading reflects worker occupancy:
 /// `' '` idle, `'#'` all workers busy.
@@ -31,8 +45,9 @@ pub fn render_gantt(trace: &[TaskSpan], config: &MachineConfig, width: usize) ->
     let bin_w = makespan / width as f64;
     let mut busy = vec![vec![0.0f64; width]; n_nodes];
     for span in trace {
-        let first = ((span.start / bin_w) as usize).min(width - 1);
-        let last = ((span.end / bin_w) as usize).min(width - 1);
+        let Some((first, last)) = bin_range(span.start, span.end, bin_w, width) else {
+            continue;
+        };
         for (bin, busy_bin) in busy[span.node as usize]
             .iter_mut()
             .enumerate()
@@ -88,12 +103,9 @@ pub fn render_worker_gantt(trace: &[TaskSpan], config: &MachineConfig, width: us
                 .iter()
                 .filter(|s| s.node == node && s.worker == worker)
             {
-                let first = ((span.start / bin_w) as usize).min(width - 1);
-                // Half-open on the right so a span ending exactly on a bin
-                // edge doesn't bleed into the next bin.
-                let last = ((span.end / bin_w).ceil() as usize)
-                    .saturating_sub(1)
-                    .clamp(first, width - 1);
+                let Some((first, last)) = bin_range(span.start, span.end, bin_w, width) else {
+                    continue;
+                };
                 let glyph = span.label.chars().next().unwrap_or('?');
                 for cell in &mut row[first..=last] {
                     *cell = if *cell == ' ' { glyph } else { '*' };
@@ -186,6 +198,61 @@ mod tests {
         assert!(w0.starts_with("n  0.w0 "), "{chart}");
         assert_eq!(w0.matches('c').count(), 8, "{chart}");
         assert!(w1.contains("|        |"), "{chart}");
+    }
+
+    fn span(worker: u32, label: &'static str, start: f64, end: f64) -> TaskSpan {
+        TaskSpan {
+            task: 0,
+            node: 0,
+            worker,
+            label,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn span_ending_on_bin_edge_stays_in_its_bin() {
+        // makespan 4.0, width 4 => bin edges at 1, 2, 3. A span [0, 1)
+        // ends exactly on the first edge: it must fill bin 0 only, in
+        // both the node-level and the lane-level chart.
+        let m = MachineConfig::test_machine(1, 1);
+        let trace = vec![span(0, "a", 0.0, 1.0), span(0, "b", 3.0, 4.0)];
+        let chart = render_gantt(&trace, &m, 4);
+        let row = chart.lines().next().unwrap();
+        assert_eq!(row, "node   0 |#  #|", "{chart}");
+        let lanes = render_worker_gantt(&trace, &m, 4);
+        let lane = lanes.lines().next().unwrap();
+        assert_eq!(lane, "n  0.w0  |a  b|", "{lanes}");
+    }
+
+    #[test]
+    fn zero_width_span_occupies_no_bin_in_either_renderer() {
+        // A degenerate span at a bin edge used to paint a full bin in the
+        // lane chart while the node chart dropped it; both now drop it.
+        let m = MachineConfig::test_machine(1, 1);
+        let trace = vec![span(0, "z", 1.0, 1.0), span(0, "a", 3.0, 4.0)];
+        let chart = render_gantt(&trace, &m, 4);
+        assert_eq!(chart.lines().next().unwrap(), "node   0 |   #|", "{chart}");
+        let lanes = render_worker_gantt(&trace, &m, 4);
+        assert_eq!(lanes.lines().next().unwrap(), "n  0.w0  |   a|", "{lanes}");
+    }
+
+    #[test]
+    fn interior_edge_aligned_spans_tile_exactly() {
+        // Back-to-back unit spans on unit bin edges: each fills exactly
+        // its own bin — no bleed into the neighbor on either side.
+        let m = MachineConfig::test_machine(1, 1);
+        let trace = vec![
+            span(0, "a", 0.0, 1.0),
+            span(0, "b", 1.0, 2.0),
+            span(0, "c", 2.0, 3.0),
+            span(0, "d", 3.0, 4.0),
+        ];
+        let lanes = render_worker_gantt(&trace, &m, 4);
+        assert_eq!(lanes.lines().next().unwrap(), "n  0.w0  |abcd|", "{lanes}");
+        let chart = render_gantt(&trace, &m, 4);
+        assert_eq!(chart.lines().next().unwrap(), "node   0 |####|", "{chart}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! GFlop/s, message counts and per-node utilization — the quantities the
 //! paper plots.
 
+pub mod batch;
 pub mod config;
 pub mod gantt;
 pub mod graph;
@@ -28,11 +29,12 @@ pub mod report;
 pub mod sim;
 pub mod trace;
 
+pub use batch::{GraphSpec, MachineSpec, SweepPoint, SweepResults, SweepSpec};
 pub use config::{MachineConfig, SchedulerPolicy, SourceSelection};
 pub use gantt::{render_gantt, render_worker_gantt};
 pub use graph::{Access, AccessMode, GraphBuilder, TaskGraph, TaskSpec};
 pub use report::SimReport;
-pub use sim::{simulate, simulate_traced, TaskSpan};
+pub use sim::{simulate, simulate_traced, Simulator, TaskSpan};
 pub use trace::{sim_trace_to_json, sim_trace_to_json_string};
 
 /// Node index within the simulated cluster.

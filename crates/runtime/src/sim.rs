@@ -21,14 +21,23 @@
 //!
 //! The simulator is deterministic: event ties are broken by a monotonic
 //! sequence number and ready-queue ties by submission order.
+//!
+//! # State layout
+//!
+//! All mutable state lives in dense `Vec`s indexed by `TaskId`, `DataId`,
+//! or `NodeId` — replica sets are a flat bitset (`words_per_set` words per
+//! datum), in-flight transfers a per-datum list of `(destination, waiter
+//! list)` pairs with the waiter `Vec`s drawn from a free-list pool. A
+//! [`Simulator`] is constructed once per task graph and `reset` between
+//! machine configs, so a sweep over many configs pays graph-sized
+//! allocation exactly once.
 
-use crate::config::{MachineConfig, SchedulerPolicy};
+use crate::config::{MachineConfig, SchedulerPolicy, SourceSelection};
 use crate::graph::TaskGraph;
 use crate::report::SimReport;
 use crate::{DataId, NodeId, TaskId};
 use std::cmp::Reverse;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One executed task in a simulation trace (a Paje-like span).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,21 +56,24 @@ pub struct TaskSpan {
     pub end: f64,
 }
 
-/// Totally ordered wrapper for simulation timestamps.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
+/// Totally ordered wrapper for simulation timestamps, stored as raw `f64`
+/// bits. Simulation times are always non-negative and finite, and on that
+/// range the IEEE-754 bit pattern is order-isomorphic to `f64::total_cmp`,
+/// so plain integer comparison gives the same order at a fraction of the
+/// cost (this comparison sits under every event-heap sift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Time(u64);
 
-impl Eq for Time {}
-
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl Time {
+    #[inline]
+    fn new(t: f64) -> Self {
+        debug_assert!(t >= 0.0, "simulation time went negative: {t}");
+        Self(t.to_bits())
     }
-}
 
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
+    #[inline]
+    fn get(self) -> f64 {
+        f64::from_bits(self.0)
     }
 }
 
@@ -69,94 +81,6 @@ impl Ord for Time {
 enum Event {
     TaskDone(TaskId),
     TransferDone(DataId, NodeId),
-}
-
-/// Bitset over nodes (replica sets). Sized for arbitrary `P`.
-#[derive(Debug, Clone)]
-struct NodeSetMask {
-    words: Vec<u64>,
-}
-
-impl NodeSetMask {
-    fn new(n_nodes: u32) -> Self {
-        Self {
-            words: vec![0; (n_nodes as usize).div_ceil(64)],
-        }
-    }
-
-    fn contains(&self, n: NodeId) -> bool {
-        self.words[n as usize / 64] & (1u64 << (n % 64)) != 0
-    }
-
-    fn insert(&mut self, n: NodeId) {
-        self.words[n as usize / 64] |= 1u64 << (n % 64);
-    }
-
-    fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
-    }
-
-    /// Iterate over the member node ids.
-    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut bits = w;
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    return None;
-                }
-                let b = bits.trailing_zeros();
-                bits &= bits - 1;
-                Some((wi * 64) as NodeId + b)
-            })
-        })
-    }
-}
-
-struct SimState<'g> {
-    graph: &'g TaskGraph,
-    config: &'g MachineConfig,
-    now: f64,
-    events: BinaryHeap<Reverse<(Time, u64, EventKey)>>,
-    seq: u64,
-    // Per task.
-    deps_left: Vec<u32>,
-    fetches_left: Vec<u32>,
-    /// Worker slot each task ran on (filled at dispatch).
-    slot_of: Vec<u32>,
-    // Per node.
-    /// Stack of idle worker slot ids per node.
-    idle_slots: Vec<Vec<u32>>,
-    ready: Vec<BinaryHeap<(i64, Reverse<TaskId>)>>,
-    /// Peak ready-queue length observed per node.
-    peak_ready: Vec<usize>,
-    out_free: Vec<f64>,
-    in_free: Vec<f64>,
-    busy: Vec<f64>,
-    // Per datum.
-    holder: Vec<NodeId>,
-    replicas: Vec<NodeSetMask>,
-    in_flight: HashMap<(DataId, NodeId), Vec<TaskId>>,
-    /// Nodes whose ready queue or worker pool changed since the last
-    /// dispatch pass. Dispatch is deferred to the end of each event batch so
-    /// that tasks becoming ready at the same timestamp compete by priority
-    /// rather than by enqueue order.
-    dirty_nodes: Vec<usize>,
-    /// Monotonic counter stamping ready-queue insertions (LIFO policy).
-    ready_seq: i64,
-    /// Optional execution trace (one span per task).
-    trace: Option<Vec<TaskSpan>>,
-    /// Currently resident bytes per node (home data + valid replicas).
-    mem_now: Vec<u64>,
-    /// High-water mark of `mem_now`.
-    mem_peak: Vec<u64>,
-    /// `AnyReplica` mode: destinations waiting for a free source, per datum
-    /// (BTreeMap for deterministic pump order).
-    pending_dests: std::collections::BTreeMap<DataId, std::collections::VecDeque<NodeId>>,
-    // Stats.
-    messages: u64,
-    bytes: u64,
-    completed: usize,
-    makespan: f64,
 }
 
 /// Compact encoding of [`Event`] so the heap entry stays `Copy + Ord`.
@@ -183,7 +107,120 @@ impl EventKey {
     }
 }
 
+/// Reusable discrete-event simulator for one task graph.
+///
+/// Construction precomputes everything that depends only on the graph
+/// (initial dependency counts, home-node memory, flop total) and sizes the
+/// state arenas; [`Simulator::run`] then simulates the graph on any
+/// [`MachineConfig`], recycling every buffer between runs. Results are
+/// identical to calling [`simulate`] afresh — the reuse only amortizes
+/// allocation:
+///
+/// ```
+/// use flexdist_runtime::{Access, GraphBuilder, MachineConfig, Simulator, TaskSpec};
+///
+/// let mut b = GraphBuilder::new();
+/// let d = b.add_data(0, 8);
+/// b.submit(TaskSpec {
+///     node: 0, duration: 1.0, flops: 1e9, priority: 0, label: "k",
+///     accesses: vec![Access::read_write(d)],
+/// });
+/// let graph = b.build();
+/// let mut sim = Simulator::new(&graph);
+/// for nodes in [1, 2, 4] {
+///     let report = sim.run(&MachineConfig::test_machine(nodes, 2));
+///     assert_eq!(report.tasks, 1);
+/// }
+/// ```
+pub struct Simulator<'g> {
+    graph: &'g TaskGraph,
+    /// Active machine description, `clone_from`'d on each run so the
+    /// heterogeneous-worker vector's allocation is recycled too.
+    config: MachineConfig,
+    // Per-graph precomputation (immutable after `new`). The task table is
+    // mirrored in structure-of-arrays / CSR form: the event loop touches
+    // one contiguous array per field instead of chasing three `Vec`
+    // allocations inside every `Task`, which is what makes large graphs
+    // cache-bound.
+    /// `graph.tasks[i].n_deps`, copied into `deps_left` on reset.
+    init_deps: Vec<u32>,
+    task_node: Vec<NodeId>,
+    task_duration: Vec<f64>,
+    task_priority: Vec<i64>,
+    /// CSR adjacency: reads of task `i` are
+    /// `reads_dat[reads_off[i]..reads_off[i + 1]]`.
+    reads_off: Vec<u32>,
+    reads_dat: Vec<DataId>,
+    writes_off: Vec<u32>,
+    writes_dat: Vec<DataId>,
+    succ_off: Vec<u32>,
+    succ_dat: Vec<TaskId>,
+    /// Bytes of home data per owner node (indexed by `NodeId`).
+    home_mem: Vec<u64>,
+    total_flops: f64,
+    /// `1 + max task node` (0 when there are no tasks).
+    node_bound: u32,
+    /// `1 + max data owner` (0 when there are no data).
+    owner_bound: u32,
+    // Event queue.
+    now: f64,
+    events: BinaryHeap<Reverse<(Time, u64, EventKey)>>,
+    seq: u64,
+    // Per task.
+    deps_left: Vec<u32>,
+    fetches_left: Vec<u32>,
+    /// Worker slot each task ran on (filled at dispatch).
+    slot_of: Vec<u32>,
+    // Per node.
+    /// Stack of idle worker slot ids per node.
+    idle_slots: Vec<Vec<u32>>,
+    ready: Vec<BinaryHeap<(i64, Reverse<TaskId>)>>,
+    /// Peak ready-queue length observed per node.
+    peak_ready: Vec<usize>,
+    out_free: Vec<f64>,
+    in_free: Vec<f64>,
+    busy: Vec<f64>,
+    // Per datum.
+    holder: Vec<NodeId>,
+    /// Flat replica bitset: datum `d` owns words
+    /// `[d * words_per_set, (d + 1) * words_per_set)`.
+    replica_words: Vec<u64>,
+    words_per_set: usize,
+    /// In-flight transfers per datum: `(destination, waiter list index)`.
+    in_flight: Vec<Vec<(NodeId, u32)>>,
+    /// Pooled waiter lists referenced by `in_flight` entries.
+    waiter_lists: Vec<Vec<TaskId>>,
+    /// Recycled `waiter_lists` indices.
+    free_lists: Vec<u32>,
+    /// Nodes whose ready queue or worker pool changed since the last
+    /// dispatch pass. Dispatch is deferred to the end of each event batch so
+    /// that tasks becoming ready at the same timestamp compete by priority
+    /// rather than by enqueue order.
+    dirty_nodes: Vec<usize>,
+    /// Monotonic counter stamping ready-queue insertions (LIFO policy).
+    ready_seq: i64,
+    /// Optional execution trace (one span per task).
+    trace: Option<Vec<TaskSpan>>,
+    /// Currently resident bytes per node (home data + valid replicas).
+    mem_now: Vec<u64>,
+    /// High-water mark of `mem_now`.
+    mem_peak: Vec<u64>,
+    /// `AnyReplica` mode: destinations waiting for a free source, per datum.
+    pending_queues: Vec<VecDeque<NodeId>>,
+    /// Sorted ids of data with a non-empty pending queue (deterministic
+    /// ascending pump order, like the `BTreeMap` it replaces).
+    pending_active: Vec<DataId>,
+    // Stats.
+    messages: u64,
+    bytes: u64,
+    completed: usize,
+    makespan: f64,
+}
+
 /// Simulate `graph` on `config`'s machine. Returns the execution report.
+///
+/// Convenience wrapper constructing a one-shot [`Simulator`]; prefer
+/// reusing a `Simulator` when running the same graph on several configs.
 ///
 /// # Panics
 /// Panics if a task or datum references a node `>= config.nodes`, or if the
@@ -191,7 +228,7 @@ impl EventKey {
 /// whose dependencies always point backwards in submission order).
 #[must_use]
 pub fn simulate(graph: &TaskGraph, config: &MachineConfig) -> SimReport {
-    simulate_inner(graph, config, false).0
+    Simulator::new(graph).run(config)
 }
 
 /// Like [`simulate`], but also returns the per-task execution trace
@@ -201,168 +238,324 @@ pub fn simulate(graph: &TaskGraph, config: &MachineConfig) -> SimReport {
 /// Same conditions as [`simulate`].
 #[must_use]
 pub fn simulate_traced(graph: &TaskGraph, config: &MachineConfig) -> (SimReport, Vec<TaskSpan>) {
-    let (report, trace) = simulate_inner(graph, config, true);
-    (report, trace.expect("tracing was requested"))
+    Simulator::new(graph).run_traced(config)
 }
 
-fn simulate_inner(
-    graph: &TaskGraph,
-    config: &MachineConfig,
-    traced: bool,
-) -> (SimReport, Option<Vec<TaskSpan>>) {
-    let n_nodes = config.nodes as usize;
-    assert!(n_nodes > 0, "machine must have at least one node");
-    for t in &graph.tasks {
-        assert!((t.node as usize) < n_nodes, "task node out of range");
-    }
-    for &o in &graph.data_owner {
-        assert!((o as usize) < n_nodes, "data owner out of range");
+impl<'g> Simulator<'g> {
+    /// Build a simulator for `graph`, precomputing graph-derived state.
+    #[must_use]
+    pub fn new(graph: &'g TaskGraph) -> Self {
+        let n_tasks = graph.tasks.len();
+        let n_data = graph.data_owner.len();
+        let node_bound = graph.tasks.iter().map(|t| t.node + 1).max().unwrap_or(0);
+        let owner_bound = graph.data_owner.iter().map(|&o| o + 1).max().unwrap_or(0);
+        let mut home_mem = vec![0u64; owner_bound as usize];
+        for (d, &o) in graph.data_owner.iter().enumerate() {
+            home_mem[o as usize] += graph.data_bytes[d];
+        }
+        let csr = |field: fn(&crate::graph::Task) -> &[u32]| {
+            let mut off = Vec::with_capacity(n_tasks + 1);
+            let mut dat = Vec::new();
+            off.push(0u32);
+            for t in &graph.tasks {
+                dat.extend_from_slice(field(t));
+                off.push(dat.len() as u32);
+            }
+            (off, dat)
+        };
+        let (reads_off, reads_dat) = csr(|t| &t.reads);
+        let (writes_off, writes_dat) = csr(|t| &t.writes);
+        let (succ_off, succ_dat) = csr(|t| &t.successors);
+        Self {
+            graph,
+            config: MachineConfig::test_machine(1, 1),
+            init_deps: graph.tasks.iter().map(|t| t.n_deps).collect(),
+            task_node: graph.tasks.iter().map(|t| t.node).collect(),
+            task_duration: graph.tasks.iter().map(|t| t.duration).collect(),
+            task_priority: graph.tasks.iter().map(|t| t.priority).collect(),
+            reads_off,
+            reads_dat,
+            writes_off,
+            writes_dat,
+            succ_off,
+            succ_dat,
+            home_mem,
+            total_flops: graph.total_flops(),
+            node_bound,
+            owner_bound,
+            now: 0.0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            deps_left: Vec::with_capacity(n_tasks),
+            fetches_left: Vec::with_capacity(n_tasks),
+            slot_of: vec![0; n_tasks],
+            idle_slots: Vec::new(),
+            ready: Vec::new(),
+            peak_ready: Vec::new(),
+            out_free: Vec::new(),
+            in_free: Vec::new(),
+            busy: Vec::new(),
+            holder: Vec::with_capacity(n_data),
+            replica_words: Vec::new(),
+            words_per_set: 0,
+            in_flight: (0..n_data).map(|_| Vec::new()).collect(),
+            waiter_lists: Vec::new(),
+            free_lists: Vec::new(),
+            dirty_nodes: Vec::new(),
+            ready_seq: 0,
+            trace: None,
+            mem_now: Vec::new(),
+            mem_peak: Vec::new(),
+            pending_queues: (0..n_data).map(|_| VecDeque::new()).collect(),
+            pending_active: Vec::new(),
+            messages: 0,
+            bytes: 0,
+            completed: 0,
+            makespan: 0.0,
+        }
     }
 
-    let n_tasks = graph.tasks.len();
-    let mut st = SimState {
-        graph,
-        config,
-        now: 0.0,
-        events: BinaryHeap::new(),
-        seq: 0,
-        deps_left: graph.tasks.iter().map(|t| t.n_deps).collect(),
-        fetches_left: vec![0; n_tasks],
-        slot_of: vec![0; n_tasks],
-        // Reversed so the owner pops slot 0 first.
-        idle_slots: (0..config.nodes)
-            .map(|n| (0..config.workers_of(n)).rev().collect())
-            .collect(),
-        ready: (0..n_nodes).map(|_| BinaryHeap::new()).collect(),
-        peak_ready: vec![0; n_nodes],
-        out_free: vec![0.0; n_nodes],
-        in_free: vec![0.0; n_nodes],
-        busy: vec![0.0; n_nodes],
-        holder: graph.data_owner.clone(),
-        replicas: graph
-            .data_owner
+    /// The graph this simulator was built for.
+    #[must_use]
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.graph
+    }
+
+    /// Simulate the graph on `config`'s machine, recycling all internal
+    /// buffers from any previous run.
+    ///
+    /// # Panics
+    /// Same conditions as [`simulate`].
+    #[must_use]
+    pub fn run(&mut self, config: &MachineConfig) -> SimReport {
+        self.reset(config);
+        self.trace = None;
+        self.run_to_completion();
+        self.report()
+    }
+
+    /// Like [`Simulator::run`], but also collects the execution trace.
+    ///
+    /// # Panics
+    /// Same conditions as [`simulate`].
+    #[must_use]
+    pub fn run_traced(&mut self, config: &MachineConfig) -> (SimReport, Vec<TaskSpan>) {
+        self.reset(config);
+        self.trace = Some(Vec::with_capacity(self.graph.tasks.len()));
+        self.run_to_completion();
+        let trace = self.trace.take().expect("tracing was requested");
+        (self.report(), trace)
+    }
+
+    /// Restore the pristine pre-run state for `config`. Every buffer keeps
+    /// its capacity; nothing graph-sized is reallocated.
+    fn reset(&mut self, config: &MachineConfig) {
+        let n_nodes = config.nodes as usize;
+        assert!(n_nodes > 0, "machine must have at least one node");
+        assert!(
+            self.node_bound as usize <= n_nodes,
+            "task node out of range"
+        );
+        assert!(
+            self.owner_bound as usize <= n_nodes,
+            "data owner out of range"
+        );
+        self.config.clone_from(config);
+        let graph = self.graph;
+        let n_tasks = graph.tasks.len();
+        let n_data = graph.data_owner.len();
+
+        self.now = 0.0;
+        self.events.clear();
+        self.seq = 0;
+
+        self.deps_left.clear();
+        self.deps_left.extend_from_slice(&self.init_deps);
+        self.fetches_left.clear();
+        self.fetches_left.resize(n_tasks, 0);
+
+        if self.idle_slots.len() < n_nodes {
+            self.idle_slots.resize_with(n_nodes, Vec::new);
+        }
+        for (n, slots) in self.idle_slots.iter_mut().enumerate().take(n_nodes) {
+            slots.clear();
+            // Reversed so the owner pops slot 0 first.
+            slots.extend((0..config.workers_of(n as NodeId)).rev());
+        }
+        if self.ready.len() < n_nodes {
+            self.ready.resize_with(n_nodes, BinaryHeap::new);
+        }
+        for heap in &mut self.ready {
+            heap.clear();
+        }
+        self.peak_ready.clear();
+        self.peak_ready.resize(n_nodes, 0);
+        self.out_free.clear();
+        self.out_free.resize(n_nodes, 0.0);
+        self.in_free.clear();
+        self.in_free.resize(n_nodes, 0.0);
+        self.busy.clear();
+        self.busy.resize(n_nodes, 0.0);
+
+        self.holder.clear();
+        self.holder.extend_from_slice(&graph.data_owner);
+        let wps = n_nodes.div_ceil(64);
+        self.words_per_set = wps;
+        self.replica_words.clear();
+        self.replica_words.resize(n_data * wps, 0);
+        for (d, &o) in graph.data_owner.iter().enumerate() {
+            self.replica_words[d * wps + o as usize / 64] |= 1u64 << (o % 64);
+        }
+
+        for entry in &mut self.in_flight {
+            entry.clear();
+        }
+        self.free_lists.clear();
+        for (i, list) in self.waiter_lists.iter_mut().enumerate().rev() {
+            list.clear();
+            self.free_lists.push(i as u32);
+        }
+        for &d in &self.pending_active {
+            self.pending_queues[d as usize].clear();
+        }
+        self.pending_active.clear();
+
+        self.dirty_nodes.clear();
+        self.ready_seq = 0;
+        self.trace = None;
+
+        self.mem_now.clear();
+        self.mem_now.resize(n_nodes, 0);
+        self.mem_now[..self.home_mem.len()].copy_from_slice(&self.home_mem);
+        self.mem_peak.clear();
+        self.mem_peak.extend_from_slice(&self.mem_now);
+
+        self.messages = 0;
+        self.bytes = 0;
+        self.completed = 0;
+        self.makespan = 0.0;
+    }
+
+    fn run_to_completion(&mut self) {
+        let n_tasks = self.graph.tasks.len();
+        // Seed: tasks with no dependencies request their inputs.
+        for id in 0..n_tasks as TaskId {
+            if self.deps_left[id as usize] == 0 {
+                self.request_inputs(id);
+            }
+        }
+        self.dispatch_dirty();
+
+        while let Some(Reverse((time, _, key))) = self.events.pop() {
+            let t = time.get();
+            self.now = t;
+            self.makespan = self.makespan.max(t);
+            match key.decode() {
+                Event::TaskDone(id) => self.on_task_done(id),
+                Event::TransferDone(d, n) => self.on_transfer_done(d, n),
+            }
+            // Drain every event sharing this timestamp before dispatching, so
+            // simultaneous completions release their successors together.
+            while let Some(&Reverse((t2, _, _))) = self.events.peek() {
+                if t2 > time {
+                    break;
+                }
+                let Reverse((_, _, key2)) = self.events.pop().expect("peeked");
+                match key2.decode() {
+                    Event::TaskDone(id) => self.on_task_done(id),
+                    Event::TransferDone(d, n) => self.on_transfer_done(d, n),
+                }
+            }
+            self.dispatch_dirty();
+        }
+
+        assert_eq!(
+            self.completed, n_tasks,
+            "simulation finished with {} of {} tasks executed (deadlock?)",
+            self.completed, n_tasks
+        );
+    }
+
+    fn report(&self) -> SimReport {
+        let config = &self.config;
+        let idle_per_node: Vec<f64> = self
+            .busy
             .iter()
-            .map(|&o| {
-                let mut m = NodeSetMask::new(config.nodes);
-                m.insert(o);
-                m
+            .enumerate()
+            .map(|(n, &busy)| {
+                (self.makespan * f64::from(config.workers_of(n as NodeId)) - busy).max(0.0)
             })
-            .collect(),
-        in_flight: HashMap::new(),
-        dirty_nodes: Vec::new(),
-        ready_seq: 0,
-        trace: traced.then(|| Vec::with_capacity(n_tasks)),
-        mem_now: {
-            let mut mem = vec![0u64; n_nodes];
-            for (d, &o) in graph.data_owner.iter().enumerate() {
-                mem[o as usize] += graph.data_bytes[d];
-            }
-            mem
-        },
-        mem_peak: Vec::new(),
-        pending_dests: std::collections::BTreeMap::new(),
-        messages: 0,
-        bytes: 0,
-        completed: 0,
-        makespan: 0.0,
-    };
-    st.mem_peak = st.mem_now.clone();
-
-    // Seed: tasks with no dependencies request their inputs.
-    for id in 0..n_tasks as TaskId {
-        if st.deps_left[id as usize] == 0 {
-            st.request_inputs(id);
+            .collect();
+        SimReport {
+            makespan: self.makespan,
+            total_flops: self.total_flops,
+            messages: self.messages,
+            bytes_sent: self.bytes,
+            busy_per_node: self.busy.clone(),
+            peak_memory_per_node: self.mem_peak.clone(),
+            tasks: self.graph.tasks.len(),
+            total_workers: config.total_workers(),
+            peak_ready_per_node: self.peak_ready.clone(),
+            idle_per_node,
         }
     }
-    st.dispatch_dirty();
 
-    while let Some(Reverse((Time(t), _, key))) = st.events.pop() {
-        st.now = t;
-        st.makespan = st.makespan.max(t);
-        match key.decode() {
-            Event::TaskDone(id) => st.on_task_done(id),
-            Event::TransferDone(d, n) => st.on_transfer_done(d, n),
-        }
-        // Drain every event sharing this timestamp before dispatching, so
-        // simultaneous completions release their successors together.
-        while let Some(Reverse((Time(t2), _, _))) = st.events.peek().copied() {
-            if t2 > t {
-                break;
-            }
-            let Reverse((_, _, key2)) = st.events.pop().expect("peeked");
-            match key2.decode() {
-                Event::TaskDone(id) => st.on_task_done(id),
-                Event::TransferDone(d, n) => st.on_transfer_done(d, n),
-            }
-        }
-        st.dispatch_dirty();
-    }
-
-    assert_eq!(
-        st.completed, n_tasks,
-        "simulation finished with {} of {} tasks executed (deadlock?)",
-        st.completed, n_tasks
-    );
-
-    let idle_per_node: Vec<f64> = st
-        .busy
-        .iter()
-        .enumerate()
-        .map(|(n, &busy)| (st.makespan * f64::from(config.workers_of(n as NodeId)) - busy).max(0.0))
-        .collect();
-    let report = SimReport {
-        makespan: st.makespan,
-        total_flops: graph.total_flops(),
-        messages: st.messages,
-        bytes_sent: st.bytes,
-        busy_per_node: st.busy,
-        peak_memory_per_node: st.mem_peak,
-        tasks: n_tasks,
-        total_workers: config.total_workers(),
-        peak_ready_per_node: st.peak_ready,
-        idle_per_node,
-    };
-    (report, st.trace)
-}
-
-impl SimState<'_> {
+    #[inline]
     fn push_event(&mut self, at: f64, key: EventKey) {
         self.seq += 1;
-        self.events.push(Reverse((Time(at), self.seq, key)));
+        self.events.push(Reverse((Time::new(at), self.seq, key)));
+    }
+
+    #[inline]
+    fn has_replica(&self, d: DataId, n: NodeId) -> bool {
+        self.replica_words[d as usize * self.words_per_set + n as usize / 64] & (1u64 << (n % 64))
+            != 0
     }
 
     /// All dependencies of `id` are satisfied: fetch missing read data, then
     /// (possibly immediately) mark ready.
     fn request_inputs(&mut self, id: TaskId) {
-        let task = &self.graph.tasks[id as usize];
-        let node = task.node;
+        let iu = id as usize;
+        let node = self.task_node[iu];
         let mut pending = 0u32;
-        for &d in &task.reads {
-            if self.replicas[d as usize].contains(node) {
+        for ri in self.reads_off[iu] as usize..self.reads_off[iu + 1] as usize {
+            let d = self.reads_dat[ri];
+            if self.has_replica(d, node) {
                 continue;
             }
             pending += 1;
-            match self.in_flight.entry((d, node)) {
-                Entry::Occupied(mut e) if self.config.replica_cache => {
+            let du = d as usize;
+            let pos = self.in_flight[du].iter().position(|&(n, _)| n == node);
+            match pos {
+                Some(i) if self.config.replica_cache => {
                     // A transfer of this tile to this node is already on the
                     // wire (or queued); piggyback on it.
-                    e.get_mut().push(id);
+                    let li = self.in_flight[du][i].1 as usize;
+                    self.waiter_lists[li].push(id);
                 }
-                entry => {
+                pos => {
                     // Either nothing in flight, or caching is disabled (each
                     // consumer pays its own message).
-                    match entry {
-                        Entry::Occupied(mut e) => e.get_mut().push(id),
-                        Entry::Vacant(v) => {
-                            v.insert(vec![id]);
+                    match pos {
+                        Some(i) => {
+                            let li = self.in_flight[du][i].1 as usize;
+                            self.waiter_lists[li].push(id);
+                        }
+                        None => {
+                            let li = self.free_lists.pop().unwrap_or_else(|| {
+                                self.waiter_lists.push(Vec::new());
+                                (self.waiter_lists.len() - 1) as u32
+                            });
+                            self.waiter_lists[li as usize].push(id);
+                            self.in_flight[du].push((node, li));
                         }
                     }
                     match self.config.source_selection {
-                        crate::config::SourceSelection::Holder => {
-                            let src = self.holder[d as usize];
+                        SourceSelection::Holder => {
+                            let src = self.holder[du];
                             self.schedule_transfer(src, d, node);
                         }
-                        crate::config::SourceSelection::AnyReplica => {
+                        SourceSelection::AnyReplica => {
                             assert!(
                                 self.config.replica_cache,
                                 "AnyReplica sourcing requires the replica cache"
@@ -371,7 +564,7 @@ impl SimState<'_> {
                             // holder's send port is free, so later requests
                             // can relay from earlier receivers (binomial-
                             // tree-like broadcast).
-                            self.pending_dests.entry(d).or_default().push_back(node);
+                            self.pending_push(d, node);
                         }
                     }
                 }
@@ -381,7 +574,7 @@ impl SimState<'_> {
             self.mark_ready(id);
         } else {
             self.fetches_left[id as usize] = pending;
-            if self.config.source_selection == crate::config::SourceSelection::AnyReplica {
+            if self.config.source_selection == SourceSelection::AnyReplica {
                 self.pump_pending_transfers();
             }
         }
@@ -402,71 +595,107 @@ impl SimState<'_> {
         self.push_event(end, EventKey::transfer(d, dst));
     }
 
+    /// `AnyReplica` mode: queue `dst` as waiting for a source of `d`,
+    /// keeping `pending_active` sorted.
+    fn pending_push(&mut self, d: DataId, dst: NodeId) {
+        let queue = &mut self.pending_queues[d as usize];
+        if queue.is_empty() {
+            if let Err(i) = self.pending_active.binary_search(&d) {
+                self.pending_active.insert(i, d);
+            }
+        }
+        queue.push_back(dst);
+    }
+
     /// `AnyReplica` mode: start queued transfers whose datum has a replica
     /// holder with a currently-free send port. Called whenever time
     /// advances past a transfer completion (new replica and/or freed port).
     fn pump_pending_transfers(&mut self) {
-        let data: Vec<DataId> = self.pending_dests.keys().copied().collect();
-        for d in data {
-            while let Some(queue) = self.pending_dests.get_mut(&d) {
-                if queue.is_empty() {
-                    self.pending_dests.remove(&d);
-                    break;
-                }
+        let wps = self.words_per_set;
+        for i in 0..self.pending_active.len() {
+            let d = self.pending_active[i];
+            let du = d as usize;
+            while !self.pending_queues[du].is_empty() {
                 // A source is usable when it holds the replica and its send
-                // port is free now.
-                let src = self.replicas[d as usize]
-                    .iter()
-                    .find(|&s| self.out_free[s as usize] <= self.now);
+                // port is free now; lowest node id wins (matching the sorted
+                // replica-set iteration this replaces).
+                let mut src = None;
+                'scan: for wi in 0..wps {
+                    let mut w = self.replica_words[du * wps + wi];
+                    while w != 0 {
+                        let b = w.trailing_zeros();
+                        w &= w - 1;
+                        let s = (wi * 64) as u32 + b;
+                        if self.out_free[s as usize] <= self.now {
+                            src = Some(s);
+                            break 'scan;
+                        }
+                    }
+                }
                 let Some(src) = src else {
                     break;
                 };
-                let dst = self
-                    .pending_dests
-                    .get_mut(&d)
-                    .expect("checked")
-                    .pop_front()
-                    .expect("non-empty");
+                let dst = self.pending_queues[du].pop_front().expect("non-empty");
                 self.schedule_transfer(src, d, dst);
             }
         }
-        self.pending_dests.retain(|_, q| !q.is_empty());
+        let queues = &self.pending_queues;
+        self.pending_active
+            .retain(|&d| !queues[d as usize].is_empty());
     }
 
     fn on_transfer_done(&mut self, d: DataId, node: NodeId) {
+        let du = d as usize;
+        let bytes = self.graph.data_bytes[du];
         if self.config.replica_cache {
-            if !self.replicas[d as usize].contains(node) {
-                self.replicas[d as usize].insert(node);
-                self.add_memory(node, self.graph.data_bytes[d as usize]);
+            let word = &mut self.replica_words[du * self.words_per_set + node as usize / 64];
+            let bit = 1u64 << (node % 64);
+            if *word & bit == 0 {
+                *word |= bit;
+                self.add_memory(node, bytes);
             }
         } else {
             // Uncached transfers still occupy the consumer transiently;
             // count the high-water mark as if held for the reading task.
-            self.add_memory(node, self.graph.data_bytes[d as usize]);
-            self.mem_now[node as usize] -= self.graph.data_bytes[d as usize];
+            self.add_memory(node, bytes);
+            self.mem_now[node as usize] -= bytes;
         }
-        if self.config.source_selection == crate::config::SourceSelection::AnyReplica {
+        if self.config.source_selection == SourceSelection::AnyReplica {
             // A port just freed and a new replica exists: restart the pump.
             self.pump_pending_transfers();
         }
-        let waiters = self.in_flight.remove(&(d, node)).unwrap_or_default();
+        let Some(pos) = self.in_flight[du].iter().position(|&(n, _)| n == node) else {
+            return;
+        };
+        let li = self.in_flight[du][pos].1 as usize;
         if !self.config.replica_cache {
             // Without caching, transfers were scheduled one per waiter but
             // share the event key; wake exactly one waiter per event.
             // (Each waiter scheduled its own TransferDone, so waking the
-            // first pending one keeps the accounting exact.)
-            let mut waiters = waiters;
-            if let Some(w) = waiters.pop() {
-                if !waiters.is_empty() {
-                    self.in_flight.insert((d, node), waiters);
+            // most recently queued one keeps the accounting exact.)
+            match self.waiter_lists[li].pop() {
+                Some(w) => {
+                    if self.waiter_lists[li].is_empty() {
+                        self.in_flight[du].swap_remove(pos);
+                        self.free_lists.push(li as u32);
+                    }
+                    self.finish_fetch(w);
                 }
-                self.finish_fetch(w);
+                None => {
+                    self.in_flight[du].swap_remove(pos);
+                    self.free_lists.push(li as u32);
+                }
             }
             return;
         }
-        for w in waiters {
+        self.in_flight[du].swap_remove(pos);
+        let mut list = std::mem::take(&mut self.waiter_lists[li]);
+        for &w in &list {
             self.finish_fetch(w);
         }
+        list.clear();
+        self.waiter_lists[li] = list;
+        self.free_lists.push(li as u32);
     }
 
     fn add_memory(&mut self, node: NodeId, bytes: u64) {
@@ -488,11 +717,10 @@ impl SimState<'_> {
     }
 
     fn mark_ready(&mut self, id: TaskId) {
-        let task = &self.graph.tasks[id as usize];
-        let node = task.node as usize;
+        let node = self.task_node[id as usize] as usize;
         // The heap pops its maximum key; encode the policy into the key.
         let key = match self.config.scheduler {
-            SchedulerPolicy::Priority => task.priority,
+            SchedulerPolicy::Priority => self.task_priority[id as usize],
             SchedulerPolicy::Fifo => 0,
             SchedulerPolicy::Lifo => {
                 self.ready_seq += 1;
@@ -511,20 +739,21 @@ impl SimState<'_> {
     }
 
     fn dispatch(&mut self, node: usize) {
+        let graph = self.graph;
         while !self.idle_slots[node].is_empty() {
             let Some((_, Reverse(id))) = self.ready[node].pop() else {
                 break;
             };
             let slot = self.idle_slots[node].pop().expect("checked non-empty");
             self.slot_of[id as usize] = slot;
-            let dur = self.graph.tasks[id as usize].duration;
+            let dur = self.task_duration[id as usize];
             self.busy[node] += dur;
             if let Some(trace) = &mut self.trace {
                 trace.push(TaskSpan {
                     task: id,
                     node: node as NodeId,
                     worker: slot,
-                    label: self.graph.tasks[id as usize].label,
+                    label: graph.tasks[id as usize].label,
                     start: self.now,
                     end: self.now + dur,
                 });
@@ -535,32 +764,55 @@ impl SimState<'_> {
 
     fn on_task_done(&mut self, id: TaskId) {
         self.completed += 1;
-        let node = self.graph.tasks[id as usize].node as usize;
-        self.idle_slots[node].push(self.slot_of[id as usize]);
+        let graph = self.graph;
+        let iu = id as usize;
+        let node = self.task_node[iu] as usize;
+        self.idle_slots[node].push(self.slot_of[iu]);
         // Writes create a new version: the writer's node becomes the only
         // holder; cached replicas elsewhere are invalidated (freeing their
         // memory).
-        for wi in 0..self.graph.tasks[id as usize].writes.len() {
-            let d = self.graph.tasks[id as usize].writes[wi];
-            let bytes = self.graph.data_bytes[d as usize];
-            let mut writer_had_it = false;
-            let evicted: Vec<NodeId> = self.replicas[d as usize].iter().collect();
-            for n2 in evicted {
-                if n2 as usize == node {
-                    writer_had_it = true;
-                } else {
-                    self.mem_now[n2 as usize] -= bytes;
+        let wps = self.words_per_set;
+        let writer_word = node / 64;
+        let writer_bit = 1u64 << (node % 64);
+        for wi in self.writes_off[iu] as usize..self.writes_off[iu + 1] as usize {
+            let d = self.writes_dat[wi];
+            let base = d as usize * wps;
+            self.holder[d as usize] = node as NodeId;
+            // Fast path: the writer is already the sole replica holder
+            // (every in-place update of a local tile) — nothing to evict,
+            // no memory change.
+            if wps == 1 {
+                let w = self.replica_words[base];
+                if w == writer_bit {
+                    continue;
                 }
             }
-            self.holder[d as usize] = node as NodeId;
-            self.replicas[d as usize].clear();
-            self.replicas[d as usize].insert(node as NodeId);
+            let bytes = graph.data_bytes[d as usize];
+            let mut writer_had_it = false;
+            for wj in 0..wps {
+                let mut w = self.replica_words[base + wj];
+                if w == 0 {
+                    continue;
+                }
+                self.replica_words[base + wj] = 0;
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    let n2 = (wj * 64) as NodeId + b;
+                    if n2 as usize == node {
+                        writer_had_it = true;
+                    } else {
+                        self.mem_now[n2 as usize] -= bytes;
+                    }
+                }
+            }
+            self.replica_words[base + writer_word] |= writer_bit;
             if !writer_had_it {
                 self.add_memory(node as NodeId, bytes);
             }
         }
-        for si in 0..self.graph.tasks[id as usize].successors.len() {
-            let s = self.graph.tasks[id as usize].successors[si];
+        for si in self.succ_off[iu] as usize..self.succ_off[iu + 1] as usize {
+            let s = self.succ_dat[si];
             let left = &mut self.deps_left[s as usize];
             debug_assert!(*left > 0);
             *left -= 1;
@@ -762,6 +1014,56 @@ mod tests {
         assert_eq!(r1.tasks, 200);
         // Makespan is bounded below by the critical path.
         assert!(r1.makespan >= g.critical_path() - 1e-9);
+    }
+
+    #[test]
+    fn reused_simulator_matches_fresh_runs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = GraphBuilder::new();
+        let data: Vec<_> = (0..16).map(|i| b.add_data(i % 4, 20_000)).collect();
+        for _ in 0..150 {
+            let d = data[rng.gen_range(0..16usize)];
+            let e = data[rng.gen_range(0..16usize)];
+            let node = rng.gen_range(0..4);
+            let mut acc = vec![Access::read(d)];
+            if e != d {
+                acc.push(Access::read_write(e));
+            }
+            b.submit(spec(node, rng.gen_range(0.001..0.01), acc));
+        }
+        let g = b.build();
+
+        // A spread of machine shapes, policies, and sourcing modes; the
+        // reused simulator must agree with a fresh one on every run, in
+        // every order.
+        let mut configs = vec![machine(4, 2), machine(8, 1), machine(4, 3)];
+        configs[1].scheduler = SchedulerPolicy::Lifo;
+        configs[2].scheduler = SchedulerPolicy::Fifo;
+        let mut nocache = machine(5, 2);
+        nocache.replica_cache = false;
+        configs.push(nocache);
+        let mut relay = machine(6, 2);
+        relay.source_selection = SourceSelection::AnyReplica;
+        configs.push(relay);
+        let mut hetero = machine(4, 1);
+        hetero.per_node_workers = Some(vec![1, 3, 2, 1]);
+        configs.push(hetero);
+
+        let mut sim = Simulator::new(&g);
+        for pass in 0..2 {
+            for c in &configs {
+                let reused = sim.run(c);
+                let fresh = simulate(&g, c);
+                assert_eq!(reused, fresh, "pass {pass} config {c:?}");
+            }
+        }
+        // Traced runs agree too, and reset cleanly back to untraced.
+        let (reused_report, reused_trace) = sim.run_traced(&configs[0]);
+        let (fresh_report, fresh_trace) = simulate_traced(&g, &configs[0]);
+        assert_eq!(reused_report, fresh_report);
+        assert_eq!(reused_trace, fresh_trace);
+        assert_eq!(sim.run(&configs[0]), fresh_report);
     }
 
     #[test]
@@ -999,15 +1301,24 @@ mod memory_and_source_tests {
     }
 
     #[test]
-    fn node_set_mask_iterates_sorted() {
-        let mut m = NodeSetMask::new(130);
-        for n in [0u32, 63, 64, 65, 129] {
-            m.insert(n);
+    fn replica_bitset_tracks_many_nodes() {
+        // 130 nodes exercises multi-word replica sets (words_per_set = 3):
+        // a tile broadcast to nodes in every word, then invalidated by a
+        // write, must count one message per consumer and free all replicas.
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        for n in [1u32, 63, 64, 65, 129] {
+            let s = b.add_data(n, 8);
+            b.submit(spec(n, 0.01, vec![Access::read(d), Access::write(s)]));
         }
-        let got: Vec<NodeId> = m.iter().collect();
-        assert_eq!(got, vec![0, 63, 64, 65, 129]);
-        m.clear();
-        assert_eq!(m.iter().count(), 0);
+        b.submit(spec(0, 0.01, vec![Access::read_write(d)]));
+        let g = b.build();
+        let r = simulate(&g, &MachineConfig::test_machine(130, 1));
+        assert_eq!(r.messages, 5);
+        // After the invalidating write, only home data remains anywhere.
+        for n in [1usize, 63, 64, 65, 129] {
+            assert_eq!(r.peak_memory_per_node[n], 8 + 1000);
+        }
     }
 }
 

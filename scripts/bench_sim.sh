@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate the "current" entry of BENCH_sim.json: simulator throughput
+# (events/sec, fresh and reused paths) on the pinned workloads plus the
+# batch-engine sweep wall time. The "baseline" entry is the one-time
+# measurement of the HashMap-state simulator this repo started from; do
+# not regenerate it.
+#
+# Usage: scripts/bench_sim.sh [--reps N]   (writes BENCH_sim.json in place)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p flexdist-bench --bin bench_sim
+
+current="$(./target/release/bench_sim "$@")"
+baseline="$(python3 - <<'EOF'
+import json
+with open("BENCH_sim.json") as f:
+    print(json.dumps(json.load(f)["baseline"], indent=2))
+EOF
+)"
+
+python3 - "$current" "$baseline" <<'EOF'
+import json, sys
+doc = {
+    "comment": "DES simulator throughput; regenerate 'current' with scripts/bench_sim.sh, never 'baseline'",
+    "baseline": json.loads(sys.argv[2]),
+    "current": json.loads(sys.argv[1]),
+}
+with open("BENCH_sim.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote BENCH_sim.json"

@@ -15,4 +15,15 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --release
 run cargo test --offline --workspace -q
 
+# Batch-engine smoke: a tiny schemes x tiles grid through `flexdist sweep`
+# must produce one TSV row per grid point.
+echo "==> flexdist sweep smoke"
+sweep_out="$(./target/release/flexdist sweep --op lu --p 5 --tiles 6,8 --tile 200)"
+rows="$(printf '%s\n' "$sweep_out" | grep -c $'\t' || true)"
+if [ "$rows" -ne 5 ]; then # header + 2 schemes x 2 tile counts
+    printf '%s\n' "$sweep_out"
+    echo "sweep smoke failed: expected 5 TSV lines, got $rows" >&2
+    exit 1
+fi
+
 echo "All checks passed."

@@ -14,10 +14,34 @@ pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
+std::thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with the shim's worker count pinned to `threads` (rayon's
+/// `ThreadPoolBuilder::num_threads` equivalent, scoped to the calling
+/// thread). Used by determinism tests to compare identical sweeps at
+/// different parallelism levels.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let previous = THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    let _restore = Restore(previous);
+    f()
+}
+
 fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = THREAD_OVERRIDE
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     cores.min(items).max(1)
 }
 
@@ -152,6 +176,19 @@ mod tests {
         let xs: Vec<u32> = Vec::new();
         let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_override_pins_worker_count_and_restores() {
+        crate::with_thread_count(1, || {
+            assert_eq!(crate::worker_count(100), 1);
+            crate::with_thread_count(3, || assert_eq!(crate::worker_count(100), 3));
+            assert_eq!(crate::worker_count(100), 1);
+            let xs: Vec<u64> = (0..100).collect();
+            let out: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(out.len(), 100);
+        });
+        assert!(crate::worker_count(100) >= 1);
     }
 
     #[test]
