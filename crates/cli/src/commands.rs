@@ -26,6 +26,14 @@ fn parse_op(token: &str) -> Result<Operation, String> {
     }
 }
 
+fn parse_op_any(token: &str) -> Result<Operation, String> {
+    match token {
+        "gemm" => Ok(Operation::Gemm),
+        other => parse_op(other)
+            .map_err(|_| format!("unknown op {other:?} (expected lu, chol, syrk or gemm)")),
+    }
+}
+
 /// `flexdist pattern --p N [--scheme ...] [--seeds K] [--print]`
 ///
 /// # Errors
@@ -413,6 +421,88 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "wrote {json_path}");
     }
     Ok(out)
+}
+
+/// `flexdist verify [--lint [--root DIR] [--allow FILE]]
+/// [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE) [--t T]
+/// [--trace FILE]]`
+///
+/// Machine-checked correctness gate. `--lint` runs the workspace source
+/// rules (no `unwrap`/`expect` outside tests, NaN-safe `f64` ordering,
+/// `unsafe` confined to the work-stealing deque) against the allowlist.
+/// With `--op` and a distribution, builds the task graph and runs the
+/// static DAG linter (access sets, owner-computes, cycles,
+/// missing/redundant dependency edges); `--trace FILE` additionally
+/// replays a `simulate`/`execute` trace through the vector-clock race
+/// detector. Any finding makes the command fail.
+///
+/// # Errors
+/// Returns flag/IO problems, and the full report when findings exist
+/// (so the process exits non-zero).
+pub fn verify(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    let mut n_findings = 0usize;
+    let run_lint = args.flag("lint");
+    let run_dag = args.flag("op") || args.flag("p") || args.flag("pattern");
+    if !run_lint && !run_dag {
+        return Err(
+            "verify: nothing to do — pass --lint and/or --op with --p/--pattern".to_string(),
+        );
+    }
+    if run_lint {
+        let root = args.get_str("root", ".");
+        let allow_path = args.get_str("allow", &format!("{root}/scripts/lint_allow.txt"));
+        let allow = if std::path::Path::new(&allow_path).exists() {
+            flexdist_verify::Allowlist::load(std::path::Path::new(&allow_path))?
+        } else {
+            flexdist_verify::Allowlist::default()
+        };
+        let rep = flexdist_verify::lint_workspace(std::path::Path::new(&root), &allow)?;
+        n_findings += rep.findings.len();
+        out.push_str(&rep.to_text());
+    }
+    if run_dag {
+        let op = parse_op_any(&args.get_str("op", "lu"))?;
+        let default_scheme = match op {
+            Operation::Lu => "g2dbc",
+            _ => "gcrm",
+        };
+        let (kind, pat) = pattern_from_args(args, default_scheme)?;
+        let t: usize = args.get("t", 16)?;
+        if t == 0 {
+            return Err("--t must be positive".to_string());
+        }
+        let assignment = TileAssignment::extended(&pat, t);
+        let tl = build_graph(op, &assignment, &KernelCostModel::uniform(500, 30.0));
+        let _ = writeln!(
+            out,
+            "{} with {} on {} nodes, {t}x{t} tiles:",
+            op.name(),
+            kind.name(),
+            pat.n_nodes()
+        );
+        let rep = flexdist_verify::lint_graph(&tl);
+        n_findings += rep.findings.len();
+        out.push_str(&rep.to_text());
+        let trace_path = args.get_str("trace", "");
+        if !trace_path.is_empty() {
+            let text = std::fs::read_to_string(&trace_path)
+                .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
+            let trace = flexdist_verify::TraceView::from_json_str(&text)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let view = flexdist_verify::GraphView::from_graph(&tl.graph);
+            let rep = flexdist_verify::detect_races(&view, &trace);
+            n_findings += rep.findings.len();
+            out.push_str(&rep.to_text());
+        }
+    }
+    if n_findings > 0 {
+        let _ = writeln!(out, "verify: FAILED with {n_findings} finding(s)");
+        Err(out)
+    } else {
+        let _ = writeln!(out, "verify: ok");
+        Ok(out)
+    }
 }
 
 /// `flexdist db --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]`

@@ -11,6 +11,9 @@
 //! * `gantt`    — render an ASCII utilization chart of a simulated run;
 //! * `execute`  — run the factorization for real on a local work-stealing
 //!   thread pool (actual `f64` kernels) and report numerics + counters;
+//! * `verify`   — machine-checked correctness gate: workspace source
+//!   lint, static DAG lint of a factorization graph, and vector-clock
+//!   race detection over a dumped trace;
 //! * `db`       — build the per-`P` best-pattern database as JSON.
 //!
 //! `simulate`, `gantt` and `execute` accept `--trace-out FILE` to dump the
@@ -42,7 +45,13 @@ COMMANDS:
             [--trace-out FILE]
   execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
             [--seed S] [--trace-out FILE]
+  verify    [--lint [--root DIR] [--allow FILE]]
+            [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
+            [--t T] [--trace FILE]]
   db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
+
+`simulate`, `gantt`, `execute` and `verify` also accept --pattern FILE
+(a pattern JSON document) in place of --scheme/--p.
 
 Run a command with bad flags to see its specific requirements.";
 
@@ -63,6 +72,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "sweep" => commands::sweep(&args),
         "gantt" => commands::gantt(&args),
         "execute" => commands::execute(&args),
+        "verify" => commands::verify(&args),
         "db" => commands::db(&args),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

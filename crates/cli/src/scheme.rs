@@ -14,6 +14,8 @@ pub enum SchemeKind {
     Sbc,
     /// GCR&M search.
     Gcrm,
+    /// Loaded from a `--pattern FILE` JSON document.
+    File,
 }
 
 impl SchemeKind {
@@ -41,6 +43,7 @@ impl SchemeKind {
             Self::G2dbc => "G-2DBC",
             Self::Sbc => "SBC",
             Self::Gcrm => "GCR&M",
+            Self::File => "pattern-file",
         }
     }
 
@@ -62,20 +65,43 @@ impl SchemeKind {
             )
             .map(|r| r.best)
             .map_err(|e| e.to_string()),
+            Self::File => {
+                Err("a pattern file provides the pattern directly; pass --pattern FILE".to_string())
+            }
         }
     }
 }
 
-/// Resolve the scheme and pattern from common flags: `--scheme` (default
-/// `g2dbc` for LU-ish uses, callers may override the default), `--p`
-/// (required), `--seeds`.
+/// Load, parse and validate a pattern from a `--pattern FILE` JSON
+/// document (either the flat `cells` form or the nested `pattern` rows
+/// form — see `Pattern::from_json`).
 ///
 /// # Errors
-/// Propagates parsing and admissibility errors.
+/// Reports IO failures, JSON syntax errors, and structural problems
+/// (ragged rows, out-of-range node ids), naming the offending entry.
+pub fn pattern_from_file(file: &str) -> Result<Pattern, String> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read pattern {file}: {e}"))?;
+    let doc = flexdist_json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let pat = Pattern::from_json(&doc).map_err(|e| format!("{file}: {e}"))?;
+    pat.validate().map_err(|e| format!("{file}: {e}"))?;
+    Ok(pat)
+}
+
+/// Resolve the scheme and pattern from common flags: `--pattern FILE`
+/// (takes precedence), or `--scheme` (default `g2dbc` for LU-ish uses,
+/// callers may override the default) with `--p` (required) and `--seeds`.
+///
+/// # Errors
+/// Propagates parsing, file and admissibility errors.
 pub fn pattern_from_args(
     args: &Args,
     default_scheme: &str,
 ) -> Result<(SchemeKind, Pattern), String> {
+    let file = args.get_str("pattern", "");
+    if !file.is_empty() {
+        return Ok((SchemeKind::File, pattern_from_file(&file)?));
+    }
     let p: u32 = args.require("p")?;
     if p == 0 {
         return Err("--p must be positive".to_string());

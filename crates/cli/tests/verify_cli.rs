@@ -1,0 +1,175 @@
+//! End-to-end tests of `flexdist verify` and of the `--pattern FILE`
+//! validation shared with `simulate`: the lint and DAG passes run green
+//! on the shipped tree, traces dumped by `simulate`/`execute` replay
+//! clean, and malformed inputs fail with diagnostics naming the
+//! offending entry.
+
+use flexdist_cli::run;
+use std::path::PathBuf;
+
+fn sv(items: &[&str]) -> Vec<String> {
+    items.iter().map(ToString::to_string).collect()
+}
+
+/// Workspace root (this crate lives at `<root>/crates/cli`).
+fn root() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.to_str().unwrap().to_string()
+}
+
+fn tmp(name: &str) -> (PathBuf, String) {
+    let path = std::env::temp_dir().join(name);
+    let s = path.to_str().unwrap().to_string();
+    (path, s)
+}
+
+#[test]
+fn verify_without_work_is_an_error() {
+    let err = run(&sv(&["verify"])).unwrap_err();
+    assert!(err.contains("nothing to do"), "{err}");
+}
+
+#[test]
+fn verify_lint_is_clean_on_the_shipped_tree() {
+    let out = run(&sv(&["verify", "--lint", "--root", &root()])).unwrap();
+    assert!(out.contains("verify: ok"), "{out}");
+    assert!(out.contains("0 finding(s)"), "{out}");
+}
+
+#[test]
+fn verify_dag_is_clean_for_lu_and_cholesky() {
+    let out = run(&sv(&["verify", "--op", "lu", "--p", "7", "--t", "8"])).unwrap();
+    assert!(out.contains("lu with G-2DBC on 7 nodes"), "{out}");
+    assert!(out.contains("0 redundant"), "{out}");
+    assert!(out.contains("verify: ok"), "{out}");
+
+    let out = run(&sv(&[
+        "verify", "--op", "chol", "--p", "12", "--scheme", "2dbc", "--t", "10",
+    ]))
+    .unwrap();
+    assert!(out.contains("verify: ok"), "{out}");
+}
+
+#[test]
+fn verify_replays_a_simulator_trace_clean() {
+    let (path, trace) = tmp("flexdist_cli_verify_sim_trace.json");
+    // t = n / tile = 8, same default G-2DBC pattern as verify builds.
+    run(&sv(&[
+        "simulate",
+        "--op",
+        "lu",
+        "--p",
+        "5",
+        "--n",
+        "4000",
+        "--tile",
+        "500",
+        "--trace-out",
+        &trace,
+    ]))
+    .unwrap();
+    let out = run(&sv(&[
+        "verify", "--op", "lu", "--p", "5", "--t", "8", "--trace", &trace,
+    ]))
+    .unwrap();
+    assert!(out.contains("race:"), "{out}");
+    assert!(out.contains("verify: ok"), "{out}");
+
+    // The same trace against the wrong tile count is a coverage failure.
+    let err = run(&sv(&[
+        "verify", "--op", "lu", "--p", "5", "--t", "6", "--trace", &trace,
+    ]))
+    .unwrap_err();
+    assert!(err.contains("trace-coverage"), "{err}");
+    assert!(err.contains("verify: FAILED"), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn verify_replays_an_executor_trace_clean() {
+    let (path, trace) = tmp("flexdist_cli_verify_exec_trace.json");
+    run(&sv(&[
+        "execute",
+        "--op",
+        "chol",
+        "--p",
+        "4",
+        "--t",
+        "6",
+        "--nb",
+        "8",
+        "--threads",
+        "2",
+        "--scheme",
+        "2dbc",
+        "--trace-out",
+        &trace,
+    ]))
+    .unwrap();
+    let out = run(&sv(&[
+        "verify", "--op", "chol", "--p", "4", "--scheme", "2dbc", "--t", "6", "--trace", &trace,
+    ]))
+    .unwrap();
+    assert!(out.contains("race:"), "{out}");
+    assert!(out.contains("verify: ok"), "{out}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn pattern_file_is_accepted_by_verify_and_simulate() {
+    let (path, file) = tmp("flexdist_cli_verify_pattern_ok.json");
+    std::fs::write(&path, r#"{"n_nodes": 3, "pattern": [[0, 1], [2, 0]]}"#).unwrap();
+    let out = run(&sv(&[
+        "verify",
+        "--op",
+        "lu",
+        "--pattern",
+        &file,
+        "--t",
+        "6",
+    ]))
+    .unwrap();
+    assert!(out.contains("pattern-file on 3 nodes"), "{out}");
+    assert!(out.contains("verify: ok"), "{out}");
+    let out = run(&sv(&[
+        "simulate",
+        "--op",
+        "lu",
+        "--pattern",
+        &file,
+        "--n",
+        "3000",
+        "--tile",
+        "500",
+    ]))
+    .unwrap();
+    assert!(out.contains("makespan"), "{out}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn ragged_pattern_rows_are_rejected_with_the_row_named() {
+    let (path, file) = tmp("flexdist_cli_verify_pattern_ragged.json");
+    std::fs::write(&path, r#"{"n_nodes": 4, "pattern": [[0, 1, 2], [3, 0]]}"#).unwrap();
+    for cmd in ["verify", "simulate"] {
+        let err = run(&sv(&[cmd, "--op", "lu", "--pattern", &file])).unwrap_err();
+        assert!(err.contains("ragged rows"), "{cmd}: {err}");
+        assert!(err.contains("row 1 has 2 cells"), "{cmd}: {err}");
+        assert!(err.contains(&file), "{cmd}: {err}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn out_of_range_node_id_is_rejected_with_the_cell_named() {
+    let (path, file) = tmp("flexdist_cli_verify_pattern_oob.json");
+    std::fs::write(&path, r#"{"n_nodes": 2, "pattern": [[0, 1], [1, 5]]}"#).unwrap();
+    for cmd in ["verify", "simulate"] {
+        let err = run(&sv(&[cmd, "--op", "lu", "--pattern", &file])).unwrap_err();
+        assert!(err.contains("cell (1,1)"), "{cmd}: {err}");
+        assert!(err.contains("out of range"), "{cmd}: {err}");
+    }
+    let _ = std::fs::remove_file(path);
+}

@@ -40,6 +40,8 @@
 //! assert!(t <= 2.0 * (23f64).sqrt() + 2.0 / (23f64).sqrt());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod db;
 pub mod g2dbc;

@@ -144,7 +144,8 @@ impl Pattern {
             ));
         }
         let mut cells = Vec::with_capacity(raw.len());
-        for item in raw {
+        for (idx, item) in raw.iter().enumerate() {
+            let (i, j) = (idx / cols, idx % cols);
             if item.is_null() {
                 cells.push(None);
             } else {
@@ -152,16 +153,101 @@ impl Pattern {
                     .as_u64()
                     .and_then(|x| u32::try_from(x).ok())
                     .ok_or_else(|| {
-                        "pattern JSON: cell is neither null nor a node id".to_string()
+                        format!(
+                            "pattern JSON: cell ({i},{j}) is {item}, expected null or a node id"
+                        )
                     })?;
                 if id >= n_nodes {
-                    return Err(format!("pattern JSON: node {id} out of range ({n_nodes})"));
+                    return Err(format!(
+                        "pattern JSON: cell ({i},{j}) names node {id}, out of range for \
+                         n_nodes = {n_nodes}"
+                    ));
                 }
                 cells.push(Some(id));
             }
         }
         Ok(Self {
             rows,
+            cols,
+            n_nodes,
+            cells,
+        })
+    }
+
+    /// Parse a pattern from either supported JSON encoding:
+    ///
+    /// * the flat [`Pattern::to_json_value`] form
+    ///   (`{"rows", "cols", "n_nodes", "cells"}`), or
+    /// * a nested-rows form `{"n_nodes": P, "pattern": [[0, 1], [2, 3]]}`
+    ///   where each inner array is one pattern row (`null` for undefined
+    ///   cells).
+    ///
+    /// # Errors
+    /// Reports missing fields, ragged rows, and out-of-range node ids,
+    /// naming the offending row or cell.
+    pub fn from_json(v: &flexdist_json::Value) -> Result<Self, String> {
+        if v.get("cells").is_some() {
+            return Self::from_json_value(v);
+        }
+        let Some(raw_rows) = v.get("pattern").and_then(flexdist_json::Value::as_array) else {
+            return Err(
+                "pattern JSON: expected either a \"cells\" field (flat form) or a \
+                 \"pattern\" field (array of rows)"
+                    .to_string(),
+            );
+        };
+        let n_nodes = v
+            .get("n_nodes")
+            .and_then(flexdist_json::Value::as_u64)
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| "pattern JSON: missing integer field \"n_nodes\"".to_string())?;
+        if n_nodes == 0 {
+            return Err("pattern JSON: n_nodes must be positive".to_string());
+        }
+        if raw_rows.is_empty() {
+            return Err("pattern JSON: \"pattern\" must have at least one row".to_string());
+        }
+        let mut cols = 0usize;
+        let mut cells = Vec::new();
+        for (i, row) in raw_rows.iter().enumerate() {
+            let Some(row) = row.as_array() else {
+                return Err(format!("pattern JSON: row {i} is not an array"));
+            };
+            if i == 0 {
+                cols = row.len();
+                if cols == 0 {
+                    return Err("pattern JSON: row 0 is empty".to_string());
+                }
+            } else if row.len() != cols {
+                return Err(format!(
+                    "pattern JSON: ragged rows — row {i} has {} cells, row 0 has {cols}",
+                    row.len()
+                ));
+            }
+            for (j, item) in row.iter().enumerate() {
+                if item.is_null() {
+                    cells.push(None);
+                    continue;
+                }
+                let id = item
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| {
+                        format!(
+                            "pattern JSON: cell ({i},{j}) is {item}, expected null or a node id"
+                        )
+                    })?;
+                if id >= n_nodes {
+                    return Err(format!(
+                        "pattern JSON: cell ({i},{j}) names node {id}, out of range for \
+                         n_nodes = {n_nodes}"
+                    ));
+                }
+                cells.push(Some(id));
+            }
+        }
+        Ok(Self {
+            rows: raw_rows.len(),
             cols,
             n_nodes,
             cells,

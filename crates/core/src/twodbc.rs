@@ -78,8 +78,7 @@ pub fn best_2dbc_at_most(p: u32) -> (u32, usize, usize) {
         .max_by(|a, b| {
             let score = |&(q, r, c): &(u32, usize, usize)| f64::from(q) / (r + c) as f64;
             score(a)
-                .partial_cmp(&score(b))
-                .expect("scores are finite")
+                .total_cmp(&score(b))
                 // Tie-break towards using more nodes.
                 .then(a.0.cmp(&b.0))
         })

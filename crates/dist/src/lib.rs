@@ -11,6 +11,8 @@
 //!   with the closed-form estimates of paper Eq. 1 / Eq. 2;
 //! * [`load`] — per-node tile-count and flop-weighted load reports.
 
+#![forbid(unsafe_code)]
+
 pub mod assignment;
 pub mod comm;
 pub mod load;

@@ -23,6 +23,11 @@
 //! * [`execute`](execute())d for real on a thread pool with the actual
 //!   `f64` kernels, validating the distributed algorithm numerically.
 
+// `unsafe` is confined to the work-stealing deque (`steal`), which is
+// currently written without it; if it ever returns there, every block
+// must carry a `// SAFETY:` comment (enforced by `flexdist verify --lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod execute;
 pub mod graphs;
 pub mod residual;

@@ -22,6 +22,8 @@
 //! (`MachineConfig::per_node_workers`) for end-to-end heterogeneous
 //! simulations.
 
+#![forbid(unsafe_code)]
+
 pub mod assignment;
 pub mod partition;
 pub mod speeds;

@@ -16,6 +16,8 @@
 //! assert_eq!(flexdist_json::parse(&text).unwrap(), v);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON document node.
@@ -344,6 +346,7 @@ impl std::error::Error for ParseError {}
 /// Returns a [`ParseError`] with the byte offset of the first problem.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
+        text: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -357,6 +360,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -379,7 +383,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -412,7 +416,7 @@ impl Parser<'_> {
     }
 
     fn parse_object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -423,7 +427,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.parse_value()?;
             pairs.push((key, value));
@@ -440,7 +444,7 @@ impl Parser<'_> {
     }
 
     fn parse_array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -463,7 +467,7 @@ impl Parser<'_> {
     }
 
     fn parse_string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -502,11 +506,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let ch = s.chars().next().expect("non-empty");
+                    // `pos` always sits on a char boundary: the input is
+                    // a &str and the parser only ever advances past whole
+                    // ASCII tokens or complete characters.
+                    let Some(ch) = self.text[self.pos..].chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

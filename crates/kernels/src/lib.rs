@@ -13,6 +13,8 @@
 //! (`a[i + j*nb]` is element `(i, j)`), matching LAPACK so the algorithms
 //! transcribe literally.
 
+#![forbid(unsafe_code)]
+
 pub mod blas;
 pub mod cost;
 pub mod factorize;

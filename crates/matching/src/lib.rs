@@ -17,6 +17,8 @@
 //! side") helper used by GCR&M, where every node on the right side is
 //! replicated `k` times.
 
+#![forbid(unsafe_code)]
+
 mod graph;
 mod greedy;
 mod hk;

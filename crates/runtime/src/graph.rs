@@ -186,6 +186,15 @@ impl TaskGraph {
         &self.tasks[id as usize].reads
     }
 
+    /// Data written by task `id` (W and RW accesses).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn writes_of(&self, id: TaskId) -> &[DataId] {
+        &self.tasks[id as usize].writes
+    }
+
     /// Scheduling priority of `id` (larger runs earlier among ready tasks).
     ///
     /// # Panics

@@ -21,6 +21,8 @@
 //! GFlop/s, message counts and per-node utilization — the quantities the
 //! paper plots.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod gantt;

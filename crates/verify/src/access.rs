@@ -1,0 +1,203 @@
+//! Independent derivation of per-task tile access sets.
+//!
+//! Everything here is recomputed **from the kernel identity alone**
+//! ([`Op`] plus the operation's handle-layout convention) — deliberately
+//! *not* by reading the access lists stored in the graph. The DAG linter
+//! diffs the two; any divergence means the graph builder registered the
+//! wrong tiles for some kernel, which the runtime would then "correctly"
+//! order into a wrong factorization.
+//!
+//! Handle layout conventions (fixed by `flexdist_factor::build_graph`):
+//!
+//! * LU / Cholesky: tile `A(i,j)` has handle `i·t + j`.
+//! * SYRK: `A` as above; the output `C` is registered afterwards in
+//!   row-major lower-triangle order, so `C(i,j)` (with `j ≤ i`) has handle
+//!   `t² + i(i+1)/2 + j`.
+//! * GEMM: `A` as above, then the full `B` grid (`B(l,j)` = `t² + l·t + j`),
+//!   then the full `C` grid (`C(i,j)` = `2t² + i·t + j`).
+
+use flexdist_factor::{Op, Operation};
+use flexdist_runtime::DataId;
+
+/// Symbolic access set of one kernel invocation: which tile handles it
+/// reads, which it writes, and the tile coordinate whose owner must run
+/// it (the owner-computes anchor). Read and write lists are sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAccess {
+    /// Handles read (includes read-write tiles). Sorted ascending.
+    pub reads: Vec<DataId>,
+    /// Handles written. Sorted ascending.
+    pub writes: Vec<DataId>,
+    /// Tile coordinate `(i, j)` of the written tile; under owner-computes
+    /// the task must run on that tile's home node.
+    pub write_tile: (usize, usize),
+}
+
+fn a(t: usize, i: usize, j: usize) -> DataId {
+    (i * t + j) as DataId
+}
+
+fn syrk_c(t: usize, i: usize, j: usize) -> DataId {
+    debug_assert!(j <= i);
+    (t * t + i * (i + 1) / 2 + j) as DataId
+}
+
+fn gemm_b(t: usize, l: usize, j: usize) -> DataId {
+    (t * t + l * t + j) as DataId
+}
+
+fn gemm_c(t: usize, i: usize, j: usize) -> DataId {
+    (2 * t * t + i * t + j) as DataId
+}
+
+/// Derive the access set of `op` on a `t × t` tile matrix under
+/// `operation`'s handle layout.
+///
+/// # Panics
+/// Panics if `op` does not belong to `operation` (e.g. a [`Op::Potrf`]
+/// inside an LU task list) — that is itself a broken task list and the
+/// linter reports it before calling this.
+#[must_use]
+pub fn expected_accesses(operation: Operation, op: Op, t: usize) -> TaskAccess {
+    let (mut reads, write, tile) = match op {
+        Op::Getrf { l } | Op::Potrf { l } => (vec![a(t, l, l)], a(t, l, l), (l, l)),
+        Op::TrsmColUpper { i, l } | Op::TrsmLowerTrans { i, l } => {
+            (vec![a(t, l, l), a(t, i, l)], a(t, i, l), (i, l))
+        }
+        Op::TrsmRowLower { l, j } => (vec![a(t, l, l), a(t, l, j)], a(t, l, j), (l, j)),
+        Op::GemmNn { i, j, l } => (vec![a(t, i, l), a(t, l, j), a(t, i, j)], a(t, i, j), (i, j)),
+        Op::GemmNt { i, j, l } => (vec![a(t, i, l), a(t, j, l), a(t, i, j)], a(t, i, j), (i, j)),
+        Op::SyrkUpdate { j, l } => (vec![a(t, j, l), a(t, j, j)], a(t, j, j), (j, j)),
+        Op::SyrkAccumulate { i, j, l } => {
+            assert_eq!(operation, Operation::Syrk, "SyrkAccumulate outside SYRK");
+            let c = syrk_c(t, i, j);
+            if i == j {
+                (vec![a(t, j, l), c], c, (j, j))
+            } else {
+                (vec![a(t, i, l), a(t, j, l), c], c, (i, j))
+            }
+        }
+        Op::GemmAb { i, j, l } => {
+            assert_eq!(operation, Operation::Gemm, "GemmAb outside GEMM");
+            let c = gemm_c(t, i, j);
+            (vec![a(t, i, l), gemm_b(t, l, j), c], c, (i, j))
+        }
+    };
+    reads.sort_unstable();
+    TaskAccess {
+        reads,
+        writes: vec![write],
+        write_tile: tile,
+    }
+}
+
+/// Number of data handles `build_graph` registers for `operation` on a
+/// `t × t` tile matrix.
+#[must_use]
+pub fn expected_n_data(operation: Operation, t: usize) -> usize {
+    match operation {
+        Operation::Lu | Operation::Cholesky => t * t,
+        Operation::Syrk => t * t + t * (t + 1) / 2,
+        Operation::Gemm => 3 * t * t,
+    }
+}
+
+/// Whether `op` is a kernel of `operation`'s algorithm at tile count `t`
+/// with in-range indices. Returns an error naming the problem otherwise.
+///
+/// # Errors
+/// Describes the first violated constraint (wrong kernel family or an
+/// index out of range).
+pub fn check_op_shape(operation: Operation, op: Op, t: usize) -> Result<(), String> {
+    let belongs = matches!(
+        (operation, op),
+        (
+            Operation::Lu,
+            Op::Getrf { .. }
+                | Op::TrsmColUpper { .. }
+                | Op::TrsmRowLower { .. }
+                | Op::GemmNn { .. },
+        ) | (
+            Operation::Cholesky,
+            Op::Potrf { .. }
+                | Op::TrsmLowerTrans { .. }
+                | Op::SyrkUpdate { .. }
+                | Op::GemmNt { .. },
+        ) | (Operation::Syrk, Op::SyrkAccumulate { .. })
+            | (Operation::Gemm, Op::GemmAb { .. })
+    );
+    if !belongs {
+        return Err(format!(
+            "kernel {op:?} does not belong to the {} algorithm",
+            operation.name()
+        ));
+    }
+    let idx: &[usize] = match op {
+        Op::Getrf { l } | Op::Potrf { l } => &[l],
+        Op::TrsmColUpper { i, l } | Op::TrsmLowerTrans { i, l } => &[i, l],
+        Op::TrsmRowLower { l, j } => &[l, j],
+        Op::SyrkUpdate { j, l } => &[j, l],
+        Op::GemmNn { i, j, l }
+        | Op::GemmNt { i, j, l }
+        | Op::SyrkAccumulate { i, j, l }
+        | Op::GemmAb { i, j, l } => &[i, j, l],
+    };
+    if let Some(&bad) = idx.iter().find(|&&k| k >= t) {
+        return Err(format!("kernel {op:?} indexes tile {bad}, t = {t}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::twodbc;
+    use flexdist_dist::TileAssignment;
+    use flexdist_factor::build_graph;
+    use flexdist_kernels::KernelCostModel;
+
+    /// The independent derivation must agree with what the builder
+    /// actually registered, for every task of every operation.
+    #[test]
+    fn derivation_matches_builder_registration() {
+        let t = 5;
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        let cost = KernelCostModel::uniform(4, 10.0);
+        for operation in [
+            Operation::Lu,
+            Operation::Cholesky,
+            Operation::Syrk,
+            Operation::Gemm,
+        ] {
+            let tl = build_graph(operation, &assign, &cost);
+            assert_eq!(tl.graph.n_data(), expected_n_data(operation, t));
+            for (id, &op) in tl.ops.iter().enumerate() {
+                let exp = expected_accesses(operation, op, t);
+                let mut reads = tl.graph.reads_of(id as u32).to_vec();
+                reads.sort_unstable();
+                let mut writes = tl.graph.writes_of(id as u32).to_vec();
+                writes.sort_unstable();
+                assert_eq!(reads, exp.reads, "{operation:?} task {id} {op:?}");
+                assert_eq!(writes, exp.writes, "{operation:?} task {id} {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_c_handles_follow_lower_triangle_order() {
+        // t = 3: C(0,0)=9, C(1,0)=10, C(1,1)=11, C(2,0)=12 ...
+        assert_eq!(syrk_c(3, 0, 0), 9);
+        assert_eq!(syrk_c(3, 1, 0), 10);
+        assert_eq!(syrk_c(3, 1, 1), 11);
+        assert_eq!(syrk_c(3, 2, 2), 14);
+    }
+
+    #[test]
+    fn shape_check_rejects_foreign_and_out_of_range_kernels() {
+        assert!(check_op_shape(Operation::Lu, Op::Getrf { l: 2 }, 4).is_ok());
+        let err = check_op_shape(Operation::Lu, Op::Potrf { l: 0 }, 4).unwrap_err();
+        assert!(err.contains("does not belong"), "{err}");
+        let err = check_op_shape(Operation::Lu, Op::GemmNn { i: 4, j: 1, l: 0 }, 4).unwrap_err();
+        assert!(err.contains("indexes tile 4"), "{err}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Static DAG linter.
+//!
+//! Re-derives, independently of the runtime, everything the task graph of
+//! a factorization must encode, and diffs it against what the graph
+//! actually contains:
+//!
+//! * **access sets** — each task's declared reads/writes must equal the
+//!   kernel's symbolic tile footprint ([`crate::access`]);
+//! * **owner computes** — each task must run on the node owning every
+//!   tile it writes;
+//! * **acyclicity** — the dependency relation must admit a topological
+//!   order;
+//! * **completeness** — every RAW/WAR/WAW hazard obtained by replaying
+//!   the kernels in sequential program order must be covered by a DAG
+//!   path (a missing ordering is a latent data race);
+//! * **minimality** — direct edges already implied by a longer path are
+//!   counted and reported (the transitive-reduction deficit; the shipped
+//!   builders emit none).
+
+use crate::access::{check_op_shape, expected_accesses, expected_n_data};
+use crate::view::GraphView;
+use crate::Finding;
+use flexdist_factor::TaskList;
+use flexdist_runtime::TaskId;
+
+/// Outcome of the static DAG lint.
+#[derive(Debug, Clone)]
+pub struct DagReport {
+    /// All findings, in rule order. Empty means the graph is exactly the
+    /// required dependency structure (up to transitive redundancy zero).
+    pub findings: Vec<Finding>,
+    /// Tasks examined.
+    pub n_tasks: usize,
+    /// Direct dependency edges in the graph.
+    pub n_edges: usize,
+    /// Required orderings derived from the sequential replay.
+    pub n_required: usize,
+    /// Direct edges already implied by a longer path.
+    pub n_redundant: usize,
+}
+
+impl DagReport {
+    /// No findings of any rule.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render all findings, one per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "dag: {} tasks, {} edges, {} required orderings, {} redundant, {} finding(s)",
+            self.n_tasks,
+            self.n_edges,
+            self.n_required,
+            self.n_redundant,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
+/// Lint a freshly-built task list against its own graph.
+#[must_use]
+pub fn lint_graph(tl: &TaskList) -> DagReport {
+    lint_with_view(tl, &GraphView::from_graph(&tl.graph))
+}
+
+fn task_name(tl: &TaskList, view: &GraphView, id: TaskId) -> String {
+    format!("#{id} {}({:?})", view.label_of(id), tl.ops[id as usize])
+}
+
+/// Lint `tl`'s kernel list against an explicit (possibly fault-injected)
+/// graph view. [`lint_graph`] is the common entry point; tests inject
+/// defects into the view to prove each rule fires.
+#[must_use]
+pub fn lint_with_view(tl: &TaskList, view: &GraphView) -> DagReport {
+    let mut findings = Vec::new();
+    let n_tasks = view.n_tasks();
+    let n_edges = view.n_edges();
+    if tl.ops.len() != n_tasks {
+        findings.push(Finding {
+            rule: "task-count",
+            message: format!("{} kernels for {n_tasks} graph tasks", tl.ops.len()),
+        });
+        return DagReport {
+            findings,
+            n_tasks,
+            n_edges,
+            n_required: 0,
+            n_redundant: 0,
+        };
+    }
+    if view.n_data() != expected_n_data(tl.operation, tl.t) {
+        findings.push(Finding {
+            rule: "data-count",
+            message: format!(
+                "{} data handles registered, {} layout expects {}",
+                view.n_data(),
+                tl.operation.name(),
+                expected_n_data(tl.operation, tl.t)
+            ),
+        });
+    }
+
+    // Per-task access sets and owner-computes. Tasks with a broken shape
+    // fall back to the graph's own accesses for the replay below so one
+    // bad kernel does not cascade into bogus ordering findings.
+    let mut accesses = Vec::with_capacity(n_tasks);
+    for id in 0..n_tasks as TaskId {
+        let op = tl.ops[id as usize];
+        let mut reads = view.reads_of(id).to_vec();
+        reads.sort_unstable();
+        let mut writes = view.writes_of(id).to_vec();
+        writes.sort_unstable();
+        match check_op_shape(tl.operation, op, tl.t) {
+            Ok(()) => {
+                let exp = expected_accesses(tl.operation, op, tl.t);
+                if reads != exp.reads || writes != exp.writes {
+                    findings.push(Finding {
+                        rule: "access-mismatch",
+                        message: format!(
+                            "{}: graph reads {reads:?} writes {writes:?}, kernel \
+                             footprint reads {:?} writes {:?}",
+                            task_name(tl, view, id),
+                            exp.reads,
+                            exp.writes
+                        ),
+                    });
+                }
+                accesses.push((exp.reads, exp.writes));
+            }
+            Err(why) => {
+                findings.push(Finding {
+                    rule: "kernel-shape",
+                    message: format!("task #{id}: {why}"),
+                });
+                accesses.push((reads.clone(), writes.clone()));
+            }
+        }
+        for &d in &accesses[id as usize].1 {
+            if (d as usize) < view.n_data() && view.data_owner(d) != view.node_of(id) {
+                findings.push(Finding {
+                    rule: "owner-computes",
+                    message: format!(
+                        "{} runs on node {} but writes datum {d} owned by node {}",
+                        task_name(tl, view, id),
+                        view.node_of(id),
+                        view.data_owner(d)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Acyclicity gates the path analyses.
+    let topo = match view.topo_order() {
+        Ok(order) => order,
+        Err(stuck) => {
+            findings.push(Finding {
+                rule: "cycle",
+                message: format!("dependency cycle through tasks {stuck:?}"),
+            });
+            return DagReport {
+                findings,
+                n_tasks,
+                n_edges,
+                n_required: 0,
+                n_redundant: 0,
+            };
+        }
+    };
+
+    // Sequential replay over the derived access sets: RAW, WAW and WAR
+    // hazards in submission order are exactly the orderings the graph
+    // must provide (directly or transitively).
+    let n_data = accesses
+        .iter()
+        .flat_map(|(r, w)| r.iter().chain(w))
+        .map(|&d| d as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(view.n_data());
+    let mut last_writer: Vec<Option<TaskId>> = vec![None; n_data];
+    let mut readers: Vec<Vec<TaskId>> = vec![Vec::new(); n_data];
+    let mut required: Vec<(TaskId, TaskId)> = Vec::new();
+    for v in 0..n_tasks as TaskId {
+        let (reads, writes) = &accesses[v as usize];
+        for &d in reads {
+            if let Some(w) = last_writer[d as usize] {
+                required.push((w, v)); // RAW
+            }
+        }
+        for &d in writes {
+            if let Some(w) = last_writer[d as usize] {
+                required.push((w, v)); // WAW
+            }
+            for &r in &readers[d as usize] {
+                if r != v {
+                    required.push((r, v)); // WAR
+                }
+            }
+        }
+        for &d in writes {
+            last_writer[d as usize] = Some(v);
+            readers[d as usize].clear();
+        }
+        for &d in reads {
+            if !writes.contains(&d) {
+                readers[d as usize].push(v);
+            }
+        }
+    }
+    required.sort_unstable();
+    required.dedup();
+
+    let reach = view.reachability(&topo);
+    for &(u, v) in &required {
+        if !reach.reaches(u, v) {
+            findings.push(Finding {
+                rule: "missing-edge",
+                message: format!(
+                    "no path {} -> {}: conflicting tile accesses are unordered (latent race)",
+                    task_name(tl, view, u),
+                    task_name(tl, view, v)
+                ),
+            });
+        }
+    }
+
+    // A direct edge u -> v is redundant iff some other direct successor
+    // of u already reaches v (every longer u ~> v path starts that way).
+    let mut n_redundant = 0;
+    for u in 0..n_tasks as TaskId {
+        for &v in view.successors_of(u) {
+            let redundant = view
+                .successors_of(u)
+                .iter()
+                .any(|&w| w != v && reach.reaches(w, v));
+            if redundant {
+                n_redundant += 1;
+                findings.push(Finding {
+                    rule: "redundant-edge",
+                    message: format!(
+                        "direct edge {} -> {} is implied by a longer path",
+                        task_name(tl, view, u),
+                        task_name(tl, view, v)
+                    ),
+                });
+            }
+        }
+    }
+
+    DagReport {
+        findings,
+        n_tasks,
+        n_edges,
+        n_required: required.len(),
+        n_redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::twodbc;
+    use flexdist_dist::TileAssignment;
+    use flexdist_factor::{build_graph, Operation};
+    use flexdist_kernels::KernelCostModel;
+
+    fn task_list(op: Operation, t: usize) -> TaskList {
+        let assign = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), t);
+        build_graph(op, &assign, &KernelCostModel::uniform(4, 10.0))
+    }
+
+    #[test]
+    fn shipped_graphs_are_clean() {
+        for op in [
+            Operation::Lu,
+            Operation::Cholesky,
+            Operation::Syrk,
+            Operation::Gemm,
+        ] {
+            let tl = task_list(op, 5);
+            let rep = lint_graph(&tl);
+            assert!(rep.is_clean(), "{op:?}:\n{}", rep.to_text());
+            assert_eq!(rep.n_redundant, 0, "{op:?} has redundant edges");
+            assert!(rep.n_required > 0);
+        }
+    }
+
+    #[test]
+    fn deleted_edge_is_reported_missing() {
+        let tl = task_list(Operation::Lu, 3);
+        let mut view = GraphView::from_graph(&tl.graph);
+        // getrf(0) -> trsm: a direct RAW edge with no alternate path.
+        let v = tl.graph.successors_of(0)[0];
+        assert!(view.remove_edge(0, v));
+        let rep = lint_with_view(&tl, &view);
+        assert!(
+            rep.findings.iter().any(|f| f.rule == "missing-edge"),
+            "{}",
+            rep.to_text()
+        );
+    }
+
+    #[test]
+    fn wrong_owner_is_reported() {
+        let tl = task_list(Operation::Cholesky, 4);
+        let mut view = GraphView::from_graph(&tl.graph);
+        let wrong = (view.node_of(0) + 1) % 4;
+        view.set_node(0, wrong);
+        let rep = lint_with_view(&tl, &view);
+        assert!(
+            rep.findings.iter().any(|f| f.rule == "owner-computes"),
+            "{}",
+            rep.to_text()
+        );
+    }
+
+    #[test]
+    fn injected_cycle_is_reported() {
+        let tl = task_list(Operation::Lu, 3);
+        let mut view = GraphView::from_graph(&tl.graph);
+        let v = tl.graph.successors_of(0)[0];
+        view.add_edge(v, 0);
+        let rep = lint_with_view(&tl, &view);
+        assert!(rep.findings.iter().any(|f| f.rule == "cycle"));
+    }
+
+    #[test]
+    fn transitively_implied_edge_is_counted_redundant() {
+        let tl = task_list(Operation::Lu, 3);
+        let mut view = GraphView::from_graph(&tl.graph);
+        // getrf(0) already reaches every iteration-0 gemm through the
+        // trsms; a direct edge to one is pure redundancy.
+        let trsm = tl.graph.successors_of(0)[0];
+        let gemm = *tl
+            .graph
+            .successors_of(trsm)
+            .iter()
+            .find(|&&g| g != 0)
+            .unwrap();
+        view.add_edge(0, gemm);
+        let rep = lint_with_view(&tl, &view);
+        assert_eq!(rep.n_redundant, 1, "{}", rep.to_text());
+        assert!(rep.findings.iter().all(|f| f.rule == "redundant-edge"));
+    }
+
+    #[test]
+    fn report_text_mentions_counts() {
+        let rep = lint_graph(&task_list(Operation::Cholesky, 4));
+        let text = rep.to_text();
+        assert!(text.contains("required orderings"));
+        assert!(text.contains("0 finding(s)"));
+    }
+}

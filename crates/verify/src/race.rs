@@ -1,0 +1,580 @@
+//! Trace race detector.
+//!
+//! Replays an execution trace (the real executor's `exec-trace` or the
+//! simulator's `sim-trace` JSON, or their in-process forms) against the
+//! task graph's happens-before relation:
+//!
+//! HB = dependency edges ∪ per-lane program order,
+//!
+//! where a *lane* is one execution stream — a worker thread of the real
+//! executor, or a `(node, worker)` slot of the simulator. Vector clocks
+//! over the lanes decide ordering; any pair of tasks touching the same
+//! tile with at least one write and no HB ordering is a data race —
+//! including pairs that merely *happened* not to overlap this time.
+//!
+//! The detector first checks the trace itself: every task exactly once,
+//! sane span bounds, no two spans overlapping on one lane, and no task
+//! starting before a dependency ended. A corrupted trace is reported
+//! rather than silently analysed.
+
+use crate::view::GraphView;
+use crate::Finding;
+use flexdist_factor::{ExecEventKind, ExecTrace};
+use flexdist_json::Value;
+use flexdist_runtime::{TaskId, TaskSpan};
+use std::collections::HashMap;
+
+/// One task occupancy on one lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Task id in the graph's submission order.
+    pub task: TaskId,
+    /// Dense execution-lane index.
+    pub lane: usize,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+}
+
+/// A normalized trace: one [`Span`] per executed task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceView {
+    /// Source format: `"sim-trace"` or `"exec-trace"`.
+    pub kind: &'static str,
+    /// All spans, in file/event order.
+    pub spans: Vec<Span>,
+    /// Number of distinct lanes.
+    pub n_lanes: usize,
+}
+
+fn get_u64(obj: &Value, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer field \"{key}\""))
+}
+
+fn get_f64(obj: &Value, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric field \"{key}\""))
+}
+
+impl TraceView {
+    /// Parse a trace from its JSON document (either `kind`).
+    ///
+    /// # Errors
+    /// Describes the first malformed field, naming the offending span or
+    /// event.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        match doc.get("kind").and_then(Value::as_str) {
+            Some("sim-trace") => Self::sim_from_json(doc),
+            Some("exec-trace") => Self::exec_from_json(doc),
+            Some(other) => Err(format!(
+                "unsupported trace kind {other:?} (expected \"sim-trace\" or \"exec-trace\")"
+            )),
+            None => Err("trace JSON: missing string field \"kind\"".into()),
+        }
+    }
+
+    /// Parse a trace from JSON text.
+    ///
+    /// # Errors
+    /// On JSON syntax errors or malformed trace fields.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = flexdist_json::parse(text).map_err(|e| format!("trace JSON: {e}"))?;
+        Self::from_json(&doc)
+    }
+
+    fn sim_from_json(doc: &Value) -> Result<Self, String> {
+        let spans = doc
+            .get("spans")
+            .and_then(Value::as_array)
+            .ok_or("sim-trace: missing array field \"spans\"")?;
+        let mut lanes: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut out = Vec::with_capacity(spans.len());
+        for (k, s) in spans.iter().enumerate() {
+            let what = format!("sim-trace span {k}");
+            let node = get_u64(s, "node", &what)?;
+            let worker = get_u64(s, "worker", &what)?;
+            let next = lanes.len();
+            let lane = *lanes.entry((node, worker)).or_insert(next);
+            out.push(Span {
+                task: get_u64(s, "task", &what)? as TaskId,
+                lane,
+                start: get_f64(s, "start", &what)?,
+                end: get_f64(s, "end", &what)?,
+            });
+        }
+        Ok(Self {
+            kind: "sim-trace",
+            spans: out,
+            n_lanes: lanes.len(),
+        })
+    }
+
+    fn exec_from_json(doc: &Value) -> Result<Self, String> {
+        let events = doc
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or("exec-trace: missing array field \"events\"")?;
+        let mut parsed = Vec::with_capacity(events.len());
+        for (k, e) in events.iter().enumerate() {
+            let what = format!("exec-trace event {k}");
+            let ty = e
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{what}: missing string field \"type\""))?;
+            if ty == "steal" {
+                continue; // scheduling detail, no memory effect
+            }
+            if ty != "start" && ty != "end" {
+                return Err(format!("{what}: unknown event type {ty:?}"));
+            }
+            parsed.push((
+                ty == "start",
+                get_u64(e, "task", &what)? as TaskId,
+                get_u64(e, "worker", &what)? as usize,
+                get_f64(e, "t", &what)?,
+            ));
+        }
+        pair_events("exec-trace", parsed)
+    }
+
+    /// Build a view from the simulator's in-process span list.
+    #[must_use]
+    pub fn from_sim_trace(trace: &[TaskSpan]) -> Self {
+        let mut lanes: HashMap<(u64, u64), usize> = HashMap::new();
+        let spans = trace
+            .iter()
+            .map(|s| {
+                let next = lanes.len();
+                let lane = *lanes
+                    .entry((u64::from(s.node), u64::from(s.worker)))
+                    .or_insert(next);
+                Span {
+                    task: s.task,
+                    lane,
+                    start: s.start,
+                    end: s.end,
+                }
+            })
+            .collect();
+        Self {
+            kind: "sim-trace",
+            spans,
+            n_lanes: lanes.len(),
+        }
+    }
+
+    /// Build a view from the executor's in-process event trace.
+    ///
+    /// # Errors
+    /// When start/end events do not pair up.
+    pub fn from_exec_trace(trace: &ExecTrace) -> Result<Self, String> {
+        let parsed = trace
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, ExecEventKind::Steal { .. }))
+            .map(|e| {
+                (
+                    e.kind == ExecEventKind::Start,
+                    e.task,
+                    e.worker,
+                    e.at.as_secs_f64(),
+                )
+            })
+            .collect();
+        pair_events("exec-trace", parsed)
+    }
+}
+
+/// Pair `(is_start, task, worker, t)` events into one span per task.
+fn pair_events(
+    kind: &'static str,
+    events: Vec<(bool, TaskId, usize, f64)>,
+) -> Result<TraceView, String> {
+    let mut open: HashMap<TaskId, (usize, f64)> = HashMap::new();
+    let mut lanes: HashMap<usize, usize> = HashMap::new();
+    let mut spans = Vec::new();
+    for (is_start, task, worker, t) in events {
+        if is_start {
+            if open.insert(task, (worker, t)).is_some() {
+                return Err(format!("{kind}: task {task} started twice"));
+            }
+        } else {
+            let Some((w, s)) = open.remove(&task) else {
+                return Err(format!("{kind}: task {task} ended without a start"));
+            };
+            if w != worker {
+                return Err(format!(
+                    "{kind}: task {task} started on worker {w}, ended on {worker}"
+                ));
+            }
+            let next = lanes.len();
+            let lane = *lanes.entry(worker).or_insert(next);
+            spans.push(Span {
+                task,
+                lane,
+                start: s,
+                end: t,
+            });
+        }
+    }
+    if let Some((&task, _)) = open.iter().next() {
+        return Err(format!("{kind}: task {task} never ended"));
+    }
+    Ok(TraceView {
+        kind,
+        spans,
+        n_lanes: lanes.len(),
+    })
+}
+
+/// Outcome of replaying one trace against one graph.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// All findings: trace-shape problems first, then races.
+    pub findings: Vec<Finding>,
+    /// Spans replayed.
+    pub n_spans: usize,
+    /// Conflicting access pairs whose ordering was checked.
+    pub n_pairs_checked: usize,
+}
+
+impl RaceReport {
+    /// No findings of any rule.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render all findings, one per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "race: {} spans, {} conflicting pairs checked, {} finding(s)",
+            self.n_spans,
+            self.n_pairs_checked,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
+/// Replay `trace` against `view`'s dependency structure.
+///
+/// Reports, in order: coverage problems (task missing, duplicated or
+/// unknown — these abort the deeper analyses), malformed spans, two
+/// spans overlapping on one lane, a task starting before a dependency
+/// ended, and finally every conflicting tile-access pair left unordered
+/// by HB = DAG ∪ lane order ("data-race").
+#[must_use]
+pub fn detect_races(view: &GraphView, trace: &TraceView) -> RaceReport {
+    let n_tasks = view.n_tasks();
+    let mut findings = Vec::new();
+    let mut covered = true;
+    let mut span_of: Vec<Option<usize>> = vec![None; n_tasks];
+    for (k, s) in trace.spans.iter().enumerate() {
+        if (s.task as usize) >= n_tasks {
+            findings.push(Finding {
+                rule: "trace-coverage",
+                message: format!("span {k} references task {}, graph has {n_tasks}", s.task),
+            });
+            covered = false;
+            continue;
+        }
+        if span_of[s.task as usize].replace(k).is_some() {
+            findings.push(Finding {
+                rule: "trace-coverage",
+                message: format!("task {} appears twice in the trace", s.task),
+            });
+            covered = false;
+        }
+        if !(s.start.is_finite() && s.end.is_finite()) || s.end < s.start {
+            findings.push(Finding {
+                rule: "malformed-span",
+                message: format!("task {} has span [{}, {}]", s.task, s.start, s.end),
+            });
+        }
+    }
+    for (t, slot) in span_of.iter().enumerate() {
+        if slot.is_none() {
+            findings.push(Finding {
+                rule: "trace-coverage",
+                message: format!("task {t} missing from the trace"),
+            });
+            covered = false;
+        }
+    }
+    if !covered {
+        // Without exactly one span per graph task there is no
+        // happens-before to build.
+        return RaceReport {
+            findings,
+            n_spans: trace.spans.len(),
+            n_pairs_checked: 0,
+        };
+    }
+    let span = |t: TaskId| -> &Span { &trace.spans[span_of[t as usize].expect("covered")] };
+
+    // Per-lane program order (by start time), and overlap check.
+    let mut by_lane: Vec<Vec<TaskId>> = vec![Vec::new(); trace.n_lanes];
+    for s in &trace.spans {
+        by_lane[s.lane].push(s.task);
+    }
+    for lane in &mut by_lane {
+        lane.sort_by(|&x, &y| span(x).start.total_cmp(&span(y).start).then(x.cmp(&y)));
+        for w in lane.windows(2) {
+            let (prev, next) = (span(w[0]), span(w[1]));
+            if next.start < prev.end {
+                findings.push(Finding {
+                    rule: "lane-overlap",
+                    message: format!(
+                        "tasks {} and {} overlap on lane {} ([{}, {}] vs [{}, {}])",
+                        prev.task, next.task, prev.lane, prev.start, prev.end, next.start, next.end
+                    ),
+                });
+            }
+        }
+    }
+
+    // Timestamps must respect every dependency edge.
+    for u in 0..n_tasks as TaskId {
+        for &v in view.successors_of(u) {
+            if span(v).start < span(u).end {
+                findings.push(Finding {
+                    rule: "order-violation",
+                    message: format!(
+                        "task {v} starts at {} before its dependency {u} ends at {}",
+                        span(v).start,
+                        span(u).end
+                    ),
+                });
+            }
+        }
+    }
+
+    // Vector clocks over HB = DAG edges ∪ lane order.
+    let mut hb_succ: Vec<Vec<TaskId>> = (0..n_tasks as TaskId)
+        .map(|u| view.successors_of(u).to_vec())
+        .collect();
+    let mut pos_in_lane = vec![0u32; n_tasks];
+    for lane in &by_lane {
+        for (k, &t) in lane.iter().enumerate() {
+            pos_in_lane[t as usize] = k as u32 + 1;
+            if k + 1 < lane.len() {
+                hb_succ[t as usize].push(lane[k + 1]);
+            }
+        }
+    }
+    let mut in_deg = vec![0u32; n_tasks];
+    for succ in &hb_succ {
+        for &v in succ {
+            in_deg[v as usize] += 1;
+        }
+    }
+    let mut queue: Vec<TaskId> = (0..n_tasks as TaskId)
+        .filter(|&u| in_deg[u as usize] == 0)
+        .collect();
+    let n_lanes = trace.n_lanes;
+    let mut vc = vec![0u32; n_tasks * n_lanes];
+    let lane_of = |t: TaskId| span(t).lane;
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        let ui = u as usize;
+        vc[ui * n_lanes + lane_of(u)] = pos_in_lane[ui];
+        for &vt in &hb_succ[ui] {
+            let v = vt as usize;
+            let (a, b) = if ui < v {
+                let (x, y) = vc.split_at_mut(v * n_lanes);
+                (&x[ui * n_lanes..(ui + 1) * n_lanes], &mut y[..n_lanes])
+            } else {
+                let (x, y) = vc.split_at_mut(ui * n_lanes);
+                (
+                    &y[..n_lanes] as &[u32],
+                    &mut x[v * n_lanes..(v + 1) * n_lanes],
+                )
+            };
+            for (dst, &src) in b.iter_mut().zip(a.iter()) {
+                *dst = (*dst).max(src);
+            }
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                queue.push(vt);
+            }
+        }
+    }
+    if seen != n_tasks {
+        findings.push(Finding {
+            rule: "hb-cycle",
+            message: "trace lane order contradicts the DAG (happens-before has a cycle)".into(),
+        });
+        return RaceReport {
+            findings,
+            n_spans: trace.spans.len(),
+            n_pairs_checked: 0,
+        };
+    }
+    let ordered = |u: TaskId, v: TaskId| -> bool {
+        vc[v as usize * n_lanes + lane_of(u)] >= pos_in_lane[u as usize]
+    };
+
+    // Conflicting pairs: per datum, every (writer, other accessor) pair
+    // must be HB-ordered one way or the other.
+    let mut writers: Vec<Vec<TaskId>> = vec![Vec::new(); view.n_data()];
+    let mut readers: Vec<Vec<TaskId>> = vec![Vec::new(); view.n_data()];
+    for t in 0..n_tasks as TaskId {
+        for &d in view.writes_of(t) {
+            writers[d as usize].push(t);
+        }
+        for &d in view.reads_of(t) {
+            if !view.writes_of(t).contains(&d) {
+                readers[d as usize].push(t);
+            }
+        }
+    }
+    let mut n_pairs_checked = 0usize;
+    for d in 0..view.n_data() {
+        let ws = &writers[d];
+        for (a, &w) in ws.iter().enumerate() {
+            for &x in ws[a + 1..].iter().chain(readers[d].iter()) {
+                n_pairs_checked += 1;
+                if !ordered(w, x) && !ordered(x, w) {
+                    let (sw, sx) = (span(w), span(x));
+                    findings.push(Finding {
+                        rule: "data-race",
+                        message: format!(
+                            "tasks {w} and {x} both touch datum {d} (task {w} writes) with no \
+                             happens-before ordering: lanes {}/{}, spans [{}, {}] and [{}, {}]",
+                            sw.lane, sx.lane, sw.start, sw.end, sx.start, sx.end
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    RaceReport {
+        findings,
+        n_spans: trace.spans.len(),
+        n_pairs_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tasks writing one datum, plus an independent task on another.
+    fn two_writer_view(with_edge: bool) -> GraphView {
+        use flexdist_runtime::{Access, GraphBuilder, TaskSpec};
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        let e = b.add_data(0, 8);
+        for datum in [d, d, e] {
+            b.submit(TaskSpec {
+                node: 0,
+                duration: 1.0,
+                flops: 1.0,
+                priority: 0,
+                label: "t",
+                accesses: vec![Access::read_write(datum)],
+            });
+        }
+        let mut view = GraphView::from_graph(&b.build());
+        if !with_edge {
+            assert!(view.remove_edge(0, 1));
+        }
+        view
+    }
+
+    fn spans(list: &[(TaskId, usize, f64, f64)]) -> TraceView {
+        let n_lanes = list.iter().map(|&(_, l, _, _)| l + 1).max().unwrap_or(0);
+        TraceView {
+            kind: "sim-trace",
+            spans: list
+                .iter()
+                .map(|&(task, lane, start, end)| Span {
+                    task,
+                    lane,
+                    start,
+                    end,
+                })
+                .collect(),
+            n_lanes,
+        }
+    }
+
+    #[test]
+    fn serialized_trace_is_clean() {
+        let view = two_writer_view(true);
+        let trace = spans(&[(0, 0, 0.0, 1.0), (1, 0, 1.0, 2.0), (2, 1, 0.0, 1.0)]);
+        let rep = detect_races(&view, &trace);
+        assert!(rep.is_clean(), "{}", rep.to_text());
+        assert_eq!(rep.n_pairs_checked, 1);
+    }
+
+    #[test]
+    fn missing_edge_with_parallel_spans_is_a_race() {
+        let view = two_writer_view(false);
+        let trace = spans(&[(0, 0, 0.0, 1.0), (1, 1, 0.5, 1.5), (2, 1, 2.0, 3.0)]);
+        let rep = detect_races(&view, &trace);
+        assert!(rep.findings.iter().any(|f| f.rule == "data-race"));
+    }
+
+    #[test]
+    fn same_lane_serialization_suppresses_the_race() {
+        // Without the edge but on one lane, program order is a valid HB.
+        let view = two_writer_view(false);
+        let trace = spans(&[(0, 0, 0.0, 1.0), (1, 0, 1.0, 2.0), (2, 1, 0.0, 1.0)]);
+        let rep = detect_races(&view, &trace);
+        assert!(rep.is_clean(), "{}", rep.to_text());
+    }
+
+    #[test]
+    fn corrupted_ordering_is_an_order_violation() {
+        let view = two_writer_view(true);
+        // Task 1 starts before its dependency 0 ends.
+        let trace = spans(&[(0, 0, 0.0, 2.0), (1, 1, 1.0, 3.0), (2, 1, 3.0, 4.0)]);
+        let rep = detect_races(&view, &trace);
+        assert!(rep.findings.iter().any(|f| f.rule == "order-violation"));
+    }
+
+    #[test]
+    fn lane_overlap_and_coverage_are_reported() {
+        let view = two_writer_view(true);
+        let overlap = spans(&[(0, 0, 0.0, 2.0), (1, 0, 1.0, 3.0), (2, 1, 0.0, 1.0)]);
+        let rep = detect_races(&view, &overlap);
+        assert!(rep.findings.iter().any(|f| f.rule == "lane-overlap"));
+
+        let missing = spans(&[(0, 0, 0.0, 1.0), (1, 0, 1.0, 2.0)]);
+        let rep = detect_races(&view, &missing);
+        assert!(rep.findings.iter().any(|f| f.rule == "trace-coverage"));
+        assert_eq!(rep.n_pairs_checked, 0);
+    }
+
+    #[test]
+    fn trace_json_errors_name_the_offender() {
+        let err = TraceView::from_json_str("{\"kind\": \"gantt\"}").unwrap_err();
+        assert!(err.contains("unsupported trace kind"), "{err}");
+        let err = TraceView::from_json_str(
+            "{\"kind\": \"sim-trace\", \"spans\": [{\"task\": 0, \"node\": 0}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("span 0"), "{err}");
+        let err = TraceView::from_json_str(
+            "{\"kind\": \"exec-trace\", \"events\": [\
+             {\"type\": \"end\", \"task\": 3, \"worker\": 0, \"t\": 1.0}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("task 3 ended without a start"), "{err}");
+    }
+}

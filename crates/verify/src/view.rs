@@ -1,0 +1,299 @@
+//! A mutable, analysis-friendly mirror of a built task graph.
+//!
+//! The runtime's [`TaskGraph`] is immutable by design; the linter works on
+//! a [`GraphView`] copied out through the public accessors. The view also
+//! exposes *fault injection* mutators (`remove_edge`, `add_edge`,
+//! `set_node`) so tests can prove each analysis actually detects the
+//! defect class it claims to — a linter that never fires is worse than no
+//! linter.
+
+use flexdist_runtime::{DataId, NodeId, TaskGraph, TaskId};
+
+/// Adjacency + access-set mirror of a [`TaskGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphView {
+    succ: Vec<Vec<TaskId>>,
+    node: Vec<NodeId>,
+    reads: Vec<Vec<DataId>>,
+    writes: Vec<Vec<DataId>>,
+    data_owner: Vec<NodeId>,
+    labels: Vec<&'static str>,
+}
+
+impl GraphView {
+    /// Copy a built graph into a mutable view.
+    #[must_use]
+    pub fn from_graph(g: &TaskGraph) -> Self {
+        let n = g.n_tasks();
+        let mut view = Self {
+            succ: Vec::with_capacity(n),
+            node: Vec::with_capacity(n),
+            reads: Vec::with_capacity(n),
+            writes: Vec::with_capacity(n),
+            data_owner: (0..g.n_data() as DataId).map(|d| g.data_owner(d)).collect(),
+            labels: Vec::with_capacity(n),
+        };
+        for id in 0..n as TaskId {
+            view.succ.push(g.successors_of(id).to_vec());
+            view.node.push(g.node_of(id));
+            view.reads.push(g.reads_of(id).to_vec());
+            view.writes.push(g.writes_of(id).to_vec());
+            view.labels.push(g.label_of(id));
+        }
+        view
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of data handles.
+    #[must_use]
+    pub fn n_data(&self) -> usize {
+        self.data_owner.len()
+    }
+
+    /// Total direct dependency edges.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Direct successors of `u`.
+    #[must_use]
+    pub fn successors_of(&self, u: TaskId) -> &[TaskId] {
+        &self.succ[u as usize]
+    }
+
+    /// Executing node of `u`.
+    #[must_use]
+    pub fn node_of(&self, u: TaskId) -> NodeId {
+        self.node[u as usize]
+    }
+
+    /// Declared reads of `u`.
+    #[must_use]
+    pub fn reads_of(&self, u: TaskId) -> &[DataId] {
+        &self.reads[u as usize]
+    }
+
+    /// Declared writes of `u`.
+    #[must_use]
+    pub fn writes_of(&self, u: TaskId) -> &[DataId] {
+        &self.writes[u as usize]
+    }
+
+    /// Home node of datum `d`.
+    #[must_use]
+    pub fn data_owner(&self, d: DataId) -> NodeId {
+        self.data_owner[d as usize]
+    }
+
+    /// Kernel label of `u`.
+    #[must_use]
+    pub fn label_of(&self, u: TaskId) -> &'static str {
+        self.labels[u as usize]
+    }
+
+    /// Fault injection: drop the direct edge `u → v`. Returns whether the
+    /// edge existed.
+    pub fn remove_edge(&mut self, u: TaskId, v: TaskId) -> bool {
+        let succ = &mut self.succ[u as usize];
+        let before = succ.len();
+        succ.retain(|&s| s != v);
+        succ.len() != before
+    }
+
+    /// Fault injection: add a direct edge `u → v` (duplicates ignored).
+    pub fn add_edge(&mut self, u: TaskId, v: TaskId) {
+        let succ = &mut self.succ[u as usize];
+        if !succ.contains(&v) {
+            succ.push(v);
+        }
+    }
+
+    /// Fault injection: reassign task `u` to `node`.
+    pub fn set_node(&mut self, u: TaskId, node: NodeId) {
+        self.node[u as usize] = node;
+    }
+
+    /// Fault injection: rehome datum `d` to `node`.
+    pub fn set_data_owner(&mut self, d: DataId, node: NodeId) {
+        self.data_owner[d as usize] = node;
+    }
+
+    /// Predecessor lists (derived from the successor lists).
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<TaskId>> {
+        let mut preds = vec![Vec::new(); self.n_tasks()];
+        for (u, succ) in self.succ.iter().enumerate() {
+            for &v in succ {
+                preds[v as usize].push(u as TaskId);
+            }
+        }
+        preds
+    }
+
+    /// Kahn topological order over the direct edges.
+    ///
+    /// # Errors
+    /// When the graph has a cycle, returns the (sorted) ids of tasks stuck
+    /// on it.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, Vec<TaskId>> {
+        let n = self.n_tasks();
+        let mut in_deg = vec![0u32; n];
+        for succ in &self.succ {
+            for &v in succ {
+                in_deg[v as usize] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<TaskId> = (0..n as TaskId)
+            .filter(|&u| in_deg[u as usize] == 0)
+            .collect();
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for &v in &self.succ[u as usize] {
+                in_deg[v as usize] -= 1;
+                if in_deg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let mut stuck: Vec<TaskId> = (0..n as TaskId)
+                .filter(|&u| in_deg[u as usize] > 0)
+                .collect();
+            stuck.sort_unstable();
+            Err(stuck)
+        }
+    }
+
+    /// Dense reachability over the direct edges: `reaches(u, v)` is true
+    /// iff a non-empty path `u → … → v` exists. `topo` must be a valid
+    /// topological order of this view (see [`GraphView::topo_order`]).
+    #[must_use]
+    pub fn reachability(&self, topo: &[TaskId]) -> Reachability {
+        let n = self.n_tasks();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        // Reverse-topological sweep: row(u) = ⋃ over direct successors s
+        // of (row(s) ∪ {s}).
+        for &u in topo.iter().rev() {
+            let ui = u as usize;
+            for si in 0..self.succ[ui].len() {
+                let s = self.succ[ui][si] as usize;
+                let (dst, src) = if ui < s {
+                    let (a, b) = bits.split_at_mut(s * words);
+                    (&mut a[ui * words..(ui + 1) * words], &b[..words])
+                } else {
+                    let (a, b) = bits.split_at_mut(ui * words);
+                    (&mut b[..words], &a[s * words..(s + 1) * words])
+                };
+                for (d, &x) in dst.iter_mut().zip(src.iter()) {
+                    *d |= x;
+                }
+                bits[ui * words + s / 64] |= 1u64 << (s % 64);
+            }
+        }
+        Reachability { words, bits }
+    }
+}
+
+/// Bitset reachability matrix produced by [`GraphView::reachability`].
+#[derive(Debug)]
+pub struct Reachability {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Whether a non-empty path `u → … → v` exists.
+    #[must_use]
+    pub fn reaches(&self, u: TaskId, v: TaskId) -> bool {
+        let (u, v) = (u as usize, v as usize);
+        self.bits[u * self.words + v / 64] >> (v % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_runtime::{Access, GraphBuilder, TaskSpec};
+
+    fn chain(n: usize) -> GraphView {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 8);
+        for _ in 0..n {
+            b.submit(TaskSpec {
+                node: 0,
+                duration: 1.0,
+                flops: 1.0,
+                priority: 0,
+                label: "t",
+                accesses: vec![Access::read_write(d)],
+            });
+        }
+        GraphView::from_graph(&b.build())
+    }
+
+    #[test]
+    fn mirrors_graph_structure() {
+        let v = chain(3);
+        assert_eq!(v.n_tasks(), 3);
+        assert_eq!(v.n_edges(), 2);
+        assert_eq!(v.successors_of(0), &[1]);
+        assert_eq!(v.reads_of(1), &[0]);
+        assert_eq!(v.writes_of(1), &[0]);
+    }
+
+    #[test]
+    fn topo_and_reachability_on_chain() {
+        let v = chain(4);
+        let topo = v.topo_order().unwrap();
+        assert_eq!(topo.len(), 4);
+        let r = v.reachability(&topo);
+        assert!(r.reaches(0, 3));
+        assert!(r.reaches(1, 2));
+        assert!(!r.reaches(3, 0));
+        assert!(!r.reaches(2, 2));
+    }
+
+    #[test]
+    fn fault_injection_mutators() {
+        let mut v = chain(3);
+        assert!(v.remove_edge(0, 1));
+        assert!(!v.remove_edge(0, 1));
+        assert_eq!(v.n_edges(), 1);
+        v.add_edge(0, 2);
+        v.add_edge(0, 2);
+        assert_eq!(v.successors_of(0), &[2]);
+        v.set_node(1, 9);
+        assert_eq!(v.node_of(1), 9);
+        v.set_data_owner(0, 5);
+        assert_eq!(v.data_owner(0), 5);
+    }
+
+    #[test]
+    fn cycle_is_reported_with_stuck_tasks() {
+        let mut v = chain(3);
+        v.add_edge(2, 1); // 1 -> 2 -> 1
+        let stuck = v.topo_order().unwrap_err();
+        assert_eq!(stuck, vec![1, 2]);
+    }
+
+    #[test]
+    fn reachability_crosses_word_boundaries() {
+        // A chain longer than 64 tasks exercises multi-word rows.
+        let v = chain(70);
+        let topo = v.topo_order().unwrap();
+        let r = v.reachability(&topo);
+        assert!(r.reaches(0, 69));
+        assert!(r.reaches(3, 68));
+        assert!(!r.reaches(69, 0));
+    }
+}

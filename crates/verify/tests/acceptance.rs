@@ -1,0 +1,215 @@
+//! Acceptance gate for the verify subsystem, mirroring the claims the
+//! tool is shipped to check:
+//!
+//! 1. every shipped pattern family yields clean LU and Cholesky graphs at
+//!    the paper's spotlight node counts `P ∈ {4, 5, 7, 12}`;
+//! 2. each seeded fault — a dropped edge, a corrupted trace ordering, a
+//!    task run on the wrong node — is detected by the analysis built for
+//!    it;
+//! 3. traces from the real work-stealing executor (1/2/8 workers) and
+//!    from the cluster simulator replay race-free against the graph's
+//!    happens-before relation, while the factorization stays bitwise
+//!    deterministic.
+
+use flexdist_core::{g2dbc, gcrm, sbc, twodbc, Pattern};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::residual::lu_residual;
+use flexdist_factor::{build_graph, execute_traced, Operation, TaskList};
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+use flexdist_runtime::{simulate_traced, MachineConfig};
+use flexdist_verify::{detect_races, lint_graph, lint_with_view, GraphView, TraceView};
+
+fn task_list(op: Operation, pattern: &Pattern, t: usize) -> TaskList {
+    let assignment = TileAssignment::extended(pattern, t);
+    build_graph(op, &assignment, &KernelCostModel::uniform(8, 10.0))
+}
+
+/// The pattern roster for one node count: every family the CLI can
+/// build. SBC's admissible sizes skip 4, 5, 7 and 12, so it contributes
+/// its largest admissible pattern below `p`, as `flexdist plan` does.
+fn shipped_patterns(p: u32) -> Vec<(String, Pattern)> {
+    let mut out = vec![
+        (format!("2DBC p{p}"), twodbc::best_2dbc(p)),
+        (format!("G-2DBC p{p}"), g2dbc::g2dbc(p)),
+        (
+            format!("GCR&M p{p}"),
+            gcrm::search(
+                p,
+                &gcrm::GcrmConfig {
+                    n_seeds: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .best,
+        ),
+    ];
+    if let Some(q) = sbc::largest_admissible_at_most(p) {
+        out.push((format!("SBC p{q}"), sbc::sbc_extended(q).unwrap()));
+    }
+    out
+}
+
+#[test]
+fn shipped_patterns_are_clean_at_paper_node_counts() {
+    for p in [4u32, 5, 7, 12] {
+        for (name, pattern) in shipped_patterns(p) {
+            for op in [Operation::Lu, Operation::Cholesky] {
+                let rep = lint_graph(&task_list(op, &pattern, 8));
+                assert!(rep.is_clean(), "{name} {op:?}:\n{}", rep.to_text());
+                assert_eq!(rep.n_redundant, 0, "{name} {op:?} not reduced");
+                assert_eq!(
+                    rep.n_edges, rep.n_required,
+                    "{name} {op:?}: edge set is not exactly the required orderings"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_dropped_edge_is_a_missing_edge_finding() {
+    // The builders emit exact transitive reductions, so no single edge is
+    // expendable: deleting each one in turn must always produce a
+    // missing-edge finding.
+    let tl = task_list(Operation::Lu, &g2dbc::g2dbc(7), 6);
+    let base = GraphView::from_graph(&tl.graph);
+    let mut checked = 0;
+    for u in 0..base.n_tasks() as u32 {
+        for &v in base.successors_of(u) {
+            let mut view = GraphView::from_graph(&tl.graph);
+            assert!(view.remove_edge(u, v));
+            let rep = lint_with_view(&tl, &view);
+            assert!(
+                rep.findings.iter().any(|f| f.rule == "missing-edge"),
+                "dropping {u} -> {v} went unnoticed:\n{}",
+                rep.to_text()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} edges exercised");
+}
+
+#[test]
+fn wrong_owner_task_is_an_owner_computes_finding() {
+    let tl = task_list(Operation::Cholesky, &g2dbc::g2dbc(5), 6);
+    let mut view = GraphView::from_graph(&tl.graph);
+    // Re-home the final potrf onto a node that does not own its tile.
+    let victim = (view.n_tasks() - 1) as u32;
+    view.set_node(victim, (view.node_of(victim) + 1) % 5);
+    let rep = lint_with_view(&tl, &view);
+    let hits: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.rule == "owner-computes")
+        .collect();
+    assert_eq!(hits.len(), 1, "{}", rep.to_text());
+    assert!(hits[0].message.contains(&format!("#{victim}")));
+}
+
+#[test]
+fn corrupted_trace_ordering_is_detected() {
+    let tl = task_list(Operation::Lu, &g2dbc::g2dbc(4), 5);
+    let config = MachineConfig::test_machine(4, 2);
+    let (_, spans) = simulate_traced(&tl.graph, &config);
+    let view = GraphView::from_graph(&tl.graph);
+
+    // The honest trace replays clean.
+    let rep = detect_races(&view, &TraceView::from_sim_trace(&spans));
+    assert!(rep.is_clean(), "{}", rep.to_text());
+
+    // Corrupt one dependent task's start to before its dependency ends —
+    // the shape of a lost completion message.
+    let u = 0u32;
+    let v = view.successors_of(u)[0];
+    let u_end = spans.iter().find(|s| s.task == u).unwrap().end;
+    let mut bad = spans.clone();
+    let slot = bad.iter_mut().find(|s| s.task == v).unwrap();
+    slot.start = 0.5 * u_end;
+    let rep = detect_races(&view, &TraceView::from_sim_trace(&bad));
+    assert!(
+        rep.findings.iter().any(|f| f.rule == "order-violation"),
+        "{}",
+        rep.to_text()
+    );
+}
+
+#[test]
+fn truncated_trace_is_a_coverage_finding() {
+    let tl = task_list(Operation::Cholesky, &twodbc::two_dbc(2, 2), 4);
+    let config = MachineConfig::test_machine(4, 2);
+    let (_, mut spans) = simulate_traced(&tl.graph, &config);
+    spans.pop();
+    let rep = detect_races(
+        &GraphView::from_graph(&tl.graph),
+        &TraceView::from_sim_trace(&spans),
+    );
+    assert!(
+        rep.findings.iter().any(|f| f.rule == "trace-coverage"),
+        "{}",
+        rep.to_text()
+    );
+    assert_eq!(rep.n_pairs_checked, 0);
+}
+
+#[test]
+fn executor_traces_are_race_free_and_bitwise_deterministic() {
+    let (t, nb) = (6, 8);
+    let a0 = TiledMatrix::random_diag_dominant(t, nb, 42);
+    let assignment = TileAssignment::extended(&g2dbc::g2dbc(7), t);
+    let tl = build_graph(
+        Operation::Lu,
+        &assignment,
+        &KernelCostModel::uniform(nb, 10.0),
+    );
+    let view = GraphView::from_graph(&tl.graph);
+
+    let mut residuals = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (factored, rep, trace) = execute_traced(&tl, a0.clone(), workers);
+        assert!(rep.error.is_none(), "{workers} workers: {:?}", rep.error);
+        let tv = TraceView::from_exec_trace(&trace).expect("well-paired events");
+        assert_eq!(tv.spans.len(), tl.graph.n_tasks());
+        assert!(tv.n_lanes <= workers);
+        let races = detect_races(&view, &tv);
+        assert!(races.is_clean(), "{workers} workers:\n{}", races.to_text());
+        assert!(races.n_pairs_checked > 0);
+        residuals.push(lu_residual(&a0, &factored));
+    }
+    assert!(residuals[0] < 1e-11, "residual {}", residuals[0]);
+    assert_eq!(residuals[0].to_bits(), residuals[1].to_bits());
+    assert_eq!(residuals[0].to_bits(), residuals[2].to_bits());
+}
+
+#[test]
+fn simulator_traces_are_race_free_for_both_operations() {
+    for (op, p) in [(Operation::Lu, 7u32), (Operation::Cholesky, 12)] {
+        let tl = task_list(op, &g2dbc::g2dbc(p), 8);
+        let (_, spans) = simulate_traced(&tl.graph, &MachineConfig::test_machine(p, 2));
+        let rep = detect_races(
+            &GraphView::from_graph(&tl.graph),
+            &TraceView::from_sim_trace(&spans),
+        );
+        assert!(rep.is_clean(), "{op:?} p{p}:\n{}", rep.to_text());
+        assert!(rep.n_pairs_checked > 0);
+    }
+}
+
+#[test]
+fn corrupted_exec_event_stream_is_rejected_with_a_diagnostic() {
+    let tl = task_list(Operation::Lu, &twodbc::two_dbc(2, 2), 4);
+    let a0 = TiledMatrix::random_diag_dominant(4, 8, 7);
+    let (_, _, mut trace) = execute_traced(&tl, a0, 2);
+    // Duplicate the first start event: the pairing must name the task.
+    let at = trace
+        .events
+        .iter()
+        .position(|e| e.kind == flexdist_factor::ExecEventKind::Start)
+        .unwrap();
+    let dup = trace.events[at];
+    let task = dup.task;
+    trace.events.insert(at + 1, dup);
+    let err = TraceView::from_exec_trace(&trace).unwrap_err();
+    assert!(err.contains(&format!("task {task} started twice")), "{err}");
+}

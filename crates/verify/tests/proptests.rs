@@ -1,0 +1,121 @@
+//! Property-based tests of the static DAG linter (satellite of the
+//! verify subsystem): for a random node count and any shipped pattern
+//! family, the built factorization graphs carry zero missing-edge and
+//! zero owner-computes findings — and deleting any single direct edge is
+//! always caught, because the builders emit an exact transitive
+//! reduction (every edge is the only path for some required ordering).
+
+use flexdist_core::{g2dbc, gcrm, sbc, Pattern};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::{build_graph, Operation, TaskList};
+use flexdist_kernels::KernelCostModel;
+use flexdist_verify::{lint_graph, lint_with_view, GraphView};
+use proptest::prelude::*;
+
+/// One pattern of each family the paper ships, at a random `P ∈ [2, 64]`.
+/// SBC only exists at its admissible sizes, so it uses the largest
+/// admissible `P' <= P` (there is one for every `P >= 3`).
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (2u32..65).prop_map(g2dbc::g2dbc),
+        (2u32..65, 0u64..8).prop_map(|(p, s)| {
+            gcrm::search(
+                p,
+                &gcrm::GcrmConfig {
+                    n_seeds: 1 + s % 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .best
+        }),
+        (3u32..65).prop_map(|p| {
+            let q = sbc::largest_admissible_at_most(p).unwrap();
+            sbc::sbc_extended(q).unwrap()
+        }),
+    ]
+}
+
+fn task_list(op: Operation, pattern: &Pattern, t: usize) -> TaskList {
+    let assignment = TileAssignment::extended(pattern, t);
+    build_graph(op, &assignment, &KernelCostModel::uniform(4, 10.0))
+}
+
+/// All `(u, v)` direct edges of the graph, in successor-list order.
+fn edges(view: &GraphView) -> Vec<(u32, u32)> {
+    (0..view.n_tasks() as u32)
+        .flat_map(|u| view.successors_of(u).iter().map(move |&v| (u, v)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// LU graphs from any shipped pattern are complete (no latent race),
+    /// owner-computes-correct, and transitively reduced.
+    #[test]
+    fn lu_graph_clean_for_any_pattern(pattern in arb_pattern(), t in 2usize..7) {
+        let tl = task_list(Operation::Lu, &pattern, t);
+        let rep = lint_graph(&tl);
+        prop_assert!(rep.is_clean(), "{}", rep.to_text());
+        prop_assert_eq!(rep.n_redundant, 0);
+        prop_assert_eq!(rep.n_edges, rep.n_required);
+    }
+
+    /// Same for Cholesky.
+    #[test]
+    fn cholesky_graph_clean_for_any_pattern(pattern in arb_pattern(), t in 2usize..7) {
+        let tl = task_list(Operation::Cholesky, &pattern, t);
+        let rep = lint_graph(&tl);
+        prop_assert!(rep.is_clean(), "{}", rep.to_text());
+        prop_assert_eq!(rep.n_redundant, 0);
+        prop_assert_eq!(rep.n_edges, rep.n_required);
+    }
+
+    /// Deleting an arbitrary direct edge of either factorization graph is
+    /// always reported: with zero redundancy, the deleted edge was the
+    /// only path covering its RAW/WAW/WAR ordering.
+    #[test]
+    fn deleted_edge_is_always_caught(
+        pattern in arb_pattern(),
+        t in 3usize..6,
+        which in 0u32..2,
+        pick in 0usize..10_000,
+    ) {
+        let op = if which == 0 { Operation::Lu } else { Operation::Cholesky };
+        let tl = task_list(op, &pattern, t);
+        let mut view = GraphView::from_graph(&tl.graph);
+        let all = edges(&view);
+        prop_assert!(!all.is_empty());
+        let (u, v) = all[pick % all.len()];
+        prop_assert!(view.remove_edge(u, v));
+        let rep = lint_with_view(&tl, &view);
+        prop_assert!(
+            rep.findings.iter().any(|f| f.rule == "missing-edge"),
+            "deleting {u} -> {v} went unnoticed:\n{}",
+            rep.to_text()
+        );
+    }
+
+    /// Relocating any writing task to another node is always an
+    /// owner-computes finding (every task writes at least one tile).
+    #[test]
+    fn wrong_owner_is_always_caught(
+        pattern in arb_pattern(),
+        t in 2usize..6,
+        pick in 0usize..10_000,
+    ) {
+        let tl = task_list(Operation::Lu, &pattern, t);
+        let n_nodes = pattern.n_nodes();
+        prop_assume!(n_nodes > 1);
+        let mut view = GraphView::from_graph(&tl.graph);
+        let victim = (pick % view.n_tasks()) as u32;
+        view.set_node(victim, (view.node_of(victim) + 1) % n_nodes);
+        let rep = lint_with_view(&tl, &view);
+        prop_assert!(
+            rep.findings.iter().any(|f| f.rule == "owner-computes"),
+            "moving task {victim} went unnoticed:\n{}",
+            rep.to_text()
+        );
+    }
+}

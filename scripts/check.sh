@@ -26,4 +26,12 @@ if [ "$rows" -ne 5 ]; then # header + 2 schemes x 2 tile counts
     exit 1
 fi
 
+# Verify smoke: the workspace lint plus a static DAG check of one LU and
+# one Cholesky configuration. `verify` exits non-zero on any finding
+# (missing/redundant edge, owner-computes violation, banned unwrap, ...),
+# so a regression in the graph builders or a stray unwrap fails the gate.
+run ./target/release/flexdist verify --lint --root .
+run ./target/release/flexdist verify --op lu --p 7 --t 8
+run ./target/release/flexdist verify --op chol --p 12 --scheme gcrm --t 10
+
 echo "All checks passed."
