@@ -5,7 +5,10 @@ use crate::scheme::{pattern_from_args, SchemeKind};
 use flexdist_core::db::{PatternDb, Purpose};
 use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
-use flexdist_factor::{build_graph, execute_traced, Operation, SimSetup, SweepBuilder};
+use flexdist_factor::{
+    build_graph, execute_distributed, execute_distributed_traced, execute_traced, Operation,
+    SimSetup, SweepBuilder,
+};
 use flexdist_kernels::{KernelCostModel, TiledMatrix};
 use flexdist_runtime::{
     render_gantt, render_worker_gantt, sim_trace_to_json_string, simulate_traced, MachineConfig,
@@ -339,6 +342,124 @@ pub fn execute(args: &Args) -> Result<String, String> {
     let trace_out = args.get_str("trace-out", "");
     if !trace_out.is_empty() {
         write_trace(&trace_out, &trace.to_json(&tl))?;
+        let _ = writeln!(out, "  trace           wrote {trace_out}");
+    }
+    Ok(out)
+}
+
+/// `flexdist dexec --op lu|chol --p N [--t T] [--nb NB] [--scheme S]
+/// [--seed S] [--trace-out FILE]`
+///
+/// Runs the factorization in distributed mode: one message-passing rank
+/// per node of the assignment, each holding only its owned tiles, with
+/// every remote operand shipped as a serialized tile message. On top of
+/// the numerics, the command enforces the wire-level conformance
+/// contract: the measured message counts must equal the exact
+/// communication-volume counters of `flexdist-dist`, the factorized
+/// matrix must be bitwise identical to the shared-memory executor's, and
+/// a second distributed run must reproduce both bit-for-bit.
+///
+/// # Errors
+/// Propagates flag and admissibility errors, protocol errors from the
+/// fabric, conformance violations, and trace write failures.
+pub fn dexec(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (kind, pat) = pattern_from_args(args, default_scheme)?;
+    let p = pat.n_nodes();
+    let t: usize = args.get("t", 8)?;
+    let nb: usize = args.get("nb", 16)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let assignment = TileAssignment::extended(&pat, t);
+    let tl = build_graph(op, &assignment, &KernelCostModel::uniform(nb, 30.0));
+    let (a0, expected) = match op {
+        Operation::Lu => (
+            TiledMatrix::random_diag_dominant(t, nb, seed),
+            lu_comm_volume(&assignment),
+        ),
+        Operation::Cholesky => {
+            let mut m = TiledMatrix::random_spd(t, nb, seed);
+            m.symmetrize_from_lower();
+            (m, cholesky_comm_volume(&assignment))
+        }
+        _ => return Err("dexec supports --op lu or chol only".to_string()),
+    };
+
+    let run = execute_distributed_traced(&tl, &assignment, &a0).map_err(|e| e.to_string())?;
+    let rep = &run.report;
+
+    // Conformance: measured wire traffic == exact counters, per class.
+    if rep.wire != expected {
+        return Err(format!(
+            "wire conformance violation: measured panel {} trailing {}, \
+             exact counters say panel {} trailing {}",
+            rep.wire.panel, rep.wire.trailing, expected.panel, expected.trailing
+        ));
+    }
+    // Bitwise identity against the shared-memory executor.
+    let (shared, shared_rep) = flexdist_factor::execute(&tl, a0.clone(), 2);
+    if rep.error != shared_rep.error {
+        return Err(format!(
+            "kernel status diverged: distributed {:?}, shared-memory {:?}",
+            rep.error, shared_rep.error
+        ));
+    }
+    if rep.error.is_none() && run.matrix.diff_norm(&shared) != 0.0 {
+        return Err("distributed result differs bitwise from shared-memory executor".to_string());
+    }
+    // Determinism: a second distributed run reproduces everything.
+    let (again, rep2) = execute_distributed(&tl, &assignment, &a0).map_err(|e| e.to_string())?;
+    if run.matrix.diff_norm(&again) != 0.0 || rep.wire != rep2.wire || rep.bytes != rep2.bytes {
+        return Err("distributed run is not deterministic across repeats".to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} with {} distributed over {p} ranks, {t}x{t} tiles of {nb}:",
+        op.name(),
+        kind.name()
+    );
+    if let Some(e) = &rep.error {
+        let _ = writeln!(out, "  kernel error    {e}");
+    } else {
+        let residual = match op {
+            Operation::Lu => flexdist_factor::residual::lu_residual(&a0, &run.matrix),
+            _ => flexdist_factor::residual::cholesky_residual(&a0, &run.matrix),
+        };
+        let _ = writeln!(out, "  residual        {residual:.3e}");
+    }
+    let _ = writeln!(out, "  tasks           {}", rep.tasks);
+    let _ = writeln!(
+        out,
+        "  wire            {} tiles ({} panel + {} trailing), {} bytes",
+        rep.wire.total(),
+        rep.wire.panel,
+        rep.wire.trailing,
+        rep.bytes
+    );
+    let _ = writeln!(
+        out,
+        "  conformance     ok (matches exact counters; bitwise == shared-memory; deterministic)"
+    );
+    for r in &rep.per_rank {
+        let _ = writeln!(
+            out,
+            "  rank {:>3}        {:>5} tasks, sent {:>5} msgs / {:>9} B, recv {:>5} msgs / {:>9} B",
+            r.rank, r.tasks, r.sent_msgs, r.sent_bytes, r.recv_msgs, r.recv_bytes
+        );
+    }
+    let _ = writeln!(out, "  links           {} carried traffic", rep.links.len());
+    let trace_out = args.get_str("trace-out", "");
+    if !trace_out.is_empty() {
+        let trace = run
+            .trace
+            .as_ref()
+            .ok_or_else(|| "trace requested but not recorded".to_string())?;
+        write_trace(&trace_out, &trace.to_json_string())?;
         let _ = writeln!(out, "  trace           wrote {trace_out}");
     }
     Ok(out)

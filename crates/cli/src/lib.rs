@@ -11,13 +11,17 @@
 //! * `gantt`    — render an ASCII utilization chart of a simulated run;
 //! * `execute`  — run the factorization for real on a local work-stealing
 //!   thread pool (actual `f64` kernels) and report numerics + counters;
+//! * `dexec`    — run the factorization in distributed mode (one
+//!   message-passing rank per node, only owned tiles resident) and
+//!   enforce wire-level conformance against the exact comm counters;
 //! * `verify`   — machine-checked correctness gate: workspace source
 //!   lint, static DAG lint of a factorization graph, and vector-clock
 //!   race detection over a dumped trace;
 //! * `db`       — build the per-`P` best-pattern database as JSON.
 //!
-//! `simulate`, `gantt` and `execute` accept `--trace-out FILE` to dump the
-//! span-level execution trace as JSON.
+//! `simulate`, `gantt`, `execute` and `dexec` accept `--trace-out FILE` to
+//! dump the span-level execution trace as JSON (`dexec` additionally
+//! records every wire message).
 //!
 //! All command functions return the output as a `String` (printed by
 //! `main`), which keeps them unit-testable.
@@ -45,6 +49,8 @@ COMMANDS:
             [--trace-out FILE]
   execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
             [--seed S] [--trace-out FILE]
+  dexec     --op lu|chol --p N [--t T] [--nb NB] [--seed S]
+            [--trace-out FILE]
   verify    [--lint [--root DIR] [--allow FILE]]
             [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
             [--t T] [--trace FILE]]
@@ -72,6 +78,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "sweep" => commands::sweep(&args),
         "gantt" => commands::gantt(&args),
         "execute" => commands::execute(&args),
+        "dexec" => commands::dexec(&args),
         "verify" => commands::verify(&args),
         "db" => commands::db(&args),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -151,6 +158,44 @@ mod tests {
         assert!(out.contains("residual"), "{out}");
         assert!(out.contains("tasks stolen"), "{out}");
         assert!(out.contains("worker  1"), "{out}");
+    }
+
+    #[test]
+    fn dexec_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("flexdist_cli_test_net_trace.json");
+        let net = path.to_str().unwrap();
+        let out = run(&sv(&[
+            "dexec",
+            "--op",
+            "lu",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--trace-out",
+            net,
+        ]))
+        .unwrap();
+        assert!(out.contains("distributed over 5 ranks"), "{out}");
+        assert!(out.contains("conformance     ok"), "{out}");
+        assert!(out.contains("rank   4"), "{out}");
+        let doc = flexdist_json::parse(&std::fs::read_to_string(net).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(flexdist_json::Value::as_str),
+            Some("net-trace")
+        );
+        assert!(!doc.get("spans").unwrap().as_array().unwrap().is_empty());
+        assert!(!doc.get("messages").unwrap().as_array().unwrap().is_empty());
+        let _ = std::fs::remove_file(net);
+    }
+
+    #[test]
+    fn dexec_rejects_syrk() {
+        let err = run(&sv(&["dexec", "--op", "syrk", "--p", "4"])).unwrap_err();
+        assert!(err.contains("lu or chol"), "{err}");
     }
 
     #[test]

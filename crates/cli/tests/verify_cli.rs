@@ -118,6 +118,34 @@ fn verify_replays_an_executor_trace_clean() {
 }
 
 #[test]
+fn verify_replays_a_distributed_trace_clean() {
+    let (path, trace) = tmp("flexdist_cli_verify_net_trace.json");
+    run(&sv(&[
+        "dexec",
+        "--op",
+        "lu",
+        "--p",
+        "5",
+        "--t",
+        "6",
+        "--nb",
+        "8",
+        "--trace-out",
+        &trace,
+    ]))
+    .unwrap();
+    // Lane = rank in a net-trace: the race detector checks that the
+    // message-passing schedule respects every graph ordering.
+    let out = run(&sv(&[
+        "verify", "--op", "lu", "--p", "5", "--t", "6", "--trace", &trace,
+    ]))
+    .unwrap();
+    assert!(out.contains("race:"), "{out}");
+    assert!(out.contains("verify: ok"), "{out}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn pattern_file_is_accepted_by_verify_and_simulate() {
     let (path, file) = tmp("flexdist_cli_verify_pattern_ok.json");
     std::fs::write(&path, r#"{"n_nodes": 3, "pattern": [[0, 1], [2, 0]]}"#).unwrap();

@@ -1,0 +1,607 @@
+//! Distributed execution: one rank per node, explicit tile messages.
+//!
+//! Where [`execute`](crate::execute::execute) runs the task graph on a
+//! shared-memory thread pool, this engine instantiates **one rank per
+//! node of the [`TileAssignment`]**, gives each rank only the tiles it
+//! owns, and moves every non-local operand over the
+//! [`flexdist_net`] fabric as a serialized [`TileMsg`] — the panel and
+//! trailing broadcasts of the paper's Fig. 2, made executable.
+//!
+//! ## Broadcast schedule
+//!
+//! The send schedule is derived from the same per-iteration
+//! distinct-receiver structure that `flexdist_dist::comm` counts
+//! analytically:
+//!
+//! * after `GETRF(ℓ)` / `POTRF(ℓ)`, tile `(ℓ,ℓ)` goes to the distinct
+//!   owners of the panel tiles it unlocks (**panel** class);
+//! * after each panel `TRSM`, the solved tile goes to the distinct
+//!   owners of its trailing row/column (LU) or colrow (Cholesky)
+//!   (**trailing** class).
+//!
+//! Because both walk the identical owner sets, the measured
+//! [`NetReport::wire`] equals `{lu,cholesky}_comm_volume` **exactly** —
+//! the headline conformance invariant, enforced by tests and by the
+//! `flexdist dexec` CLI on every run.
+//!
+//! ## Progress engine
+//!
+//! Each rank runs a single-threaded loop over its own tasks: local
+//! dependencies are tracked with per-task counters over same-rank graph
+//! edges; remote operands are tracked as missing [`TileKey`]s resolved by
+//! the [`ReplicaCache`] as messages arrive. When no task is ready the
+//! rank blocks on its inbox. Sends never block (unbounded channels), and
+//! every message a rank receives is consumed by at least one of its
+//! tasks, so the protocol is deadlock-free; a dropped or extra message
+//! surfaces as a typed [`NetError`] instead of a hang.
+//!
+//! ## Bitwise identity
+//!
+//! Tasks writing the same tile are chained by same-rank WAW/RAW edges,
+//! so every tile sees the exact kernel sequence of the shared-memory
+//! executor, and panel tiles are never rewritten after being broadcast —
+//! distributed results are bitwise-identical to `execute()` at any
+//! worker count (asserted by `tests/distributed_diff.rs`).
+
+use crate::graphs::{Op, Operation, TaskList};
+use flexdist_dist::TileAssignment;
+use flexdist_kernels::{
+    gemm_nn, gemm_nt, getrf_nopiv, potrf, syrk_ln, trsm_left_lower_unit, trsm_right_lower_trans,
+    trsm_right_upper, KernelError, Tile, TiledMatrix,
+};
+use flexdist_net::{
+    build_fabric, Endpoint, FullMesh, LinkStats, MsgClass, MsgEvent, NetError, NetReport, NetTrace,
+    RankIo, ReplicaCache, TileKey, Topology,
+};
+use flexdist_runtime::TaskSpan;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Knobs of a distributed run.
+pub struct DexecOptions<'a> {
+    /// Which rank pairs may talk directly (default: [`FullMesh`]).
+    pub topology: &'a dyn Topology,
+    /// Record a span + message trace.
+    pub trace: bool,
+}
+
+impl Default for DexecOptions<'_> {
+    fn default() -> Self {
+        Self {
+            topology: &FullMesh,
+            trace: false,
+        }
+    }
+}
+
+/// Everything a distributed run produces.
+pub struct DexecOutput {
+    /// The factorized matrix, reassembled from the ranks' owned tiles.
+    pub matrix: TiledMatrix,
+    /// Measured traffic and kernel status.
+    pub report: NetReport,
+    /// Span + message trace, when requested.
+    pub trace: Option<NetTrace>,
+}
+
+/// Run a task list distributed over one rank per node, full mesh.
+///
+/// # Errors
+/// Propagates [`NetError`] on protocol violations, shape mismatches, or
+/// unsupported operations (only LU and Cholesky have a broadcast
+/// schedule). Kernel failures (zero pivot, not-SPD) are reported in
+/// [`NetReport::error`], not as an `Err`.
+pub fn execute_distributed(
+    tl: &TaskList,
+    assignment: &TileAssignment,
+    input: &TiledMatrix,
+) -> Result<(TiledMatrix, NetReport), NetError> {
+    let out = execute_distributed_with(tl, assignment, input, &DexecOptions::default())?;
+    Ok((out.matrix, out.report))
+}
+
+/// Like [`execute_distributed`], with a span + message trace.
+///
+/// # Errors
+/// See [`execute_distributed`].
+pub fn execute_distributed_traced(
+    tl: &TaskList,
+    assignment: &TileAssignment,
+    input: &TiledMatrix,
+) -> Result<DexecOutput, NetError> {
+    execute_distributed_with(
+        tl,
+        assignment,
+        input,
+        &DexecOptions {
+            topology: &FullMesh,
+            trace: true,
+        },
+    )
+}
+
+/// One broadcast a task performs after completing.
+struct Bcast {
+    class: MsgClass,
+    i: u32,
+    j: u32,
+    epoch: u32,
+    receivers: Vec<u32>,
+}
+
+/// Static per-task schedule derived from the ops + owner map.
+struct Plan {
+    /// Executing rank of each task (owner-computes).
+    node: Vec<u32>,
+    /// Same-rank predecessor counts.
+    local_deps: Vec<u32>,
+    /// Remote operands each task waits for.
+    needs: Vec<Vec<TileKey>>,
+    /// Broadcast each task performs on completion.
+    bcast: Vec<Option<Bcast>>,
+}
+
+/// Distinct-receiver collector mirroring `flexdist_dist::comm`'s
+/// stamp-vector `ReceiverSet`, but keeping the receivers (in
+/// first-encounter order) instead of only counting them.
+struct ReceiverCollector {
+    stamp: Vec<u32>,
+    current: u32,
+}
+
+impl ReceiverCollector {
+    fn new(n_nodes: u32) -> Self {
+        Self {
+            stamp: vec![0; n_nodes as usize],
+            current: 0,
+        }
+    }
+
+    fn collect(&mut self, sender: u32, owners: impl Iterator<Item = u32>) -> Vec<u32> {
+        self.current += 1;
+        self.stamp[sender as usize] = self.current;
+        let mut out = Vec::new();
+        for node in owners {
+            let s = &mut self.stamp[node as usize];
+            if *s != self.current {
+                *s = self.current;
+                out.push(node);
+            }
+        }
+        out
+    }
+}
+
+/// Tiles a kernel reads besides its written tile, with the epoch at
+/// which each was (or will be) broadcast.
+fn reads_of(op: Op) -> Vec<(usize, usize, usize)> {
+    match op {
+        Op::Getrf { .. } | Op::Potrf { .. } => Vec::new(),
+        Op::TrsmColUpper { l, .. } | Op::TrsmRowLower { l, .. } | Op::TrsmLowerTrans { l, .. } => {
+            vec![(l, l, l)]
+        }
+        Op::GemmNn { i, j, l } => vec![(i, l, l), (l, j, l)],
+        Op::GemmNt { i, j, l } => vec![(i, l, l), (j, l, l)],
+        Op::SyrkUpdate { j, l } => vec![(j, l, l)],
+        Op::SyrkAccumulate { i, j, l } | Op::GemmAb { i, j, l } => vec![(i, l, l), (l, j, l)],
+    }
+}
+
+/// The tile a kernel writes (in place).
+fn write_of(op: Op) -> (usize, usize) {
+    match op {
+        Op::Getrf { l } | Op::Potrf { l } => (l, l),
+        Op::TrsmColUpper { i, l } | Op::TrsmLowerTrans { i, l } => (i, l),
+        Op::TrsmRowLower { l, j } => (l, j),
+        Op::GemmNn { i, j, .. } | Op::GemmNt { i, j, .. } => (i, j),
+        Op::SyrkUpdate { j, .. } => (j, j),
+        Op::SyrkAccumulate { i, j, .. } | Op::GemmAb { i, j, .. } => (i, j),
+    }
+}
+
+/// The broadcast a completed task performs, mirroring the owner walks of
+/// `lu_comm_volume` / `cholesky_comm_volume` exactly (same tiles, same
+/// distinct-receiver sets), which is what makes measured == analytic.
+fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) -> Option<Bcast> {
+    let own = |i: usize, j: usize| a.owner(i, j);
+    let (class, i, j, epoch, receivers) = match op {
+        Op::Getrf { l } => {
+            let sender = own(l, l);
+            let owners = ((l + 1)..t).flat_map(|i| [own(i, l), own(l, i)]);
+            (MsgClass::Panel, l, l, l, rc.collect(sender, owners))
+        }
+        Op::Potrf { l } => {
+            let sender = own(l, l);
+            let owners = ((l + 1)..t).map(|i| own(i, l));
+            (MsgClass::Panel, l, l, l, rc.collect(sender, owners))
+        }
+        Op::TrsmColUpper { i, l } => {
+            let sender = own(i, l);
+            let owners = ((l + 1)..t).map(|j| own(i, j));
+            (MsgClass::Trailing, i, l, l, rc.collect(sender, owners))
+        }
+        Op::TrsmRowLower { l, j } => {
+            let sender = own(l, j);
+            let owners = ((l + 1)..t).map(|i| own(i, j));
+            (MsgClass::Trailing, l, j, l, rc.collect(sender, owners))
+        }
+        Op::TrsmLowerTrans { i, l } => {
+            let sender = own(i, l);
+            let owners = ((l + 1)..=i)
+                .map(|j| own(i, j))
+                .chain(((i + 1)..t).map(|j| own(j, i)));
+            (MsgClass::Trailing, i, l, l, rc.collect(sender, owners))
+        }
+        _ => return None,
+    };
+    if receivers.is_empty() {
+        return None;
+    }
+    Some(Bcast {
+        class,
+        i: i as u32,
+        j: j as u32,
+        epoch: epoch as u32,
+        receivers,
+    })
+}
+
+fn build_plan(tl: &TaskList, a: &TileAssignment) -> Result<Plan, NetError> {
+    if !matches!(tl.operation, Operation::Lu | Operation::Cholesky) {
+        return Err(NetError::Unsupported {
+            operation: tl.operation.name().to_string(),
+        });
+    }
+    let g = &tl.graph;
+    let n = g.n_tasks();
+    let t = tl.t;
+    let node: Vec<u32> = (0..n).map(|id| g.node_of(id as u32)).collect();
+    let mut local_deps = vec![0u32; n];
+    for (u, &nu) in node.iter().enumerate() {
+        for &s in g.successors_of(u as u32) {
+            if node[s as usize] == nu {
+                local_deps[s as usize] += 1;
+            }
+        }
+    }
+    let mut rc = ReceiverCollector::new(a.n_nodes());
+    let mut needs = Vec::with_capacity(n);
+    let mut bcast = Vec::with_capacity(n);
+    for (id, &op) in tl.ops.iter().enumerate() {
+        let me = node[id];
+        let keys = reads_of(op)
+            .into_iter()
+            .filter(|&(i, j, _)| a.owner(i, j) != me)
+            .map(|(i, j, e)| TileKey {
+                i: i as u32,
+                j: j as u32,
+                epoch: e as u32,
+            })
+            .collect();
+        needs.push(keys);
+        bcast.push(bcast_of(op, t, a, &mut rc));
+    }
+    Ok(Plan {
+        node,
+        local_deps,
+        needs,
+        bcast,
+    })
+}
+
+/// What one rank hands back after draining its tasks.
+struct RankOutcome {
+    tiles: Vec<(usize, Tile)>,
+    io: RankIo,
+    sent: Vec<(u32, LinkStats)>,
+    spans: Vec<TaskSpan>,
+    msgs: Vec<MsgEvent>,
+    error: Option<(usize, KernelError)>,
+}
+
+/// Run the kernel of one task against the rank-local store + replica
+/// cache. The outer error is a protocol bug (missing tile), the inner
+/// one a numerical kernel failure.
+#[allow(clippy::too_many_arguments)]
+fn run_local_op(
+    op: Op,
+    t: usize,
+    nb: usize,
+    me: u32,
+    a: &TileAssignment,
+    tiles: &mut [Option<Tile>],
+    cache: &ReplicaCache,
+) -> Result<Result<(), KernelError>, NetError> {
+    let (wi, wj) = write_of(op);
+    let widx = wi * t + wj;
+    let mut out = tiles[widx].take().ok_or(NetError::MissingLocalTile {
+        rank: me,
+        i: wi as u32,
+        j: wj as u32,
+    })?;
+    let read = |i: usize, j: usize, epoch: usize| -> Result<&Tile, NetError> {
+        if a.owner(i, j) == me {
+            tiles[i * t + j].as_ref().ok_or(NetError::MissingLocalTile {
+                rank: me,
+                i: i as u32,
+                j: j as u32,
+            })
+        } else {
+            let key = TileKey {
+                i: i as u32,
+                j: j as u32,
+                epoch: epoch as u32,
+            };
+            cache.get(key).ok_or(NetError::MissingReplica {
+                rank: me,
+                i: key.i,
+                j: key.j,
+                epoch: key.epoch,
+            })
+        }
+    };
+    let status = match op {
+        Op::Getrf { .. } => getrf_nopiv(out.as_mut_slice(), nb),
+        Op::Potrf { .. } => potrf(out.as_mut_slice(), nb),
+        Op::TrsmColUpper { l, .. } => {
+            trsm_right_upper(read(l, l, l)?.as_slice(), out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::TrsmRowLower { l, .. } => {
+            trsm_left_lower_unit(read(l, l, l)?.as_slice(), out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::TrsmLowerTrans { l, .. } => {
+            trsm_right_lower_trans(read(l, l, l)?.as_slice(), out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::GemmNn { i, j, l } => {
+            let left = read(i, l, l)?.as_slice();
+            let right = read(l, j, l)?.as_slice();
+            gemm_nn(-1.0, left, right, 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::GemmNt { i, j, l } => {
+            let left = read(i, l, l)?.as_slice();
+            let right = read(j, l, l)?.as_slice();
+            gemm_nt(-1.0, left, right, 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::SyrkUpdate { j, l } => {
+            syrk_ln(-1.0, read(j, l, l)?.as_slice(), 1.0, out.as_mut_slice(), nb);
+            Ok(())
+        }
+        Op::SyrkAccumulate { .. } | Op::GemmAb { .. } => {
+            return Err(NetError::Unsupported {
+                operation: "syrk/gemm task".to_string(),
+            })
+        }
+    };
+    tiles[widx] = Some(out);
+    Ok(status)
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_rank(
+    me: u32,
+    tl: &TaskList,
+    a: &TileAssignment,
+    plan: &Plan,
+    input: &TiledMatrix,
+    mut ep: Endpoint,
+    t0: Instant,
+    want_trace: bool,
+) -> Result<RankOutcome, NetError> {
+    let g = &tl.graph;
+    let t = tl.t;
+    let nb = input.nb();
+    let mut tiles: Vec<Option<Tile>> = (0..t * t)
+        .map(|k| {
+            let (i, j) = (k / t, k % t);
+            (a.owner(i, j) == me).then(|| input.tile(i, j).clone())
+        })
+        .collect();
+    let mut cache = ReplicaCache::new(t, nb);
+    let mut deps = plan.local_deps.clone();
+    let mut missing: Vec<u32> = plan.needs.iter().map(|n| n.len() as u32).collect();
+    let mut waiting: HashMap<TileKey, Vec<usize>> = HashMap::new();
+    let mut ready: BinaryHeap<(i64, Reverse<usize>)> = BinaryHeap::new();
+    let mut my_total = 0u64;
+    for (id, &rank) in plan.node.iter().enumerate() {
+        if rank != me {
+            continue;
+        }
+        my_total += 1;
+        for &key in &plan.needs[id] {
+            waiting.entry(key).or_default().push(id);
+        }
+        if deps[id] == 0 && missing[id] == 0 {
+            ready.push((g.priority_of(id as u32), Reverse(id)));
+        }
+    }
+    let mut out = RankOutcome {
+        tiles: Vec::new(),
+        io: RankIo {
+            rank: me,
+            ..RankIo::default()
+        },
+        sent: Vec::new(),
+        spans: Vec::new(),
+        msgs: Vec::new(),
+        error: None,
+    };
+    let mut done = 0u64;
+    while done < my_total {
+        if let Some((_, Reverse(id))) = ready.pop() {
+            let started = t0.elapsed().as_secs_f64();
+            let status = run_local_op(tl.ops[id], t, nb, me, a, &mut tiles, &cache)?;
+            if let Err(e) = status {
+                if out.error.is_none() {
+                    out.error = Some((id, e));
+                }
+            }
+            if want_trace {
+                out.spans.push(TaskSpan {
+                    task: id as u32,
+                    node: me,
+                    worker: 0,
+                    label: g.label_of(id as u32),
+                    start: started,
+                    end: t0.elapsed().as_secs_f64(),
+                });
+            }
+            if let Some(b) = &plan.bcast[id] {
+                let idx = b.i as usize * t + b.j as usize;
+                let tile = tiles[idx].as_ref().ok_or(NetError::MissingLocalTile {
+                    rank: me,
+                    i: b.i,
+                    j: b.j,
+                })?;
+                for &to in &b.receivers {
+                    let bytes = ep.send_tile(to, b.class, b.i, b.j, b.epoch, tile)?;
+                    out.io.sent_msgs += 1;
+                    out.io.sent_bytes += bytes as u64;
+                    if want_trace {
+                        out.msgs.push(MsgEvent {
+                            from: me,
+                            to,
+                            class: b.class,
+                            i: b.i,
+                            j: b.j,
+                            epoch: b.epoch,
+                            bytes: bytes as u64,
+                            at: t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                }
+            }
+            for &s in g.successors_of(id as u32) {
+                let s = s as usize;
+                if plan.node[s] == me {
+                    deps[s] -= 1;
+                    if deps[s] == 0 && missing[s] == 0 {
+                        ready.push((g.priority_of(s as u32), Reverse(s)));
+                    }
+                }
+            }
+            done += 1;
+        } else {
+            let (msg, bytes) = ep.recv()?;
+            let key = msg.key();
+            let from = msg.src;
+            let epoch = msg.epoch;
+            cache.insert(me, msg)?;
+            out.io.recv_msgs += 1;
+            out.io.recv_bytes += bytes as u64;
+            let Some(waiters) = waiting.get(&key) else {
+                return Err(NetError::UnexpectedMsg {
+                    rank: me,
+                    from,
+                    i: key.i,
+                    j: key.j,
+                    epoch,
+                });
+            };
+            for &w in waiters {
+                missing[w] -= 1;
+                if missing[w] == 0 && deps[w] == 0 {
+                    ready.push((g.priority_of(w as u32), Reverse(w)));
+                }
+            }
+        }
+    }
+    out.io.tasks = my_total;
+    out.sent = ep.sent_stats();
+    out.tiles = tiles
+        .into_iter()
+        .enumerate()
+        .filter_map(|(k, tile)| tile.map(|tile| (k, tile)))
+        .collect();
+    Ok(out)
+}
+
+/// Run a task list distributed over one rank per node.
+///
+/// # Errors
+/// See [`execute_distributed`].
+pub fn execute_distributed_with(
+    tl: &TaskList,
+    assignment: &TileAssignment,
+    input: &TiledMatrix,
+    opts: &DexecOptions<'_>,
+) -> Result<DexecOutput, NetError> {
+    let t = tl.t;
+    if input.tiles() != t {
+        return Err(NetError::ShapeMismatch {
+            expected: t,
+            got: input.tiles(),
+        });
+    }
+    let plan = build_plan(tl, assignment)?;
+    let shared = Arc::new(assignment.clone());
+    let endpoints = build_fabric(&shared, opts.topology);
+    let n_ranks = assignment.n_nodes();
+    let t0 = Instant::now();
+    let want_trace = opts.trace;
+    let results: Vec<Result<RankOutcome, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let plan = &plan;
+                let rank = ep.rank();
+                scope.spawn(move || run_rank(rank, tl, assignment, plan, input, ep, t0, want_trace))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results {
+        outcomes.push(r?);
+    }
+    let mut matrix = TiledMatrix::zeros(t, input.nb());
+    let mut per_rank = Vec::with_capacity(outcomes.len());
+    let mut sent = Vec::with_capacity(outcomes.len());
+    let mut spans = Vec::new();
+    let mut msgs = Vec::new();
+    let mut first_error: Option<(usize, KernelError)> = None;
+    let mut tasks = 0usize;
+    for out in &mut outcomes {
+        for (k, tile) in out.tiles.drain(..) {
+            *matrix.tile_mut(k / t, k % t) = tile;
+        }
+        tasks += out.io.tasks as usize;
+        per_rank.push(out.io);
+        sent.push(std::mem::take(&mut out.sent));
+        spans.append(&mut out.spans);
+        msgs.append(&mut out.msgs);
+        if let Some((id, e)) = out.error {
+            if first_error.is_none_or(|(fid, _)| id < fid) {
+                first_error = Some((id, e));
+            }
+        }
+    }
+    let report =
+        NetReport::from_parts(n_ranks, tasks, per_rank, &sent, first_error.map(|(_, e)| e));
+    let trace = opts.trace.then(|| {
+        spans.sort_by_key(|s| s.task);
+        msgs.sort_by_key(|m| (m.from, m.epoch, m.i, m.j, m.to));
+        NetTrace {
+            n_ranks,
+            spans,
+            messages: msgs,
+        }
+    });
+    Ok(DexecOutput {
+        matrix,
+        report,
+        trace,
+    })
+}

@@ -28,6 +28,7 @@
 // must carry a `// SAFETY:` comment (enforced by `flexdist verify --lint`).
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod dexec;
 pub mod execute;
 pub mod graphs;
 pub mod residual;
@@ -36,6 +37,10 @@ pub mod solve;
 pub mod steal;
 pub mod sweep;
 
+pub use dexec::{
+    execute_distributed, execute_distributed_traced, execute_distributed_with, DexecOptions,
+    DexecOutput,
+};
 pub use execute::{
     execute, execute_pair, execute_traced, execute_with, ExecEvent, ExecEventKind, ExecOptions,
     ExecReport, ExecTrace, WorkerStats,
@@ -44,3 +49,8 @@ pub use graphs::{build_graph, Op, Operation, TaskList};
 pub use simulate::{simulate, SimSetup};
 pub use solve::{cholesky_solve, lu_solve, solve_residual, BlockVector};
 pub use sweep::SweepBuilder;
+
+// The distributed engine's wire substrate, re-exported so downstream
+// consumers (CLI, benches, tests) reach the message-passing types
+// without a separate dependency edge.
+pub use flexdist_net as net;

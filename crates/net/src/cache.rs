@@ -1,0 +1,165 @@
+//! Per-rank store of received tile replicas.
+//!
+//! Validates the protocol invariants of the panel/trailing broadcast
+//! scheme on insertion: a tile `(i, j)` is broadcast exactly once, at
+//! epoch `min(i, j)` (the iteration that finalizes it), so a second
+//! replica with the same key is a duplicate and any other epoch is
+//! stale/garbage — both typed errors naming rank and coordinates.
+
+use crate::codec::{TileKey, TileMsg};
+use crate::error::NetError;
+use flexdist_kernels::Tile;
+use std::collections::HashMap;
+
+/// Replicas a rank has received, keyed by tile + epoch.
+pub struct ReplicaCache {
+    t: usize,
+    nb: usize,
+    map: HashMap<TileKey, Tile>,
+}
+
+impl ReplicaCache {
+    /// Empty cache for a `t × t` grid of `nb × nb` tiles.
+    #[must_use]
+    pub fn new(t: usize, nb: usize) -> Self {
+        Self {
+            t,
+            nb,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Validate and store one received replica.
+    ///
+    /// # Errors
+    /// `StaleEpoch` when the epoch is not the tile's broadcast epoch or
+    /// past the last iteration, `DuplicateMsg` on a repeated key,
+    /// `PayloadShape` when the tile dimension differs from the matrix's.
+    pub fn insert(&mut self, rank: u32, msg: TileMsg) -> Result<(), NetError> {
+        let key = msg.key();
+        let expected = TileKey::expected_epoch(msg.i, msg.j);
+        if msg.epoch != expected || msg.epoch as usize >= self.t {
+            return Err(NetError::StaleEpoch {
+                rank,
+                from: msg.src,
+                i: msg.i,
+                j: msg.j,
+                epoch: msg.epoch,
+                expected,
+            });
+        }
+        if msg.tile.nb() != self.nb {
+            return Err(NetError::PayloadShape {
+                rank,
+                i: msg.i,
+                j: msg.j,
+                got_nb: msg.tile.nb(),
+                want_nb: self.nb,
+            });
+        }
+        if self.map.contains_key(&key) {
+            return Err(NetError::DuplicateMsg {
+                rank,
+                from: msg.src,
+                i: msg.i,
+                j: msg.j,
+                epoch: msg.epoch,
+            });
+        }
+        self.map.insert(key, msg.tile);
+        Ok(())
+    }
+
+    /// Look up a replica.
+    #[must_use]
+    pub fn get(&self, key: TileKey) -> Option<&Tile> {
+        self.map.get(&key)
+    }
+
+    /// Number of replicas held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no replica has arrived yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::MsgClass;
+
+    fn msg(i: u32, j: u32, epoch: u32) -> TileMsg {
+        TileMsg {
+            class: MsgClass::Trailing,
+            src: 1,
+            i,
+            j,
+            epoch,
+            tile: Tile::zeros(2),
+        }
+    }
+
+    #[test]
+    fn accepts_then_rejects_duplicate() {
+        let mut c = ReplicaCache::new(4, 2);
+        c.insert(0, msg(3, 1, 1)).unwrap();
+        assert!(c
+            .get(TileKey {
+                i: 3,
+                j: 1,
+                epoch: 1
+            })
+            .is_some());
+        let err = c.insert(0, msg(3, 1, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::DuplicateMsg {
+                rank: 0,
+                from: 1,
+                i: 3,
+                j: 1,
+                epoch: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_or_out_of_range_epoch() {
+        let mut c = ReplicaCache::new(4, 2);
+        assert!(matches!(
+            c.insert(2, msg(3, 1, 2)).unwrap_err(),
+            NetError::StaleEpoch {
+                rank: 2,
+                i: 3,
+                j: 1,
+                epoch: 2,
+                expected: 1,
+                ..
+            }
+        ));
+        // min(i, j) past the grid: also stale.
+        assert!(matches!(
+            c.insert(2, msg(9, 9, 9)).unwrap_err(),
+            NetError::StaleEpoch { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_tile_size() {
+        let mut c = ReplicaCache::new(4, 3);
+        assert!(matches!(
+            c.insert(0, msg(2, 1, 1)).unwrap_err(),
+            NetError::PayloadShape {
+                got_nb: 2,
+                want_nb: 3,
+                ..
+            }
+        ));
+    }
+}

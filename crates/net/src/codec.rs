@@ -1,0 +1,332 @@
+//! Wire format of a tile message.
+//!
+//! A frame is a header followed by the tile payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "FXTM"
+//! 4       1     class  (0 = panel, 1 = trailing)
+//! 5       4     src    sending rank,           u32 LE
+//! 9       4     i      tile row,               u32 LE
+//! 13      4     j      tile column,            u32 LE
+//! 17      4     epoch  broadcast iteration ℓ,  u32 LE
+//! 21      4     nb     tile dimension,         u32 LE
+//! 25      8·nb² payload, column-major f64 bits, LE
+//! ```
+//!
+//! Payload values travel as raw IEEE-754 bit patterns
+//! (`f64::to_bits`/`from_bits`), so the round trip is the identity on
+//! *every* bit pattern — including NaNs with arbitrary payloads, signed
+//! zeros and subnormals. That is what lets the distributed executor
+//! promise bitwise-identical results to the shared-memory one.
+
+use crate::error::NetError;
+use flexdist_kernels::Tile;
+
+/// Frame magic: "FXTM" (FleXdist Tile Message).
+pub const MAGIC: [u8; 4] = *b"FXTM";
+
+/// Bytes before the payload.
+pub const HEADER_LEN: usize = 25;
+
+/// Tiles above this dimension are rejected as implausible (a guard
+/// against decoding garbage length fields into huge allocations).
+pub const MAX_NB: u32 = 1 << 16;
+
+/// Which phase of the Fig. 2 broadcast scheme a message belongs to.
+/// Mirrors the two counters of
+/// [`CommBreakdown`](flexdist_dist::CommBreakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Factorized diagonal tile to the panel solvers.
+    Panel,
+    /// Solved panel tile into the trailing-submatrix update.
+    Trailing,
+}
+
+impl MsgClass {
+    /// Wire byte of the class.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Self::Panel => 0,
+            Self::Trailing => 1,
+        }
+    }
+
+    /// Parse the wire byte.
+    ///
+    /// # Errors
+    /// `BadClass` on unknown bytes.
+    pub fn from_byte(b: u8) -> Result<Self, NetError> {
+        match b {
+            0 => Ok(Self::Panel),
+            1 => Ok(Self::Trailing),
+            got => Err(NetError::BadClass { got }),
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Panel => "panel",
+            Self::Trailing => "trailing",
+        }
+    }
+}
+
+/// Identity of a broadcast replica: which tile, at which iteration.
+///
+/// In the right-looking panel/trailing scheme every tile is broadcast at
+/// most once, at epoch `min(i, j)` — the iteration that finalizes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileKey {
+    /// Tile row.
+    pub i: u32,
+    /// Tile column.
+    pub j: u32,
+    /// Broadcast iteration.
+    pub epoch: u32,
+}
+
+impl TileKey {
+    /// The only epoch at which tile `(i, j)` is ever broadcast.
+    #[must_use]
+    pub fn expected_epoch(i: u32, j: u32) -> u32 {
+        i.min(j)
+    }
+}
+
+/// One tile in flight: header identity plus the payload.
+#[derive(Debug, Clone)]
+pub struct TileMsg {
+    /// Panel or trailing broadcast.
+    pub class: MsgClass,
+    /// Sending rank.
+    pub src: u32,
+    /// Tile row.
+    pub i: u32,
+    /// Tile column.
+    pub j: u32,
+    /// Broadcast iteration.
+    pub epoch: u32,
+    /// The tile data.
+    pub tile: Tile,
+}
+
+impl TileMsg {
+    /// The replica identity of this message.
+    #[must_use]
+    pub fn key(&self) -> TileKey {
+        TileKey {
+            i: self.i,
+            j: self.j,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Bit-exact equality (headers equal, payloads equal as raw bits —
+    /// NaN payloads compare by pattern, not by IEEE `==`).
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.class == other.class
+            && self.src == other.src
+            && self.i == other.i
+            && self.j == other.j
+            && self.epoch == other.epoch
+            && self.tile.nb() == other.tile.nb()
+            && self
+                .tile
+                .as_slice()
+                .iter()
+                .zip(other.tile.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Exact frame length of a message carrying an `nb × nb` tile.
+#[must_use]
+pub fn frame_len(nb: usize) -> usize {
+    HEADER_LEN + 8 * nb * nb
+}
+
+/// Serialize a message into one frame.
+#[must_use]
+pub fn encode(msg: &TileMsg) -> Vec<u8> {
+    let nb = msg.tile.nb();
+    let mut out = Vec::with_capacity(frame_len(nb));
+    out.extend_from_slice(&MAGIC);
+    out.push(msg.class.to_byte());
+    out.extend_from_slice(&msg.src.to_le_bytes());
+    out.extend_from_slice(&msg.i.to_le_bytes());
+    out.extend_from_slice(&msg.j.to_le_bytes());
+    out.extend_from_slice(&msg.epoch.to_le_bytes());
+    out.extend_from_slice(&(nb as u32).to_le_bytes());
+    for v in msg.tile.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn u32_at(frame: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([frame[at], frame[at + 1], frame[at + 2], frame[at + 3]])
+}
+
+/// Deserialize exactly one frame.
+///
+/// # Errors
+/// `Truncated` when bytes are missing, `FrameOverrun` when trailing
+/// bytes follow the payload, `BadMagic`/`BadClass`/`BadTileSize` on a
+/// corrupt header.
+pub fn decode(frame: &[u8]) -> Result<TileMsg, NetError> {
+    if frame.len() < HEADER_LEN {
+        return Err(NetError::Truncated {
+            need: HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    if frame[..4] != MAGIC {
+        return Err(NetError::BadMagic {
+            got: [frame[0], frame[1], frame[2], frame[3]],
+        });
+    }
+    let class = MsgClass::from_byte(frame[4])?;
+    let src = u32_at(frame, 5);
+    let i = u32_at(frame, 9);
+    let j = u32_at(frame, 13);
+    let epoch = u32_at(frame, 17);
+    let nb32 = u32_at(frame, 21);
+    if nb32 == 0 || nb32 > MAX_NB {
+        return Err(NetError::BadTileSize { nb: nb32 });
+    }
+    let nb = nb32 as usize;
+    let need = frame_len(nb);
+    if frame.len() < need {
+        return Err(NetError::Truncated {
+            need,
+            got: frame.len(),
+        });
+    }
+    if frame.len() > need {
+        return Err(NetError::FrameOverrun {
+            expected: need,
+            got: frame.len(),
+        });
+    }
+    let mut tile = Tile::zeros(nb);
+    for (k, slot) in tile.as_mut_slice().iter_mut().enumerate() {
+        let at = HEADER_LEN + 8 * k;
+        let bits = u64::from_le_bytes([
+            frame[at],
+            frame[at + 1],
+            frame[at + 2],
+            frame[at + 3],
+            frame[at + 4],
+            frame[at + 5],
+            frame[at + 6],
+            frame[at + 7],
+        ]);
+        *slot = f64::from_bits(bits);
+    }
+    Ok(TileMsg {
+        class,
+        src,
+        i,
+        j,
+        epoch,
+        tile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(nb: usize) -> TileMsg {
+        TileMsg {
+            class: MsgClass::Trailing,
+            src: 3,
+            i: 7,
+            j: 2,
+            epoch: 2,
+            tile: Tile::from_fn(nb, |i, j| (i * 10 + j) as f64 - 4.5),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let msg = sample(4);
+        let frame = encode(&msg);
+        assert_eq!(frame.len(), frame_len(4));
+        let back = decode(&frame).unwrap();
+        assert!(msg.bitwise_eq(&back));
+    }
+
+    #[test]
+    fn nan_and_signed_zero_payloads_survive() {
+        let mut msg = sample(2);
+        let s = msg.tile.as_mut_slice();
+        s[0] = f64::from_bits(0x7ff8_0000_dead_beef); // NaN with payload
+        s[1] = -0.0;
+        s[2] = f64::INFINITY;
+        s[3] = f64::MIN_POSITIVE / 2.0; // subnormal
+        let back = decode(&encode(&msg)).unwrap();
+        assert!(msg.bitwise_eq(&back));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let frame = encode(&sample(3));
+        for cut in 0..frame.len() {
+            let err = decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, NetError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn overrun_and_corrupt_headers_are_rejected() {
+        let frame = encode(&sample(2));
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(matches!(
+            decode(&long).unwrap_err(),
+            NetError::FrameOverrun { .. }
+        ));
+        let mut bad_magic = frame.clone();
+        bad_magic[0] = b'Z';
+        assert!(matches!(
+            decode(&bad_magic).unwrap_err(),
+            NetError::BadMagic { .. }
+        ));
+        let mut bad_class = frame.clone();
+        bad_class[4] = 9;
+        assert!(matches!(
+            decode(&bad_class).unwrap_err(),
+            NetError::BadClass { got: 9 }
+        ));
+        let mut zero_nb = frame;
+        zero_nb[21..25].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode(&zero_nb).unwrap_err(),
+            NetError::BadTileSize { nb: 0 }
+        ));
+    }
+
+    #[test]
+    fn max_coord_header_round_trips() {
+        let msg = TileMsg {
+            class: MsgClass::Panel,
+            src: u32::MAX,
+            i: u32::MAX,
+            j: u32::MAX - 1,
+            epoch: u32::MAX - 1,
+            tile: Tile::zeros(1),
+        };
+        let back = decode(&encode(&msg)).unwrap();
+        assert!(msg.bitwise_eq(&back));
+    }
+}

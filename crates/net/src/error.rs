@@ -1,0 +1,317 @@
+//! Typed errors for the message-passing layer.
+//!
+//! Every failure names the rank and tile coordinates involved, so a
+//! conformance violation in a test or the `dexec` CLI pinpoints the
+//! offending message rather than a generic "protocol error".
+
+use std::fmt;
+
+/// Everything that can go wrong on the wire or in the rank engine.
+///
+/// The variants split into three families:
+///
+/// * **send-side contract** (`NotOwner`, `SelfSend`, `NoRoute`,
+///   `Disconnected`) — a rank tried to emit a message the owner-computes
+///   broadcast scheme forbids, or the fabric cannot carry;
+/// * **frame decoding** (`Truncated`, `FrameOverrun`, `BadMagic`,
+///   `BadClass`, `BadTileSize`) — the byte stream is not a well-formed
+///   [`TileMsg`](crate::TileMsg) frame;
+/// * **receive-side protocol** (`UnexpectedSender`, `CoordsOutOfRange`,
+///   `StaleEpoch`, `DuplicateMsg`, `UnexpectedMsg`, `PayloadShape`,
+///   `ChannelClosed`) plus engine-internal guards (`MissingReplica`,
+///   `MissingLocalTile`, `ShapeMismatch`, `Unsupported`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A rank tried to send tile `(i, j)` it does not own.
+    NotOwner {
+        /// The offending sender.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// The actual owner under the assignment.
+        owner: u32,
+    },
+    /// A rank addressed a message to itself (local data never crosses the
+    /// wire under owner-computes).
+    SelfSend {
+        /// The rank.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+    },
+    /// The topology has no link between the two ranks.
+    NoRoute {
+        /// Sending rank.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+    },
+    /// The receiving rank exited before this send (protocol violation:
+    /// a correct schedule never sends to a finished rank).
+    Disconnected {
+        /// Sending rank.
+        from: u32,
+        /// Receiver whose inbox is gone.
+        to: u32,
+    },
+    /// A rank blocked on `recv` but every peer has exited — the
+    /// distributed schedule deadlocked or dropped a message.
+    ChannelClosed {
+        /// The starved rank.
+        rank: u32,
+    },
+    /// Frame shorter than its header + declared payload.
+    Truncated {
+        /// Bytes required to finish decoding.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Frame longer than its header + declared payload.
+    FrameOverrun {
+        /// Exact frame length implied by the header.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame does not start with the `TileMsg` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
+    /// Unknown message-class byte.
+    BadClass {
+        /// The byte found.
+        got: u8,
+    },
+    /// Declared tile size is zero or implausibly large.
+    BadTileSize {
+        /// The declared `nb`.
+        nb: u32,
+    },
+    /// Message claims a source rank that does not own the carried tile.
+    UnexpectedSender {
+        /// Receiving rank.
+        rank: u32,
+        /// Claimed source.
+        from: u32,
+        /// Actual owner of the tile.
+        owner: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+    },
+    /// Tile coordinates outside the `t × t` grid.
+    CoordsOutOfRange {
+        /// Receiving rank.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Tiles per dimension.
+        t: usize,
+    },
+    /// Message epoch is not the broadcast epoch of its tile (`min(i, j)`
+    /// for the panel/trailing scheme) or is past the last iteration.
+    StaleEpoch {
+        /// Receiving rank.
+        rank: u32,
+        /// Source rank.
+        from: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Epoch carried by the message.
+        epoch: u32,
+        /// The only epoch at which this tile is ever broadcast.
+        expected: u32,
+    },
+    /// The same `(tile, epoch)` replica arrived twice.
+    DuplicateMsg {
+        /// Receiving rank.
+        rank: u32,
+        /// Source rank.
+        from: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Epoch.
+        epoch: u32,
+    },
+    /// A well-formed replica arrived that no local task consumes.
+    UnexpectedMsg {
+        /// Receiving rank.
+        rank: u32,
+        /// Source rank.
+        from: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Epoch.
+        epoch: u32,
+    },
+    /// Payload tile size differs from the matrix tile size.
+    PayloadShape {
+        /// Receiving rank.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// `nb` carried by the message.
+        got_nb: usize,
+        /// `nb` of the local matrix.
+        want_nb: usize,
+    },
+    /// Engine bug guard: a task read a remote tile whose replica never
+    /// arrived (the dependency tracking let it run too early).
+    MissingReplica {
+        /// Executing rank.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Epoch.
+        epoch: u32,
+    },
+    /// Engine bug guard: a rank's own tile store has a hole.
+    MissingLocalTile {
+        /// Executing rank.
+        rank: u32,
+        /// Tile row.
+        i: u32,
+        /// Tile column.
+        j: u32,
+    },
+    /// Tile grid of the matrix does not match the task list.
+    ShapeMismatch {
+        /// Tiles per dimension expected by the graph.
+        expected: usize,
+        /// Tiles per dimension of the matrix.
+        got: usize,
+    },
+    /// The operation has no distributed broadcast schedule (only LU and
+    /// Cholesky move data with the Fig. 2 panel/trailing scheme).
+    Unsupported {
+        /// Name of the rejected operation.
+        operation: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotOwner { rank, i, j, owner } => write!(
+                f,
+                "rank {rank} tried to send tile ({i},{j}) owned by rank {owner}"
+            ),
+            Self::SelfSend { rank, i, j } => {
+                write!(f, "rank {rank} addressed tile ({i},{j}) to itself")
+            }
+            Self::NoRoute { from, to } => {
+                write!(f, "topology has no link from rank {from} to rank {to}")
+            }
+            Self::Disconnected { from, to } => {
+                write!(f, "rank {from} sent to rank {to} after it exited")
+            }
+            Self::ChannelClosed { rank } => write!(
+                f,
+                "rank {rank} starved: all peers exited with receives outstanding"
+            ),
+            Self::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            Self::FrameOverrun { expected, got } => {
+                write!(f, "frame overrun: expected {expected} bytes, got {got}")
+            }
+            Self::BadMagic { got } => write!(f, "bad frame magic {got:?}"),
+            Self::BadClass { got } => write!(f, "unknown message class byte {got:#04x}"),
+            Self::BadTileSize { nb } => write!(f, "implausible tile size nb = {nb}"),
+            Self::UnexpectedSender {
+                rank,
+                from,
+                owner,
+                i,
+                j,
+            } => write!(
+                f,
+                "rank {rank} received tile ({i},{j}) from rank {from}, but rank {owner} owns it"
+            ),
+            Self::CoordsOutOfRange { rank, i, j, t } => write!(
+                f,
+                "rank {rank} received tile ({i},{j}) outside the {t}x{t} grid"
+            ),
+            Self::StaleEpoch {
+                rank,
+                from,
+                i,
+                j,
+                epoch,
+                expected,
+            } => write!(
+                f,
+                "rank {rank} received tile ({i},{j}) from rank {from} at epoch {epoch}, \
+                 but it is only broadcast at epoch {expected}"
+            ),
+            Self::DuplicateMsg {
+                rank,
+                from,
+                i,
+                j,
+                epoch,
+            } => write!(
+                f,
+                "rank {rank} received duplicate replica of tile ({i},{j}) epoch {epoch} \
+                 from rank {from}"
+            ),
+            Self::UnexpectedMsg {
+                rank,
+                from,
+                i,
+                j,
+                epoch,
+            } => write!(
+                f,
+                "rank {rank} received unneeded tile ({i},{j}) epoch {epoch} from rank {from}"
+            ),
+            Self::PayloadShape {
+                rank,
+                i,
+                j,
+                got_nb,
+                want_nb,
+            } => write!(
+                f,
+                "rank {rank}: tile ({i},{j}) payload is {got_nb}x{got_nb}, matrix uses \
+                 {want_nb}x{want_nb}"
+            ),
+            Self::MissingReplica { rank, i, j, epoch } => write!(
+                f,
+                "rank {rank} ran a task before its replica of tile ({i},{j}) epoch {epoch} arrived"
+            ),
+            Self::MissingLocalTile { rank, i, j } => {
+                write!(f, "rank {rank} has no local copy of its own tile ({i},{j})")
+            }
+            Self::ShapeMismatch { expected, got } => write!(
+                f,
+                "matrix has {got}x{got} tiles but the task list expects {expected}x{expected}"
+            ),
+            Self::Unsupported { operation } => write!(
+                f,
+                "operation {operation} has no distributed broadcast schedule (LU and Cholesky only)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,40 @@
+//! # flexdist-net
+//!
+//! The wire under the distributed executor: an in-process message-passing
+//! fabric that makes the paper's communication model (§III, Eq. 1/2)
+//! something the test suite can measure in *bytes sent* rather than only
+//! count analytically.
+//!
+//! Layers, bottom up:
+//!
+//! * [`codec`] — the serialized [`TileMsg`] frame (header: class, source
+//!   rank, tile coordinates, epoch, tile size; payload: raw `f64` bits,
+//!   lossless for every bit pattern including NaNs);
+//! * [`transport`] — one mpsc inbox per rank, per-link message/byte
+//!   counters split panel vs. trailing, a pluggable [`Topology`]
+//!   ([`FullMesh`] by default, [`Partition`] for negative tests), and
+//!   ownership enforcement at both ends of every link;
+//! * [`cache`] — the per-rank [`ReplicaCache`] with duplicate and
+//!   epoch-staleness rejection;
+//! * [`report`] — the measured [`NetReport`] (its `wire` field is the
+//!   measured counterpart of `flexdist_dist::CommBreakdown`) and the
+//!   [`NetTrace`] consumed by `flexdist verify` and the gantt renderers.
+//!
+//! The rank engine that drives kernels over this fabric lives in
+//! `flexdist_factor::dexec` (it needs the task graphs); this crate
+//! deliberately knows nothing about factorization algorithms beyond the
+//! "one broadcast per tile, at epoch `min(i, j)`" invariant it enforces.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod codec;
+pub mod error;
+pub mod report;
+pub mod transport;
+
+pub use cache::ReplicaCache;
+pub use codec::{decode, encode, frame_len, MsgClass, TileKey, TileMsg};
+pub use error::NetError;
+pub use report::{LinkIo, MsgEvent, NetReport, NetTrace, RankIo};
+pub use transport::{build_fabric, Endpoint, FullMesh, LinkStats, Partition, Topology};

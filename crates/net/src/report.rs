@@ -1,0 +1,249 @@
+//! What a distributed run measured: per-link and per-rank traffic, the
+//! panel/trailing wire breakdown, and the optional message-level trace.
+
+use crate::codec::MsgClass;
+use crate::transport::LinkStats;
+use flexdist_dist::CommBreakdown;
+use flexdist_json::Value;
+use flexdist_kernels::KernelError;
+use flexdist_runtime::TaskSpan;
+
+/// Aggregate traffic of one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankIo {
+    /// The rank.
+    pub rank: u32,
+    /// Tasks it executed.
+    pub tasks: u64,
+    /// Messages it put on the wire.
+    pub sent_msgs: u64,
+    /// Serialized bytes it put on the wire.
+    pub sent_bytes: u64,
+    /// Messages it consumed.
+    pub recv_msgs: u64,
+    /// Serialized bytes it consumed.
+    pub recv_bytes: u64,
+}
+
+/// Traffic of one ordered rank pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkIo {
+    /// Sending rank.
+    pub from: u32,
+    /// Receiving rank.
+    pub to: u32,
+    /// Messages carried.
+    pub msgs: u64,
+    /// Serialized bytes carried.
+    pub bytes: u64,
+    /// Panel-class messages.
+    pub panel: u64,
+    /// Trailing-class messages.
+    pub trailing: u64,
+}
+
+/// Summary of a distributed execution — the measured counterpart of the
+/// analytic [`CommBreakdown`] from `flexdist_dist::comm`.
+#[derive(Debug, Clone, Default)]
+pub struct NetReport {
+    /// Ranks instantiated (= nodes of the assignment).
+    pub n_ranks: u32,
+    /// Tasks executed across all ranks.
+    pub tasks: usize,
+    /// Measured wire volume in tiles sent, split panel/trailing. The
+    /// conformance guarantee is `wire == {lu,cholesky}_comm_volume(...)`,
+    /// exactly.
+    pub wire: CommBreakdown,
+    /// Total serialized bytes on the wire.
+    pub bytes: u64,
+    /// Per-rank traffic, indexed by rank.
+    pub per_rank: Vec<RankIo>,
+    /// Per-link traffic (only links that carried at least one message),
+    /// sorted by `(from, to)`.
+    pub links: Vec<LinkIo>,
+    /// First kernel failure (by task id) across all ranks, if any.
+    pub error: Option<KernelError>,
+}
+
+impl NetReport {
+    /// Assemble the report from per-rank link stats.
+    /// `sent[rank]` holds `(peer, stats)` pairs; `ranks` the per-rank
+    /// aggregate rows (indexed by rank).
+    #[must_use]
+    pub fn from_parts(
+        n_ranks: u32,
+        tasks: usize,
+        per_rank: Vec<RankIo>,
+        sent: &[Vec<(u32, LinkStats)>],
+        error: Option<KernelError>,
+    ) -> Self {
+        let mut links = Vec::new();
+        let mut wire = CommBreakdown::default();
+        let mut bytes = 0;
+        for (from, peers) in sent.iter().enumerate() {
+            for &(to, s) in peers {
+                if s.msgs == 0 {
+                    continue;
+                }
+                wire.panel += s.panel;
+                wire.trailing += s.trailing;
+                bytes += s.bytes;
+                links.push(LinkIo {
+                    from: from as u32,
+                    to,
+                    msgs: s.msgs,
+                    bytes: s.bytes,
+                    panel: s.panel,
+                    trailing: s.trailing,
+                });
+            }
+        }
+        links.sort_by_key(|l| (l.from, l.to));
+        Self {
+            n_ranks,
+            tasks,
+            wire,
+            bytes,
+            per_rank,
+            links,
+            error,
+        }
+    }
+}
+
+/// One message on the wire, as seen by the sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgEvent {
+    /// Sending rank.
+    pub from: u32,
+    /// Receiving rank.
+    pub to: u32,
+    /// Panel or trailing broadcast.
+    pub class: MsgClass,
+    /// Tile row.
+    pub i: u32,
+    /// Tile column.
+    pub j: u32,
+    /// Broadcast iteration.
+    pub epoch: u32,
+    /// Serialized frame size.
+    pub bytes: u64,
+    /// Send timestamp, seconds since engine start.
+    pub at: f64,
+}
+
+/// Span + message trace of a distributed run. Spans reuse the runtime's
+/// [`TaskSpan`] with `node` = rank and `worker` = 0 (ranks are
+/// single-threaded), so the gantt renderers and the `flexdist verify`
+/// race detector consume it directly.
+#[derive(Debug, Clone, Default)]
+pub struct NetTrace {
+    /// Ranks in the run.
+    pub n_ranks: u32,
+    /// One span per executed task, in completion order per rank.
+    pub spans: Vec<TaskSpan>,
+    /// Every message sent, in send order per rank.
+    pub messages: Vec<MsgEvent>,
+}
+
+impl NetTrace {
+    /// Serialize as a `net-trace` JSON document: the common `spans`
+    /// array (same shape as `sim-trace`) plus a `messages` array.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let messages = self
+            .messages
+            .iter()
+            .map(|m| {
+                flexdist_json::object(vec![
+                    ("from", Value::from(m.from)),
+                    ("to", Value::from(m.to)),
+                    ("class", Value::from(m.class.name())),
+                    ("i", Value::from(m.i)),
+                    ("j", Value::from(m.j)),
+                    ("epoch", Value::from(m.epoch)),
+                    ("bytes", Value::from(m.bytes)),
+                    ("at", Value::from(m.at)),
+                ])
+            })
+            .collect();
+        flexdist_json::object(vec![
+            ("kind", Value::from("net-trace")),
+            ("n_ranks", Value::from(self.n_ranks)),
+            ("tasks", Value::from(self.spans.len())),
+            ("messages_sent", Value::from(self.messages.len())),
+            ("spans", flexdist_runtime::spans_to_json(&self.spans)),
+            ("messages", Value::Array(messages)),
+        ])
+    }
+
+    /// Pretty-printed form of [`NetTrace::to_json`].
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merges_links_and_splits_classes() {
+        let sent = vec![
+            vec![(
+                1,
+                LinkStats {
+                    msgs: 3,
+                    bytes: 300,
+                    panel: 1,
+                    trailing: 2,
+                },
+            )],
+            vec![(0, LinkStats::default())], // silent link: dropped
+        ];
+        let per_rank = vec![RankIo::default(), RankIo::default()];
+        let r = NetReport::from_parts(2, 5, per_rank, &sent, None);
+        assert_eq!(
+            r.wire,
+            CommBreakdown {
+                panel: 1,
+                trailing: 2
+            }
+        );
+        assert_eq!(r.bytes, 300);
+        assert_eq!(r.links.len(), 1);
+        assert_eq!((r.links[0].from, r.links[0].to, r.links[0].msgs), (0, 1, 3));
+    }
+
+    #[test]
+    fn net_trace_serializes_with_kind() {
+        let tr = NetTrace {
+            n_ranks: 2,
+            spans: vec![TaskSpan {
+                task: 0,
+                node: 1,
+                worker: 0,
+                label: "getrf",
+                start: 0.0,
+                end: 1.0,
+            }],
+            messages: vec![MsgEvent {
+                from: 1,
+                to: 0,
+                class: MsgClass::Panel,
+                i: 0,
+                j: 0,
+                epoch: 0,
+                bytes: 57,
+                at: 1.0,
+            }],
+        };
+        let doc = tr.to_json();
+        assert_eq!(doc.get("kind").and_then(Value::as_str), Some("net-trace"));
+        let spans = doc.get("spans").and_then(Value::as_array).unwrap();
+        assert_eq!(spans.len(), 1);
+        let msgs = doc.get("messages").and_then(Value::as_array).unwrap();
+        assert_eq!(msgs[0].get("class").and_then(Value::as_str), Some("panel"));
+    }
+}

@@ -1,0 +1,323 @@
+//! In-process fabric: one mpsc inbox per rank, one counted `Link` per
+//! connected ordered pair.
+//!
+//! Frames travel as encoded byte vectors (the [`codec`](crate::codec)
+//! format), so the byte counters measure the *serialized* message — the
+//! wire-level size, not an in-memory shortcut. Each `Link` is owned by
+//! exactly one sending rank, which keeps its counters plain (no atomics);
+//! the per-source receive counters live in the receiving [`Endpoint`].
+//!
+//! Ownership is enforced at both ends: a rank can only put its *own*
+//! tiles on the wire ([`NetError::NotOwner`]), and a received frame must
+//! come from the rank that owns the carried tile
+//! ([`NetError::UnexpectedSender`]). Together with the replica-cache
+//! epoch checks this makes the transport reject any traffic outside the
+//! paper's Fig. 2 broadcast scheme.
+
+use crate::codec::{decode, encode, MsgClass, TileMsg};
+use crate::error::NetError;
+use flexdist_dist::TileAssignment;
+use flexdist_kernels::Tile;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Which ordered rank pairs may talk directly.
+pub trait Topology {
+    /// Whether a direct link `from → to` exists.
+    fn connected(&self, from: u32, to: u32) -> bool;
+
+    /// Display name.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Every rank reaches every other rank directly (the default; what the
+/// paper's broadcast scheme assumes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMesh;
+
+impl Topology for FullMesh {
+    fn connected(&self, from: u32, to: u32) -> bool {
+        from != to
+    }
+
+    fn name(&self) -> &'static str {
+        "full-mesh"
+    }
+}
+
+/// Ranks split into isolated groups; links exist only within a group.
+/// Useful to test that the engine surfaces [`NetError::NoRoute`] instead
+/// of silently dropping traffic.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    groups: Vec<u32>,
+}
+
+impl Partition {
+    /// `groups[rank]` is the group id of each rank.
+    #[must_use]
+    pub fn new(groups: Vec<u32>) -> Self {
+        Self { groups }
+    }
+}
+
+impl Topology for Partition {
+    fn connected(&self, from: u32, to: u32) -> bool {
+        from != to
+            && self.groups.get(from as usize).copied() == self.groups.get(to as usize).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+}
+
+/// Message/byte counters of one direction of traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages carried.
+    pub msgs: u64,
+    /// Serialized bytes carried (headers + payloads).
+    pub bytes: u64,
+    /// Messages of class [`MsgClass::Panel`].
+    pub panel: u64,
+    /// Messages of class [`MsgClass::Trailing`].
+    pub trailing: u64,
+}
+
+impl LinkStats {
+    fn record(&mut self, class: MsgClass, bytes: usize) {
+        self.msgs += 1;
+        self.bytes += bytes as u64;
+        match class {
+            MsgClass::Panel => self.panel += 1,
+            MsgClass::Trailing => self.trailing += 1,
+        }
+    }
+}
+
+/// Sender half of one ordered rank pair, with its traffic counters.
+struct Link {
+    tx: Sender<Vec<u8>>,
+    stats: LinkStats,
+}
+
+/// One rank's attachment to the fabric: its inbox, its outgoing links,
+/// and the owner map that gates what may cross the wire.
+pub struct Endpoint {
+    rank: u32,
+    assignment: Arc<TileAssignment>,
+    links: Vec<Option<Link>>,
+    rx: Receiver<Vec<u8>>,
+    recv_from: Vec<LinkStats>,
+}
+
+impl Endpoint {
+    /// The rank this endpoint belongs to.
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Encode and send one owned tile to a peer. Returns the frame size
+    /// in bytes.
+    ///
+    /// # Errors
+    /// `NotOwner` when the tile belongs to another rank, `SelfSend` /
+    /// `NoRoute` / `Disconnected` on addressing failures.
+    pub fn send_tile(
+        &mut self,
+        to: u32,
+        class: MsgClass,
+        i: u32,
+        j: u32,
+        epoch: u32,
+        tile: &Tile,
+    ) -> Result<usize, NetError> {
+        let owner = self.assignment.owner(i as usize, j as usize);
+        if owner != self.rank {
+            return Err(NetError::NotOwner {
+                rank: self.rank,
+                i,
+                j,
+                owner,
+            });
+        }
+        if to == self.rank {
+            return Err(NetError::SelfSend {
+                rank: self.rank,
+                i,
+                j,
+            });
+        }
+        let from = self.rank;
+        let link = self
+            .links
+            .get_mut(to as usize)
+            .and_then(Option::as_mut)
+            .ok_or(NetError::NoRoute { from, to })?;
+        let frame = encode(&TileMsg {
+            class,
+            src: from,
+            i,
+            j,
+            epoch,
+            tile: tile.clone(),
+        });
+        let bytes = frame.len();
+        link.tx
+            .send(frame)
+            .map_err(|_| NetError::Disconnected { from, to })?;
+        link.stats.record(class, bytes);
+        Ok(bytes)
+    }
+
+    /// Block until the next frame arrives, decode and validate it.
+    /// Returns the message and its wire size in bytes.
+    ///
+    /// # Errors
+    /// `ChannelClosed` when every peer exited; decoding errors for
+    /// malformed frames; `UnexpectedSender` / `CoordsOutOfRange` when the
+    /// frame violates the ownership contract.
+    pub fn recv(&mut self) -> Result<(TileMsg, usize), NetError> {
+        let frame = self
+            .rx
+            .recv()
+            .map_err(|_| NetError::ChannelClosed { rank: self.rank })?;
+        let bytes = frame.len();
+        let msg = decode(&frame)?;
+        let t = self.assignment.tiles();
+        if msg.i as usize >= t || msg.j as usize >= t {
+            return Err(NetError::CoordsOutOfRange {
+                rank: self.rank,
+                i: msg.i,
+                j: msg.j,
+                t,
+            });
+        }
+        let owner = self.assignment.owner(msg.i as usize, msg.j as usize);
+        if msg.src >= self.recv_from.len() as u32 || owner != msg.src {
+            return Err(NetError::UnexpectedSender {
+                rank: self.rank,
+                from: msg.src,
+                owner,
+                i: msg.i,
+                j: msg.j,
+            });
+        }
+        self.recv_from[msg.src as usize].record(msg.class, bytes);
+        Ok((msg, bytes))
+    }
+
+    /// Outgoing traffic: `(peer, stats)` for every link that exists.
+    #[must_use]
+    pub fn sent_stats(&self) -> Vec<(u32, LinkStats)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter_map(|(to, l)| l.as_ref().map(|l| (to as u32, l.stats)))
+            .collect()
+    }
+
+    /// Incoming traffic, indexed by source rank.
+    #[must_use]
+    pub fn recv_stats(&self) -> &[LinkStats] {
+        &self.recv_from
+    }
+}
+
+/// Build the fabric: one endpoint per node of the assignment, linked
+/// according to the topology.
+#[must_use]
+pub fn build_fabric(assignment: &Arc<TileAssignment>, topology: &dyn Topology) -> Vec<Endpoint> {
+    let n = assignment.n_nodes() as usize;
+    let mut txs: Vec<Sender<Vec<u8>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Receiver<Vec<u8>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut out = Vec::with_capacity(n);
+    for (rank, rx) in rxs.drain(..).enumerate() {
+        let links = (0..n)
+            .map(|to| {
+                topology.connected(rank as u32, to as u32).then(|| Link {
+                    tx: txs[to].clone(),
+                    stats: LinkStats::default(),
+                })
+            })
+            .collect();
+        out.push(Endpoint {
+            rank: rank as u32,
+            assignment: Arc::clone(assignment),
+            links,
+            rx,
+            recv_from: vec![LinkStats::default(); n],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexdist_core::twodbc;
+
+    fn two_rank_fabric() -> Vec<Endpoint> {
+        // 2x2 tiles, pattern [0 1 / 1 0].
+        let pat =
+            flexdist_core::Pattern::from_rows(2, &[vec![Some(0), Some(1)], vec![Some(1), Some(0)]]);
+        let a = Arc::new(TileAssignment::cyclic(&pat, 2));
+        build_fabric(&a, &FullMesh)
+    }
+
+    #[test]
+    fn send_recv_counts_serialized_bytes() {
+        let mut eps = two_rank_fabric();
+        let tile = Tile::from_fn(3, |i, j| (i + j) as f64);
+        let sent = eps[0]
+            .send_tile(1, MsgClass::Panel, 0, 0, 0, &tile)
+            .unwrap();
+        assert_eq!(sent, crate::codec::frame_len(3));
+        let (msg, bytes) = eps[1].recv().unwrap();
+        assert_eq!(bytes, sent);
+        assert_eq!((msg.i, msg.j, msg.epoch), (0, 0, 0));
+        assert_eq!(
+            eps[0].sent_stats(),
+            vec![(
+                1,
+                LinkStats {
+                    msgs: 1,
+                    bytes: sent as u64,
+                    panel: 1,
+                    trailing: 0,
+                }
+            )]
+        );
+        assert_eq!(eps[1].recv_stats()[0].msgs, 1);
+    }
+
+    #[test]
+    fn self_send_and_missing_route_are_rejected() {
+        let mut eps = two_rank_fabric();
+        let tile = Tile::zeros(1);
+        assert!(matches!(
+            eps[0].send_tile(0, MsgClass::Panel, 0, 0, 0, &tile),
+            Err(NetError::SelfSend {
+                rank: 0,
+                i: 0,
+                j: 0
+            })
+        ));
+        let pat = twodbc::two_dbc(2, 1);
+        let a = Arc::new(TileAssignment::cyclic(&pat, 2));
+        let mut iso = build_fabric(&a, &Partition::new(vec![0, 1]));
+        assert!(matches!(
+            iso[0].send_tile(1, MsgClass::Panel, 0, 0, 0, &tile),
+            Err(NetError::NoRoute { from: 0, to: 1 })
+        ));
+    }
+}

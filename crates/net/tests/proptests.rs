@@ -1,0 +1,151 @@
+//! Property-based tests of the wire layer.
+//!
+//! Two families:
+//!
+//! * **Conformance** — for random node counts, tile counts and schemes,
+//!   the traffic a full distributed run actually puts on the wire equals
+//!   the exact communication-volume counters of `flexdist-dist`, panel
+//!   and trailing classes separately. This is the paper's counting model
+//!   validated against a real message-passing execution rather than
+//!   against itself.
+//! * **Codec** — `TileMsg` framing round-trips losslessly for arbitrary
+//!   payload bit patterns (NaNs, signed zeros, infinities) and extreme
+//!   header values, and every truncation of a valid frame is rejected.
+
+use flexdist_core::{g2dbc, sbc, twodbc};
+use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+use flexdist_factor::{build_graph, execute_distributed, Operation};
+use flexdist_kernels::{KernelCostModel, Tile, TiledMatrix};
+use flexdist_net::{decode, encode, frame_len, MsgClass, NetError, TileMsg};
+use proptest::prelude::*;
+
+/// Pick a pattern for `p` nodes: 0 = G-2DBC, 1 = best-shape 2DBC,
+/// 2 = largest admissible SBC at most `p`.
+fn pattern_for(p: u32, pick: usize) -> flexdist_core::Pattern {
+    match pick {
+        0 => g2dbc::g2dbc(p),
+        1 => twodbc::best_2dbc(p),
+        _ => {
+            let q = sbc::largest_admissible_at_most(p).expect("q=1 always admissible");
+            sbc::sbc_extended(q).expect("admissible by construction")
+        }
+    }
+}
+
+/// Deterministic bit expander for payload generation (splitmix64).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Measured LU wire traffic equals the exact counters for any
+    /// (scheme, P, t), per class, and all bytes are whole frames.
+    #[test]
+    fn lu_wire_volume_is_conformant(p in 2u32..=64, t in 4usize..9, pick in 0usize..3) {
+        let pat = pattern_for(p, pick);
+        let assignment = TileAssignment::extended(&pat, t);
+        let nb = 2;
+        let tl = build_graph(Operation::Lu, &assignment, &KernelCostModel::uniform(nb, 30.0));
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, u64::from(p) ^ 0xa5);
+        let (_, report) = execute_distributed(&tl, &assignment, &a0)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.error.is_none());
+        let exact = lu_comm_volume(&assignment);
+        prop_assert_eq!(report.wire.panel, exact.panel, "panel class");
+        prop_assert_eq!(report.wire.trailing, exact.trailing, "trailing class");
+        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb) as u64);
+        // Per-rank sends tally up to the same total.
+        let sent: u64 = report.per_rank.iter().map(|r| r.sent_msgs).sum();
+        prop_assert_eq!(sent, exact.total());
+    }
+
+    /// Same for Cholesky.
+    #[test]
+    fn cholesky_wire_volume_is_conformant(p in 2u32..=64, t in 4usize..9, pick in 0usize..3) {
+        let pat = pattern_for(p, pick);
+        let assignment = TileAssignment::extended(&pat, t);
+        let nb = 2;
+        let tl = build_graph(
+            Operation::Cholesky,
+            &assignment,
+            &KernelCostModel::uniform(nb, 30.0),
+        );
+        let mut a0 = TiledMatrix::random_spd(t, nb, u64::from(p) ^ 0xc4);
+        a0.symmetrize_from_lower();
+        let (_, report) = execute_distributed(&tl, &assignment, &a0)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.error.is_none());
+        let exact = cholesky_comm_volume(&assignment);
+        prop_assert_eq!(report.wire.panel, exact.panel, "panel class");
+        prop_assert_eq!(report.wire.trailing, exact.trailing, "trailing class");
+        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb) as u64);
+        let recvd: u64 = report.per_rank.iter().map(|r| r.recv_msgs).sum();
+        prop_assert_eq!(recvd, exact.total());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The codec round-trips every payload bit pattern — including NaNs
+    /// with arbitrary mantissas, signed zeros and infinities — and
+    /// arbitrary header values up to the u32 maxima, bitwise.
+    #[test]
+    fn codec_round_trips_losslessly(
+        nb in 1usize..7,
+        seed in 0u64..=u64::MAX,
+        class_bit in 0u32..2,
+        i in 0u32..=u32::MAX,
+        j in 0u32..=u32::MAX,
+        epoch in 0u32..=u32::MAX,
+        src in 0u32..=u32::MAX,
+    ) {
+        let specials = [f64::NAN, -f64::NAN, f64::INFINITY, -0.0, f64::MIN_POSITIVE / 2.0];
+        let tile = Tile::from_fn(nb, |r, c| {
+            let bits = mix(seed ^ ((r as u64) << 32) ^ c as u64);
+            // Sprinkle special values on a pseudo-random subset.
+            if bits.is_multiple_of(7) {
+                specials[(bits / 7 % specials.len() as u64) as usize]
+            } else {
+                f64::from_bits(bits)
+            }
+        });
+        let class = if class_bit == 0 { MsgClass::Panel } else { MsgClass::Trailing };
+        let msg = TileMsg { class, src, i, j, epoch, tile };
+        let frame = encode(&msg);
+        prop_assert_eq!(frame.len(), frame_len(nb));
+        let back = decode(&frame).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.class, msg.class);
+        prop_assert_eq!(back.src, msg.src);
+        prop_assert_eq!(back.i, msg.i);
+        prop_assert_eq!(back.j, msg.j);
+        prop_assert_eq!(back.epoch, msg.epoch);
+        prop_assert!(back.bitwise_eq(&msg), "payload bits changed in flight");
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated —
+    /// the decoder never reads past the bytes it was given and never
+    /// fabricates a tile from a short read.
+    #[test]
+    fn codec_rejects_every_truncation(nb in 1usize..5, seed in 0u64..=u64::MAX, frac in 0u32..1000) {
+        let tile = Tile::from_fn(nb, |r, c| f64::from_bits(mix(seed ^ ((r as u64) << 20) ^ c as u64)));
+        let msg = TileMsg { class: MsgClass::Trailing, src: 3, i: 1, j: 2, epoch: 1, tile };
+        let frame = encode(&msg);
+        let cut = (frac as usize * (frame.len() - 1)) / 1000;
+        match decode(&frame[..cut]) {
+            Err(NetError::Truncated { need, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(need > got);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "truncated frame ({cut} of {} bytes) decoded as {other:?}",
+                frame.len()
+            ))),
+        }
+    }
+}

@@ -37,7 +37,7 @@ pub use gantt::{render_gantt, render_worker_gantt};
 pub use graph::{Access, AccessMode, GraphBuilder, TaskGraph, TaskSpec};
 pub use report::SimReport;
 pub use sim::{simulate, simulate_traced, Simulator, TaskSpan};
-pub use trace::{sim_trace_to_json, sim_trace_to_json_string};
+pub use trace::{sim_trace_to_json, sim_trace_to_json_string, spans_to_json};
 
 /// Node index within the simulated cluster.
 pub type NodeId = u32;

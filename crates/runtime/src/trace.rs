@@ -9,23 +9,33 @@ use crate::report::SimReport;
 use crate::sim::TaskSpan;
 use flexdist_json::Value;
 
+/// Serialize task spans as the common `spans` array shared by the
+/// `sim-trace`, `exec-trace` and `net-trace` JSON formats (one object per
+/// span with `task`/`node`/`worker`/`label`/`start`/`end`).
+#[must_use]
+pub fn spans_to_json(trace: &[TaskSpan]) -> Value {
+    Value::Array(
+        trace
+            .iter()
+            .map(|s| {
+                flexdist_json::object(vec![
+                    ("task", Value::from(s.task)),
+                    ("node", Value::from(s.node)),
+                    ("worker", Value::from(s.worker)),
+                    ("label", Value::from(s.label)),
+                    ("start", Value::from(s.start)),
+                    ("end", Value::from(s.end)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Serialize a simulation trace (plus its report's summary counters) to a
 /// JSON value parseable by `flexdist_json::parse`.
 #[must_use]
 pub fn sim_trace_to_json(trace: &[TaskSpan], report: &SimReport) -> Value {
-    let spans = trace
-        .iter()
-        .map(|s| {
-            flexdist_json::object(vec![
-                ("task", Value::from(s.task)),
-                ("node", Value::from(s.node)),
-                ("worker", Value::from(s.worker)),
-                ("label", Value::from(s.label)),
-                ("start", Value::from(s.start)),
-                ("end", Value::from(s.end)),
-            ])
-        })
-        .collect();
+    let spans = spans_to_json(trace);
     flexdist_json::object(vec![
         ("kind", Value::from("sim-trace")),
         ("makespan", Value::from(report.makespan)),
@@ -52,7 +62,7 @@ pub fn sim_trace_to_json(trace: &[TaskSpan], report: &SimReport) -> Value {
                     .collect(),
             ),
         ),
-        ("spans", Value::Array(spans)),
+        ("spans", spans),
     ])
 }
 

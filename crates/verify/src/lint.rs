@@ -27,7 +27,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates subject to the pass, relative to the workspace root.
-const LIB_CRATES: [&str; 7] = [
+const LIB_CRATES: [&str; 8] = [
     "crates/core",
     "crates/dist",
     "crates/runtime",
@@ -35,6 +35,7 @@ const LIB_CRATES: [&str; 7] = [
     "crates/matching",
     "crates/kernels",
     "crates/json",
+    "crates/net",
 ];
 
 /// File allowed to contain `unsafe` (with `// SAFETY:` comments).

@@ -40,7 +40,7 @@ pub struct Span {
 /// A normalized trace: one [`Span`] per executed task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceView {
-    /// Source format: `"sim-trace"` or `"exec-trace"`.
+    /// Source format: `"sim-trace"`, `"exec-trace"` or `"net-trace"`.
     pub kind: &'static str,
     /// All spans, in file/event order.
     pub spans: Vec<Span>,
@@ -68,10 +68,14 @@ impl TraceView {
     /// event.
     pub fn from_json(doc: &Value) -> Result<Self, String> {
         match doc.get("kind").and_then(Value::as_str) {
-            Some("sim-trace") => Self::sim_from_json(doc),
+            Some("sim-trace") => Self::spans_from_json(doc, "sim-trace"),
             Some("exec-trace") => Self::exec_from_json(doc),
+            // The distributed executor's trace shares the span shape with
+            // sim-trace (node = rank, worker = 0): parse it the same way.
+            Some("net-trace") => Self::spans_from_json(doc, "net-trace"),
             Some(other) => Err(format!(
-                "unsupported trace kind {other:?} (expected \"sim-trace\" or \"exec-trace\")"
+                "unsupported trace kind {other:?} (expected \"sim-trace\", \"exec-trace\" or \
+                 \"net-trace\")"
             )),
             None => Err("trace JSON: missing string field \"kind\"".into()),
         }
@@ -86,15 +90,15 @@ impl TraceView {
         Self::from_json(&doc)
     }
 
-    fn sim_from_json(doc: &Value) -> Result<Self, String> {
+    fn spans_from_json(doc: &Value, kind: &'static str) -> Result<Self, String> {
         let spans = doc
             .get("spans")
             .and_then(Value::as_array)
-            .ok_or("sim-trace: missing array field \"spans\"")?;
+            .ok_or_else(|| format!("{kind}: missing array field \"spans\""))?;
         let mut lanes: HashMap<(u64, u64), usize> = HashMap::new();
         let mut out = Vec::with_capacity(spans.len());
         for (k, s) in spans.iter().enumerate() {
-            let what = format!("sim-trace span {k}");
+            let what = format!("{kind} span {k}");
             let node = get_u64(s, "node", &what)?;
             let worker = get_u64(s, "worker", &what)?;
             let next = lanes.len();
@@ -107,7 +111,7 @@ impl TraceView {
             });
         }
         Ok(Self {
-            kind: "sim-trace",
+            kind,
             spans: out,
             n_lanes: lanes.len(),
         })

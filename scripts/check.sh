@@ -26,6 +26,16 @@ if [ "$rows" -ne 5 ]; then # header + 2 schemes x 2 tile counts
     exit 1
 fi
 
+# Distributed-executor smoke: one LU and one Cholesky run through the
+# message-passing fabric. `dexec` itself enforces the wire-conformance
+# contract (measured traffic == exact counters), bitwise identity with
+# the shared-memory executor, and determinism across repeats — it exits
+# non-zero if any of the three fails, so this doubles as a conformance
+# gate outside the unit-test process.
+echo "==> flexdist dexec smoke"
+run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8
+run ./target/release/flexdist dexec --op chol --p 4 --t 6 --nb 8
+
 # Verify smoke: the workspace lint plus a static DAG check of one LU and
 # one Cholesky configuration. `verify` exits non-zero on any finding
 # (missing/redundant edge, owner-computes violation, banned unwrap, ...),

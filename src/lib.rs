@@ -15,8 +15,11 @@
 //!   their flop cost model;
 //! * [`runtime`] — a StarPU-like sequential-task-flow runtime with a
 //!   discrete-event cluster simulator;
-//! * [`factor`] — tiled LU / Cholesky / SYRK / GEMM drivers, both simulated and
-//!   really executed;
+//! * [`factor`] — tiled LU / Cholesky / SYRK / GEMM drivers: simulated,
+//!   really executed on a thread pool, and distributed over message-passing
+//!   ranks;
+//! * [`net`] — the in-process message-passing fabric under the distributed
+//!   executor (tile codec, counted links, replica cache);
 //! * [`hetero`] — heterogeneous-node distributions via column-based
 //!   rectangle partitioning (the paper's §VI research avenue).
 //!
@@ -29,6 +32,7 @@ pub use flexdist_factor as factor;
 pub use flexdist_hetero as hetero;
 pub use flexdist_kernels as kernels;
 pub use flexdist_matching as matching;
+pub use flexdist_net as net;
 pub use flexdist_runtime as runtime;
 
 /// Library version (workspace version).

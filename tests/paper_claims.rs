@@ -188,3 +188,60 @@ fn eq3_is_enforced() {
         }
     }
 }
+
+/// §III, Eq. 1/2: the closed-form volume estimates predict not just the
+/// *counted* communications but the traffic a real message-passing run
+/// actually puts on the wire. The distributed executor's measured
+/// trailing-class message count equals the exact counters at every size
+/// (the conformance guarantee), and its relative distance to the
+/// closed forms shrinks as the tile count grows — the same tolerances
+/// the counter-vs-estimate test in `flexdist-dist` uses.
+#[test]
+fn eq_1_and_2_predict_measured_wire_traffic() {
+    use flexdist::dist::cholesky_comm_volume;
+    use flexdist::dist::comm::{cholesky_comm_estimate, lu_comm_estimate};
+    use flexdist::factor::{build_graph, execute_distributed, Operation};
+    use flexdist::kernels::{KernelCostModel, TiledMatrix};
+
+    // 1x1 tiles: the traffic pattern is what matters here, not the flops.
+    let nb = 1;
+
+    let pat = twodbc::two_dbc(3, 2);
+    for (t, tol) in [(12usize, 0.35), (48, 0.12)] {
+        let a = TileAssignment::cyclic(&pat, t);
+        let tl = build_graph(Operation::Lu, &a, &KernelCostModel::uniform(nb, 30.0));
+        let a0 = TiledMatrix::random_diag_dominant(t, nb, 3);
+        let (_, report) = execute_distributed(&tl, &a, &a0).expect("protocol clean");
+        assert!(report.error.is_none(), "t = {t}");
+        assert_eq!(report.wire, lu_comm_volume(&a), "LU t = {t}: conformance");
+        let measured = report.wire.trailing as f64;
+        let est = lu_comm_estimate(&pat, t);
+        let rel = (est - measured).abs() / est;
+        assert!(
+            rel < tol,
+            "LU t = {t}: measured {measured}, Eq. 1 says {est}, rel err {rel}"
+        );
+    }
+
+    let pat = sbc::sbc_basic(21).expect("21 admissible");
+    for (t, tol) in [(21usize, 0.35), (84, 0.12)] {
+        let a = TileAssignment::extended(&pat, t);
+        let tl = build_graph(Operation::Cholesky, &a, &KernelCostModel::uniform(nb, 30.0));
+        let mut a0 = TiledMatrix::random_spd(t, nb, 5);
+        a0.symmetrize_from_lower();
+        let (_, report) = execute_distributed(&tl, &a, &a0).expect("protocol clean");
+        assert!(report.error.is_none(), "t = {t}");
+        assert_eq!(
+            report.wire,
+            cholesky_comm_volume(&a),
+            "Cholesky t = {t}: conformance"
+        );
+        let measured = report.wire.trailing as f64;
+        let est = cholesky_comm_estimate(&pat, t);
+        let rel = (est - measured).abs() / est;
+        assert!(
+            rel < tol,
+            "Cholesky t = {t}: measured {measured}, Eq. 2 says {est}, rel err {rel}"
+        );
+    }
+}
