@@ -5,9 +5,10 @@ use crate::scheme::{pattern_from_args, SchemeKind};
 use flexdist_core::db::{PatternDb, Purpose};
 use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
+use flexdist_factor::net::FaultPlan;
 use flexdist_factor::{
-    build_graph, execute_distributed, execute_distributed_traced, execute_traced, Operation,
-    SimSetup, SweepBuilder,
+    build_graph, execute_distributed, execute_distributed_traced, execute_distributed_with,
+    execute_traced, DexecOptions, Operation, SimSetup, SweepBuilder,
 };
 use flexdist_kernels::{KernelCostModel, TiledMatrix};
 use flexdist_runtime::{
@@ -465,6 +466,153 @@ pub fn dexec(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `flexdist chaos --op lu|chol [--p N] [--scheme S] [--t T] [--nb NB]
+/// [--seeds K] [--seed BASE] [--rates r1,r2,...] [--watchdog MS]`
+///
+/// Chaos gate for the distributed executor: sweeps fault seeds × fault
+/// rates, injecting drops, duplicates, corruptions and delays on every
+/// link at each rate. Every cell must (a) complete despite the faults,
+/// (b) stay bitwise-identical to the shared-memory executor, (c) keep
+/// the measured goodput equal to the exact comm-volume counters
+/// (retransmissions are accounted separately), and (d) replay the
+/// identical `NetReport` — fault counters included — when its seed is
+/// rerun. Any violation fails the command.
+///
+/// # Errors
+/// Propagates flag and admissibility errors, protocol errors from the
+/// fabric, and every chaos-invariant violation (named by cell).
+pub fn chaos(args: &Args) -> Result<String, String> {
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (kind, pat) = pattern_from_args(args, default_scheme)?;
+    let p = pat.n_nodes();
+    let t: usize = args.get("t", 6)?;
+    let nb: usize = args.get("nb", 8)?;
+    let n_seeds: u64 = args.get("seeds", 3)?;
+    let base_seed: u64 = args.get("seed", 42)?;
+    let watchdog_ms: u64 = args.get("watchdog", 10_000)?;
+    if n_seeds == 0 {
+        return Err("--seeds must be positive".to_string());
+    }
+    let mut rates = Vec::new();
+    for tok in args.get_str("rates", "0.02,0.05,0.1").split(',') {
+        let r: f64 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate {tok:?} in --rates"))?;
+        if !(0.0..=1.0).contains(&r) {
+            return Err(format!("rate {r} outside [0, 1]"));
+        }
+        rates.push(r);
+    }
+    let assignment = TileAssignment::extended(&pat, t);
+    let tl = build_graph(op, &assignment, &KernelCostModel::uniform(nb, 30.0));
+    let (a0, expected) = match op {
+        Operation::Lu => (
+            TiledMatrix::random_diag_dominant(t, nb, base_seed),
+            lu_comm_volume(&assignment),
+        ),
+        Operation::Cholesky => {
+            let mut m = TiledMatrix::random_spd(t, nb, base_seed);
+            m.symmetrize_from_lower();
+            (m, cholesky_comm_volume(&assignment))
+        }
+        _ => return Err("chaos supports --op lu or chol only".to_string()),
+    };
+    // One shared-memory reference for every cell.
+    let (shared, shared_rep) = flexdist_factor::execute(&tl, a0.clone(), 2);
+    if let Some(e) = &shared_rep.error {
+        return Err(format!("reference execution failed: {e}"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: {} with {} over {p} ranks, {t}x{t} tiles of {nb}, \
+         {n_seeds} seed(s) x {} rate(s):",
+        op.name(),
+        kind.name(),
+        rates.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>9} | verdict",
+        "rate", "seed", "retrans", "dropped", "corrupt", "dups", "overhd B"
+    );
+    for &rate in &rates {
+        for s in 0..n_seeds {
+            let seed = base_seed.wrapping_add(s);
+            let cell = format!("cell rate={rate} seed={seed}");
+            let opts = DexecOptions {
+                faults: Some(
+                    FaultPlan::new(seed)
+                        .with_rates(rate, rate, rate)
+                        .with_delay(rate),
+                ),
+                watchdog: std::time::Duration::from_millis(watchdog_ms),
+                ..DexecOptions::default()
+            };
+            let run = || {
+                execute_distributed_with(&tl, &assignment, &a0, &opts)
+                    .map_err(|e| format!("{cell}: {e}"))
+            };
+            let first = run()?;
+            if let Some(e) = &first.report.error {
+                return Err(format!("{cell}: kernel error {e}"));
+            }
+            if first.report.wire != expected {
+                return Err(format!(
+                    "{cell}: goodput conformance violation — measured panel {} trailing {}, \
+                     exact counters say panel {} trailing {}",
+                    first.report.wire.panel,
+                    first.report.wire.trailing,
+                    expected.panel,
+                    expected.trailing
+                ));
+            }
+            if first.matrix.diff_norm(&shared) != 0.0 {
+                return Err(format!(
+                    "{cell}: result differs bitwise from shared-memory executor"
+                ));
+            }
+            let second = run()?;
+            let (a, b) = (&first.report, &second.report);
+            if a.wire != b.wire
+                || a.bytes != b.bytes
+                || a.faults != b.faults
+                || a.per_rank != b.per_rank
+                || a.links != b.links
+            {
+                return Err(format!(
+                    "{cell}: replaying the seed did not reproduce the NetReport \
+                     (faults first {:?}, second {:?})",
+                    a.faults, b.faults
+                ));
+            }
+            let f = a.faults;
+            let _ = writeln!(
+                out,
+                "  {rate:>6.3} {seed:>6} | {:>7} {:>7} {:>8} {:>7} {:>9} | ok",
+                f.retransmits,
+                f.dropped,
+                f.corrupt_injected,
+                f.duplicates_injected,
+                f.overhead_bytes
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  all {} cell(s): bitwise == shared-memory, goodput == exact counters, \
+         reports replay from their seeds",
+        rates.len() as u64 * n_seeds
+    );
+    Ok(out)
+}
+
 /// `flexdist sweep --op lu|chol|syrk --p N [--schemes s1,s2,...]
 /// [--tiles t1,t2,...] [--tile NB] [--gflops G] [--seeds K] [--workers W]
 /// [--out FILE] [--json FILE]`
@@ -609,12 +757,25 @@ pub fn verify(args: &Args) -> Result<String, String> {
         if !trace_path.is_empty() {
             let text = std::fs::read_to_string(&trace_path)
                 .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
-            let trace = flexdist_verify::TraceView::from_json_str(&text)
+            let doc = flexdist_json::parse(&text)
+                .map_err(|e| format!("{trace_path}: trace JSON: {e}"))?;
+            let trace = flexdist_verify::TraceView::from_json(&doc)
                 .map_err(|e| format!("{trace_path}: {e}"))?;
             let view = flexdist_verify::GraphView::from_graph(&tl.graph);
             let rep = flexdist_verify::detect_races(&view, &trace);
             n_findings += rep.findings.len();
             out.push_str(&rep.to_text());
+            if trace.kind == "net-trace" {
+                // Distributed traces also carry the wire messages: lint
+                // them for exactly-once delivery, with the reliability
+                // layer's retransmitted/duplicated frames deduplicated
+                // rather than flagged.
+                let msgs = flexdist_verify::net_messages_from_json(&doc)
+                    .map_err(|e| format!("{trace_path}: {e}"))?;
+                let rep = flexdist_verify::check_net_messages(&msgs);
+                n_findings += rep.findings.len();
+                out.push_str(&rep.to_text());
+            }
         }
     }
     if n_findings > 0 {

@@ -14,6 +14,10 @@
 //! * `dexec`    — run the factorization in distributed mode (one
 //!   message-passing rank per node, only owned tiles resident) and
 //!   enforce wire-level conformance against the exact comm counters;
+//! * `chaos`    — sweep fault seeds × fault rates over the distributed
+//!   executor (deterministic drop/duplicate/corrupt/delay injection) and
+//!   assert bitwise identity, goodput conformance and seed-replayable
+//!   fault counters for every cell;
 //! * `verify`   — machine-checked correctness gate: workspace source
 //!   lint, static DAG lint of a factorization graph, and vector-clock
 //!   race detection over a dumped trace;
@@ -51,6 +55,8 @@ COMMANDS:
             [--seed S] [--trace-out FILE]
   dexec     --op lu|chol --p N [--t T] [--nb NB] [--seed S]
             [--trace-out FILE]
+  chaos     --op lu|chol --p N [--t T] [--nb NB] [--seeds K] [--seed S]
+            [--rates R1,R2] [--watchdog MS]
   verify    [--lint [--root DIR] [--allow FILE]]
             [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
             [--t T] [--trace FILE]]
@@ -79,6 +85,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "gantt" => commands::gantt(&args),
         "execute" => commands::execute(&args),
         "dexec" => commands::dexec(&args),
+        "chaos" => commands::chaos(&args),
         "verify" => commands::verify(&args),
         "db" => commands::db(&args),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -189,6 +196,59 @@ mod tests {
         );
         assert!(!doc.get("spans").unwrap().as_array().unwrap().is_empty());
         assert!(!doc.get("messages").unwrap().as_array().unwrap().is_empty());
+        let _ = std::fs::remove_file(net);
+    }
+
+    #[test]
+    fn chaos_command_end_to_end() {
+        let out = run(&sv(&[
+            "chaos", "--op", "lu", "--p", "5", "--t", "5", "--nb", "4", "--seeds", "2", "--rates",
+            "0.05",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos: lu"), "{out}");
+        assert!(out.contains("retrans"), "{out}");
+        assert!(out.contains("all 2 cell(s)"), "{out}");
+        assert!(out.contains("reports replay"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_rates_and_syrk() {
+        let err = run(&sv(&["chaos", "--op", "syrk", "--p", "4"])).unwrap_err();
+        assert!(err.contains("lu or chol"), "{err}");
+        let err = run(&sv(&["chaos", "--op", "lu", "--p", "4", "--rates", "1.5"])).unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        let err = run(&sv(&["chaos", "--op", "lu", "--p", "4", "--rates", "x"])).unwrap_err();
+        assert!(err.contains("bad rate"), "{err}");
+    }
+
+    #[test]
+    fn verify_trace_accepts_net_trace_and_lints_messages() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("flexdist_cli_test_verify_net_trace.json");
+        let net = path.to_str().unwrap();
+        run(&sv(&[
+            "dexec",
+            "--op",
+            "chol",
+            "--p",
+            "4",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--scheme",
+            "2dbc",
+            "--trace-out",
+            net,
+        ]))
+        .unwrap();
+        let out = run(&sv(&[
+            "verify", "--op", "chol", "--p", "4", "--t", "5", "--scheme", "2dbc", "--trace", net,
+        ]))
+        .unwrap();
+        assert!(out.contains("net-messages:"), "{out}");
+        assert!(out.contains("verify: ok"), "{out}");
         let _ = std::fs::remove_file(net);
     }
 

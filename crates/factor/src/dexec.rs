@@ -35,6 +35,24 @@
 //! tasks, so the protocol is deadlock-free; a dropped or extra message
 //! surfaces as a typed [`NetError`] instead of a hang.
 //!
+//! ## Reliability under injected faults
+//!
+//! With [`DexecOptions::faults`] set, every link misbehaves according to
+//! the seeded [`FaultPlan`] and the engine compensates: senders
+//! retransmit dropped/corrupted frames ([`Endpoint::send_tile_reliable`])
+//! until delivered or [`NetError::RetryExhausted`]; receivers reject
+//! corrupt frames by checksum, deduplicate retransmitted replicas through
+//! the [`ReplicaCache`] seen-set, evict replica payloads after their last
+//! local read, and bound every wait with a progress watchdog that turns
+//! starvation into [`NetError::Stalled`] naming the replicas still
+//! outstanding. A rank the plan crashes exits with
+//! [`NetError::RankCrashed`] before the scheduled iteration. Because the
+//! fate of every physical frame is a pure function of the seed and the
+//! message identity, the same seed reproduces the same [`NetReport`] —
+//! fault counters included — and the factorized matrix stays
+//! bitwise-identical to the shared-memory executor on every survivable
+//! schedule.
+//!
 //! ## Bitwise identity
 //!
 //! Tasks writing the same tile are chained by same-rank WAW/RAW edges,
@@ -50,14 +68,14 @@ use flexdist_kernels::{
     trsm_right_upper, KernelError, Tile, TiledMatrix,
 };
 use flexdist_net::{
-    build_fabric, Endpoint, FullMesh, LinkStats, MsgClass, MsgEvent, NetError, NetReport, NetTrace,
-    RankIo, ReplicaCache, TileKey, Topology,
+    build_fabric_with, Endpoint, FaultPlan, FullMesh, LinkStats, MsgClass, MsgEvent, MsgKind,
+    NetError, NetReport, NetTrace, RankIo, ReplicaCache, TileKey, Topology,
 };
 use flexdist_runtime::TaskSpan;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of a distributed run.
 pub struct DexecOptions<'a> {
@@ -65,6 +83,14 @@ pub struct DexecOptions<'a> {
     pub topology: &'a dyn Topology,
     /// Record a span + message trace.
     pub trace: bool,
+    /// Deterministic fault schedule to interpose on every link. `None`
+    /// runs the strict protocol (any anomaly is fatal); `Some` arms the
+    /// reliability layer (retransmission, dedup, checksum rejection,
+    /// watchdog).
+    pub faults: Option<FaultPlan>,
+    /// How long a rank may sit with no consumable message before the
+    /// progress watchdog turns the wait into [`NetError::Stalled`].
+    pub watchdog: Duration,
 }
 
 impl Default for DexecOptions<'_> {
@@ -72,6 +98,8 @@ impl Default for DexecOptions<'_> {
         Self {
             topology: &FullMesh,
             trace: false,
+            faults: None,
+            watchdog: Duration::from_secs(30),
         }
     }
 }
@@ -116,8 +144,8 @@ pub fn execute_distributed_traced(
         assignment,
         input,
         &DexecOptions {
-            topology: &FullMesh,
             trace: true,
+            ..DexecOptions::default()
         },
     )
 }
@@ -187,6 +215,24 @@ fn reads_of(op: Op) -> Vec<(usize, usize, usize)> {
         Op::SyrkUpdate { j, l } => vec![(j, l, l)],
         Op::SyrkAccumulate { i, j, l } | Op::GemmAb { i, j, l } => vec![(i, l, l), (l, j, l)],
     }
+}
+
+/// The factorization iteration a task belongs to (its `l`) — the epoch
+/// scale of [`FaultPlan::crash_epoch`] schedules.
+fn epoch_of(op: Op) -> u32 {
+    let l = match op {
+        Op::Getrf { l }
+        | Op::Potrf { l }
+        | Op::TrsmColUpper { l, .. }
+        | Op::TrsmRowLower { l, .. }
+        | Op::TrsmLowerTrans { l, .. }
+        | Op::GemmNn { l, .. }
+        | Op::GemmNt { l, .. }
+        | Op::SyrkUpdate { l, .. }
+        | Op::SyrkAccumulate { l, .. }
+        | Op::GemmAb { l, .. } => l,
+    };
+    l as u32
 }
 
 /// The tile a kernel writes (in place).
@@ -393,10 +439,13 @@ fn run_rank(
     mut ep: Endpoint,
     t0: Instant,
     want_trace: bool,
-) -> Result<RankOutcome, NetError> {
+    watchdog: Duration,
+) -> Result<(RankOutcome, Endpoint), NetError> {
     let g = &tl.graph;
     let t = tl.t;
     let nb = input.nb();
+    let fault_mode = ep.fault_plan().is_some();
+    let crash_at = ep.fault_plan().and_then(|p| p.crash_epoch(me));
     let mut tiles: Vec<Option<Tile>> = (0..t * t)
         .map(|k| {
             let (i, j) = (k / t, k % t);
@@ -407,6 +456,10 @@ fn run_rank(
     let mut deps = plan.local_deps.clone();
     let mut missing: Vec<u32> = plan.needs.iter().map(|n| n.len() as u32).collect();
     let mut waiting: HashMap<TileKey, Vec<usize>> = HashMap::new();
+    // How many of this rank's tasks still read each remote replica;
+    // at zero the payload is evicted (the key stays known to the cache,
+    // so late retransmitted copies are still deduplicated).
+    let mut readers_left: HashMap<TileKey, u32> = HashMap::new();
     let mut ready: BinaryHeap<(i64, Reverse<usize>)> = BinaryHeap::new();
     let mut my_total = 0u64;
     for (id, &rank) in plan.node.iter().enumerate() {
@@ -416,6 +469,7 @@ fn run_rank(
         my_total += 1;
         for &key in &plan.needs[id] {
             waiting.entry(key).or_default().push(id);
+            *readers_left.entry(key).or_insert(0) += 1;
         }
         if deps[id] == 0 && missing[id] == 0 {
             ready.push((g.priority_of(id as u32), Reverse(id)));
@@ -435,8 +489,20 @@ fn run_rank(
     let mut done = 0u64;
     while done < my_total {
         if let Some((_, Reverse(id))) = ready.pop() {
+            let op = tl.ops[id];
+            if let Some(ce) = crash_at {
+                if epoch_of(op) >= ce {
+                    // The fault plan kills this rank here. Dropping the
+                    // endpoint closes the inbox; peers retrying into it
+                    // run out their attempt budgets.
+                    return Err(NetError::RankCrashed {
+                        rank: me,
+                        epoch: ce,
+                    });
+                }
+            }
             let started = t0.elapsed().as_secs_f64();
-            let status = run_local_op(tl.ops[id], t, nb, me, a, &mut tiles, &cache)?;
+            let status = run_local_op(op, t, nb, me, a, &mut tiles, &cache)?;
             if let Err(e) = status {
                 if out.error.is_none() {
                     out.error = Some((id, e));
@@ -460,20 +526,33 @@ fn run_rank(
                     j: b.j,
                 })?;
                 for &to in &b.receivers {
-                    let bytes = ep.send_tile(to, b.class, b.i, b.j, b.epoch, tile)?;
+                    let receipt = ep.send_tile_reliable(to, b.class, b.i, b.j, b.epoch, tile)?;
                     out.io.sent_msgs += 1;
-                    out.io.sent_bytes += bytes as u64;
+                    out.io.sent_bytes += receipt.goodput_bytes as u64;
                     if want_trace {
-                        out.msgs.push(MsgEvent {
-                            from: me,
-                            to,
-                            class: b.class,
-                            i: b.i,
-                            j: b.j,
-                            epoch: b.epoch,
-                            bytes: bytes as u64,
-                            at: t0.elapsed().as_secs_f64(),
-                        });
+                        let at = t0.elapsed().as_secs_f64();
+                        for ev in &receipt.events {
+                            out.msgs.push(MsgEvent {
+                                from: me,
+                                to,
+                                class: b.class,
+                                i: b.i,
+                                j: b.j,
+                                epoch: b.epoch,
+                                bytes: ev.bytes,
+                                at,
+                                kind: ev.kind,
+                                attempt: ev.attempt,
+                            });
+                        }
+                    }
+                }
+            }
+            for &key in &plan.needs[id] {
+                if let Some(left) = readers_left.get_mut(&key) {
+                    *left -= 1;
+                    if *left == 0 {
+                        cache.evict(key);
                     }
                 }
             }
@@ -488,14 +567,41 @@ fn run_rank(
             }
             done += 1;
         } else {
-            let (msg, bytes) = ep.recv()?;
+            let stalled = |waiting: &HashMap<TileKey, Vec<usize>>| {
+                let mut keys: Vec<TileKey> = waiting.keys().copied().collect();
+                keys.sort_by_key(|k| (k.epoch, k.i, k.j));
+                NetError::Stalled {
+                    rank: me,
+                    waiting_on: keys,
+                }
+            };
+            let (msg, bytes) = match ep.recv_deadline(watchdog) {
+                Ok(Some(got)) => got,
+                // The watchdog fired: nothing consumable arrived for the
+                // whole interval while tasks are still blocked.
+                Ok(None) => return Err(stalled(&waiting)),
+                // Under faults, every peer exiting while this rank still
+                // waits is a starvation, not a protocol bug: the missing
+                // broadcast died with a crashed or exhausted sender.
+                Err(NetError::ChannelClosed { .. }) if fault_mode => return Err(stalled(&waiting)),
+                Err(e) => return Err(e),
+            };
             let key = msg.key();
             let from = msg.src;
             let epoch = msg.epoch;
-            cache.insert(me, msg)?;
+            if fault_mode {
+                if !cache.insert_or_dup(me, msg)? {
+                    // Retransmitted or injected duplicate: already
+                    // consumed, drop it quietly.
+                    out.io.dup_rejected += 1;
+                    continue;
+                }
+            } else {
+                cache.insert(me, msg)?;
+            }
             out.io.recv_msgs += 1;
             out.io.recv_bytes += bytes as u64;
-            let Some(waiters) = waiting.get(&key) else {
+            let Some(waiters) = waiting.remove(&key) else {
                 return Err(NetError::UnexpectedMsg {
                     rank: me,
                     from,
@@ -504,7 +610,7 @@ fn run_rank(
                     epoch,
                 });
             };
-            for &w in waiters {
+            for w in waiters {
                 missing[w] -= 1;
                 if missing[w] == 0 && deps[w] == 0 {
                     ready.push((g.priority_of(w as u32), Reverse(w)));
@@ -519,7 +625,7 @@ fn run_rank(
         .enumerate()
         .filter_map(|(k, tile)| tile.map(|tile| (k, tile)))
         .collect();
-    Ok(out)
+    Ok((out, ep))
 }
 
 /// Run a task list distributed over one rank per node.
@@ -541,17 +647,23 @@ pub fn execute_distributed_with(
     }
     let plan = build_plan(tl, assignment)?;
     let shared = Arc::new(assignment.clone());
-    let endpoints = build_fabric(&shared, opts.topology);
+    let faults = opts.faults.clone().map(Arc::new);
+    let endpoints = build_fabric_with(&shared, opts.topology, faults);
     let n_ranks = assignment.n_nodes();
     let t0 = Instant::now();
     let want_trace = opts.trace;
-    let results: Vec<Result<RankOutcome, NetError>> = std::thread::scope(|scope| {
+    let watchdog = opts.watchdog;
+    let results: Vec<Result<(RankOutcome, Endpoint), NetError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
             .map(|ep| {
                 let plan = &plan;
                 let rank = ep.rank();
-                scope.spawn(move || run_rank(rank, tl, assignment, plan, input, ep, t0, want_trace))
+                scope.spawn(move || {
+                    run_rank(
+                        rank, tl, assignment, plan, input, ep, t0, want_trace, watchdog,
+                    )
+                })
             })
             .collect();
         handles
@@ -562,10 +674,44 @@ pub fn execute_distributed_with(
             })
             .collect()
     });
+    // Rank failures are prioritized by root cause: a scheduled crash
+    // explains the retry exhaustion and stalls it causes downstream, and
+    // exhausted senders explain stalled receivers.
+    let mut failure: Option<NetError> = None;
     let mut outcomes = Vec::with_capacity(results.len());
     for r in results {
-        outcomes.push(r?);
+        match r {
+            Ok(pair) => outcomes.push(pair),
+            Err(e) => {
+                let rank = |e: &NetError| match e {
+                    NetError::RankCrashed { .. } => 0,
+                    NetError::RetryExhausted { .. } => 1,
+                    NetError::Stalled { .. } => 2,
+                    _ => 3,
+                };
+                if failure.as_ref().is_none_or(|f| rank(&e) < rank(f)) {
+                    failure = Some(e);
+                }
+            }
+        }
     }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    // All rank threads have joined: no sender can add frames. Drain every
+    // inbox so in-flight duplicates and corrupt copies are counted no
+    // matter how far each rank's consumption raced ahead — this is what
+    // makes the fault counters a pure function of the seed.
+    let mut outcomes: Vec<RankOutcome> = outcomes
+        .into_iter()
+        .map(|(mut out, mut ep)| {
+            let rf = ep.drain_pending();
+            out.io.corrupt_rejected = rf.corrupt_rejected;
+            out.io.delayed = rf.delayed;
+            out.io.dup_rejected += rf.dups_drained;
+            out
+        })
+        .collect();
     let mut matrix = TiledMatrix::zeros(t, input.nb());
     let mut per_rank = Vec::with_capacity(outcomes.len());
     let mut sent = Vec::with_capacity(outcomes.len());
@@ -592,7 +738,23 @@ pub fn execute_distributed_with(
         NetReport::from_parts(n_ranks, tasks, per_rank, &sent, first_error.map(|(_, e)| e));
     let trace = opts.trace.then(|| {
         spans.sort_by_key(|s| s.task);
-        msgs.sort_by_key(|m| (m.from, m.epoch, m.i, m.j, m.to));
+        let kind_order = |k: MsgKind| match k {
+            MsgKind::Dropped => 0u8,
+            MsgKind::Corrupt => 1,
+            MsgKind::Goodput => 2,
+            MsgKind::Duplicate => 3,
+        };
+        msgs.sort_by_key(|m| {
+            (
+                m.from,
+                m.epoch,
+                m.i,
+                m.j,
+                m.to,
+                m.attempt,
+                kind_order(m.kind),
+            )
+        });
         NetTrace {
             n_ranks,
             spans,

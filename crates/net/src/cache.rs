@@ -5,17 +5,25 @@
 //! epoch `min(i, j)` (the iteration that finalizes it), so a second
 //! replica with the same key is a duplicate and any other epoch is
 //! stale/garbage — both typed errors naming rank and coordinates.
+//!
+//! The cache distinguishes the *payload* (evicted once the last local
+//! reader is done, to keep per-rank memory at the working set) from the
+//! *identity* (kept forever in a seen-set), so a retransmitted or
+//! duplicated frame arriving after eviction is still recognized as a
+//! duplicate instead of being re-accepted — the receiver half of the
+//! reliability layer's exactly-once delivery.
 
 use crate::codec::{TileKey, TileMsg};
 use crate::error::NetError;
 use flexdist_kernels::Tile;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Replicas a rank has received, keyed by tile + epoch.
 pub struct ReplicaCache {
     t: usize,
     nb: usize,
     map: HashMap<TileKey, Tile>,
+    seen: HashSet<TileKey>,
 }
 
 impl ReplicaCache {
@@ -26,16 +34,22 @@ impl ReplicaCache {
             t,
             nb,
             map: HashMap::new(),
+            seen: HashSet::new(),
         }
     }
 
-    /// Validate and store one received replica.
+    /// Validate and store one received replica, reporting duplicates as
+    /// `Ok(false)` instead of an error (exactly-once delivery under
+    /// retransmission: the first copy wins, extra copies are dropped).
+    ///
+    /// A key stays "seen" even after [`evict`](Self::evict), so a late
+    /// duplicate of an already-consumed replica is still rejected.
     ///
     /// # Errors
     /// `StaleEpoch` when the epoch is not the tile's broadcast epoch or
-    /// past the last iteration, `DuplicateMsg` on a repeated key,
-    /// `PayloadShape` when the tile dimension differs from the matrix's.
-    pub fn insert(&mut self, rank: u32, msg: TileMsg) -> Result<(), NetError> {
+    /// past the last iteration, `PayloadShape` when the tile dimension
+    /// differs from the matrix's.
+    pub fn insert_or_dup(&mut self, rank: u32, msg: TileMsg) -> Result<bool, NetError> {
         let key = msg.key();
         let expected = TileKey::expected_epoch(msg.i, msg.j);
         if msg.epoch != expected || msg.epoch as usize >= self.t {
@@ -57,17 +71,39 @@ impl ReplicaCache {
                 want_nb: self.nb,
             });
         }
-        if self.map.contains_key(&key) {
-            return Err(NetError::DuplicateMsg {
-                rank,
-                from: msg.src,
-                i: msg.i,
-                j: msg.j,
-                epoch: msg.epoch,
-            });
+        if !self.seen.insert(key) {
+            return Ok(false);
         }
         self.map.insert(key, msg.tile);
-        Ok(())
+        Ok(true)
+    }
+
+    /// Validate and store one received replica, treating a duplicate as
+    /// the protocol violation it is on a perfect wire.
+    ///
+    /// # Errors
+    /// Everything [`insert_or_dup`](Self::insert_or_dup) reports, plus
+    /// `DuplicateMsg` on a repeated key (even one already evicted).
+    pub fn insert(&mut self, rank: u32, msg: TileMsg) -> Result<(), NetError> {
+        let (from, i, j, epoch) = (msg.src, msg.i, msg.j, msg.epoch);
+        if self.insert_or_dup(rank, msg)? {
+            Ok(())
+        } else {
+            Err(NetError::DuplicateMsg {
+                rank,
+                from,
+                i,
+                j,
+                epoch,
+            })
+        }
+    }
+
+    /// Drop the payload of one replica after its final local read. The
+    /// key stays in the seen-set, so later duplicates are still caught.
+    /// Returns whether a payload was actually held.
+    pub fn evict(&mut self, key: TileKey) -> bool {
+        self.map.remove(&key).is_some()
     }
 
     /// Look up a replica.
@@ -76,13 +112,13 @@ impl ReplicaCache {
         self.map.get(&key)
     }
 
-    /// Number of replicas held.
+    /// Number of replica payloads currently held.
     #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
-    /// Whether no replica has arrived yet.
+    /// Whether no replica payload is held.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -130,6 +166,15 @@ mod tests {
     }
 
     #[test]
+    fn insert_or_dup_reports_duplicates_quietly() {
+        let mut c = ReplicaCache::new(4, 2);
+        assert!(c.insert_or_dup(0, msg(3, 1, 1)).unwrap());
+        assert!(!c.insert_or_dup(0, msg(3, 1, 1)).unwrap());
+        // The first payload is untouched by the duplicate.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
     fn rejects_wrong_or_out_of_range_epoch() {
         let mut c = ReplicaCache::new(4, 2);
         assert!(matches!(
@@ -158,6 +203,66 @@ mod tests {
             NetError::PayloadShape {
                 got_nb: 2,
                 want_nb: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn eviction_after_final_read_frees_the_payload() {
+        let mut c = ReplicaCache::new(4, 2);
+        let key = TileKey {
+            i: 2,
+            j: 0,
+            epoch: 0,
+        };
+        c.insert(0, msg(2, 0, 0)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.evict(key), "payload was held");
+        assert!(c.get(key).is_none());
+        assert!(c.is_empty());
+        // Evicting again is a no-op, not a panic.
+        assert!(!c.evict(key));
+    }
+
+    #[test]
+    fn same_epoch_duplicate_after_eviction_is_still_a_duplicate() {
+        let mut c = ReplicaCache::new(4, 2);
+        let key = TileKey {
+            i: 2,
+            j: 0,
+            epoch: 0,
+        };
+        assert!(c.insert_or_dup(0, msg(2, 0, 0)).unwrap());
+        assert!(c.evict(key));
+        // A retransmitted copy arriving after the final read must not be
+        // re-accepted (it would resurrect a payload no task will free).
+        assert!(!c.insert_or_dup(0, msg(2, 0, 0)).unwrap());
+        assert!(c.get(key).is_none(), "duplicate must not repopulate");
+        // And in strict mode it is the typed duplicate error.
+        assert!(matches!(
+            c.insert(0, msg(2, 0, 0)).unwrap_err(),
+            NetError::DuplicateMsg { i: 2, j: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn epoch_at_last_panel_is_accepted_and_wrap_is_rejected() {
+        let t = 4;
+        let mut c = ReplicaCache::new(t, 2);
+        // The last panel tile (t-1, t-1) is broadcast at epoch t-1: valid.
+        let last = (t - 1) as u32;
+        c.insert(0, msg(last, last, last)).unwrap();
+        // One past the last iteration: stale, not an index wrap.
+        assert!(matches!(
+            c.insert(0, msg(last + 1, last + 1, last + 1)).unwrap_err(),
+            NetError::StaleEpoch { .. }
+        ));
+        // u32::MAX coordinates must not wrap into a plausible epoch.
+        assert!(matches!(
+            c.insert(0, msg(u32::MAX, u32::MAX, u32::MAX)).unwrap_err(),
+            NetError::StaleEpoch {
+                epoch: u32::MAX,
                 ..
             }
         ));

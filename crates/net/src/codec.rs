@@ -4,15 +4,24 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       4     magic  "FXTM"
+//! 0       4     magic  "FXT2"
 //! 4       1     class  (0 = panel, 1 = trailing)
 //! 5       4     src    sending rank,           u32 LE
 //! 9       4     i      tile row,               u32 LE
 //! 13      4     j      tile column,            u32 LE
 //! 17      4     epoch  broadcast iteration ℓ,  u32 LE
 //! 21      4     nb     tile dimension,         u32 LE
-//! 25      8·nb² payload, column-major f64 bits, LE
+//! 25      8     checksum (FNV-1a 64 over the rest of the frame), u64 LE
+//! 33      8·nb² payload, column-major f64 bits, LE
 //! ```
+//!
+//! The checksum covers every frame byte except its own field, so any
+//! single flipped bit anywhere — header or payload — is rejected with a
+//! typed decode error ([`NetError::ChecksumMismatch`] or one of the
+//! structural errors when the flip lands in a length-bearing field).
+//! Version 2 of the magic exists precisely because the checksum changed
+//! the layout: a v1 ("FXTM") frame fails with `BadMagic` instead of
+//! being silently misread, and old golden fixtures must be regenerated.
 //!
 //! Payload values travel as raw IEEE-754 bit patterns
 //! (`f64::to_bits`/`from_bits`), so the round trip is the identity on
@@ -23,11 +32,14 @@
 use crate::error::NetError;
 use flexdist_kernels::Tile;
 
-/// Frame magic: "FXTM" (FleXdist Tile Message).
-pub const MAGIC: [u8; 4] = *b"FXTM";
+/// Frame magic: "FXT2" (FleXdist Tile message, version 2 — checksummed).
+pub const MAGIC: [u8; 4] = *b"FXT2";
 
-/// Bytes before the payload.
-pub const HEADER_LEN: usize = 25;
+/// Bytes before the payload (including the checksum field).
+pub const HEADER_LEN: usize = 33;
+
+/// Byte offset of the u64 checksum field inside the header.
+pub const CHECKSUM_OFFSET: usize = 25;
 
 /// Tiles above this dimension are rejected as implausible (a guard
 /// against decoding garbage length fields into huge allocations).
@@ -151,6 +163,20 @@ pub fn frame_len(nb: usize) -> usize {
     HEADER_LEN + 8 * nb * nb
 }
 
+/// FNV-1a 64 over every frame byte except the checksum field itself.
+#[must_use]
+pub fn checksum_of(frame: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (at, &b) in frame.iter().enumerate() {
+        if (CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8).contains(&at) {
+            continue;
+        }
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// Serialize a message into one frame.
 #[must_use]
 pub fn encode(msg: &TileMsg) -> Vec<u8> {
@@ -163,9 +189,12 @@ pub fn encode(msg: &TileMsg) -> Vec<u8> {
     out.extend_from_slice(&msg.j.to_le_bytes());
     out.extend_from_slice(&msg.epoch.to_le_bytes());
     out.extend_from_slice(&(nb as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // checksum placeholder
     for v in msg.tile.as_slice() {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
     }
+    let sum = checksum_of(&out);
+    out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
     out
 }
 
@@ -178,7 +207,8 @@ fn u32_at(frame: &[u8], at: usize) -> u32 {
 /// # Errors
 /// `Truncated` when bytes are missing, `FrameOverrun` when trailing
 /// bytes follow the payload, `BadMagic`/`BadClass`/`BadTileSize` on a
-/// corrupt header.
+/// corrupt header, `ChecksumMismatch` when any other byte was flipped
+/// in flight.
 pub fn decode(frame: &[u8]) -> Result<TileMsg, NetError> {
     if frame.len() < HEADER_LEN {
         return Err(NetError::Truncated {
@@ -213,6 +243,20 @@ pub fn decode(frame: &[u8]) -> Result<TileMsg, NetError> {
             expected: need,
             got: frame.len(),
         });
+    }
+    let want = u64::from_le_bytes([
+        frame[CHECKSUM_OFFSET],
+        frame[CHECKSUM_OFFSET + 1],
+        frame[CHECKSUM_OFFSET + 2],
+        frame[CHECKSUM_OFFSET + 3],
+        frame[CHECKSUM_OFFSET + 4],
+        frame[CHECKSUM_OFFSET + 5],
+        frame[CHECKSUM_OFFSET + 6],
+        frame[CHECKSUM_OFFSET + 7],
+    ]);
+    let got = checksum_of(frame);
+    if want != got {
+        return Err(NetError::ChecksumMismatch { want, got });
     }
     let mut tile = Tile::zeros(nb);
     for (k, slot) in tile.as_mut_slice().iter_mut().enumerate() {
@@ -313,6 +357,52 @@ mod tests {
         assert!(matches!(
             decode(&zero_nb).unwrap_err(),
             NetError::BadTileSize { nb: 0 }
+        ));
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected_typed() {
+        let frame = encode(&sample(3));
+        for at in 0..frame.len() {
+            for mask in [0x01u8, 0x80] {
+                let mut bad = frame.clone();
+                bad[at] ^= mask;
+                let err = decode(&bad);
+                assert!(
+                    err.is_err(),
+                    "byte {at} flipped with {mask:#x} decoded fine"
+                );
+            }
+        }
+        // Flips outside the length-bearing fields are caught by checksum.
+        let mut bad = frame.clone();
+        bad[HEADER_LEN + 3] ^= 0x40; // payload byte
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            NetError::ChecksumMismatch { .. }
+        ));
+        let mut bad = frame.clone();
+        bad[CHECKSUM_OFFSET] ^= 0x10; // checksum field itself
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            NetError::ChecksumMismatch { .. }
+        ));
+        // A valid-looking class flip (0 <-> 1) is also caught.
+        let mut bad = frame;
+        bad[4] ^= 0x01;
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            NetError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn v1_magic_is_rejected_not_misread() {
+        let mut frame = encode(&sample(2));
+        frame[..4].copy_from_slice(b"FXTM");
+        assert!(matches!(
+            decode(&frame).unwrap_err(),
+            NetError::BadMagic { got } if &got == b"FXTM"
         ));
     }
 

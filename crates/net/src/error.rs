@@ -4,6 +4,7 @@
 //! conformance violation in a test or the `dexec` CLI pinpoints the
 //! offending message rather than a generic "protocol error".
 
+use crate::codec::TileKey;
 use std::fmt;
 
 /// Everything that can go wrong on the wire or in the rank engine.
@@ -49,6 +50,9 @@ pub enum NetError {
         from: u32,
         /// Intended receiver.
         to: u32,
+        /// Name of the active [`Topology`](crate::Topology) variant, so a
+        /// partition-induced failure is diagnosable from the error alone.
+        topology: &'static str,
     },
     /// The receiving rank exited before this send (protocol violation:
     /// a correct schedule never sends to a finished rank).
@@ -206,6 +210,44 @@ pub enum NetError {
         /// Name of the rejected operation.
         operation: String,
     },
+    /// Frame checksum does not match its contents — the payload was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum carried in the header.
+        want: u64,
+        /// Checksum recomputed over the received bytes.
+        got: u64,
+    },
+    /// A sender gave up on one message after the bounded retransmission
+    /// schedule was exhausted (the link drops everything, or the peer is
+    /// gone).
+    RetryExhausted {
+        /// Sending rank.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// Tile row of the undeliverable message.
+        i: u32,
+        /// Tile column.
+        j: u32,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+    /// The progress watchdog fired: a rank made no progress for the
+    /// configured interval while replicas were still outstanding.
+    Stalled {
+        /// The stalled rank.
+        rank: u32,
+        /// Replica keys it was still waiting for, sorted.
+        waiting_on: Vec<TileKey>,
+    },
+    /// A rank was killed by the fault plan before finishing its tasks.
+    RankCrashed {
+        /// The crashed rank.
+        rank: u32,
+        /// The iteration at which the crash fault fired.
+        epoch: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -218,8 +260,11 @@ impl fmt::Display for NetError {
             Self::SelfSend { rank, i, j } => {
                 write!(f, "rank {rank} addressed tile ({i},{j}) to itself")
             }
-            Self::NoRoute { from, to } => {
-                write!(f, "topology has no link from rank {from} to rank {to}")
+            Self::NoRoute { from, to, topology } => {
+                write!(
+                    f,
+                    "topology ({topology}) has no link from rank {from} to rank {to}"
+                )
             }
             Self::Disconnected { from, to } => {
                 write!(f, "rank {from} sent to rank {to} after it exited")
@@ -310,6 +355,34 @@ impl fmt::Display for NetError {
                 f,
                 "operation {operation} has no distributed broadcast schedule (LU and Cholesky only)"
             ),
+            Self::ChecksumMismatch { want, got } => write!(
+                f,
+                "frame checksum mismatch: header says {want:#018x}, contents hash to {got:#018x}"
+            ),
+            Self::RetryExhausted {
+                from,
+                to,
+                i,
+                j,
+                attempts,
+            } => write!(
+                f,
+                "rank {from} gave up sending tile ({i},{j}) to rank {to} after {attempts} attempts"
+            ),
+            Self::Stalled { rank, waiting_on } => {
+                write!(
+                    f,
+                    "rank {rank} stalled waiting on {} replica(s):",
+                    waiting_on.len()
+                )?;
+                for k in waiting_on {
+                    write!(f, " ({},{})@{}", k.i, k.j, k.epoch)?;
+                }
+                Ok(())
+            }
+            Self::RankCrashed { rank, epoch } => {
+                write!(f, "rank {rank} crashed at iteration {epoch} (fault plan)")
+            }
         }
     }
 }

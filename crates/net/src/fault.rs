@@ -1,0 +1,386 @@
+//! Seeded, fully deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] decides the fate of every physical frame on every
+//! link: delivered intact, dropped in flight, delivered with a flipped
+//! byte, delivered twice, or delayed at the receiver. The decisions come
+//! from a counter-mode RNG (a ChaCha-style `block(key, counter)`
+//! construction with no sequential state): each draw hashes the message
+//! identity — `(from, to, i, j, epoch, attempt)` plus a per-fault-kind
+//! salt — through a fixed mixing function keyed by the seed. Because no
+//! draw depends on the *order* in which threads reach it, a given seed
+//! replays the exact same fault schedule regardless of scheduling, which
+//! is what makes `NetReport` (retransmission counters included)
+//! reproducible run-to-run.
+//!
+//! The plan also carries crash faults (`rank r dies before executing any
+//! task of iteration ≥ ℓ`) and per-link drop-rate overrides, used to
+//! build unsurvivable schedules (rate 1.0 on one link) that must surface
+//! as typed [`RetryExhausted`](crate::NetError::RetryExhausted) /
+//! [`Stalled`](crate::NetError::Stalled) errors, never a hang.
+
+use std::time::Duration;
+
+/// What the plan decided for one physical send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The frame arrives intact.
+    Deliver,
+    /// The frame vanishes in flight (the sender must retransmit).
+    Drop,
+    /// The frame arrives with one byte flipped (the receiver's checksum
+    /// rejects it; the sender must retransmit).
+    Corrupt,
+    /// The frame arrives intact, twice (the receiver must dedup).
+    DeliverTwice,
+}
+
+/// Classification of one physical frame for accounting and traces:
+/// exactly one `Goodput` frame per logical message, everything else is
+/// overhead kept out of the §III conformance counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// The copy that carries the logical message (counted in `wire`).
+    Goodput,
+    /// A frame lost in flight.
+    Dropped,
+    /// A frame delivered corrupted and rejected by checksum.
+    Corrupt,
+    /// An extra intact copy rejected by receiver-side dedup.
+    Duplicate,
+}
+
+impl MsgKind {
+    /// Display / JSON name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Goodput => "goodput",
+            Self::Dropped => "dropped",
+            Self::Corrupt => "corrupt",
+            Self::Duplicate => "duplicate",
+        }
+    }
+}
+
+// Per-fault-kind salts: distinct draws for the same message identity.
+const SALT_DROP: u64 = 0xd509_c1f5_0b7a_91e3;
+const SALT_CORRUPT: u64 = 0x8a2b_4c91_77d3_0e55;
+const SALT_DUP: u64 = 0x3f84_d5b5_b547_0917;
+const SALT_DELAY: u64 = 0x61c8_8646_80b5_83eb;
+const SALT_SITE: u64 = 0x9216_d5d9_8979_fb1b;
+
+/// One counter-mode block: stateless mix of `key ^ f(counter)`.
+fn block(key: u64, ctr: u64) -> u64 {
+    let mut x = key ^ ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fold a message identity into one counter value.
+fn counter(salt: u64, fields: &[u32]) -> u64 {
+    let mut h = salt;
+    for &v in fields {
+        h = h
+            .wrapping_mul(0x0100_0000_01b3)
+            .wrapping_add(u64::from(v) ^ 0x5bd1_e995);
+    }
+    h
+}
+
+/// Uniform draw in `[0, 1)` from one block.
+fn unit(key: u64, ctr: u64) -> f64 {
+    // 53 high bits → exactly representable dyadic rational in [0, 1).
+    (block(key, ctr) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic fault schedule for one distributed run.
+///
+/// All rates are probabilities in `[0, 1]` (setters clamp). The plan is
+/// immutable once built and shared read-only by every rank, so the same
+/// `FaultPlan` value always produces the same schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop: f64,
+    duplicate: f64,
+    corrupt: f64,
+    delay: f64,
+    max_attempts: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    crashes: Vec<(u32, u32)>,
+    link_drop: Vec<(u32, u32, f64)>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault rate at zero (faults off, but the
+    /// reliability machinery — checksums, dedup, watchdog — still runs).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            max_attempts: 16,
+            backoff_base: Duration::from_micros(20),
+            backoff_cap: Duration::from_millis(2),
+            crashes: Vec::new(),
+            link_drop: Vec::new(),
+        }
+    }
+
+    /// Set the global drop probability per physical frame.
+    #[must_use]
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the duplicate probability per delivered frame.
+    #[must_use]
+    pub fn with_duplicate(mut self, rate: f64) -> Self {
+        self.duplicate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the corrupt-payload probability per physical frame.
+    #[must_use]
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        self.corrupt = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the receiver-side delay/reorder probability per frame.
+    #[must_use]
+    pub fn with_delay(mut self, rate: f64) -> Self {
+        self.delay = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set drop, duplicate and corrupt rates at once.
+    #[must_use]
+    pub fn with_rates(self, drop: f64, duplicate: f64, corrupt: f64) -> Self {
+        self.with_drop(drop)
+            .with_duplicate(duplicate)
+            .with_corrupt(corrupt)
+    }
+
+    /// Override the drop rate of one directed link (e.g. `1.0` to make a
+    /// schedule unsurvivable on exactly that link).
+    #[must_use]
+    pub fn with_link_drop(mut self, from: u32, to: u32, rate: f64) -> Self {
+        self.link_drop.push((from, to, rate.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Kill `rank` before it executes any task of iteration ≥ `epoch`.
+    #[must_use]
+    pub fn with_crash(mut self, rank: u32, epoch: u32) -> Self {
+        self.crashes.push((rank, epoch));
+        self
+    }
+
+    /// Bound the per-message send attempts (default 16).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Set the retransmission backoff: `base * 2^attempt`, capped.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// The seed this schedule replays.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum send attempts per logical message.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Whether any fault can actually fire under this plan.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.delay > 0.0
+            || !self.crashes.is_empty()
+            || self.link_drop.iter().any(|&(_, _, r)| r > 0.0)
+    }
+
+    /// Effective drop rate of one directed link (override or global).
+    #[must_use]
+    pub fn drop_rate(&self, from: u32, to: u32) -> f64 {
+        self.link_drop
+            .iter()
+            .find(|&&(f, t, _)| f == from && t == to)
+            .map_or(self.drop, |&(_, _, r)| r)
+    }
+
+    /// The iteration at which `rank` crashes, if scheduled.
+    #[must_use]
+    pub fn crash_epoch(&self, rank: u32) -> Option<u32> {
+        self.crashes
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, e)| e)
+    }
+
+    /// Fate of attempt `attempt` of the message `(i, j, epoch)` on link
+    /// `from → to`. Drop takes priority over corrupt over duplicate.
+    #[must_use]
+    pub fn send_fate(
+        &self,
+        from: u32,
+        to: u32,
+        i: u32,
+        j: u32,
+        epoch: u32,
+        attempt: u32,
+    ) -> SendFate {
+        let id = [from, to, i, j, epoch, attempt];
+        if unit(self.seed, counter(SALT_DROP, &id)) < self.drop_rate(from, to) {
+            return SendFate::Drop;
+        }
+        if unit(self.seed, counter(SALT_CORRUPT, &id)) < self.corrupt {
+            return SendFate::Corrupt;
+        }
+        if unit(self.seed, counter(SALT_DUP, &id)) < self.duplicate {
+            return SendFate::DeliverTwice;
+        }
+        SendFate::Deliver
+    }
+
+    /// Whether the receiver stashes this frame to reorder it. Keyed on
+    /// the message identity only (not the attempt), so retransmitted
+    /// copies of one message share the decision.
+    #[must_use]
+    pub fn delays(&self, from: u32, to: u32, i: u32, j: u32, epoch: u32) -> bool {
+        unit(self.seed, counter(SALT_DELAY, &[from, to, i, j, epoch])) < self.delay
+    }
+
+    /// Where to flip which bits in a corrupted frame: a byte offset in
+    /// `0..frame_len` and a non-zero XOR mask.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn corrupt_site(
+        &self,
+        from: u32,
+        to: u32,
+        i: u32,
+        j: u32,
+        epoch: u32,
+        attempt: u32,
+        frame_len: usize,
+    ) -> (usize, u8) {
+        let r = block(
+            self.seed,
+            counter(SALT_SITE, &[from, to, i, j, epoch, attempt]),
+        );
+        let at = (r % frame_len.max(1) as u64) as usize;
+        let mask = ((r >> 32) as u8) | 1;
+        (at, mask)
+    }
+
+    /// Backoff before retransmission number `attempt` (0-based):
+    /// exponential from the base, capped.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(7).with_rates(0.2, 0.1, 0.1).with_delay(0.15);
+        let b = FaultPlan::new(7).with_rates(0.2, 0.1, 0.1).with_delay(0.15);
+        for m in 0..500u32 {
+            assert_eq!(
+                a.send_fate(m % 5, m % 3, m, m + 1, m % 7, m % 4),
+                b.send_fate(m % 5, m % 3, m, m + 1, m % 7, m % 4)
+            );
+            assert_eq!(a.delays(0, 1, m, m, 0), b.delays(0, 1, m, m, 0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1).with_drop(0.5);
+        let b = FaultPlan::new(2).with_drop(0.5);
+        let diverged =
+            (0..200u32).any(|m| a.send_fate(0, 1, m, m, 0, 0) != b.send_fate(0, 1, m, m, 0, 0));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::new(99).with_drop(0.25);
+        let drops = (0..4000u32)
+            .filter(|&m| plan.send_fate(0, 1, m, m + 1, 0, 0) == SendFate::Drop)
+            .count();
+        let frac = drops as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.03, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rates_always_deliver() {
+        let plan = FaultPlan::new(5);
+        assert!(!plan.is_active());
+        for m in 0..100u32 {
+            assert_eq!(plan.send_fate(0, 1, m, m, 0, 0), SendFate::Deliver);
+            assert!(!plan.delays(0, 1, m, m, 0));
+        }
+    }
+
+    #[test]
+    fn link_override_beats_global_rate() {
+        let plan = FaultPlan::new(3).with_drop(0.0).with_link_drop(2, 4, 1.0);
+        assert_eq!(plan.drop_rate(2, 4), 1.0);
+        assert_eq!(plan.drop_rate(4, 2), 0.0);
+        for m in 0..50u32 {
+            assert_eq!(plan.send_fate(2, 4, m, m, 0, m), SendFate::Drop);
+            assert_eq!(plan.send_fate(4, 2, m, m, 0, m), SendFate::Deliver);
+        }
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn crash_lookup_and_backoff_bounds() {
+        let plan = FaultPlan::new(0)
+            .with_crash(3, 2)
+            .with_backoff(Duration::from_micros(10), Duration::from_micros(100));
+        assert_eq!(plan.crash_epoch(3), Some(2));
+        assert_eq!(plan.crash_epoch(0), None);
+        assert_eq!(plan.backoff(0), Duration::from_micros(10));
+        assert_eq!(plan.backoff(1), Duration::from_micros(20));
+        assert_eq!(plan.backoff(30), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn corrupt_site_is_in_range_with_nonzero_mask() {
+        let plan = FaultPlan::new(11).with_corrupt(1.0);
+        for m in 0..200u32 {
+            let (at, mask) = plan.corrupt_site(0, 1, m, m, 0, m, 97);
+            assert!(at < 97);
+            assert_ne!(mask, 0);
+        }
+    }
+}

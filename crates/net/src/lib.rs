@@ -15,7 +15,10 @@
 //!   ([`FullMesh`] by default, [`Partition`] for negative tests), and
 //!   ownership enforcement at both ends of every link;
 //! * [`cache`] — the per-rank [`ReplicaCache`] with duplicate and
-//!   epoch-staleness rejection;
+//!   epoch-staleness rejection (the dedup half of exactly-once delivery);
+//! * [`fault`] — the seeded, fully deterministic [`FaultPlan`]: per-link
+//!   drop/corrupt/duplicate/delay schedules and crash epochs driven by a
+//!   counter-mode RNG, so one seed replays one schedule bit-for-bit;
 //! * [`report`] — the measured [`NetReport`] (its `wire` field is the
 //!   measured counterpart of `flexdist_dist::CommBreakdown`) and the
 //!   [`NetTrace`] consumed by `flexdist verify` and the gantt renderers.
@@ -30,11 +33,16 @@
 pub mod cache;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod report;
 pub mod transport;
 
 pub use cache::ReplicaCache;
 pub use codec::{decode, encode, frame_len, MsgClass, TileKey, TileMsg};
 pub use error::NetError;
-pub use report::{LinkIo, MsgEvent, NetReport, NetTrace, RankIo};
-pub use transport::{build_fabric, Endpoint, FullMesh, LinkStats, Partition, Topology};
+pub use fault::{FaultPlan, MsgKind, SendFate};
+pub use report::{FaultStats, LinkIo, MsgEvent, NetReport, NetTrace, RankIo};
+pub use transport::{
+    build_fabric, build_fabric_with, Endpoint, FullMesh, LinkStats, Partition, RecvFaultStats,
+    SendEvent, SendReceipt, Topology,
+};

@@ -2,6 +2,7 @@
 //! panel/trailing wire breakdown, and the optional message-level trace.
 
 use crate::codec::MsgClass;
+use crate::fault::MsgKind;
 use crate::transport::LinkStats;
 use flexdist_dist::CommBreakdown;
 use flexdist_json::Value;
@@ -23,6 +24,12 @@ pub struct RankIo {
     pub recv_msgs: u64,
     /// Serialized bytes it consumed.
     pub recv_bytes: u64,
+    /// Duplicate replicas it rejected (retransmitted or injected copies).
+    pub dup_rejected: u64,
+    /// Frames it rejected by checksum.
+    pub corrupt_rejected: u64,
+    /// Frames the fault plan reordered through its delay stash.
+    pub delayed: u64,
 }
 
 /// Traffic of one ordered rank pair.
@@ -40,6 +47,46 @@ pub struct LinkIo {
     pub panel: u64,
     /// Trailing-class messages.
     pub trailing: u64,
+    /// Physical frames the fault plan dropped on this link.
+    pub dropped: u64,
+    /// Physical frames delivered corrupted on this link.
+    pub corrupt: u64,
+    /// Extra intact copies injected on this link.
+    pub duplicated: u64,
+    /// Serialized bytes of all non-goodput frames.
+    pub overhead_bytes: u64,
+}
+
+/// Run-wide reliability counters, split from goodput so the §III
+/// conformance invariant (`wire == comm_volume`) is checked on goodput
+/// alone while the fault schedule stays fully accounted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Send attempts beyond the first per message (= dropped + corrupt,
+    /// since each of those forced one retransmission).
+    pub retransmits: u64,
+    /// Physical frames lost in flight.
+    pub dropped: u64,
+    /// Corrupted frames injected by senders.
+    pub corrupt_injected: u64,
+    /// Duplicate frames injected by senders.
+    pub duplicates_injected: u64,
+    /// Frames receivers rejected by checksum.
+    pub corrupt_rejected: u64,
+    /// Duplicate replicas receivers rejected or drained.
+    pub duplicates_rejected: u64,
+    /// Frames reordered through receiver delay stashes.
+    pub delayed: u64,
+    /// Serialized bytes of every non-goodput frame senders emitted.
+    pub overhead_bytes: u64,
+}
+
+impl FaultStats {
+    /// Whether the run saw any injected fault at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 /// Summary of a distributed execution — the measured counterpart of the
@@ -58,9 +105,11 @@ pub struct NetReport {
     pub bytes: u64,
     /// Per-rank traffic, indexed by rank.
     pub per_rank: Vec<RankIo>,
-    /// Per-link traffic (only links that carried at least one message),
-    /// sorted by `(from, to)`.
+    /// Per-link traffic (only links that carried at least one frame,
+    /// goodput or overhead), sorted by `(from, to)`.
     pub links: Vec<LinkIo>,
+    /// Reliability-layer counters, disjoint from `wire`/`bytes`.
+    pub faults: FaultStats,
     /// First kernel failure (by task id) across all ranks, if any.
     pub error: Option<KernelError>,
 }
@@ -80,9 +129,14 @@ impl NetReport {
         let mut links = Vec::new();
         let mut wire = CommBreakdown::default();
         let mut bytes = 0;
+        let mut faults = FaultStats::default();
         for (from, peers) in sent.iter().enumerate() {
             for &(to, s) in peers {
-                if s.msgs == 0 {
+                faults.dropped += s.dropped;
+                faults.corrupt_injected += s.corrupt;
+                faults.duplicates_injected += s.duplicated;
+                faults.overhead_bytes += s.overhead_bytes;
+                if s.is_silent() {
                     continue;
                 }
                 wire.panel += s.panel;
@@ -95,8 +149,21 @@ impl NetReport {
                     bytes: s.bytes,
                     panel: s.panel,
                     trailing: s.trailing,
+                    dropped: s.dropped,
+                    corrupt: s.corrupt,
+                    duplicated: s.duplicated,
+                    overhead_bytes: s.overhead_bytes,
                 });
             }
+        }
+        // Every drop and every corruption forced exactly one extra send
+        // attempt of the same message, so the retransmission count is
+        // their sum — no separate counter to drift out of sync.
+        faults.retransmits = faults.dropped + faults.corrupt_injected;
+        for r in &per_rank {
+            faults.corrupt_rejected += r.corrupt_rejected;
+            faults.duplicates_rejected += r.dup_rejected;
+            faults.delayed += r.delayed;
         }
         links.sort_by_key(|l| (l.from, l.to));
         Self {
@@ -106,6 +173,7 @@ impl NetReport {
             bytes,
             per_rank,
             links,
+            faults,
             error,
         }
     }
@@ -130,6 +198,10 @@ pub struct MsgEvent {
     pub bytes: u64,
     /// Send timestamp, seconds since engine start.
     pub at: f64,
+    /// Goodput, or the overhead kind the fault plan assigned this frame.
+    pub kind: MsgKind,
+    /// 0-based send attempt the frame belonged to.
+    pub attempt: u32,
 }
 
 /// Span + message trace of a distributed run. Spans reuse the runtime's
@@ -164,6 +236,8 @@ impl NetTrace {
                     ("epoch", Value::from(m.epoch)),
                     ("bytes", Value::from(m.bytes)),
                     ("at", Value::from(m.at)),
+                    ("kind", Value::from(m.kind.name())),
+                    ("attempt", Value::from(m.attempt)),
                 ])
             })
             .collect();
@@ -198,6 +272,7 @@ mod tests {
                     bytes: 300,
                     panel: 1,
                     trailing: 2,
+                    ..LinkStats::default()
                 },
             )],
             vec![(0, LinkStats::default())], // silent link: dropped
@@ -214,6 +289,67 @@ mod tests {
         assert_eq!(r.bytes, 300);
         assert_eq!(r.links.len(), 1);
         assert_eq!((r.links[0].from, r.links[0].to, r.links[0].msgs), (0, 1, 3));
+        assert!(r.faults.is_clean());
+    }
+
+    #[test]
+    fn fault_counters_are_split_from_goodput() {
+        let sent = vec![
+            vec![(
+                1,
+                LinkStats {
+                    msgs: 2,
+                    bytes: 200,
+                    panel: 2,
+                    trailing: 0,
+                    dropped: 1,
+                    corrupt: 1,
+                    duplicated: 1,
+                    overhead_bytes: 300,
+                },
+            )],
+            // A link that carried only overhead still shows up.
+            vec![(
+                0,
+                LinkStats {
+                    dropped: 2,
+                    overhead_bytes: 200,
+                    ..LinkStats::default()
+                },
+            )],
+        ];
+        let per_rank = vec![
+            RankIo {
+                rank: 0,
+                corrupt_rejected: 1,
+                ..RankIo::default()
+            },
+            RankIo {
+                rank: 1,
+                dup_rejected: 1,
+                delayed: 2,
+                ..RankIo::default()
+            },
+        ];
+        let r = NetReport::from_parts(2, 3, per_rank, &sent, None);
+        // Goodput untouched by the overhead traffic.
+        assert_eq!(r.wire.panel + r.wire.trailing, 2);
+        assert_eq!(r.bytes, 200);
+        assert_eq!(r.links.len(), 2, "overhead-only link is reported");
+        assert_eq!(
+            r.faults,
+            FaultStats {
+                retransmits: 4,
+                dropped: 3,
+                corrupt_injected: 1,
+                duplicates_injected: 1,
+                corrupt_rejected: 1,
+                duplicates_rejected: 1,
+                delayed: 2,
+                overhead_bytes: 500,
+            }
+        );
+        assert!(!r.faults.is_clean());
     }
 
     #[test]
@@ -237,6 +373,8 @@ mod tests {
                 epoch: 0,
                 bytes: 57,
                 at: 1.0,
+                kind: MsgKind::Goodput,
+                attempt: 0,
             }],
         };
         let doc = tr.to_json();
@@ -245,5 +383,11 @@ mod tests {
         assert_eq!(spans.len(), 1);
         let msgs = doc.get("messages").and_then(Value::as_array).unwrap();
         assert_eq!(msgs[0].get("class").and_then(Value::as_str), Some("panel"));
+        assert_eq!(msgs[0].get("kind").and_then(Value::as_str), Some("goodput"));
+        assert_eq!(
+            msgs[0].get("attempt").and_then(Value::as_u64),
+            Some(0),
+            "retransmission attempt is serialized for the race detector"
+        );
     }
 }

@@ -91,7 +91,14 @@ fn partition_topology_blocks_cross_group_sends() {
     let err = eps[0]
         .send_tile(2, MsgClass::Trailing, oi, oj, oi.min(oj), &Tile::zeros(NB))
         .unwrap_err();
-    assert_eq!(err, NetError::NoRoute { from: 0, to: 2 });
+    assert_eq!(
+        err,
+        NetError::NoRoute {
+            from: 0,
+            to: 2,
+            topology: "partition"
+        }
+    );
     // Same-group traffic still flows.
     let bytes = eps[0]
         .send_tile(1, MsgClass::Trailing, oi, oj, oi.min(oj), &Tile::zeros(NB))

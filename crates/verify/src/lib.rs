@@ -40,7 +40,10 @@ pub mod view;
 pub use access::{expected_accesses, TaskAccess};
 pub use dag::{lint_graph, lint_with_view, DagReport};
 pub use lint::{lint_workspace, Allowlist, LintFinding, LintReport};
-pub use race::{detect_races, RaceReport, Span, TraceView};
+pub use race::{
+    check_net_messages, detect_races, net_messages_from_json, MsgView, NetMsgReport, RaceReport,
+    Span, TraceView,
+};
 pub use view::GraphView;
 
 /// One verification finding. `rule` is a stable machine-readable tag;

@@ -235,6 +235,163 @@ fn pair_events(
     })
 }
 
+/// One wire message from a `net-trace` document, as the linter sees it.
+///
+/// `kind` distinguishes goodput from the reliability layer's overhead
+/// frames (`"dropped"`, `"corrupt"`, `"duplicate"`); traces written
+/// before fault injection existed carry no `kind`/`attempt` fields and
+/// parse as goodput attempt 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgView {
+    /// Sending rank.
+    pub from: u64,
+    /// Receiving rank.
+    pub to: u64,
+    /// Tile row.
+    pub i: u64,
+    /// Tile column.
+    pub j: u64,
+    /// Broadcast iteration.
+    pub epoch: u64,
+    /// `"goodput"`, `"dropped"`, `"corrupt"` or `"duplicate"`.
+    pub kind: String,
+    /// 0-based send attempt.
+    pub attempt: u64,
+}
+
+/// Parse the `messages` array of a `net-trace` JSON document.
+///
+/// # Errors
+/// Describes the first malformed message entry.
+pub fn net_messages_from_json(doc: &Value) -> Result<Vec<MsgView>, String> {
+    let msgs = doc
+        .get("messages")
+        .and_then(Value::as_array)
+        .ok_or("net-trace: missing array field \"messages\"")?;
+    let mut out = Vec::with_capacity(msgs.len());
+    for (k, m) in msgs.iter().enumerate() {
+        let what = format!("net-trace message {k}");
+        out.push(MsgView {
+            from: get_u64(m, "from", &what)?,
+            to: get_u64(m, "to", &what)?,
+            i: get_u64(m, "i", &what)?,
+            j: get_u64(m, "j", &what)?,
+            epoch: get_u64(m, "epoch", &what)?,
+            kind: m
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("goodput")
+                .to_string(),
+            attempt: m.get("attempt").and_then(Value::as_u64).unwrap_or(0),
+        });
+    }
+    Ok(out)
+}
+
+/// Outcome of linting a `net-trace` message stream.
+#[derive(Debug, Clone)]
+pub struct NetMsgReport {
+    /// Protocol findings (duplicate goodput delivery, lost messages,
+    /// unknown kinds).
+    pub findings: Vec<Finding>,
+    /// Messages examined.
+    pub n_messages: usize,
+    /// Goodput frames among them.
+    pub n_goodput: usize,
+    /// Overhead frames (retransmission drops, corrupt and duplicate
+    /// copies) — deduplicated away, never flagged.
+    pub n_overhead: usize,
+}
+
+impl NetMsgReport {
+    /// No findings of any rule.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render all findings, one per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "net-messages: {} frame(s), {} goodput, {} overhead, {} finding(s)",
+            self.n_messages,
+            self.n_goodput,
+            self.n_overhead,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
+/// Lint the message stream of a distributed trace for exactly-once
+/// delivery, deduplicating the reliability layer's retransmissions.
+///
+/// Frames are grouped by logical message `(from, to, tile, epoch)`.
+/// Overhead frames (`dropped`, `corrupt`, `duplicate`) are the fault
+/// plan's doing and are skipped — a retransmitted message is **not** a
+/// duplicate-delivery violation. Within one group the goodput frame
+/// must appear exactly once: more is "duplicate-delivery", zero (only
+/// overhead frames, meaning every attempt died) is
+/// "undelivered-message". Unknown kinds are "malformed-message".
+#[must_use]
+pub fn check_net_messages(msgs: &[MsgView]) -> NetMsgReport {
+    let mut findings = Vec::new();
+    let mut goodput_of: HashMap<(u64, u64, u64, u64, u64), u64> = HashMap::new();
+    let mut n_goodput = 0usize;
+    let mut n_overhead = 0usize;
+    for (k, m) in msgs.iter().enumerate() {
+        let key = (m.from, m.to, m.i, m.j, m.epoch);
+        match m.kind.as_str() {
+            "goodput" => {
+                n_goodput += 1;
+                *goodput_of.entry(key).or_insert(0) += 1;
+            }
+            "dropped" | "corrupt" | "duplicate" => {
+                n_overhead += 1;
+                goodput_of.entry(key).or_insert(0);
+            }
+            other => findings.push(Finding {
+                rule: "malformed-message",
+                message: format!("message {k} has unknown kind {other:?}"),
+            }),
+        }
+    }
+    let mut keys: Vec<_> = goodput_of.iter().collect();
+    keys.sort();
+    for (&(from, to, i, j, epoch), &n) in keys {
+        if n > 1 {
+            findings.push(Finding {
+                rule: "duplicate-delivery",
+                message: format!(
+                    "tile ({i},{j}) epoch {epoch} delivered {n} times as goodput from rank \
+                     {from} to rank {to}"
+                ),
+            });
+        } else if n == 0 {
+            findings.push(Finding {
+                rule: "undelivered-message",
+                message: format!(
+                    "tile ({i},{j}) epoch {epoch} from rank {from} to rank {to}: every send \
+                     attempt was dropped or corrupted, no goodput copy"
+                ),
+            });
+        }
+    }
+    NetMsgReport {
+        findings,
+        n_messages: msgs.len(),
+        n_goodput,
+        n_overhead,
+    }
+}
+
 /// Outcome of replaying one trace against one graph.
 #[derive(Debug, Clone)]
 pub struct RaceReport {
@@ -563,6 +720,65 @@ mod tests {
         let rep = detect_races(&view, &missing);
         assert!(rep.findings.iter().any(|f| f.rule == "trace-coverage"));
         assert_eq!(rep.n_pairs_checked, 0);
+    }
+
+    fn msg(kind: &str, attempt: u64) -> MsgView {
+        MsgView {
+            from: 0,
+            to: 1,
+            i: 2,
+            j: 0,
+            epoch: 0,
+            kind: kind.into(),
+            attempt,
+        }
+    }
+
+    #[test]
+    fn retransmitted_messages_are_deduplicated_not_flagged() {
+        // Attempt 0 dropped, attempt 1 corrupted, attempt 2 delivered,
+        // plus an injected duplicate copy: one logical delivery.
+        let rep = check_net_messages(&[
+            msg("dropped", 0),
+            msg("corrupt", 1),
+            msg("goodput", 2),
+            msg("duplicate", 2),
+        ]);
+        assert!(rep.is_clean(), "{}", rep.to_text());
+        assert_eq!((rep.n_goodput, rep.n_overhead), (1, 3));
+    }
+
+    #[test]
+    fn double_goodput_is_duplicate_delivery() {
+        let rep = check_net_messages(&[msg("goodput", 0), msg("goodput", 1)]);
+        assert!(rep.findings.iter().any(|f| f.rule == "duplicate-delivery"));
+    }
+
+    #[test]
+    fn overhead_with_no_goodput_is_undelivered() {
+        let rep = check_net_messages(&[msg("dropped", 0), msg("dropped", 1)]);
+        assert!(rep.findings.iter().any(|f| f.rule == "undelivered-message"));
+    }
+
+    #[test]
+    fn unknown_kind_is_malformed() {
+        let rep = check_net_messages(&[msg("gossip", 0)]);
+        assert!(rep.findings.iter().any(|f| f.rule == "malformed-message"));
+    }
+
+    #[test]
+    fn pre_fault_traces_parse_as_goodput_attempt_zero() {
+        let doc = flexdist_json::parse(
+            "{\"kind\": \"net-trace\", \"messages\": [\
+             {\"from\": 0, \"to\": 1, \"class\": \"panel\", \"i\": 0, \"j\": 0, \
+              \"epoch\": 0, \"bytes\": 57, \"at\": 0.1}]}",
+        )
+        .unwrap();
+        let msgs = net_messages_from_json(&doc).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].kind, "goodput");
+        assert_eq!(msgs[0].attempt, 0);
+        assert!(check_net_messages(&msgs).is_clean());
     }
 
     #[test]

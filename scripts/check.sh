@@ -36,6 +36,17 @@ echo "==> flexdist dexec smoke"
 run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8
 run ./target/release/flexdist dexec --op chol --p 4 --t 6 --nb 8
 
+# Chaos smoke: the same two configurations on a faulty fabric — 5%
+# drop/duplicate/corrupt/delay on every link, fixed seed. The command
+# itself asserts bitwise identity with the shared-memory executor,
+# exact goodput conformance despite retransmissions, and that the seed
+# replays the identical NetReport; it exits non-zero on any violation.
+echo "==> flexdist chaos smoke"
+run ./target/release/flexdist chaos --op lu --p 5 --t 6 --nb 8 \
+    --rates 0.05 --seeds 1 --seed 42
+run ./target/release/flexdist chaos --op chol --p 4 --t 6 --nb 8 \
+    --rates 0.05 --seeds 1 --seed 42
+
 # Verify smoke: the workspace lint plus a static DAG check of one LU and
 # one Cholesky configuration. `verify` exits non-zero on any finding
 # (missing/redundant edge, owner-computes violation, banned unwrap, ...),
