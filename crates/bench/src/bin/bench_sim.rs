@@ -14,7 +14,7 @@ use flexdist_bench::{paper_cost_model, paper_machine, Args};
 use flexdist_core::{g2dbc, sbc};
 use flexdist_dist::TileAssignment;
 use flexdist_factor::{build_graph, Operation};
-use flexdist_runtime::{simulate, MachineConfig, Simulator, SweepSpec, TaskGraph};
+use flexdist_runtime::{simulate, MachineConfig, NetworkModel, Simulator, SweepSpec, TaskGraph};
 
 struct Workload {
     name: &'static str,
@@ -89,6 +89,39 @@ fn main() {
             events as f64 / best_reuse
         );
         println!("    }}{}", if i + 1 < n { "," } else { "" });
+    }
+    println!("  ],");
+
+    // Contention-model overhead: the same workload under the constant
+    // and the shared-bandwidth network models. The shared model
+    // recomputes max-min fair rates on every flow arrival/departure, so
+    // its events/sec quantifies what the fluid-flow engine costs per
+    // DES event relative to the free constant path.
+    let w = &loads[0];
+    println!("  \"network_models\": [");
+    let models = [
+        ("constant", NetworkModel::Constant),
+        ("shared-bandwidth", NetworkModel::SharedBandwidth),
+    ];
+    for (i, (name, model)) in models.iter().enumerate() {
+        let mut machine = w.machine.clone();
+        machine.network = model.clone();
+        let report = simulate(&w.graph, &machine);
+        let events = report.tasks as u64 + report.messages;
+        let mut sim = Simulator::new(&w.graph);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(sim.run(&machine));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!("    {{");
+        println!("      \"workload\": \"{}\",", w.name);
+        println!("      \"model\": \"{name}\",");
+        println!("      \"events\": {events},");
+        println!("      \"run_sec\": {best:.6},");
+        println!("      \"events_per_sec\": {:.0}", events as f64 / best);
+        println!("    }}{}", if i + 1 < models.len() { "," } else { "" });
     }
     println!("  ],");
 

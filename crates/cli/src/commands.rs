@@ -8,11 +8,13 @@ use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
 use flexdist_factor::net::FaultPlan;
 use flexdist_factor::{
     build_graph, execute_distributed, execute_distributed_traced, execute_distributed_with,
-    execute_traced, DexecOptions, Operation, SimSetup, SweepBuilder,
+    execute_traced, replay_trace_str, DexecOptions, Operation, ReplayOptions, SimSetup,
+    SweepBuilder,
 };
 use flexdist_kernels::{KernelCostModel, TiledMatrix};
 use flexdist_runtime::{
-    render_gantt, render_worker_gantt, sim_trace_to_json_string, simulate_traced, MachineConfig,
+    render_gantt, render_worker_gantt, sim_trace_to_json_string, simulate_traced,
+    HierarchicalTopology, MachineConfig, NetworkModel,
 };
 use std::fmt::Write as _;
 
@@ -160,9 +162,36 @@ pub fn plan(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parse the `--net constant|shared|hier` family of flags into a
+/// [`NetworkModel`] (`--switches`, `--nic-limit` and `--uplink` refine
+/// the hierarchical topology).
+fn network_from_args(args: &Args) -> Result<NetworkModel, String> {
+    match args.get_str("net", "constant").as_str() {
+        "constant" => Ok(NetworkModel::Constant),
+        "shared" | "shared-bandwidth" => Ok(NetworkModel::SharedBandwidth),
+        "hier" | "hierarchical" => {
+            let switches: u32 = args.get("switches", 2)?;
+            if switches == 0 {
+                return Err("--switches must be positive".to_string());
+            }
+            let mut topo = HierarchicalTopology::new(switches);
+            topo.nic_limit = args.get("nic-limit", topo.nic_limit)?;
+            topo.uplink_capacity = args.get("uplink", topo.uplink_capacity)?;
+            if !topo.uplink_capacity.is_finite() || topo.uplink_capacity <= 0.0 {
+                return Err("--uplink must be positive".to_string());
+            }
+            Ok(NetworkModel::Hierarchical(topo))
+        }
+        other => Err(format!(
+            "unknown network model {other:?} (expected constant, shared or hier)"
+        )),
+    }
+}
+
 fn machine_from_args(args: &Args, p: u32) -> Result<MachineConfig, String> {
     let mut machine = MachineConfig::paper_testbed(p);
     machine.workers_per_node = args.get("workers", machine.workers_per_node)?;
+    machine.network = network_from_args(args)?;
     Ok(machine)
 }
 
@@ -220,10 +249,52 @@ pub fn simulate(args: &Args) -> Result<String, String> {
         rep.max_peak_memory() as f64 / (1024.0 * 1024.0)
     );
     let _ = writeln!(out, "  utilization     {:.1} %", 100.0 * rep.utilization());
+    let _ = writeln!(out, "  network         {}", setup.machine.network.name());
     if !trace_out.is_empty() {
         let _ = writeln!(out, "  trace           wrote {trace_out}");
     }
     Ok(out)
+}
+
+/// `flexdist replay --trace FILE [--net constant|shared|hier]
+/// [--latency S] [--bandwidth B] [--out FILE]`
+///
+/// Feeds a `dexec` net-trace back through the cluster simulator under
+/// the chosen [`NetworkModel`] and compares per-link message counts and
+/// byte volumes against the trace's goodput. The counts are decided at
+/// transfer-schedule time, so they must agree **exactly** under every
+/// model — contended models only reorder and stretch time. Fails (exits
+/// non-zero) on any disagreeing link.
+///
+/// # Errors
+/// Flag/IO problems, schema errors (traces without wire-departure
+/// timestamps are rejected), and the full report on a mismatch.
+pub fn replay(args: &Args) -> Result<String, String> {
+    let trace_path = args.get_str("trace", "");
+    if trace_path.is_empty() {
+        return Err("replay: --trace FILE is required".to_string());
+    }
+    let defaults = ReplayOptions::default();
+    let opts = ReplayOptions {
+        network: network_from_args(args)?,
+        latency: args.get("latency", defaults.latency)?,
+        bandwidth: args.get("bandwidth", defaults.bandwidth)?,
+    };
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
+    let rep = replay_trace_str(&text, &opts).map_err(|e| e.to_string())?;
+    let mut out = rep.to_text();
+    let json_path = args.get_str("out", "");
+    if !json_path.is_empty() {
+        std::fs::write(&json_path, rep.to_json().to_pretty())
+            .map_err(|e| format!("write {json_path}: {e}"))?;
+        let _ = writeln!(out, "wrote {json_path}");
+    }
+    if rep.conformant() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
 }
 
 /// `flexdist gantt --op lu|chol --p N [--t T] [--width W]`
@@ -713,10 +784,24 @@ pub fn verify(args: &Args) -> Result<String, String> {
     let mut n_findings = 0usize;
     let run_lint = args.flag("lint");
     let run_dag = args.flag("op") || args.flag("p") || args.flag("pattern");
-    if !run_lint && !run_dag {
+    let replay_path = args.get_str("replay", "");
+    if !run_lint && !run_dag && replay_path.is_empty() {
         return Err(
-            "verify: nothing to do — pass --lint and/or --op with --p/--pattern".to_string(),
+            "verify: nothing to do — pass --lint, --replay FILE, and/or --op with --p/--pattern"
+                .to_string(),
         );
+    }
+    if !replay_path.is_empty() {
+        // A `replay-report` is replay-provenance output of `flexdist
+        // replay`: lint it for exact per-link agreement.
+        let text = std::fs::read_to_string(&replay_path)
+            .map_err(|e| format!("cannot read replay report {replay_path}: {e}"))?;
+        let doc = flexdist_json::parse(&text)
+            .map_err(|e| format!("{replay_path}: replay-report JSON: {e}"))?;
+        let rep = flexdist_verify::check_replay_report(&doc)
+            .map_err(|e| format!("{replay_path}: {e}"))?;
+        n_findings += rep.findings.len();
+        out.push_str(&rep.to_text());
     }
     if run_lint {
         let root = args.get_str("root", ".");
@@ -769,7 +854,13 @@ pub fn verify(args: &Args) -> Result<String, String> {
                 // Distributed traces also carry the wire messages: lint
                 // them for exactly-once delivery, with the reliability
                 // layer's retransmitted/duplicated frames deduplicated
-                // rather than flagged.
+                // rather than flagged. Both provenances are accepted —
+                // live executor traces and simulator replays.
+                let _ = writeln!(
+                    out,
+                    "net-trace provenance: {}",
+                    flexdist_verify::trace_provenance(&doc)
+                );
                 let msgs = flexdist_verify::net_messages_from_json(&doc)
                     .map_err(|e| format!("{trace_path}: {e}"))?;
                 let rep = flexdist_verify::check_net_messages(&msgs);

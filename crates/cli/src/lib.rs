@@ -18,6 +18,9 @@
 //!   executor (deterministic drop/duplicate/corrupt/delay injection) and
 //!   assert bitwise identity, goodput conformance and seed-replayable
 //!   fault counters for every cell;
+//! * `replay`   — feed a `dexec` net-trace back through the simulator
+//!   under a chosen contention model and assert per-link message counts
+//!   and byte volumes agree exactly with the trace's goodput;
 //! * `verify`   — machine-checked correctness gate: workspace source
 //!   lint, static DAG lint of a factorization graph, and vector-clock
 //!   race detection over a dumped trace;
@@ -46,9 +49,10 @@ COMMANDS:
   pattern   --p N [--scheme 2dbc|g2dbc|sbc|gcrm] [--seeds K] [--print]
   plan      --p N [--tiles T]
   simulate  --op lu|chol|syrk --p N [--scheme S] [--n M] [--tile NB]
-            [--trace-out FILE]
+            [--net constant|shared|hier [--switches S] [--nic-limit K]
+            [--uplink C]] [--trace-out FILE]
   sweep     --op lu|chol|syrk --p N [--schemes S1,S2] [--tiles T1,T2]
-            [--tile NB] [--out FILE] [--json FILE]
+            [--tile NB] [--net MODEL] [--out FILE] [--json FILE]
   gantt     --op lu|chol --p N [--t T] [--width W] [--lanes]
             [--trace-out FILE]
   execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
@@ -57,7 +61,10 @@ COMMANDS:
             [--trace-out FILE]
   chaos     --op lu|chol --p N [--t T] [--nb NB] [--seeds K] [--seed S]
             [--rates R1,R2] [--watchdog MS]
-  verify    [--lint [--root DIR] [--allow FILE]]
+  replay    --trace FILE [--net constant|shared|hier [--switches S]
+            [--nic-limit K] [--uplink C]] [--latency S] [--bandwidth B]
+            [--out FILE]
+  verify    [--lint [--root DIR] [--allow FILE]] [--replay FILE]
             [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
             [--t T] [--trace FILE]]
   db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
@@ -86,6 +93,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "execute" => commands::execute(&args),
         "dexec" => commands::dexec(&args),
         "chaos" => commands::chaos(&args),
+        "replay" => commands::replay(&args),
         "verify" => commands::verify(&args),
         "db" => commands::db(&args),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -250,6 +258,83 @@ mod tests {
         assert!(out.contains("net-messages:"), "{out}");
         assert!(out.contains("verify: ok"), "{out}");
         let _ = std::fs::remove_file(net);
+    }
+
+    #[test]
+    fn replay_command_closes_the_loop_end_to_end() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("flexdist_cli_test_replay_net_trace.json");
+        let report_path = dir.join("flexdist_cli_test_replay_report.json");
+        let net = trace_path.to_str().unwrap();
+        let report = report_path.to_str().unwrap();
+        run(&sv(&[
+            "dexec",
+            "--op",
+            "lu",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--trace-out",
+            net,
+        ]))
+        .unwrap();
+
+        // Constant model: exact per-link conformance.
+        let out = run(&sv(&["replay", "--trace", net, "--out", report])).unwrap();
+        assert!(out.contains("CONFORMANT"), "{out}");
+        assert!(out.contains("replay[constant]"), "{out}");
+
+        // The written report passes `verify --replay`.
+        let out = run(&sv(&["verify", "--replay", report])).unwrap();
+        assert!(out.contains("replay-report[constant]"), "{out}");
+        assert!(out.contains("verify: ok"), "{out}");
+
+        // Contended models preserve counts, so they conform too.
+        let out = run(&sv(&["replay", "--trace", net, "--net", "shared"])).unwrap();
+        assert!(out.contains("CONFORMANT"), "{out}");
+        let out = run(&sv(&[
+            "replay",
+            "--trace",
+            net,
+            "--net",
+            "hier",
+            "--switches",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("replay[hierarchical]"), "{out}");
+        assert!(out.contains("CONFORMANT"), "{out}");
+
+        let _ = std::fs::remove_file(net);
+        let _ = std::fs::remove_file(report);
+    }
+
+    #[test]
+    fn replay_requires_a_trace_and_rejects_unknown_models() {
+        let err = run(&sv(&["replay"])).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let err = run(&sv(&["replay", "--trace", "x.json", "--net", "warp"])).unwrap_err();
+        assert!(err.contains("unknown network model"), "{err}");
+    }
+
+    #[test]
+    fn simulate_accepts_contended_network_models() {
+        let base = sv(&[
+            "simulate", "--op", "lu", "--p", "6", "--n", "6000", "--tile", "500",
+        ]);
+        let mut shared = base.clone();
+        shared.extend(sv(&["--net", "shared"]));
+        let out = run(&shared).unwrap();
+        assert!(out.contains("network         shared-bandwidth"), "{out}");
+        let mut hier = base.clone();
+        hier.extend(sv(&["--net", "hier", "--switches", "3", "--uplink", "2.5"]));
+        let out = run(&hier).unwrap();
+        assert!(out.contains("network         hierarchical"), "{out}");
+        let out = run(&base).unwrap();
+        assert!(out.contains("network         constant"), "{out}");
     }
 
     #[test]

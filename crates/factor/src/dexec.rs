@@ -526,11 +526,20 @@ fn run_rank(
                     j: b.j,
                 })?;
                 for &to in &b.receivers {
+                    // Send-enqueue vs. wire-departure: `enq` is stamped
+                    // before the (blocking, possibly retransmitting) send,
+                    // `dep` after it returns. Trace replay uses `dep` so
+                    // sender-side queueing is not mistaken for transmission.
+                    let enq = if want_trace {
+                        t0.elapsed().as_secs_f64()
+                    } else {
+                        0.0
+                    };
                     let receipt = ep.send_tile_reliable(to, b.class, b.i, b.j, b.epoch, tile)?;
                     out.io.sent_msgs += 1;
                     out.io.sent_bytes += receipt.goodput_bytes as u64;
                     if want_trace {
-                        let at = t0.elapsed().as_secs_f64();
+                        let dep = t0.elapsed().as_secs_f64();
                         for ev in &receipt.events {
                             out.msgs.push(MsgEvent {
                                 from: me,
@@ -540,7 +549,8 @@ fn run_rank(
                                 j: b.j,
                                 epoch: b.epoch,
                                 bytes: ev.bytes,
-                                at,
+                                at: enq,
+                                dep,
                                 kind: ev.kind,
                                 attempt: ev.attempt,
                             });

@@ -31,6 +31,7 @@
 pub mod dexec;
 pub mod execute;
 pub mod graphs;
+pub mod replay;
 pub mod residual;
 pub mod simulate;
 pub mod solve;
@@ -46,6 +47,9 @@ pub use execute::{
     ExecReport, ExecTrace, WorkerStats,
 };
 pub use graphs::{build_graph, Op, Operation, TaskList};
+pub use replay::{
+    replay_trace, replay_trace_str, LinkCompare, ReplayError, ReplayOptions, ReplayReport,
+};
 pub use simulate::{simulate, SimSetup};
 pub use solve::{cholesky_solve, lu_solve, solve_residual, BlockVector};
 pub use sweep::SweepBuilder;

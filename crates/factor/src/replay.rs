@@ -1,0 +1,484 @@
+//! Trace replay: feed a distributed-executor `net-trace` back through
+//! the simulator and check per-link conformance.
+//!
+//! The executor ([`crate::dexec`]) records every frame it puts on the
+//! wire. Replay reconstructs the *communication* side of that run as a
+//! tiny synthetic task graph — one producer/consumer pair per goodput
+//! message, with the producer finishing at the frame's wire-departure
+//! time `dep` — and simulates it under a configurable
+//! [`NetworkModel`]. Because the simulator counts per-link messages and
+//! bytes when transfers are *scheduled* (never when they finish), the
+//! replayed [`Simulator::link_traffic`] must agree **exactly** with the
+//! trace's per-link goodput under every model; contended models may
+//! only reorder and stretch *time*. A disagreement means the simulator
+//! and the executor no longer share a communication semantics — the
+//! cross-validation loop this module closes.
+//!
+//! Retransmitted frames (chaos runs) are deduplicated by keeping only
+//! `kind == "goodput"` frames, mirroring the executor's own
+//! [`NetReport`](flexdist_net::NetReport) goodput accounting.
+
+use flexdist_json::Value;
+use flexdist_runtime::{
+    Access, GraphBuilder, MachineConfig, NetworkModel, SimNetError, Simulator, TaskSpec,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How to replay a trace: which contention model, on what link speeds.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Contention model for the replay machine.
+    pub network: NetworkModel,
+    /// Per-message latency of the replay machine, seconds.
+    pub latency: f64,
+    /// Port bandwidth of the replay machine, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl Default for ReplayOptions {
+    /// The paper testbed's link (5 µs, 12.5 GB/s) under the constant
+    /// model — the configuration whose per-link counts are asserted
+    /// against executor traces in CI.
+    fn default() -> Self {
+        Self {
+            network: NetworkModel::Constant,
+            latency: 5e-6,
+            bandwidth: 12.5e9,
+        }
+    }
+}
+
+/// Why a trace could not be replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The document is not a well-formed `net-trace`.
+    Parse(String),
+    /// A message entry lacks a required field — in particular traces
+    /// written before wire-departure timestamps existed lack `dep` and
+    /// are rejected here rather than replayed with wrong send times.
+    MissingField {
+        /// Index into the trace's `messages` array.
+        index: usize,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// The replay machine's topology cannot route a traced message.
+    Sim(SimNetError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(msg) => write!(f, "replay: {msg}"),
+            Self::MissingField { index, field } => write!(
+                f,
+                "replay: message {index} is missing field \"{field}\" — the trace predates \
+                 the current net-trace schema; regenerate it with `flexdist dexec --trace-out`"
+            ),
+            Self::Sim(e) => write!(f, "replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<SimNetError> for ReplayError {
+    fn from(e: SimNetError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// One ordered node pair, as counted by the trace and by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCompare {
+    /// Sending rank.
+    pub from: u32,
+    /// Receiving rank.
+    pub to: u32,
+    /// Goodput messages on this link in the trace.
+    pub trace_msgs: u64,
+    /// Goodput bytes on this link in the trace.
+    pub trace_bytes: u64,
+    /// Messages the replayed simulation put on this link.
+    pub sim_msgs: u64,
+    /// Bytes the replayed simulation put on this link.
+    pub sim_bytes: u64,
+}
+
+impl LinkCompare {
+    /// Exact agreement on both counts.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.trace_msgs == self.sim_msgs && self.trace_bytes == self.sim_bytes
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Name of the replayed [`NetworkModel`].
+    pub network: &'static str,
+    /// Ranks in the replayed machine.
+    pub n_ranks: u32,
+    /// Goodput messages replayed.
+    pub n_messages: usize,
+    /// Overhead frames (retransmission drops, corrupt and duplicate
+    /// copies) deduplicated away before replay.
+    pub n_overhead: usize,
+    /// Makespan of the replayed simulation, seconds.
+    pub makespan: f64,
+    /// Per-link comparison, sorted by `(from, to)`; covers every link
+    /// either side used.
+    pub links: Vec<LinkCompare>,
+}
+
+impl ReplayReport {
+    /// Every link agrees exactly on message count and byte volume.
+    #[must_use]
+    pub fn conformant(&self) -> bool {
+        self.links.iter().all(LinkCompare::agrees)
+    }
+
+    /// Human-readable summary: one header line, one line per
+    /// disagreeing link.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let bad = self.links.iter().filter(|l| !l.agrees()).count();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay[{}]: {} rank(s), {} goodput message(s) ({} overhead deduplicated), {} \
+             link(s), {} disagreeing, sim makespan {:.6}s => {}",
+            self.network,
+            self.n_ranks,
+            self.n_messages,
+            self.n_overhead,
+            self.links.len(),
+            bad,
+            self.makespan,
+            if self.conformant() {
+                "CONFORMANT"
+            } else {
+                "MISMATCH"
+            }
+        );
+        for l in self.links.iter().filter(|l| !l.agrees()) {
+            let _ = writeln!(
+                out,
+                "  link {}->{}: trace {} msg(s) / {} B, sim {} msg(s) / {} B",
+                l.from, l.to, l.trace_msgs, l.trace_bytes, l.sim_msgs, l.sim_bytes
+            );
+        }
+        out
+    }
+
+    /// Serialize as a `replay-report` JSON document (provenance
+    /// `"replay"`, so trace tooling can tell it from live traces).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let links = self
+            .links
+            .iter()
+            .map(|l| {
+                flexdist_json::object(vec![
+                    ("from", Value::from(l.from)),
+                    ("to", Value::from(l.to)),
+                    ("trace_msgs", Value::from(l.trace_msgs)),
+                    ("trace_bytes", Value::from(l.trace_bytes)),
+                    ("sim_msgs", Value::from(l.sim_msgs)),
+                    ("sim_bytes", Value::from(l.sim_bytes)),
+                ])
+            })
+            .collect();
+        flexdist_json::object(vec![
+            ("kind", Value::from("replay-report")),
+            ("provenance", Value::from("replay")),
+            ("network", Value::from(self.network)),
+            ("n_ranks", Value::from(self.n_ranks)),
+            ("messages", Value::from(self.n_messages as u64)),
+            ("overhead", Value::from(self.n_overhead as u64)),
+            ("makespan", Value::from(self.makespan)),
+            ("conformant", Value::from(self.conformant())),
+            ("links", Value::Array(links)),
+        ])
+    }
+}
+
+/// One goodput frame pulled out of the trace.
+#[derive(Debug, Clone, Copy)]
+struct WireMsg {
+    from: u32,
+    to: u32,
+    bytes: u64,
+    dep: f64,
+}
+
+fn parse_messages(doc: &Value) -> Result<(Vec<WireMsg>, usize), ReplayError> {
+    let msgs = doc
+        .get("messages")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ReplayError::Parse("missing array field \"messages\"".into()))?;
+    let mut out = Vec::with_capacity(msgs.len());
+    let mut overhead = 0usize;
+    for (k, m) in msgs.iter().enumerate() {
+        let field = |name: &'static str| -> Result<&Value, ReplayError> {
+            m.get(name).ok_or(ReplayError::MissingField {
+                index: k,
+                field: name,
+            })
+        };
+        let num = |name: &'static str| -> Result<u64, ReplayError> {
+            field(name)?.as_u64().ok_or_else(|| {
+                ReplayError::Parse(format!("message {k}: field \"{name}\" is not an integer"))
+            })
+        };
+        // Every frame must carry a wire-departure time, even the ones
+        // replay skips: its absence marks the pre-`dep` schema, whose
+        // `at` timestamps conflate queueing with transmission.
+        let dep = field("dep")?.as_f64().ok_or_else(|| {
+            ReplayError::Parse(format!("message {k}: field \"dep\" is not a number"))
+        })?;
+        let kind = m.get("kind").and_then(Value::as_str).unwrap_or("goodput");
+        if kind != "goodput" {
+            overhead += 1;
+            continue;
+        }
+        out.push(WireMsg {
+            from: num("from")? as u32,
+            to: num("to")? as u32,
+            bytes: num("bytes")?,
+            dep,
+        });
+    }
+    Ok((out, overhead))
+}
+
+/// Replay a `net-trace` document under `opts` and compare per-link
+/// traffic.
+///
+/// Each goodput frame becomes a two-task chain: a `send` task on the
+/// sending rank whose duration is the frame's wire-departure time
+/// (writing a datum of the frame's size), and a zero-duration `recv`
+/// task on the receiving rank reading it. Ranks get enough workers to
+/// start every `send` at time zero, so transfers enter the network at
+/// exactly their traced departure times and only the configured
+/// [`NetworkModel`] decides what happens next.
+///
+/// # Errors
+/// [`ReplayError::Parse`] for anything that is not a `net-trace`,
+/// [`ReplayError::MissingField`] for pre-`dep` schemas, and
+/// [`ReplayError::Sim`] when the replay topology cannot route a traced
+/// message.
+pub fn replay_trace(doc: &Value, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
+    match doc.get("kind").and_then(Value::as_str) {
+        Some("net-trace") => {}
+        Some(other) => {
+            return Err(ReplayError::Parse(format!(
+                "expected a \"net-trace\" document, got kind {other:?}"
+            )))
+        }
+        None => return Err(ReplayError::Parse("missing string field \"kind\"".into())),
+    }
+    let traced_ranks = doc.get("n_ranks").and_then(Value::as_u64).unwrap_or(0) as u32;
+    let (wire, n_overhead) = parse_messages(doc)?;
+    let rank_bound = wire.iter().map(|m| m.from.max(m.to) + 1).max().unwrap_or(0);
+    let nodes = traced_ranks.max(rank_bound).max(1);
+
+    // Synthetic graph: one producer/consumer pair per frame.
+    let mut b = GraphBuilder::new();
+    let mut sends = vec![0u32; nodes as usize];
+    let mut recvs = vec![0u32; nodes as usize];
+    for m in &wire {
+        let datum = b.add_data(m.from, m.bytes);
+        b.submit(TaskSpec {
+            node: m.from,
+            duration: m.dep,
+            flops: 0.0,
+            priority: 0,
+            label: "send",
+            accesses: vec![Access::write(datum)],
+        });
+        b.submit(TaskSpec {
+            node: m.to,
+            duration: 0.0,
+            flops: 0.0,
+            priority: 0,
+            label: "recv",
+            accesses: vec![Access::read(datum)],
+        });
+        sends[m.from as usize] += 1;
+        recvs[m.to as usize] += 1;
+    }
+    let graph = b.build();
+
+    let mut config = MachineConfig::paper_testbed(nodes);
+    config.latency = opts.latency;
+    config.bandwidth = opts.bandwidth;
+    config.network = opts.network.clone();
+    // Every send must start at t=0 for its transfer to depart at `dep`.
+    config.per_node_workers = Some(
+        sends
+            .iter()
+            .zip(&recvs)
+            .map(|(&s, &r)| (s + r).max(1))
+            .collect(),
+    );
+
+    let mut sim = Simulator::new(&graph);
+    let report = sim.try_run(&config)?;
+
+    // Per-link goodput from the trace vs. per-link traffic of the sim.
+    let mut map: HashMap<(u32, u32), LinkCompare> = HashMap::new();
+    for m in &wire {
+        let e = map.entry((m.from, m.to)).or_insert(LinkCompare {
+            from: m.from,
+            to: m.to,
+            trace_msgs: 0,
+            trace_bytes: 0,
+            sim_msgs: 0,
+            sim_bytes: 0,
+        });
+        e.trace_msgs += 1;
+        e.trace_bytes += m.bytes;
+    }
+    for l in sim.link_traffic() {
+        let e = map.entry((l.from, l.to)).or_insert(LinkCompare {
+            from: l.from,
+            to: l.to,
+            trace_msgs: 0,
+            trace_bytes: 0,
+            sim_msgs: 0,
+            sim_bytes: 0,
+        });
+        e.sim_msgs = l.messages;
+        e.sim_bytes = l.bytes;
+    }
+    let mut links: Vec<LinkCompare> = map.into_values().collect();
+    links.sort_by_key(|l| (l.from, l.to));
+
+    Ok(ReplayReport {
+        network: config.network.name(),
+        n_ranks: nodes,
+        n_messages: wire.len(),
+        n_overhead,
+        makespan: report.makespan,
+        links,
+    })
+}
+
+/// Parse JSON text and [`replay_trace`] it.
+///
+/// # Errors
+/// [`ReplayError::Parse`] on JSON syntax errors, plus everything
+/// [`replay_trace`] reports.
+pub fn replay_trace_str(text: &str, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
+    let doc =
+        flexdist_json::parse(text).map_err(|e| ReplayError::Parse(format!("trace JSON: {e}")))?;
+    replay_trace(&doc, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_doc(msgs: &str) -> Value {
+        flexdist_json::parse(&format!(
+            "{{\"kind\": \"net-trace\", \"n_ranks\": 3, \"messages\": [{msgs}]}}"
+        ))
+        .expect("test JSON parses")
+    }
+
+    const M0: &str = "{\"from\": 0, \"to\": 1, \"class\": \"panel\", \"i\": 0, \"j\": 0, \
+                      \"epoch\": 0, \"bytes\": 800, \"at\": 0.1, \"dep\": 0.2, \
+                      \"kind\": \"goodput\", \"attempt\": 0}";
+
+    #[test]
+    fn replays_a_minimal_trace_conformantly() {
+        let doc = trace_doc(M0);
+        let rep = replay_trace(&doc, &ReplayOptions::default()).expect("replays");
+        assert!(rep.conformant(), "{}", rep.to_text());
+        assert_eq!((rep.n_ranks, rep.n_messages, rep.n_overhead), (3, 1, 0));
+        assert_eq!(rep.links.len(), 1);
+        assert_eq!(
+            (rep.links[0].trace_msgs, rep.links[0].trace_bytes),
+            (1, 800)
+        );
+        assert!(
+            rep.makespan >= 0.2,
+            "transfer departs at dep=0.2, makespan {}",
+            rep.makespan
+        );
+    }
+
+    #[test]
+    fn overhead_frames_are_deduplicated_away() {
+        let dropped = M0.replace("\"kind\": \"goodput\"", "\"kind\": \"dropped\"");
+        let doc = trace_doc(&format!("{dropped}, {M0}"));
+        let rep = replay_trace(&doc, &ReplayOptions::default()).expect("replays");
+        assert_eq!((rep.n_messages, rep.n_overhead), (1, 1));
+        assert!(rep.conformant(), "{}", rep.to_text());
+    }
+
+    #[test]
+    fn pre_dep_schema_is_rejected_with_the_field_name() {
+        // Strip the `dep` field: the pre-departure-timestamp schema.
+        let old = M0.replace(" \"dep\": 0.2,", "");
+        let doc = trace_doc(&old);
+        let err = replay_trace(&doc, &ReplayOptions::default()).expect_err("old schema rejected");
+        assert_eq!(
+            err,
+            ReplayError::MissingField {
+                index: 0,
+                field: "dep"
+            }
+        );
+        assert!(err.to_string().contains("\"dep\""), "{err}");
+        assert!(err.to_string().contains("message 0"), "{err}");
+    }
+
+    #[test]
+    fn non_trace_documents_are_a_parse_error() {
+        let doc = flexdist_json::parse("{\"kind\": \"sim-trace\", \"spans\": []}").expect("json");
+        let err = replay_trace(&doc, &ReplayOptions::default()).expect_err("wrong kind");
+        assert!(matches!(err, ReplayError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn unroutable_topology_is_a_typed_sim_error() {
+        use flexdist_runtime::HierarchicalTopology;
+        let doc = trace_doc(M0); // 0 -> 1 crosses switches below
+        let mut topo = HierarchicalTopology::new(2);
+        topo.switch_map = Some(vec![0, 1, 0]);
+        topo.uplinked = Some(vec![true, false]);
+        let opts = ReplayOptions {
+            network: NetworkModel::Hierarchical(topo),
+            ..ReplayOptions::default()
+        };
+        let err = replay_trace(&doc, &opts).expect_err("no route");
+        let ReplayError::Sim(SimNetError::NoRoute { from, to, .. }) = err else {
+            panic!("expected NoRoute, got {err}");
+        };
+        assert_eq!((from, to), (0, 1));
+    }
+
+    #[test]
+    fn report_json_has_the_replay_provenance() {
+        let doc = trace_doc(M0);
+        let rep = replay_trace(&doc, &ReplayOptions::default()).expect("replays");
+        let json = rep.to_json();
+        assert_eq!(
+            json.get("kind").and_then(Value::as_str),
+            Some("replay-report")
+        );
+        assert_eq!(
+            json.get("provenance").and_then(Value::as_str),
+            Some("replay")
+        );
+        assert_eq!(json.get("conformant").and_then(Value::as_bool), Some(true));
+        let links = json.get("links").and_then(Value::as_array).expect("links");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].get("sim_bytes").and_then(Value::as_u64), Some(800));
+    }
+}

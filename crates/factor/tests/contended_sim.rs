@@ -1,0 +1,150 @@
+//! Golden fixture for the contended network models.
+//!
+//! `tests/fixtures/golden_sim_contended.json` pins one LU / G-2DBC
+//! P=7 report under each contention model — constant (the bitwise
+//! anchor shared with `golden_sim.rs`), shared-bandwidth, and a
+//! two-switch hierarchy — with floats compared through `f64::to_bits`.
+//! Any change to the max-min water-filling, the flow bookkeeping, or
+//! the NetAdvance scheduling that shifts a single completion time by
+//! one ULP fails this suite.
+//!
+//! The suite also asserts the model-invariance contract directly: all
+//! three models must report identical message counts and byte volumes
+//! (contention only reshapes *time*), and the contended makespans must
+//! be at least the constant one on this communication-bound
+//! configuration.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `GOLDEN_REGEN=1 cargo test -p flexdist-factor --test contended_sim -- --ignored`
+
+use flexdist_core::g2dbc;
+use flexdist_dist::TileAssignment;
+use flexdist_factor::{build_graph, Operation};
+use flexdist_json::Value;
+use flexdist_kernels::KernelCostModel;
+use flexdist_runtime::{
+    simulate, HierarchicalTopology, MachineConfig, NetworkModel, SimReport, TaskGraph,
+};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sim_contended.json"
+);
+
+/// The pinned graph: LU on G-2DBC for P=7 (the paper's "one more than
+/// a perfect square" case), 16x16 tiles of 500.
+fn pinned_graph() -> TaskGraph {
+    let assignment = TileAssignment::extended(&g2dbc::g2dbc(7), 16);
+    build_graph(
+        Operation::Lu,
+        &assignment,
+        &KernelCostModel::uniform(500, 30.0),
+    )
+    .graph
+}
+
+/// The three pinned machines: same testbed, different contention model.
+fn pinned_machines() -> Vec<(&'static str, MachineConfig)> {
+    let base = MachineConfig::paper_testbed(7);
+    let mut shared = base.clone();
+    shared.network = NetworkModel::SharedBandwidth;
+    let mut hier = base.clone();
+    let mut topo = HierarchicalTopology::new(2);
+    topo.nic_limit = 2;
+    topo.uplink_capacity = 2.0;
+    hier.network = NetworkModel::Hierarchical(topo);
+    vec![
+        ("lu_g2dbc_p7_t16_constant", base),
+        ("lu_g2dbc_p7_t16_shared", shared),
+        ("lu_g2dbc_p7_t16_hier_s2_nic2_up2", hier),
+    ]
+}
+
+fn f64_bits(x: f64) -> Value {
+    Value::from(x.to_bits())
+}
+
+fn f64_vec_bits(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| f64_bits(x)).collect())
+}
+
+fn report_to_json(name: &str, r: &SimReport) -> Value {
+    flexdist_json::object(vec![
+        ("name", Value::from(name)),
+        ("makespan_bits", f64_bits(r.makespan)),
+        ("messages", Value::from(r.messages)),
+        ("bytes_sent", Value::from(r.bytes_sent)),
+        ("busy_per_node_bits", f64_vec_bits(&r.busy_per_node)),
+        ("idle_per_node_bits", f64_vec_bits(&r.idle_per_node)),
+        ("tasks", Value::from(r.tasks)),
+    ])
+}
+
+fn current_reports() -> Vec<(Value, SimReport)> {
+    let graph = pinned_graph();
+    pinned_machines()
+        .iter()
+        .map(|(name, machine)| {
+            let r = simulate(&graph, machine);
+            (report_to_json(name, &r), r)
+        })
+        .collect()
+}
+
+#[test]
+fn contended_reports_match_fixture_bitwise() {
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; regenerate with GOLDEN_REGEN=1 (see module docs)");
+    let doc = flexdist_json::parse(&text).expect("fixture parses");
+    let golden = doc
+        .get("reports")
+        .and_then(Value::as_array)
+        .expect("fixture has reports");
+    let current = current_reports();
+    assert_eq!(golden.len(), current.len(), "pinned machine count changed");
+    for (g, (c, _)) in golden.iter().zip(&current) {
+        let name = c.get("name").and_then(Value::as_str).unwrap_or("?");
+        assert_eq!(g, c, "contended SimReport for {name} diverged from fixture");
+    }
+}
+
+#[test]
+fn counts_are_model_invariant_and_contention_only_stretches_time() {
+    let reports: Vec<SimReport> = current_reports().into_iter().map(|(_, r)| r).collect();
+    let [constant, shared, hier] = &reports[..] else {
+        panic!("three pinned machines");
+    };
+    for (name, r) in [("shared", shared), ("hier", hier)] {
+        assert_eq!(
+            (r.messages, r.bytes_sent),
+            (constant.messages, constant.bytes_sent),
+            "{name}: contention changed message counts"
+        );
+        assert!(
+            r.makespan >= constant.makespan,
+            "{name}: sharing links finished earlier ({} < {}) than dedicated ports",
+            r.makespan,
+            constant.makespan
+        );
+    }
+}
+
+#[test]
+#[ignore = "writes the fixture; run with GOLDEN_REGEN=1 to regenerate"]
+fn regenerate_fixture() {
+    if std::env::var("GOLDEN_REGEN").is_err() {
+        eprintln!("GOLDEN_REGEN not set; refusing to overwrite the fixture");
+        return;
+    }
+    let reports = current_reports().into_iter().map(|(v, _)| v).collect();
+    let doc = flexdist_json::object(vec![
+        (
+            "comment",
+            Value::from("bitwise contended-model SimReport fixture; see tests/contended_sim.rs"),
+        ),
+        ("reports", Value::Array(reports)),
+    ]);
+    std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+    std::fs::write(FIXTURE, doc.to_pretty()).unwrap();
+    eprintln!("wrote {FIXTURE}");
+}

@@ -196,8 +196,14 @@ pub struct MsgEvent {
     pub epoch: u32,
     /// Serialized frame size.
     pub bytes: u64,
-    /// Send timestamp, seconds since engine start.
+    /// Send-enqueue timestamp, seconds since engine start (when the
+    /// sender handed the frame to the fabric).
     pub at: f64,
+    /// Wire-departure timestamp, seconds since engine start (when the
+    /// send call returned, i.e. the frame — including any retransmits —
+    /// had left the sender). `dep >= at`; the gap is sender-side
+    /// queueing, which trace replay must not mistake for transmission.
+    pub dep: f64,
     /// Goodput, or the overhead kind the fault plan assigned this frame.
     pub kind: MsgKind,
     /// 0-based send attempt the frame belonged to.
@@ -236,6 +242,7 @@ impl NetTrace {
                     ("epoch", Value::from(m.epoch)),
                     ("bytes", Value::from(m.bytes)),
                     ("at", Value::from(m.at)),
+                    ("dep", Value::from(m.dep)),
                     ("kind", Value::from(m.kind.name())),
                     ("attempt", Value::from(m.attempt)),
                 ])
@@ -373,6 +380,7 @@ mod tests {
                 epoch: 0,
                 bytes: 57,
                 at: 1.0,
+                dep: 1.25,
                 kind: MsgKind::Goodput,
                 attempt: 0,
             }],
@@ -388,6 +396,11 @@ mod tests {
             msgs[0].get("attempt").and_then(Value::as_u64),
             Some(0),
             "retransmission attempt is serialized for the race detector"
+        );
+        assert_eq!(
+            msgs[0].get("dep").and_then(Value::as_f64),
+            Some(1.25),
+            "wire-departure time is serialized for trace replay"
         );
     }
 }

@@ -56,6 +56,9 @@ pub struct SweepPoint {
     pub graph: String,
     /// Label of the machine it ran on.
     pub machine: String,
+    /// Name of the machine's network model (`"constant"`,
+    /// `"shared-bandwidth"`, `"hierarchical"`).
+    pub network: &'static str,
     /// The simulation report.
     pub report: SimReport,
 }
@@ -186,6 +189,7 @@ impl SweepSpec {
             .map(|(&(g, m), report)| SweepPoint {
                 graph: self.graphs[g].label.clone(),
                 machine: self.machines[m].label.clone(),
+                network: self.machines[m].config.network.name(),
                 report: report.expect("every grid point ran"),
             })
             .collect();
@@ -246,6 +250,7 @@ impl SweepResults {
                 flexdist_json::object(vec![
                     ("graph", Value::from(p.graph.as_str())),
                     ("machine", Value::from(p.machine.as_str())),
+                    ("network", Value::from(p.network)),
                     ("makespan", Value::from(r.makespan)),
                     ("total_flops", Value::from(r.total_flops)),
                     ("gflops", Value::from(r.gflops())),
@@ -396,6 +401,11 @@ mod tests {
         assert_eq!(json.get("kind").and_then(Value::as_str), Some("sweep"));
         let points = json.get("points").and_then(Value::as_array).unwrap();
         assert_eq!(points.len(), 6);
+        assert_eq!(
+            points[0].get("network").and_then(Value::as_str),
+            Some("constant")
+        );
+        assert_eq!(results.points[0].network, "constant");
         let reparsed = flexdist_json::parse(&json.to_pretty()).unwrap();
         assert_eq!(reparsed, json);
     }

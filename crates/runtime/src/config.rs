@@ -30,6 +30,119 @@ pub enum SourceSelection {
     AnyReplica,
 }
 
+/// How concurrent transfers share the simulated fabric.
+///
+/// All three models move the same messages — per-link message counts and
+/// byte volumes are *model-invariant* (they are decided by the task graph
+/// and the replica cache, not by timing) — but they disagree on *when*
+/// each transfer completes:
+///
+/// * [`NetworkModel::Constant`]: every transfer costs
+///   `latency + bytes/bandwidth`, serialized on the sender's out port and
+///   the receiver's in port (the paper's contention-free cost model,
+///   bitwise-compatible with the original simulator);
+/// * [`NetworkModel::SharedBandwidth`]: concurrent flows crossing one NIC
+///   split its capacity max-min fairly, and every completion time is
+///   recomputed on each flow arrival/departure;
+/// * [`NetworkModel::Hierarchical`]: nodes hang off switches; cross-switch
+///   flows additionally cross a shared uplink, NICs bound how many flows
+///   they serialize at once, and a switch without an uplink makes remote
+///   pairs unreachable (a typed `NoRoute`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum NetworkModel {
+    /// Per-link constant latency/bandwidth cost, ports serialize. Default.
+    #[default]
+    Constant,
+    /// Max-min fair sharing of each NIC among its concurrent flows.
+    SharedBandwidth,
+    /// Nodes × switches with per-NIC serialization limits and an uplink
+    /// bottleneck.
+    Hierarchical(HierarchicalTopology),
+}
+
+impl NetworkModel {
+    /// Stable model name (used in sweeps, reports and the CLI).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Constant => "constant",
+            Self::SharedBandwidth => "shared-bandwidth",
+            Self::Hierarchical(_) => "hierarchical",
+        }
+    }
+}
+
+/// Two-level topology for [`NetworkModel::Hierarchical`]: every node's NIC
+/// connects to one switch; switches reach each other through their uplink.
+///
+/// Capacities are expressed in units of one NIC's full-duplex bandwidth
+/// (`MachineConfig::bandwidth`), so `uplink_capacity = 4.0` means one
+/// switch uplink carries four concurrent node-rate flows before it
+/// becomes the bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalTopology {
+    /// Number of switches `S` (must be ≥ 1).
+    pub switches: u32,
+    /// Optional explicit node → switch map (length = nodes). Defaults to
+    /// round-robin: node `n` hangs off switch `n % S`.
+    pub switch_map: Option<Vec<u32>>,
+    /// Maximum concurrent flows each NIC direction serves (0 = unlimited).
+    /// Excess flows queue FIFO at the NIC, with bypass: a blocked head
+    /// does not block flows whose NICs have room.
+    pub nic_limit: u32,
+    /// Capacity of each switch uplink (each direction), in node-NIC
+    /// bandwidth units.
+    pub uplink_capacity: f64,
+    /// Optional per-switch uplink presence (length = switches; default all
+    /// `true`). A cross-switch flow touching a switch without an uplink
+    /// has no route.
+    pub uplinked: Option<Vec<bool>>,
+}
+
+impl HierarchicalTopology {
+    /// A fully-uplinked topology with `switches` switches, round-robin
+    /// node placement, unlimited NIC concurrency and 4× uplinks.
+    #[must_use]
+    pub fn new(switches: u32) -> Self {
+        assert!(switches >= 1, "hierarchical topology needs a switch");
+        Self {
+            switches,
+            switch_map: None,
+            nic_limit: 0,
+            uplink_capacity: 4.0,
+            uplinked: None,
+        }
+    }
+
+    /// Switch of `node`.
+    ///
+    /// # Panics
+    /// Panics if an explicit map is set but too short, or maps the node to
+    /// a switch out of range.
+    #[must_use]
+    pub fn switch_of(&self, node: u32) -> u32 {
+        let s = match &self.switch_map {
+            Some(map) => map[node as usize],
+            None => node % self.switches,
+        };
+        assert!(
+            s < self.switches,
+            "node {node} mapped to switch {s} of {}",
+            self.switches
+        );
+        s
+    }
+
+    /// Whether switch `s` has an uplink.
+    #[must_use]
+    pub fn is_uplinked(&self, s: u32) -> bool {
+        match &self.uplinked {
+            Some(v) => v[s as usize],
+            None => true,
+        }
+    }
+}
+
 /// Parameters of the simulated cluster.
 ///
 /// The defaults are calibrated to the paper's testbed (§IV-D): nodes with 36
@@ -61,6 +174,8 @@ pub struct MachineConfig {
     pub scheduler: SchedulerPolicy,
     /// Remote-fetch sourcing policy.
     pub source_selection: SourceSelection,
+    /// Contention model applied to concurrent transfers.
+    pub network: NetworkModel,
 }
 
 impl MachineConfig {
@@ -77,6 +192,7 @@ impl MachineConfig {
             replica_cache: true,
             scheduler: SchedulerPolicy::Priority,
             source_selection: SourceSelection::Holder,
+            network: NetworkModel::Constant,
         }
     }
 
@@ -92,6 +208,7 @@ impl MachineConfig {
             replica_cache: true,
             scheduler: SchedulerPolicy::Priority,
             source_selection: SourceSelection::Holder,
+            network: NetworkModel::Constant,
         }
     }
 
@@ -181,5 +298,60 @@ mod hetero_tests {
     #[test]
     fn scheduler_default_is_priority() {
         assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Priority);
+    }
+}
+
+#[cfg(test)]
+mod network_model_tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_constant() {
+        assert_eq!(NetworkModel::default(), NetworkModel::Constant);
+        assert_eq!(
+            MachineConfig::paper_testbed(4).network,
+            NetworkModel::Constant
+        );
+        assert_eq!(
+            MachineConfig::test_machine(4, 1).network,
+            NetworkModel::Constant
+        );
+    }
+
+    #[test]
+    fn model_names_are_stable() {
+        assert_eq!(NetworkModel::Constant.name(), "constant");
+        assert_eq!(NetworkModel::SharedBandwidth.name(), "shared-bandwidth");
+        assert_eq!(
+            NetworkModel::Hierarchical(HierarchicalTopology::new(2)).name(),
+            "hierarchical"
+        );
+    }
+
+    #[test]
+    fn round_robin_switch_placement() {
+        let h = HierarchicalTopology::new(3);
+        assert_eq!(h.switch_of(0), 0);
+        assert_eq!(h.switch_of(4), 1);
+        assert!(h.is_uplinked(2));
+    }
+
+    #[test]
+    fn explicit_switch_map_and_uplinks() {
+        let mut h = HierarchicalTopology::new(2);
+        h.switch_map = Some(vec![0, 0, 1, 1]);
+        h.uplinked = Some(vec![true, false]);
+        assert_eq!(h.switch_of(1), 0);
+        assert_eq!(h.switch_of(3), 1);
+        assert!(h.is_uplinked(0));
+        assert!(!h.is_uplinked(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "switch")]
+    fn switch_map_out_of_range_panics() {
+        let mut h = HierarchicalTopology::new(2);
+        h.switch_map = Some(vec![5]);
+        let _ = h.switch_of(0);
     }
 }

@@ -27,15 +27,19 @@ pub mod batch;
 pub mod config;
 pub mod gantt;
 pub mod graph;
+pub mod netmodel;
 pub mod report;
 pub mod sim;
 pub mod trace;
 
 pub use batch::{GraphSpec, MachineSpec, SweepPoint, SweepResults, SweepSpec};
-pub use config::{MachineConfig, SchedulerPolicy, SourceSelection};
+pub use config::{
+    HierarchicalTopology, MachineConfig, NetworkModel, SchedulerPolicy, SourceSelection,
+};
 pub use gantt::{render_gantt, render_worker_gantt};
 pub use graph::{Access, AccessMode, GraphBuilder, TaskGraph, TaskSpec};
-pub use report::SimReport;
+pub use netmodel::{max_min_rates, FlowPorts, NetEngine, SimNetError};
+pub use report::{LinkTraffic, SimReport};
 pub use sim::{simulate, simulate_traced, Simulator, TaskSpan};
 pub use trace::{sim_trace_to_json, sim_trace_to_json_string, spans_to_json};
 

@@ -1,0 +1,697 @@
+//! Contended network engines behind the [`NetworkModel`] seam.
+//!
+//! The simulator's constant model prices every transfer at
+//! `latency + bytes/bandwidth` with port serialization and never touches
+//! this module. The two contended models instead hand each transfer to a
+//! [`NetEngine`] as a *flow*: a fixed amount of work (the constant-model
+//! transfer time, i.e. seconds at rate 1.0) draining through a set of
+//! *ports* (NICs, switch uplinks) whose capacity is split max-min fairly
+//! among the flows crossing them. Every flow arrival or departure
+//! recomputes all rates and predicted finish times — counts and byte
+//! volumes are unchanged by the model; only completion *times* move.
+//!
+//! [`NetworkModel`]: crate::config::NetworkModel
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::{MachineConfig, NetworkModel};
+
+/// Routing failure inside a simulated topology.
+///
+/// Mirrors the executor-side `NetError::NoRoute` so simulator and fabric
+/// report unreachable pairs in the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimNetError {
+    /// The topology offers no path between two ranks.
+    NoRoute {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+        /// Which topology variant rejected the pair.
+        topology: &'static str,
+    },
+}
+
+impl fmt::Display for SimNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoRoute { from, to, topology } => write!(
+                f,
+                "topology ({topology}) has no link from rank {from} to rank {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimNetError {}
+
+/// The (at most four) ports a flow crosses. Same-switch and flat-model
+/// flows cross two NICs; cross-switch flows add the two uplink directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowPorts {
+    ports: [u32; 4],
+    n: u8,
+}
+
+impl FlowPorts {
+    /// A two-port flow (sender NIC out, receiver NIC in).
+    #[must_use]
+    pub fn pair(a: u32, b: u32) -> Self {
+        Self {
+            ports: [a, b, 0, 0],
+            n: 2,
+        }
+    }
+
+    /// A four-port flow (NIC out, NIC in, uplink up, uplink down).
+    #[must_use]
+    pub fn quad(a: u32, b: u32, c: u32, d: u32) -> Self {
+        Self {
+            ports: [a, b, c, d],
+            n: 4,
+        }
+    }
+
+    /// The crossed port indices.
+    #[must_use]
+    pub fn ports(&self) -> &[u32] {
+        &self.ports[..self.n as usize]
+    }
+}
+
+/// Progressive-filling max-min fair rate allocation.
+///
+/// Every flow's rate rises uniformly until a port it crosses saturates,
+/// which freezes the flow at its current rate; filling continues among the
+/// survivors until all flows are frozen or no crossed capacity remains.
+/// The result is the unique max-min fair allocation: no flow's rate can be
+/// raised without lowering that of a flow on a saturated ("bottleneck")
+/// port whose rate is no larger.
+///
+/// `port_cap[p]` is the capacity of port `p`; each `flows[i]` lists the
+/// ports flow `i` crosses. Returns one rate per flow.
+///
+/// # Panics
+/// Panics if a flow names a port outside `port_cap`.
+#[must_use]
+pub fn max_min_rates(flows: &[FlowPorts], port_cap: &[f64]) -> Vec<f64> {
+    let mut rem = port_cap.to_vec();
+    let mut act = vec![0u32; port_cap.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut rates = vec![0.0; flows.len()];
+    water_fill(flows, port_cap, &mut rem, &mut act, &mut frozen, &mut rates);
+    rates
+}
+
+/// In-place core of [`max_min_rates`]; scratch slices must be pre-sized
+/// (`rem` seeded with capacities, `act`/`frozen`/`rates` zeroed).
+fn water_fill(
+    flows: &[FlowPorts],
+    port_cap: &[f64],
+    rem: &mut [f64],
+    act: &mut [u32],
+    frozen: &mut [bool],
+    rates: &mut [f64],
+) {
+    for f in flows {
+        for &p in f.ports() {
+            act[p as usize] += 1;
+        }
+    }
+    loop {
+        // The uniform increment every unfrozen flow can still take is
+        // bounded by the most loaded remaining port.
+        let mut inc = f64::INFINITY;
+        for p in 0..port_cap.len() {
+            if act[p] > 0 {
+                inc = inc.min(rem[p] / f64::from(act[p]));
+            }
+        }
+        if !inc.is_finite() {
+            break; // no unfrozen flow crosses any port
+        }
+        for (i, r) in rates.iter_mut().enumerate() {
+            if !frozen[i] {
+                *r += inc;
+            }
+        }
+        for p in 0..port_cap.len() {
+            if act[p] > 0 {
+                rem[p] -= inc * f64::from(act[p]);
+            }
+        }
+        // Freeze every flow crossing a now-saturated port. The most
+        // loaded port saturates exactly (same float arithmetic), so each
+        // round freezes at least one flow and the loop terminates; the
+        // relative threshold only absorbs rounding on ties.
+        let mut froze = 0u32;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let sat = f
+                .ports()
+                .iter()
+                .any(|&p| rem[p as usize] <= port_cap[p as usize] * 1e-9);
+            if sat {
+                frozen[i] = true;
+                for &p in f.ports() {
+                    act[p as usize] -= 1;
+                }
+                froze += 1;
+            }
+        }
+        if froze == 0 {
+            break;
+        }
+    }
+}
+
+/// One in-flight transfer inside the engine.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    /// Opaque caller token (the simulator's transfer event payload).
+    token: u64,
+    ports: FlowPorts,
+    /// Remaining work in seconds-at-rate-1.0.
+    work_left: f64,
+    rate: f64,
+    /// Predicted completion time under the current rates.
+    finish: f64,
+}
+
+/// A flow blocked at a NIC concurrency limit, waiting for admission.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    token: u64,
+    ports: FlowPorts,
+    work: f64,
+}
+
+/// Which contended topology the engine prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// All pairs one hop apart; NICs are the only shared resource.
+    Flat,
+    /// Two-level: NICs feed switches, switches reach each other through
+    /// capacity-limited uplinks.
+    Hierarchical,
+}
+
+/// Fluid-flow network engine for the contended models.
+///
+/// Port layout for `P` nodes and `S` switches: out-NIC of node `n` is port
+/// `n`, in-NIC is `P + n`, uplink-up of switch `s` is `2P + s`, uplink-down
+/// is `2P + S + s`. NIC ports have capacity 1.0 (one full-bandwidth flow);
+/// uplinks carry `uplink_capacity` NIC-units each direction.
+#[derive(Debug, Clone, Default)]
+pub struct NetEngine {
+    shape: Option<Shape>,
+    nodes: u32,
+    switches: u32,
+    node_switch: Vec<u32>,
+    uplinked: Vec<bool>,
+    nic_limit: u32,
+    port_cap: Vec<f64>,
+    /// Active-flow count per NIC port (admission control + load probes).
+    nic_active: Vec<u32>,
+    flows: Vec<Flow>,
+    wait: VecDeque<Pending>,
+    /// Engine clock: the time state was last integrated to.
+    last: f64,
+    // Scratch for rate recomputation (kept to avoid per-event allocation).
+    rem: Vec<f64>,
+    act: Vec<u32>,
+    frozen: Vec<bool>,
+    rates: Vec<f64>,
+    ports_scratch: Vec<FlowPorts>,
+}
+
+impl NetEngine {
+    /// Rebuild the engine for `config`, dropping all flows. For the
+    /// constant model the engine stays inert (the simulator never routes
+    /// through it).
+    pub fn configure(&mut self, config: &MachineConfig) {
+        self.flows.clear();
+        self.wait.clear();
+        self.last = 0.0;
+        let p = config.nodes;
+        match &config.network {
+            NetworkModel::Constant => {
+                self.shape = None;
+                self.nodes = 0;
+                self.switches = 0;
+                self.node_switch.clear();
+                self.uplinked.clear();
+                self.nic_limit = 0;
+                self.port_cap.clear();
+                self.nic_active.clear();
+            }
+            NetworkModel::SharedBandwidth => {
+                self.shape = Some(Shape::Flat);
+                self.nodes = p;
+                self.switches = 0;
+                self.node_switch.clear();
+                self.uplinked.clear();
+                self.nic_limit = 0;
+                self.port_cap.clear();
+                self.port_cap.resize(2 * p as usize, 1.0);
+                self.nic_active.clear();
+                self.nic_active.resize(2 * p as usize, 0);
+            }
+            NetworkModel::Hierarchical(h) => {
+                self.shape = Some(Shape::Hierarchical);
+                self.nodes = p;
+                self.switches = h.switches;
+                self.node_switch.clear();
+                self.node_switch.extend((0..p).map(|n| h.switch_of(n)));
+                self.uplinked.clear();
+                self.uplinked
+                    .extend((0..h.switches).map(|s| h.is_uplinked(s)));
+                self.nic_limit = h.nic_limit;
+                self.port_cap.clear();
+                self.port_cap.resize(2 * p as usize, 1.0);
+                self.port_cap
+                    .resize(2 * (p + h.switches) as usize, h.uplink_capacity);
+                self.nic_active.clear();
+                self.nic_active.resize(2 * p as usize, 0);
+            }
+        }
+    }
+
+    /// Whether the engine is pricing transfers (a contended model is
+    /// configured).
+    #[must_use]
+    pub fn is_contended(&self) -> bool {
+        self.shape.is_some()
+    }
+
+    /// The ports a `src → dst` flow crosses, or a typed error if the
+    /// topology offers no path.
+    ///
+    /// # Errors
+    /// [`SimNetError::NoRoute`] when `src` and `dst` sit on different
+    /// switches and either switch lacks an uplink.
+    pub fn route(&self, src: u32, dst: u32) -> Result<FlowPorts, SimNetError> {
+        let p = self.nodes;
+        match self.shape {
+            None | Some(Shape::Flat) => Ok(FlowPorts::pair(src, p + dst)),
+            Some(Shape::Hierarchical) => {
+                let s1 = self.node_switch[src as usize];
+                let s2 = self.node_switch[dst as usize];
+                if s1 == s2 {
+                    Ok(FlowPorts::pair(src, p + dst))
+                } else if self.uplinked[s1 as usize] && self.uplinked[s2 as usize] {
+                    Ok(FlowPorts::quad(
+                        src,
+                        p + dst,
+                        2 * p + s1,
+                        2 * p + self.switches + s2,
+                    ))
+                } else {
+                    Err(SimNetError::NoRoute {
+                        from: src,
+                        to: dst,
+                        topology: "hierarchical",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Add a flow of `work` seconds-at-rate-1.0 arriving *now* (the engine
+    /// must already be advanced to the current time). Flows blocked by the
+    /// NIC concurrency limit queue FIFO and are admitted as capacity
+    /// frees.
+    ///
+    /// # Errors
+    /// Propagates [`SimNetError::NoRoute`] from routing.
+    pub fn add_flow(
+        &mut self,
+        token: u64,
+        src: u32,
+        dst: u32,
+        work: f64,
+    ) -> Result<(), SimNetError> {
+        let ports = self.route(src, dst)?;
+        if self.nic_has_room(ports) {
+            self.activate(Flow {
+                token,
+                ports,
+                work_left: work,
+                rate: 0.0,
+                finish: f64::INFINITY,
+            });
+            self.recompute();
+        } else {
+            self.wait.push_back(Pending { token, ports, work });
+        }
+        Ok(())
+    }
+
+    /// Integrate flow progress up to `t`, appending the tokens of every
+    /// flow whose predicted finish is `<= t` to `completed` (in arrival
+    /// order). Departures admit waiting flows and trigger a fairness
+    /// recomputation.
+    pub fn advance_to(&mut self, t: f64, completed: &mut Vec<u64>) {
+        let dt = t - self.last;
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                if f.rate > 0.0 {
+                    f.work_left = (f.work_left - f.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.last = t;
+        let mut removed = false;
+        let mut i = 0;
+        while i < self.flows.len() {
+            if self.flows[i].finish <= t {
+                let f = self.flows.remove(i);
+                completed.push(f.token);
+                self.nic_active[f.ports.ports[0] as usize] -= 1;
+                self.nic_active[f.ports.ports[1] as usize] -= 1;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if removed {
+            self.admit_waiters();
+            self.recompute();
+        }
+    }
+
+    /// Earliest predicted flow completion, if any flow is active.
+    #[must_use]
+    pub fn next_finish(&self) -> Option<f64> {
+        self.flows
+            .iter()
+            .map(|f| f.finish)
+            .fold(None, |m, f| match m {
+                None => Some(f),
+                Some(m) => Some(m.min(f)),
+            })
+    }
+
+    /// Active flows currently crossing node `n`'s out NIC (replica-source
+    /// load probe for `SourceSelection::AnyReplica`).
+    #[must_use]
+    pub fn out_load(&self, n: u32) -> u32 {
+        self.nic_active[n as usize]
+    }
+
+    /// Active flow count.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows parked at the NIC admission queue.
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.wait.len()
+    }
+
+    /// Engine clock (time of the last integration).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.last
+    }
+
+    fn nic_has_room(&self, ports: FlowPorts) -> bool {
+        if self.nic_limit == 0 {
+            return true;
+        }
+        self.nic_active[ports.ports[0] as usize] < self.nic_limit
+            && self.nic_active[ports.ports[1] as usize] < self.nic_limit
+    }
+
+    fn activate(&mut self, flow: Flow) {
+        self.nic_active[flow.ports.ports[0] as usize] += 1;
+        self.nic_active[flow.ports.ports[1] as usize] += 1;
+        self.flows.push(flow);
+    }
+
+    /// FIFO admission with bypass: a blocked head does not hold back
+    /// queued flows whose NICs have room.
+    fn admit_waiters(&mut self) {
+        let mut i = 0;
+        while i < self.wait.len() {
+            let admissible = self.wait.get(i).is_some_and(|p| self.nic_has_room(p.ports));
+            if admissible {
+                if let Some(p) = self.wait.remove(i) {
+                    self.activate(Flow {
+                        token: p.token,
+                        ports: p.ports,
+                        work_left: p.work,
+                        rate: 0.0,
+                        finish: f64::INFINITY,
+                    });
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Recompute every active flow's max-min fair rate and predicted
+    /// finish time from the current flow set.
+    fn recompute(&mut self) {
+        let np = self.port_cap.len();
+        let nf = self.flows.len();
+        self.rem.clear();
+        self.rem.extend_from_slice(&self.port_cap);
+        self.act.clear();
+        self.act.resize(np, 0);
+        self.frozen.clear();
+        self.frozen.resize(nf, false);
+        self.rates.clear();
+        self.rates.resize(nf, 0.0);
+        self.ports_scratch.clear();
+        self.ports_scratch
+            .extend(self.flows.iter().map(|f| f.ports));
+        water_fill(
+            &self.ports_scratch,
+            &self.port_cap,
+            &mut self.rem,
+            &mut self.act,
+            &mut self.frozen,
+            &mut self.rates,
+        );
+        for (f, &rate) in self.flows.iter_mut().zip(self.rates.iter()) {
+            f.rate = rate;
+            f.finish = if f.work_left <= 0.0 {
+                self.last
+            } else if rate > 0.0 {
+                self.last + f.work_left / rate
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchicalTopology;
+
+    fn flat_engine(nodes: u32) -> NetEngine {
+        let mut m = MachineConfig::test_machine(nodes, 1);
+        m.network = NetworkModel::SharedBandwidth;
+        let mut e = NetEngine::default();
+        e.configure(&m);
+        e
+    }
+
+    fn hier_engine(nodes: u32, topo: HierarchicalTopology) -> NetEngine {
+        let mut m = MachineConfig::test_machine(nodes, 1);
+        m.network = NetworkModel::Hierarchical(topo);
+        let mut e = NetEngine::default();
+        e.configure(&m);
+        e
+    }
+
+    #[test]
+    fn lone_flow_gets_full_rate() {
+        let rates = max_min_rates(&[FlowPorts::pair(0, 1)], &[1.0, 1.0]);
+        assert_eq!(rates, vec![1.0]);
+    }
+
+    #[test]
+    fn two_flows_on_one_port_split_evenly() {
+        let flows = [FlowPorts::pair(0, 1), FlowPorts::pair(0, 2)];
+        let rates = max_min_rates(&flows, &[1.0, 1.0, 1.0]);
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let flows = [FlowPorts::pair(0, 1), FlowPorts::pair(2, 3)];
+        let rates = max_min_rates(&flows, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(rates, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn bottlenecked_flow_frees_capacity_for_others() {
+        // Flow 0 crosses the narrow port 2 (cap 0.25) and freezes early;
+        // flow 1 then takes the rest of shared port 0.
+        let flows = [FlowPorts::pair(0, 2), FlowPorts::pair(0, 1)];
+        let rates = max_min_rates(&flows, &[1.0, 1.0, 0.25]);
+        assert!((rates[0] - 0.25).abs() < 1e-12, "{rates:?}");
+        assert!((rates[1] - 0.75).abs() < 1e-12, "{rates:?}");
+    }
+
+    #[test]
+    fn uplink_is_shared_by_cross_switch_flows() {
+        // Four cross-switch flows from distinct senders to distinct
+        // receivers share one uplink of capacity 2.0: 0.5 each.
+        let flows = [
+            FlowPorts::quad(0, 4, 8, 9),
+            FlowPorts::quad(1, 5, 8, 9),
+            FlowPorts::quad(2, 6, 8, 9),
+            FlowPorts::quad(3, 7, 8, 9),
+        ];
+        let caps = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
+        let rates = max_min_rates(&flows, &caps);
+        for r in rates {
+            assert!((r - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_port_zeroes_its_flows() {
+        let flows = [FlowPorts::pair(0, 1), FlowPorts::pair(2, 3)];
+        let rates = max_min_rates(&flows, &[0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(rates[0], 0.0);
+        assert_eq!(rates[1], 1.0);
+    }
+
+    #[test]
+    fn engine_serializes_two_flows_on_one_sender() {
+        let mut e = flat_engine(3);
+        e.add_flow(1, 0, 1, 1.0).unwrap();
+        e.add_flow(2, 0, 2, 1.0).unwrap();
+        // Both run at 0.5: each predicted to finish at t=2.
+        assert!((e.next_finish().unwrap() - 2.0).abs() < 1e-12);
+        let mut done = Vec::new();
+        e.advance_to(2.0, &mut done);
+        assert_eq!(done, vec![1, 2]);
+        assert_eq!(e.active(), 0);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut e = flat_engine(3);
+        e.add_flow(1, 0, 1, 0.5).unwrap();
+        e.add_flow(2, 0, 2, 1.0).unwrap();
+        // Shared sender: both at 0.5. Flow 1 finishes at t=1.
+        let t1 = e.next_finish().unwrap();
+        assert!((t1 - 1.0).abs() < 1e-12);
+        let mut done = Vec::new();
+        e.advance_to(t1, &mut done);
+        assert_eq!(done, vec![1]);
+        // Flow 2 has 0.5 work left, now at rate 1.0: finishes at t=1.5.
+        assert!((e.next_finish().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_slows_down_existing_flow() {
+        let mut e = flat_engine(3);
+        e.add_flow(1, 0, 1, 1.0).unwrap();
+        assert!((e.next_finish().unwrap() - 1.0).abs() < 1e-12);
+        let mut done = Vec::new();
+        e.advance_to(0.5, &mut done);
+        assert!(done.is_empty());
+        e.add_flow(2, 0, 2, 1.0).unwrap();
+        // Flow 1 has 0.5 work left at rate 0.5 → finishes at t=1.5.
+        assert!((e.next_finish().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_limit_queues_and_admits_fifo() {
+        let mut topo = HierarchicalTopology::new(1);
+        topo.nic_limit = 1;
+        let mut e = hier_engine(3, topo);
+        e.add_flow(1, 0, 1, 1.0).unwrap();
+        e.add_flow(2, 0, 2, 1.0).unwrap(); // blocked: out NIC 0 full
+        assert_eq!(e.active(), 1);
+        assert_eq!(e.waiting(), 1);
+        let mut done = Vec::new();
+        e.advance_to(1.0, &mut done);
+        assert_eq!(done, vec![1]);
+        assert_eq!(e.active(), 1); // flow 2 admitted on departure
+        assert_eq!(e.waiting(), 0);
+        e.advance_to(2.0, &mut done);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn nic_limit_bypass_admits_unblocked_waiter() {
+        let mut topo = HierarchicalTopology::new(1);
+        topo.nic_limit = 1;
+        let mut e = hier_engine(4, topo);
+        e.add_flow(1, 0, 1, 2.0).unwrap();
+        e.add_flow(2, 0, 2, 1.0).unwrap(); // blocked behind flow 1
+        e.add_flow(3, 3, 2, 1.0).unwrap(); // different NICs: admitted
+        assert_eq!(e.active(), 2);
+        assert_eq!(e.waiting(), 1);
+        let mut done = Vec::new();
+        e.advance_to(1.0, &mut done);
+        assert_eq!(done, vec![3]);
+        assert_eq!(e.waiting(), 1); // flow 2 still blocked by flow 1
+        e.advance_to(2.0, &mut done);
+        assert_eq!(done, vec![3, 1]);
+        assert_eq!(e.active(), 1); // flow 2 finally admitted
+    }
+
+    #[test]
+    fn cross_switch_without_uplink_is_no_route() {
+        let mut topo = HierarchicalTopology::new(2);
+        topo.switch_map = Some(vec![0, 0, 1, 1]);
+        topo.uplinked = Some(vec![true, false]);
+        let e = hier_engine(4, topo);
+        let err = e.route(0, 2).unwrap_err();
+        assert_eq!(
+            err,
+            SimNetError::NoRoute {
+                from: 0,
+                to: 2,
+                topology: "hierarchical"
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "topology (hierarchical) has no link from rank 0 to rank 2"
+        );
+        // Same-switch pairs still route.
+        assert!(e.route(0, 1).is_ok());
+        assert!(e.route(2, 3).is_ok());
+    }
+
+    #[test]
+    fn zero_work_flow_completes_immediately_on_next_advance() {
+        let mut e = flat_engine(2);
+        e.add_flow(7, 0, 1, 0.0).unwrap();
+        assert_eq!(e.next_finish(), Some(0.0));
+        let mut done = Vec::new();
+        e.advance_to(0.0, &mut done);
+        assert_eq!(done, vec![7]);
+    }
+
+    #[test]
+    fn configure_resets_state() {
+        let mut e = flat_engine(2);
+        e.add_flow(1, 0, 1, 1.0).unwrap();
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.network = NetworkModel::SharedBandwidth;
+        e.configure(&m);
+        assert_eq!(e.active(), 0);
+        assert_eq!(e.next_finish(), None);
+        assert_eq!(e.now(), 0.0);
+    }
+}

@@ -1,5 +1,26 @@
 //! Simulation output.
 
+use crate::NodeId;
+
+/// Traffic of one ordered node pair in a simulated run, as reported by
+/// [`crate::Simulator::link_traffic`].
+///
+/// Counts are scheduled-transfer counts: decided by the task graph, the
+/// replica cache and the sourcing policy, identical under every
+/// [`crate::NetworkModel`]. This is the quantity `flexdist replay` matches
+/// against executor `NetReport` goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Messages sent `from → to`.
+    pub messages: u64,
+    /// Payload bytes sent `from → to`.
+    pub bytes: u64,
+}
+
 /// Result of one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {

@@ -19,8 +19,22 @@
 //!   that makes the number of messages proportional to the paper's
 //!   communication volume metric.
 //!
+//! The port-serialization pricing above is [`NetworkModel::Constant`], the
+//! default. The contended models
+//! ([`NetworkModel::SharedBandwidth`] / [`NetworkModel::Hierarchical`])
+//! replace it with a fluid-flow [`NetEngine`]: transfers become flows that
+//! split NIC (and uplink) capacity max-min fairly, with completion times
+//! recomputed on every arrival and departure. Which transfers happen — the
+//! message counts, byte volumes, and per-link breakdown reported by
+//! [`Simulator::link_traffic`] — is decided at schedule time and identical
+//! under every model; only *when* they complete differs.
+//!
 //! The simulator is deterministic: event ties are broken by a monotonic
 //! sequence number and ready-queue ties by submission order.
+//!
+//! [`NetworkModel::Constant`]: crate::config::NetworkModel::Constant
+//! [`NetworkModel::SharedBandwidth`]: crate::config::NetworkModel::SharedBandwidth
+//! [`NetworkModel::Hierarchical`]: crate::config::NetworkModel::Hierarchical
 //!
 //! # State layout
 //!
@@ -34,10 +48,11 @@
 
 use crate::config::{MachineConfig, SchedulerPolicy, SourceSelection};
 use crate::graph::TaskGraph;
-use crate::report::SimReport;
+use crate::netmodel::{NetEngine, SimNetError};
+use crate::report::{LinkTraffic, SimReport};
 use crate::{DataId, NodeId, TaskId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// One executed task in a simulation trace (a Paje-like span).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +96,11 @@ impl Time {
 enum Event {
     TaskDone(TaskId),
     TransferDone(DataId, NodeId),
+    /// Contended-model wakeup hint: integrate the flow engine to this
+    /// time and fire any flow completions due. Hints carry no payload —
+    /// a stale hint (rates changed since it was pushed) is a harmless
+    /// no-op advance.
+    NetAdvance,
 }
 
 /// Compact encoding of [`Event`] so the heap entry stays `Copy + Ord`.
@@ -97,10 +117,16 @@ impl EventKey {
         Self(1 << 63 | u64::from(d) << 24 | u64::from(n))
     }
 
+    fn net_advance() -> Self {
+        Self(1 << 62)
+    }
+
     fn decode(self) -> Event {
         if self.0 >> 63 == 1 {
             let payload = self.0 & !(1 << 63);
             Event::TransferDone((payload >> 24) as DataId, (payload & 0xFF_FFFF) as NodeId)
+        } else if self.0 >> 62 == 1 {
+            Event::NetAdvance
         } else {
             Event::TaskDone(self.0 as TaskId)
         }
@@ -210,9 +236,23 @@ pub struct Simulator<'g> {
     /// Sorted ids of data with a non-empty pending queue (deterministic
     /// ascending pump order, like the `BTreeMap` it replaces).
     pending_active: Vec<DataId>,
+    // Contended network models (inert under `NetworkModel::Constant`).
+    /// Fluid-flow engine pricing transfers under the contended models.
+    net: NetEngine,
+    /// Time of the most recent un-popped `NetAdvance` hint (`NaN` when the
+    /// latest hint was consumed), used to avoid pushing duplicate hints.
+    net_next: f64,
+    /// Scratch buffer for flow-completion tokens.
+    net_scratch: Vec<u64>,
+    /// First routing failure hit by a contended topology; aborts the run.
+    route_error: Option<SimNetError>,
     // Stats.
     messages: u64,
     bytes: u64,
+    /// Per-link `(messages, bytes)` scheduled so far, keyed by
+    /// `(source, destination)`. Model-invariant (see
+    /// [`Simulator::link_traffic`]).
+    link_map: HashMap<(NodeId, NodeId), (u64, u64)>,
     completed: usize,
     makespan: f64,
 }
@@ -308,8 +348,13 @@ impl<'g> Simulator<'g> {
             mem_peak: Vec::new(),
             pending_queues: (0..n_data).map(|_| VecDeque::new()).collect(),
             pending_active: Vec::new(),
+            net: NetEngine::default(),
+            net_next: f64::NAN,
+            net_scratch: Vec::new(),
+            route_error: None,
             messages: 0,
             bytes: 0,
+            link_map: HashMap::new(),
             completed: 0,
             makespan: 0.0,
         }
@@ -325,26 +370,74 @@ impl<'g> Simulator<'g> {
     /// buffers from any previous run.
     ///
     /// # Panics
-    /// Same conditions as [`simulate`].
+    /// Same conditions as [`simulate`], plus a contended topology leaving
+    /// a transfer unroutable (use [`Simulator::try_run`] to get the typed
+    /// error instead).
     #[must_use]
     pub fn run(&mut self, config: &MachineConfig) -> SimReport {
+        match self.try_run(config) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Simulator::run`], but reports an unroutable transfer as a
+    /// typed [`SimNetError`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`SimNetError::NoRoute`] when the configured topology offers no
+    /// path for a transfer the graph needs.
+    ///
+    /// # Panics
+    /// Same conditions as [`simulate`].
+    pub fn try_run(&mut self, config: &MachineConfig) -> Result<SimReport, SimNetError> {
         self.reset(config);
         self.trace = None;
         self.run_to_completion();
-        self.report()
+        match self.route_error {
+            Some(e) => Err(e),
+            None => Ok(self.report()),
+        }
     }
 
     /// Like [`Simulator::run`], but also collects the execution trace.
     ///
     /// # Panics
-    /// Same conditions as [`simulate`].
+    /// Same conditions as [`Simulator::run`].
     #[must_use]
     pub fn run_traced(&mut self, config: &MachineConfig) -> (SimReport, Vec<TaskSpan>) {
         self.reset(config);
         self.trace = Some(Vec::with_capacity(self.graph.tasks.len()));
         self.run_to_completion();
+        if let Some(e) = self.route_error {
+            panic!("{e}");
+        }
         let trace = self.trace.take().expect("tracing was requested");
         (self.report(), trace)
+    }
+
+    /// Per-link traffic of the last run, sorted by `(from, to)`: how many
+    /// messages and bytes each ordered node pair exchanged.
+    ///
+    /// These counts are decided when transfers are *scheduled* (by the
+    /// task graph, the replica cache, and the sourcing policy), never by
+    /// transfer timing, so they are identical under every
+    /// [`crate::NetworkModel`] — the invariant `flexdist replay` checks
+    /// against executor net-traces.
+    #[must_use]
+    pub fn link_traffic(&self) -> Vec<LinkTraffic> {
+        let mut links: Vec<LinkTraffic> = self
+            .link_map
+            .iter()
+            .map(|(&(from, to), &(messages, bytes))| LinkTraffic {
+                from,
+                to,
+                messages,
+                bytes,
+            })
+            .collect();
+        links.sort_by_key(|l| (l.from, l.to));
+        links
     }
 
     /// Restore the pristine pre-run state for `config`. Every buffer keeps
@@ -430,8 +523,14 @@ impl<'g> Simulator<'g> {
         self.mem_peak.clear();
         self.mem_peak.extend_from_slice(&self.mem_now);
 
+        self.net.configure(config);
+        self.net_next = f64::NAN;
+        self.net_scratch.clear();
+        self.route_error = None;
+
         self.messages = 0;
         self.bytes = 0;
+        self.link_map.clear();
         self.completed = 0;
         self.makespan = 0.0;
     }
@@ -445,15 +544,24 @@ impl<'g> Simulator<'g> {
             }
         }
         self.dispatch_dirty();
+        let contended = self.net.is_contended();
+        if contended {
+            self.net_reschedule();
+        }
 
-        while let Some(Reverse((time, _, key))) = self.events.pop() {
+        while self.route_error.is_none() {
+            let Some(Reverse((time, _, key))) = self.events.pop() else {
+                break;
+            };
             let t = time.get();
             self.now = t;
-            self.makespan = self.makespan.max(t);
-            match key.decode() {
-                Event::TaskDone(id) => self.on_task_done(id),
-                Event::TransferDone(d, n) => self.on_transfer_done(d, n),
+            if contended {
+                // Integrate the flow engine to the new time first, so any
+                // flow completing by `t` lands before (and alongside) the
+                // popped event's effects.
+                self.net_sync();
             }
+            self.handle_event(key, t);
             // Drain every event sharing this timestamp before dispatching, so
             // simultaneous completions release their successors together.
             while let Some(&Reverse((t2, _, _))) = self.events.peek() {
@@ -461,19 +569,81 @@ impl<'g> Simulator<'g> {
                     break;
                 }
                 let Reverse((_, _, key2)) = self.events.pop().expect("peeked");
-                match key2.decode() {
-                    Event::TaskDone(id) => self.on_task_done(id),
-                    Event::TransferDone(d, n) => self.on_transfer_done(d, n),
-                }
+                self.handle_event(key2, t);
             }
             self.dispatch_dirty();
+            if contended {
+                // New flows / departures changed the rate allocation: make
+                // sure a wakeup hint exists at the next predicted finish.
+                self.net_reschedule();
+            }
         }
 
+        if self.route_error.is_some() {
+            return;
+        }
         assert_eq!(
             self.completed, n_tasks,
             "simulation finished with {} of {} tasks executed (deadlock?)",
             self.completed, n_tasks
         );
+    }
+
+    #[inline]
+    fn handle_event(&mut self, key: EventKey, t: f64) {
+        match key.decode() {
+            Event::TaskDone(id) => {
+                self.makespan = self.makespan.max(t);
+                self.on_task_done(id);
+            }
+            Event::TransferDone(d, n) => {
+                self.makespan = self.makespan.max(t);
+                self.on_transfer_done(d, n);
+            }
+            // The hint's work was done by `net_sync` at pop time; a stale
+            // hint must not extend the makespan.
+            Event::NetAdvance => self.net_next = f64::NAN,
+        }
+    }
+
+    /// Contended models: advance the flow engine to `self.now` and fire
+    /// completions until none are due. A completion may schedule new flows
+    /// (relay pumps, piggybacked waiters becoming ready); the engine is
+    /// already integrated to `now`, so they join the flow set directly.
+    fn net_sync(&mut self) {
+        let mut completed = std::mem::take(&mut self.net_scratch);
+        let mut fired = false;
+        loop {
+            completed.clear();
+            self.net.advance_to(self.now, &mut completed);
+            if completed.is_empty() {
+                break;
+            }
+            fired = true;
+            for &token in &completed {
+                if let Event::TransferDone(d, n) = EventKey(token).decode() {
+                    self.on_transfer_done(d, n);
+                }
+            }
+        }
+        self.net_scratch = completed;
+        if fired {
+            self.makespan = self.makespan.max(self.now);
+        }
+    }
+
+    /// Contended models: push a `NetAdvance` hint at the earliest predicted
+    /// flow finish, unless one is already pending at exactly that time.
+    fn net_reschedule(&mut self) {
+        if let Some(finish) = self.net.next_finish() {
+            // Comparing against NaN is false, so a consumed hint always
+            // re-arms. An infinite finish (a zero-capacity port) is never
+            // scheduled; the deadlock assertion reports it instead.
+            if finish.is_finite() && finish != self.net_next {
+                self.push_event(finish, EventKey::net_advance());
+                self.net_next = finish;
+            }
+        }
     }
 
     fn report(&self) -> SimReport {
@@ -580,9 +750,27 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Reserve ports and schedule the completion event of one transfer.
+    /// Schedule one transfer: count it (counts are model-invariant), then
+    /// either reserve ports and push its completion event (constant model)
+    /// or hand it to the flow engine (contended models).
     fn schedule_transfer(&mut self, src: NodeId, d: DataId, dst: NodeId) {
         let bytes = self.graph.data_bytes[d as usize];
+        self.messages += 1;
+        self.bytes += bytes;
+        let link = self.link_map.entry((src, dst)).or_insert((0, 0));
+        link.0 += 1;
+        link.1 += bytes;
+        if self.net.is_contended() {
+            // The engine is always integrated to `self.now` before event
+            // work, so the flow starts immediately; the wakeup hint is
+            // (re)armed at batch end by `net_reschedule`.
+            let work = self.config.transfer_time(bytes);
+            let token = EventKey::transfer(d, dst).0;
+            if let Err(e) = self.net.add_flow(token, src, dst, work) {
+                self.route_error.get_or_insert(e);
+            }
+            return;
+        }
         let start = self
             .now
             .max(self.out_free[src as usize])
@@ -590,8 +778,6 @@ impl<'g> Simulator<'g> {
         let end = start + self.config.transfer_time(bytes);
         self.out_free[src as usize] = end;
         self.in_free[dst as usize] = end;
-        self.messages += 1;
-        self.bytes += bytes;
         self.push_event(end, EventKey::transfer(d, dst));
     }
 
@@ -612,13 +798,17 @@ impl<'g> Simulator<'g> {
     /// advances past a transfer completion (new replica and/or freed port).
     fn pump_pending_transfers(&mut self) {
         let wps = self.words_per_set;
+        let contended = self.net.is_contended();
         for i in 0..self.pending_active.len() {
             let d = self.pending_active[i];
             let du = d as usize;
             while !self.pending_queues[du].is_empty() {
-                // A source is usable when it holds the replica and its send
-                // port is free now; lowest node id wins (matching the sorted
-                // replica-set iteration this replaces).
+                // A source is usable when it holds the replica and its
+                // send port is free now — under the contended models
+                // "free" means no active outgoing flow, so relays still
+                // grow binomially instead of everyone fair-sharing the
+                // producer's NIC. Lowest node id wins (matching the
+                // sorted replica-set iteration this replaces).
                 let mut src = None;
                 'scan: for wi in 0..wps {
                     let mut w = self.replica_words[du * wps + wi];
@@ -626,7 +816,12 @@ impl<'g> Simulator<'g> {
                         let b = w.trailing_zeros();
                         w &= w - 1;
                         let s = (wi * 64) as u32 + b;
-                        if self.out_free[s as usize] <= self.now {
+                        let free = if contended {
+                            self.net.out_load(s) == 0
+                        } else {
+                            self.out_free[s as usize] <= self.now
+                        };
+                        if free {
                             src = Some(s);
                             break 'scan;
                         }
@@ -1382,6 +1577,21 @@ mod extreme_machine_tests {
     }
 
     #[test]
+    fn network_models_preserve_counts_on_extreme_machines() {
+        let g = two_node_graph();
+        for net in [
+            crate::NetworkModel::SharedBandwidth,
+            crate::NetworkModel::Hierarchical(crate::HierarchicalTopology::new(1)),
+        ] {
+            let mut m = MachineConfig::test_machine(2, 1);
+            m.network = net;
+            let r = simulate(&g, &m);
+            assert_eq!(r.messages, 1);
+            assert_eq!(r.bytes_sent, 1000);
+        }
+    }
+
+    #[test]
     fn zero_duration_tasks_complete_instantly() {
         let mut b = GraphBuilder::new();
         let d = b.add_data(0, 8);
@@ -1400,5 +1610,257 @@ mod extreme_machine_tests {
         assert_eq!(r.tasks, 50);
         assert_eq!(r.makespan, 0.0);
         assert_eq!(r.gflops(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod network_model_tests {
+    use super::*;
+    use crate::config::{HierarchicalTopology, NetworkModel, SourceSelection};
+    use crate::graph::{Access, GraphBuilder, TaskSpec};
+
+    fn spec(node: NodeId, duration: f64, accesses: Vec<Access>) -> TaskSpec {
+        TaskSpec {
+            node,
+            duration,
+            flops: 0.0,
+            priority: 0,
+            label: "k",
+            accesses,
+        }
+    }
+
+    fn machine(nodes: u32, net: NetworkModel) -> MachineConfig {
+        let mut m = MachineConfig::test_machine(nodes, 1);
+        m.latency = 0.0;
+        m.bandwidth = 1e9;
+        m.network = net;
+        m
+    }
+
+    /// Three 1-second flows starting together: 0→1, 0→2, 3→2. Port
+    /// serialization chains them (~3 s); max-min sharing runs all three at
+    /// rate 0.5 (~2 s).
+    fn overlap_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_data(0, 1_000_000_000);
+        let d2 = b.add_data(0, 1_000_000_000);
+        let d3 = b.add_data(3, 1_000_000_000);
+        b.submit(spec(1, 0.0, vec![Access::read(d1)]));
+        b.submit(spec(2, 0.0, vec![Access::read(d2)]));
+        b.submit(spec(2, 0.0, vec![Access::read(d3)]));
+        b.build()
+    }
+
+    #[test]
+    fn shared_bandwidth_overlaps_where_serialization_chains() {
+        let g = overlap_graph();
+        let serial = simulate(&g, &machine(4, NetworkModel::Constant));
+        let shared = simulate(&g, &machine(4, NetworkModel::SharedBandwidth));
+        assert!((serial.makespan - 3.0).abs() < 1e-9, "{}", serial.makespan);
+        assert!((shared.makespan - 2.0).abs() < 1e-9, "{}", shared.makespan);
+        // Counts and volumes are model-invariant.
+        assert_eq!(serial.messages, shared.messages);
+        assert_eq!(serial.bytes_sent, shared.bytes_sent);
+    }
+
+    #[test]
+    fn link_traffic_is_model_invariant() {
+        let g = overlap_graph();
+        let mut sim = Simulator::new(&g);
+        let mut expected = None;
+        for net in [
+            NetworkModel::Constant,
+            NetworkModel::SharedBandwidth,
+            NetworkModel::Hierarchical(HierarchicalTopology::new(2)),
+        ] {
+            let _ = sim.run(&machine(4, net));
+            let links = sim.link_traffic();
+            let msgs: u64 = links.iter().map(|l| l.messages).sum();
+            assert_eq!(msgs, 3);
+            match &expected {
+                None => expected = Some(links),
+                Some(e) => assert_eq!(e, &links),
+            }
+        }
+        let links = expected.unwrap();
+        assert_eq!((links[0].from, links[0].to), (0, 1));
+        assert_eq!((links[1].from, links[1].to), (0, 2));
+        assert_eq!((links[2].from, links[2].to), (3, 2));
+        assert!(links.iter().all(|l| l.bytes == 1_000_000_000));
+    }
+
+    #[test]
+    fn one_switch_hierarchy_equals_flat_sharing() {
+        let g = overlap_graph();
+        let shared = simulate(&g, &machine(4, NetworkModel::SharedBandwidth));
+        let hier = simulate(
+            &g,
+            &machine(4, NetworkModel::Hierarchical(HierarchicalTopology::new(1))),
+        );
+        assert_eq!(shared, hier);
+    }
+
+    #[test]
+    fn nic_limit_one_serializes_like_the_constant_model() {
+        // Two transfers out of one sender: with at most one flow per NIC
+        // direction, the fluid model degenerates to port serialization.
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_data(0, 1_000_000_000);
+        let d2 = b.add_data(0, 1_000_000_000);
+        b.submit(spec(1, 0.0, vec![Access::read(d1)]));
+        b.submit(spec(2, 0.0, vec![Access::read(d2)]));
+        let g = b.build();
+        let mut topo = HierarchicalTopology::new(1);
+        topo.nic_limit = 1;
+        let constant = simulate(&g, &machine(3, NetworkModel::Constant));
+        let limited = simulate(&g, &machine(3, NetworkModel::Hierarchical(topo)));
+        assert!(
+            (limited.makespan - constant.makespan).abs() < 1e-12,
+            "limited {} vs constant {}",
+            limited.makespan,
+            constant.makespan
+        );
+    }
+
+    #[test]
+    fn uplink_bottleneck_stretches_cross_switch_traffic() {
+        // Four disjoint cross-switch transfers. Switch map [0,0,0,0,1,1,1,1];
+        // senders on switch 0, receivers on switch 1. With a wide uplink all
+        // run at full rate (1 s); with a 1.0-capacity uplink they share it
+        // (4 s).
+        let build = || {
+            let mut b = GraphBuilder::new();
+            for i in 0..4u32 {
+                let d = b.add_data(i, 1_000_000_000);
+                b.submit(spec(4 + i, 0.0, vec![Access::read(d)]));
+            }
+            b.build()
+        };
+        let g = build();
+        let mut wide = HierarchicalTopology::new(2);
+        wide.switch_map = Some(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let mut narrow = wide.clone();
+        narrow.uplink_capacity = 1.0;
+        let fast = simulate(&g, &machine(8, NetworkModel::Hierarchical(wide)));
+        let slow = simulate(&g, &machine(8, NetworkModel::Hierarchical(narrow)));
+        assert!((fast.makespan - 1.0).abs() < 1e-9, "{}", fast.makespan);
+        assert!((slow.makespan - 4.0).abs() < 1e-9, "{}", slow.makespan);
+        assert_eq!(fast.messages, slow.messages);
+        assert_eq!(fast.bytes_sent, slow.bytes_sent);
+    }
+
+    #[test]
+    fn unreachable_pair_is_a_typed_no_route_naming_both_endpoints() {
+        // Mirrors net/tests/negative.rs: node 2's switch has no uplink, so
+        // the cross-switch read 0 → 2 has no route; the error is typed and
+        // names both endpoints and the topology variant.
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(spec(2, 0.0, vec![Access::read(d)]));
+        let g = b.build();
+        let mut topo = HierarchicalTopology::new(2);
+        topo.switch_map = Some(vec![0, 0, 1, 1]);
+        topo.uplinked = Some(vec![true, false]);
+        let m = machine(4, NetworkModel::Hierarchical(topo.clone()));
+        let err = Simulator::new(&g).try_run(&m).unwrap_err();
+        assert_eq!(
+            err,
+            crate::netmodel::SimNetError::NoRoute {
+                from: 0,
+                to: 2,
+                topology: "hierarchical"
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "topology (hierarchical) has no link from rank 0 to rank 2"
+        );
+        // Same-switch traffic still flows on the very same topology.
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(spec(1, 0.0, vec![Access::read(d)]));
+        let g = b.build();
+        let m = machine(4, NetworkModel::Hierarchical(topo));
+        let r = Simulator::new(&g).try_run(&m).unwrap();
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link from rank 0 to rank 2")]
+    fn run_panics_on_no_route_with_the_typed_message() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1000);
+        b.submit(spec(2, 0.0, vec![Access::read(d)]));
+        let g = b.build();
+        let mut topo = HierarchicalTopology::new(2);
+        topo.switch_map = Some(vec![0, 0, 1, 1]);
+        topo.uplinked = Some(vec![false, false]);
+        let _ = simulate(&g, &machine(4, NetworkModel::Hierarchical(topo)));
+    }
+
+    #[test]
+    fn contended_any_replica_relays_from_receivers() {
+        let consumers = 6u32;
+        let mut b = GraphBuilder::new();
+        let d = b.add_data(0, 1_000_000_000);
+        b.submit(spec(0, 0.001, vec![Access::write(d)]));
+        for n in 1..=consumers {
+            b.submit(spec(n, 0.001, vec![Access::read(d)]));
+        }
+        let g = b.build();
+        let mut holder = machine(consumers + 1, NetworkModel::SharedBandwidth);
+        let mut relay = holder.clone();
+        relay.source_selection = SourceSelection::AnyReplica;
+        holder.source_selection = SourceSelection::Holder;
+        let serial = simulate(&g, &holder);
+        let relayed = simulate(&g, &relay);
+        assert_eq!(serial.messages, relayed.messages);
+        assert!(
+            relayed.makespan < serial.makespan,
+            "relay {} !< holder {}",
+            relayed.makespan,
+            serial.makespan
+        );
+    }
+
+    #[test]
+    fn contended_runs_are_deterministic_and_reusable() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut b = GraphBuilder::new();
+        let data: Vec<_> = (0..20).map(|i| b.add_data(i % 5, 400_000)).collect();
+        for _ in 0..150 {
+            let d = data[rng.gen_range(0..20usize)];
+            let e = data[rng.gen_range(0..20usize)];
+            let node = rng.gen_range(0..5);
+            let mut acc = vec![Access::read(d)];
+            if e != d {
+                acc.push(Access::read_write(e));
+            }
+            b.submit(spec(node, rng.gen_range(0.0001..0.001), acc));
+        }
+        let g = b.build();
+        let configs = [
+            machine(5, NetworkModel::Constant),
+            machine(5, NetworkModel::SharedBandwidth),
+            machine(5, NetworkModel::Hierarchical(HierarchicalTopology::new(2))),
+        ];
+        let mut sim = Simulator::new(&g);
+        for c in &configs {
+            let reused = sim.run(c);
+            let fresh = simulate(&g, c);
+            assert_eq!(reused, fresh, "{:?}", c.network);
+            assert_eq!(reused, simulate(&g, c), "determinism {:?}", c.network);
+        }
+        // Counts agree across all three models on a nontrivial graph.
+        let reports: Vec<_> = configs.iter().map(|c| simulate(&g, c)).collect();
+        assert_eq!(reports[0].messages, reports[1].messages);
+        assert_eq!(reports[0].messages, reports[2].messages);
+        assert_eq!(reports[0].bytes_sent, reports[1].bytes_sent);
+        assert_eq!(reports[0].bytes_sent, reports[2].bytes_sent);
+        // And the constant model is unaffected by interleaved contended
+        // runs through the same reused simulator.
+        assert_eq!(sim.run(&configs[0]), reports[0]);
     }
 }

@@ -1,0 +1,168 @@
+//! Property-based tests of the shared-bandwidth max-min allocator
+//! (`flexdist_runtime::max_min_rates`): conservation, max-min fairness,
+//! and monotonicity on random flow sets.
+
+use flexdist_runtime::{max_min_rates, FlowPorts};
+use proptest::prelude::*;
+
+/// Random port capacities (strictly positive) and flows crossing two or
+/// four *distinct* ports each — the shapes the simulator's engine
+/// produces (NIC pairs, NIC pairs plus uplink pairs).
+fn arb_network() -> impl Strategy<Value = (Vec<f64>, Vec<FlowPorts>)> {
+    (4usize..12).prop_flat_map(|np| {
+        let caps = proptest::collection::vec(1u32..80, np..=np).prop_map(|raw| {
+            raw.into_iter()
+                .map(|c| f64::from(c) / 10.0)
+                .collect::<Vec<f64>>()
+        });
+        let flow = (0u32..64, 0u32..64, 0u32..64, 0u32..64, 0u32..2).prop_map(
+            move |(a, b, c, d, four)| {
+                let np = np as u32;
+                // Make the crossed ports distinct by linear probing.
+                let mut picked: Vec<u32> = Vec::new();
+                for raw in [a, b, c, d] {
+                    let mut p = raw % np;
+                    while picked.contains(&p) {
+                        p = (p + 1) % np;
+                    }
+                    picked.push(p);
+                }
+                if four == 1 && np >= 4 {
+                    FlowPorts::quad(picked[0], picked[1], picked[2], picked[3])
+                } else {
+                    FlowPorts::pair(picked[0], picked[1])
+                }
+            },
+        );
+        (caps, proptest::collection::vec(flow, 1..16))
+    })
+}
+
+/// Rate of the fastest flow crossing port `p`.
+fn max_rate_on(p: u32, flows: &[FlowPorts], rates: &[f64]) -> f64 {
+    flows
+        .iter()
+        .zip(rates)
+        .filter(|(f, _)| f.ports().contains(&p))
+        .map(|(_, &r)| r)
+        .fold(0.0, f64::max)
+}
+
+/// Total rate crossing port `p`.
+fn load_on(p: u32, flows: &[FlowPorts], rates: &[f64]) -> f64 {
+    flows
+        .iter()
+        .zip(rates)
+        .filter(|(f, _)| f.ports().contains(&p))
+        .map(|(_, &r)| r)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation: on every port, the allocated rates of the flows
+    /// crossing it never exceed its capacity.
+    #[test]
+    fn conservation((caps, flows) in arb_network()) {
+        let rates = max_min_rates(&flows, &caps);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (p, &cap) in caps.iter().enumerate() {
+            let load = load_on(p as u32, &flows, &rates);
+            prop_assert!(
+                load <= cap * (1.0 + 1e-9) + 1e-12,
+                "port {p} carries {load} over capacity {cap}"
+            );
+        }
+    }
+
+    /// Max-min fairness: every flow is bottlenecked — it crosses some
+    /// saturated port on which no other flow gets a strictly higher rate.
+    /// (Raising the flow's rate would then necessarily lower a flow that
+    /// is no better off, the defining property of the max-min optimum.)
+    #[test]
+    fn max_min_fairness((caps, flows) in arb_network()) {
+        let rates = max_min_rates(&flows, &caps);
+        for (i, f) in flows.iter().enumerate() {
+            // Positive capacities everywhere => every flow gets a
+            // positive rate.
+            prop_assert!(rates[i] > 0.0, "flow {i} starved: {rates:?}");
+            let tol = 1e-6;
+            let bottleneck = f.ports().iter().any(|&p| {
+                let cap = caps[p as usize];
+                let saturated = load_on(p, &flows, &rates) >= cap * (1.0 - tol);
+                saturated && rates[i] >= max_rate_on(p, &flows, &rates) * (1.0 - tol)
+            });
+            prop_assert!(
+                bottleneck,
+                "flow {i} ({:?}) has no bottleneck port: rates {rates:?} caps {caps:?}",
+                f.ports()
+            );
+        }
+    }
+
+    /// Monotonicity, part 1: on arbitrary topologies, adding a flow never
+    /// raises the *minimum* allocated rate. (Global per-flow monotonicity
+    /// is false for max-min fairness — a new flow can bottleneck an
+    /// intermediary earlier and free capacity for someone else, e.g.
+    /// flows {A}, {A,B}, {B} at 1/2 each gain a fourth flow on {B}:
+    /// {A,B} drops to 1/3 and {A} *rises* to 2/3. The minimum, which is
+    /// the first saturation water level `min_p cap_p / active_p`, can
+    /// only fall as the flow set grows.)
+    #[test]
+    fn arrival_never_raises_the_minimum_rate((caps, flows) in arb_network()) {
+        if flows.len() < 2 {
+            return Ok(());
+        }
+        let without = max_min_rates(&flows[..flows.len() - 1], &caps);
+        let with = max_min_rates(&flows, &caps);
+        let min_without = without.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let min_with = with.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        prop_assert!(
+            min_with <= min_without * (1.0 + 1e-9) + 1e-12,
+            "minimum rate rose from {min_without} to {min_with} on arrival"
+        );
+    }
+
+    /// Monotonicity, part 2: on a single shared link (every flow crosses
+    /// port 0, private second ports — the model's "concurrent flows on a
+    /// link split capacity" situation), a new flow never increases any
+    /// existing flow's rate, so none of them can finish earlier. Each
+    /// rate is `min(private_cap_i, L)` with `L` the shared water level
+    /// solving `Σ min(private_cap_i, L) = cap_0`; an arrival only adds a
+    /// term, so `L` — and every rate — weakly falls.
+    #[test]
+    fn arrival_on_a_shared_link_never_speeds_anyone_up(
+        link_cap in 1u32..40,
+        privates in proptest::collection::vec(1u32..40, 2..10),
+    ) {
+        let n = privates.len();
+        let mut caps = vec![f64::from(link_cap) / 10.0];
+        caps.extend(privates.iter().map(|&c| f64::from(c) / 10.0));
+        let flows: Vec<FlowPorts> =
+            (1..=n as u32).map(|i| FlowPorts::pair(0, i)).collect();
+        let without = max_min_rates(&flows[..n - 1], &caps);
+        let with = max_min_rates(&flows, &caps);
+        for i in 0..n - 1 {
+            prop_assert!(
+                with[i] <= without[i] * (1.0 + 1e-9) + 1e-12,
+                "flow {i} sped up from {} to {} when the link gained a flow",
+                without[i],
+                with[i]
+            );
+        }
+    }
+
+    /// The allocation is scale-invariant: scaling every capacity scales
+    /// every rate.
+    #[test]
+    fn scale_invariance((caps, flows) in arb_network(), scale in 1u32..50) {
+        let rates = max_min_rates(&flows, &caps);
+        let k = f64::from(scale) / 7.0;
+        let scaled_caps: Vec<f64> = caps.iter().map(|c| c * k).collect();
+        let scaled = max_min_rates(&flows, &scaled_caps);
+        for (r, s) in rates.iter().zip(&scaled) {
+            prop_assert!((s - r * k).abs() <= (r * k).abs() * 1e-9 + 1e-12);
+        }
+    }
+}

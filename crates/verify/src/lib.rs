@@ -41,8 +41,8 @@ pub use access::{expected_accesses, TaskAccess};
 pub use dag::{lint_graph, lint_with_view, DagReport};
 pub use lint::{lint_workspace, Allowlist, LintFinding, LintReport};
 pub use race::{
-    check_net_messages, detect_races, net_messages_from_json, MsgView, NetMsgReport, RaceReport,
-    Span, TraceView,
+    check_net_messages, check_replay_report, detect_races, net_messages_from_json,
+    trace_provenance, MsgView, NetMsgReport, RaceReport, ReplayCheck, Span, TraceView,
 };
 pub use view::GraphView;
 

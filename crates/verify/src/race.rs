@@ -392,6 +392,107 @@ pub fn check_net_messages(msgs: &[MsgView]) -> NetMsgReport {
     }
 }
 
+/// Provenance of a trace-shaped document: `"replay"` for the
+/// simulator's `replay-report` output, `"live"` for everything recorded
+/// from an actual run (which carries no provenance marker).
+///
+/// The linter accepts both — a replayed report is as checkable as a
+/// live trace, it just answers a different question (model conformance
+/// rather than memory ordering).
+#[must_use]
+pub fn trace_provenance(doc: &Value) -> &'static str {
+    match doc.get("provenance").and_then(Value::as_str) {
+        Some("replay") => "replay",
+        _ => "live",
+    }
+}
+
+/// Outcome of linting a `replay-report` document.
+#[derive(Debug, Clone)]
+pub struct ReplayCheck {
+    /// One `"replay-mismatch"` finding per disagreeing link.
+    pub findings: Vec<Finding>,
+    /// Links compared.
+    pub n_links: usize,
+    /// Network model the report was replayed under.
+    pub network: String,
+}
+
+impl ReplayCheck {
+    /// No findings of any rule.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render all findings, one per line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay-report[{}]: {} link(s), {} finding(s)",
+            self.network,
+            self.n_links,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
+/// Lint a `replay-report` JSON document (the output of `flexdist
+/// replay`): every link must agree exactly between the trace's goodput
+/// and the simulator's scheduled traffic.
+///
+/// # Errors
+/// Describes the first malformed field, naming the offending link.
+pub fn check_replay_report(doc: &Value) -> Result<ReplayCheck, String> {
+    match doc.get("kind").and_then(Value::as_str) {
+        Some("replay-report") => {}
+        other => {
+            return Err(format!(
+                "replay-report: expected kind \"replay-report\", got {other:?}"
+            ))
+        }
+    }
+    let links = doc
+        .get("links")
+        .and_then(Value::as_array)
+        .ok_or("replay-report: missing array field \"links\"")?;
+    let mut findings = Vec::new();
+    for (k, l) in links.iter().enumerate() {
+        let what = format!("replay-report link {k}");
+        let from = get_u64(l, "from", &what)?;
+        let to = get_u64(l, "to", &what)?;
+        let tm = get_u64(l, "trace_msgs", &what)?;
+        let tb = get_u64(l, "trace_bytes", &what)?;
+        let sm = get_u64(l, "sim_msgs", &what)?;
+        let sb = get_u64(l, "sim_bytes", &what)?;
+        if tm != sm || tb != sb {
+            findings.push(Finding {
+                rule: "replay-mismatch",
+                message: format!(
+                    "link {from}->{to}: trace carried {tm} msg(s) / {tb} B but the replayed \
+                     simulation scheduled {sm} msg(s) / {sb} B"
+                ),
+            });
+        }
+    }
+    Ok(ReplayCheck {
+        findings,
+        n_links: links.len(),
+        network: doc
+            .get("network")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+    })
+}
+
 /// Outcome of replaying one trace against one graph.
 #[derive(Debug, Clone)]
 pub struct RaceReport {
@@ -779,6 +880,47 @@ mod tests {
         assert_eq!(msgs[0].kind, "goodput");
         assert_eq!(msgs[0].attempt, 0);
         assert!(check_net_messages(&msgs).is_clean());
+    }
+
+    fn replay_doc(sim_msgs: u64, sim_bytes: u64) -> Value {
+        flexdist_json::parse(&format!(
+            "{{\"kind\": \"replay-report\", \"provenance\": \"replay\", \
+              \"network\": \"constant\", \"n_ranks\": 2, \"links\": [\
+              {{\"from\": 0, \"to\": 1, \"trace_msgs\": 3, \"trace_bytes\": 900, \
+                \"sim_msgs\": {sim_msgs}, \"sim_bytes\": {sim_bytes}}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn conformant_replay_report_is_clean() {
+        let check = check_replay_report(&replay_doc(3, 900)).unwrap();
+        assert!(check.is_clean(), "{}", check.to_text());
+        assert_eq!(check.n_links, 1);
+        assert_eq!(check.network, "constant");
+    }
+
+    #[test]
+    fn disagreeing_link_is_a_replay_mismatch() {
+        let check = check_replay_report(&replay_doc(3, 901)).unwrap();
+        assert_eq!(check.findings.len(), 1);
+        assert_eq!(check.findings[0].rule, "replay-mismatch");
+        assert!(check.findings[0].message.contains("0->1"));
+        assert!(check.findings[0].message.contains("901"));
+    }
+
+    #[test]
+    fn replay_provenance_is_recognized() {
+        assert_eq!(trace_provenance(&replay_doc(3, 900)), "replay");
+        let live = flexdist_json::parse("{\"kind\": \"net-trace\"}").unwrap();
+        assert_eq!(trace_provenance(&live), "live");
+    }
+
+    #[test]
+    fn wrong_kind_is_a_replay_report_error() {
+        let doc = flexdist_json::parse("{\"kind\": \"net-trace\"}").unwrap();
+        let err = check_replay_report(&doc).unwrap_err();
+        assert!(err.contains("replay-report"), "{err}");
     }
 
     #[test]

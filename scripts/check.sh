@@ -47,6 +47,39 @@ run ./target/release/flexdist chaos --op lu --p 5 --t 6 --nb 8 \
 run ./target/release/flexdist chaos --op chol --p 4 --t 6 --nb 8 \
     --rates 0.05 --seeds 1 --seed 42
 
+# Replay smoke: dump a dexec net-trace, feed it back through the
+# simulator, and assert exact per-link agreement between the trace's
+# goodput and the simulated traffic. `replay` exits non-zero on any
+# disagreeing link, and the written report must pass `verify --replay`.
+echo "==> flexdist replay smoke"
+replay_trace="$(mktemp /tmp/flexdist_check_trace.XXXXXX.json)"
+replay_report="$(mktemp /tmp/flexdist_check_replay.XXXXXX.json)"
+trap 'rm -f "$replay_trace" "$replay_report"' EXIT
+run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8 \
+    --trace-out "$replay_trace"
+run ./target/release/flexdist replay --trace "$replay_trace" \
+    --out "$replay_report"
+run ./target/release/flexdist replay --trace "$replay_trace" --net shared
+run ./target/release/flexdist verify --replay "$replay_report"
+
+# Contended-sim smoke: the simulator must accept each network model from
+# the CLI and report which one it ran.
+echo "==> flexdist contended simulate smoke"
+sim_out="$(./target/release/flexdist simulate --op lu --p 5 --n 4000 \
+    --tile 500 --net shared)"
+if ! printf '%s\n' "$sim_out" | grep -q 'network         shared-bandwidth'; then
+    printf '%s\n' "$sim_out"
+    echo "contended simulate smoke failed: shared-bandwidth model not reported" >&2
+    exit 1
+fi
+sim_out="$(./target/release/flexdist simulate --op lu --p 5 --n 4000 \
+    --tile 500 --net hier --switches 2 --nic-limit 2)"
+if ! printf '%s\n' "$sim_out" | grep -q 'network         hierarchical'; then
+    printf '%s\n' "$sim_out"
+    echo "contended simulate smoke failed: hierarchical model not reported" >&2
+    exit 1
+fi
+
 # Verify smoke: the workspace lint plus a static DAG check of one LU and
 # one Cholesky configuration. `verify` exits non-zero on any finding
 # (missing/redundant edge, owner-computes violation, banned unwrap, ...),
