@@ -1,15 +1,16 @@
 //! Subcommand implementations. Each returns its rendered output.
 
 use crate::args::Args;
+use crate::mp;
 use crate::scheme::{pattern_from_args, SchemeKind};
 use flexdist_core::db::{PatternDb, Purpose};
 use flexdist_core::{cost, g2dbc, gcrm, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
-use flexdist_factor::net::FaultPlan;
+use flexdist_factor::net::{FaultPlan, SocketConfig, SocketKind};
 use flexdist_factor::{
     build_graph, execute_distributed, execute_distributed_traced, execute_distributed_with,
-    execute_traced, replay_trace_str, DexecOptions, Operation, ReplayOptions, SimSetup,
-    SweepBuilder,
+    execute_rank_socket, execute_traced, replay_trace_str, Backend, DexecOptions, Operation,
+    ReplayOptions, SimSetup, SweepBuilder,
 };
 use flexdist_kernels::{KernelCostModel, TiledMatrix};
 use flexdist_runtime::{
@@ -186,6 +187,57 @@ fn network_from_args(args: &Args) -> Result<NetworkModel, String> {
             "unknown network model {other:?} (expected constant, shared or hier)"
         )),
     }
+}
+
+/// Parse `--backend channel|uds|tcp`. `None` is the in-process channel
+/// fabric, `Some(kind)` selects OS sockets of that family.
+fn backend_from_args(args: &Args) -> Result<Option<SocketKind>, String> {
+    match args.get_str("backend", "channel").as_str() {
+        "channel" => Ok(None),
+        other => SocketKind::parse(other)
+            .map(Some)
+            .ok_or_else(|| format!("unknown backend {other:?} (expected channel, uds or tcp)")),
+    }
+}
+
+/// A socket config of the given family rooted at `dir`.
+fn socket_config(kind: SocketKind, dir: &std::path::Path) -> SocketConfig {
+    match kind {
+        SocketKind::Uds => SocketConfig::uds(dir),
+        SocketKind::Tcp => SocketConfig::tcp(dir),
+    }
+}
+
+/// Removes a fabric directory when dropped, so every early `return Err`
+/// of a command still cleans up its sockets.
+struct SockDirCleanup(Option<(std::path::PathBuf, u32)>);
+
+impl Drop for SockDirCleanup {
+    fn drop(&mut self) {
+        if let Some((dir, n_ranks)) = self.0.take() {
+            mp::remove_socket_dir(&dir, n_ranks);
+        }
+    }
+}
+
+/// The scheme flags a rank process needs to rebuild the identical
+/// pattern: `--pattern FILE` verbatim, or `--scheme/--p/--seeds` with
+/// the defaults made explicit.
+fn replicated_scheme_flags(args: &Args, default_scheme: &str) -> Result<Vec<String>, String> {
+    let file = args.get_str("pattern", "");
+    if !file.is_empty() {
+        return Ok(vec!["--pattern".to_string(), file]);
+    }
+    let p: u32 = args.require("p")?;
+    let seeds: u64 = args.get("seeds", 30)?;
+    Ok(vec![
+        "--scheme".to_string(),
+        args.get_str("scheme", default_scheme),
+        "--p".to_string(),
+        p.to_string(),
+        "--seeds".to_string(),
+        seeds.to_string(),
+    ])
 }
 
 fn machine_from_args(args: &Args, p: u32) -> Result<MachineConfig, String> {
@@ -420,7 +472,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
 }
 
 /// `flexdist dexec --op lu|chol --p N [--t T] [--nb NB] [--scheme S]
-/// [--seed S] [--trace-out FILE]`
+/// [--seed S] [--backend channel|uds|tcp] [--trace-out FILE]`
 ///
 /// Runs the factorization in distributed mode: one message-passing rank
 /// per node of the assignment, each holding only its owned tiles, with
@@ -431,6 +483,13 @@ pub fn execute(args: &Args) -> Result<String, String> {
 /// matrix must be bitwise identical to the shared-memory executor's, and
 /// a second distributed run must reproduce both bit-for-bit.
 ///
+/// With `--backend uds|tcp` the run is additionally repeated with one
+/// **OS process per rank** over the socket fabric (see [`crate::mp`]):
+/// the parent collects every rank's outcome over the stdout control
+/// channel, merges them, and requires the multi-process result to be
+/// bitwise identical to the in-process run with the identical traffic
+/// counters.
+///
 /// # Errors
 /// Propagates flag and admissibility errors, protocol errors from the
 /// fabric, conformance violations, and trace write failures.
@@ -440,6 +499,7 @@ pub fn dexec(args: &Args) -> Result<String, String> {
         Operation::Lu => "g2dbc",
         _ => "gcrm",
     };
+    let backend = backend_from_args(args)?;
     let (kind, pat) = pattern_from_args(args, default_scheme)?;
     let p = pat.n_nodes();
     let t: usize = args.get("t", 8)?;
@@ -487,6 +547,53 @@ pub fn dexec(args: &Args) -> Result<String, String> {
     if run.matrix.diff_norm(&again) != 0.0 || rep.wire != rep2.wire || rep.bytes != rep2.bytes {
         return Err("distributed run is not deterministic across repeats".to_string());
     }
+    // With a socket backend: the same run again, one OS process per
+    // rank, judged against the in-process result.
+    let mp_line = match backend {
+        None => None,
+        Some(kind) => {
+            let spec = mp::MpSpec {
+                op: args.get_str("op", "lu"),
+                scheme_flags: replicated_scheme_flags(args, default_scheme)?,
+                t,
+                nb,
+                seed,
+                kind,
+                n_ranks: p,
+            };
+            let (mp_matrix, mp_rep) = mp::run_ranks(&spec)?;
+            if mp_rep.error != rep.error {
+                return Err(format!(
+                    "multi-process kernel status diverged: {:?} vs in-process {:?}",
+                    mp_rep.error, rep.error
+                ));
+            }
+            if rep.error.is_none() && mp_matrix.diff_norm(&run.matrix) != 0.0 {
+                return Err(format!(
+                    "multi-process ({}) result differs bitwise from in-process run",
+                    kind.name()
+                ));
+            }
+            if mp_rep.wire != expected || mp_rep.bytes != rep.bytes {
+                return Err(format!(
+                    "multi-process ({}) wire conformance violation: \
+                     panel {} trailing {} ({} bytes), in-process {} / {} ({} bytes)",
+                    kind.name(),
+                    mp_rep.wire.panel,
+                    mp_rep.wire.trailing,
+                    mp_rep.bytes,
+                    expected.panel,
+                    expected.trailing,
+                    rep.bytes
+                ));
+            }
+            Some(format!(
+                "  backend         {}: {p} rank processes, bitwise == in-process, \
+                 goodput conformant",
+                kind.name()
+            ))
+        }
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -517,6 +624,9 @@ pub fn dexec(args: &Args) -> Result<String, String> {
         out,
         "  conformance     ok (matches exact counters; bitwise == shared-memory; deterministic)"
     );
+    if let Some(line) = mp_line {
+        let _ = writeln!(out, "{line}");
+    }
     for r in &rep.per_rank {
         let _ = writeln!(
             out,
@@ -538,7 +648,8 @@ pub fn dexec(args: &Args) -> Result<String, String> {
 }
 
 /// `flexdist chaos --op lu|chol [--p N] [--scheme S] [--t T] [--nb NB]
-/// [--seeds K] [--seed BASE] [--rates r1,r2,...] [--watchdog MS]`
+/// [--seeds K] [--seed BASE] [--rates r1,r2,...] [--watchdog MS]
+/// [--backend channel|uds|tcp]`
 ///
 /// Chaos gate for the distributed executor: sweeps fault seeds × fault
 /// rates, injecting drops, duplicates, corruptions and delays on every
@@ -548,6 +659,12 @@ pub fn dexec(args: &Args) -> Result<String, String> {
 /// (retransmissions are accounted separately), and (d) replay the
 /// identical `NetReport` — fault counters included — when its seed is
 /// rerun. Any violation fails the command.
+///
+/// With `--backend uds|tcp` every cell runs over the socket fabric
+/// (length-delimited frames on real OS streams) instead of in-process
+/// channels; the reliability layer and all four guarantees are
+/// unchanged, because fault fates are a pure function of the seed and
+/// the message identity, not of transport timing.
 ///
 /// # Errors
 /// Propagates flag and admissibility errors, protocol errors from the
@@ -565,6 +682,11 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     let n_seeds: u64 = args.get("seeds", 3)?;
     let base_seed: u64 = args.get("seed", 42)?;
     let watchdog_ms: u64 = args.get("watchdog", 10_000)?;
+    let sock = match backend_from_args(args)? {
+        None => None,
+        Some(kind) => Some((kind, mp::fresh_socket_dir()?)),
+    };
+    let _cleanup = SockDirCleanup(sock.as_ref().map(|(_, dir)| (dir.clone(), p)));
     if n_seeds == 0 {
         return Err("--seeds must be positive".to_string());
     }
@@ -602,10 +724,11 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "chaos: {} with {} over {p} ranks, {t}x{t} tiles of {nb}, \
+        "chaos: {} with {} over {p} ranks ({} backend), {t}x{t} tiles of {nb}, \
          {n_seeds} seed(s) x {} rate(s):",
         op.name(),
         kind.name(),
+        sock.as_ref().map_or("channel", |(k, _)| k.name()),
         rates.len()
     );
     let _ = writeln!(
@@ -624,6 +747,10 @@ pub fn chaos(args: &Args) -> Result<String, String> {
                         .with_delay(rate),
                 ),
                 watchdog: std::time::Duration::from_millis(watchdog_ms),
+                backend: match &sock {
+                    Some((kind, dir)) => Backend::Socket(socket_config(*kind, dir)),
+                    None => Backend::Channel,
+                },
                 ..DexecOptions::default()
             };
             let run = || {
@@ -682,6 +809,82 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         rates.len() as u64 * n_seeds
     );
     Ok(out)
+}
+
+/// `flexdist _rank --rank R --op lu|chol --scheme S --p N --seeds K
+/// --t T --nb NB --seed S --sock uds|tcp --dir DIR [--watchdog MS]
+/// [--fault-seed F [--rate R]]` (hidden)
+///
+/// One rank process of a multi-process `dexec --backend uds|tcp` run:
+/// rebuilds the identical deterministic configuration from the
+/// replicated flags, executes exactly this rank over the socket fabric
+/// under `--dir`, and prints one `rank-outcome` control document on
+/// stdout for the parent to collect (see [`crate::mp`]).
+///
+/// # Errors
+/// Propagates flag and admissibility errors and any [`net
+/// error`](flexdist_factor::net::NetError) of the rank, which the
+/// parent reads from this process's stderr.
+pub fn rank_worker(args: &Args) -> Result<String, String> {
+    let rank: u32 = args.require("rank")?;
+    let op = parse_op(&args.get_str("op", "lu"))?;
+    let default_scheme = match op {
+        Operation::Lu => "g2dbc",
+        _ => "gcrm",
+    };
+    let (_, pat) = pattern_from_args(args, default_scheme)?;
+    let t: usize = args.get("t", 8)?;
+    let nb: usize = args.get("nb", 16)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let kind = SocketKind::parse(&args.get_str("sock", "uds"))
+        .ok_or_else(|| "_rank: bad --sock (expected uds or tcp)".to_string())?;
+    let dir = args.get_str("dir", "");
+    if dir.is_empty() {
+        return Err("_rank: --dir DIR is required".to_string());
+    }
+    let watchdog_ms: u64 = args.get("watchdog", 30_000)?;
+    let faults = if args.flag("fault-seed") {
+        let fault_seed: u64 = args.require("fault-seed")?;
+        let rate: f64 = args.get("rate", 0.05)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("rate {rate} outside [0, 1]"));
+        }
+        Some(
+            FaultPlan::new(fault_seed)
+                .with_rates(rate, rate, rate)
+                .with_delay(rate),
+        )
+    } else {
+        None
+    };
+    let assignment = TileAssignment::extended(&pat, t);
+    if rank >= assignment.n_nodes() {
+        return Err(format!(
+            "_rank: rank {rank} out of range for {} nodes",
+            assignment.n_nodes()
+        ));
+    }
+    let tl = build_graph(op, &assignment, &KernelCostModel::uniform(nb, 30.0));
+    let a0 = match op {
+        Operation::Lu => TiledMatrix::random_diag_dominant(t, nb, seed),
+        Operation::Cholesky => {
+            let mut m = TiledMatrix::random_spd(t, nb, seed);
+            m.symmetrize_from_lower();
+            m
+        }
+        _ => return Err("_rank supports --op lu or chol only".to_string()),
+    };
+    let cfg = socket_config(kind, std::path::Path::new(&dir));
+    let opts = DexecOptions {
+        faults,
+        watchdog: std::time::Duration::from_millis(watchdog_ms),
+        ..DexecOptions::default()
+    };
+    let outcome = execute_rank_socket(&tl, &assignment, &a0, rank, &cfg, &opts)
+        .map_err(|e| format!("rank {rank}: {e}"))?;
+    let mut doc = mp::rank_outcome_to_json(&outcome).to_string();
+    doc.push('\n');
+    Ok(doc)
 }
 
 /// `flexdist sweep --op lu|chol|syrk --p N [--schemes s1,s2,...]

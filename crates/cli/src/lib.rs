@@ -14,6 +14,8 @@
 //! * `dexec`    — run the factorization in distributed mode (one
 //!   message-passing rank per node, only owned tiles resident) and
 //!   enforce wire-level conformance against the exact comm counters;
+//!   `--backend uds|tcp` repeats the run with one OS process per rank
+//!   over the socket fabric and requires bitwise identity;
 //! * `chaos`    — sweep fault seeds × fault rates over the distributed
 //!   executor (deterministic drop/duplicate/corrupt/delay injection) and
 //!   assert bitwise identity, goodput conformance and seed-replayable
@@ -35,6 +37,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod mp;
 pub mod scheme;
 
 pub use args::Args;
@@ -58,9 +61,9 @@ COMMANDS:
   execute   --op lu|chol|syrk --p N [--t T] [--nb NB] [--threads W]
             [--seed S] [--trace-out FILE]
   dexec     --op lu|chol --p N [--t T] [--nb NB] [--seed S]
-            [--trace-out FILE]
+            [--backend channel|uds|tcp] [--trace-out FILE]
   chaos     --op lu|chol --p N [--t T] [--nb NB] [--seeds K] [--seed S]
-            [--rates R1,R2] [--watchdog MS]
+            [--rates R1,R2] [--watchdog MS] [--backend channel|uds|tcp]
   replay    --trace FILE [--net constant|shared|hier [--switches S]
             [--nic-limit K] [--uplink C]] [--latency S] [--bandwidth B]
             [--out FILE]
@@ -93,6 +96,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "execute" => commands::execute(&args),
         "dexec" => commands::dexec(&args),
         "chaos" => commands::chaos(&args),
+        // Hidden: one rank process of a multi-process `dexec --backend`
+        // run, spawned by the parent `flexdist` itself.
+        "_rank" => commands::rank_worker(&args),
         "replay" => commands::replay(&args),
         "verify" => commands::verify(&args),
         "db" => commands::db(&args),

@@ -1,0 +1,172 @@
+//! End-to-end tests of the multi-process launcher: `flexdist dexec
+//! --backend uds|tcp` must fork one OS process per rank (each running
+//! the hidden `_rank` subcommand over the socket fabric), collect the
+//! rank outcomes over the stdout control channel, and hold the merged
+//! result to bitwise identity with the in-process executor. These run
+//! the real binary — `std::env::current_exe` inside a unit test would
+//! point at the test harness, not at `flexdist`.
+
+use std::process::Command;
+
+fn flexdist(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_flexdist"))
+        .args(args)
+        .output()
+        .expect("spawn flexdist")
+}
+
+#[test]
+fn dexec_over_uds_forks_ranks_and_matches_in_process() {
+    let out = flexdist(&[
+        "dexec",
+        "--op",
+        "lu",
+        "--p",
+        "5",
+        "--t",
+        "6",
+        "--nb",
+        "4",
+        "--backend",
+        "uds",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("conformance     ok"), "{text}");
+    assert!(
+        text.contains("backend         uds: 5 rank processes, bitwise == in-process"),
+        "{text}"
+    );
+}
+
+#[test]
+fn dexec_over_tcp_shares_the_launcher_path() {
+    let out = flexdist(&[
+        "dexec",
+        "--op",
+        "chol",
+        "--p",
+        "4",
+        "--t",
+        "6",
+        "--nb",
+        "4",
+        "--scheme",
+        "2dbc",
+        "--backend",
+        "tcp",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("backend         tcp: 4 rank processes, bitwise == in-process"),
+        "{text}"
+    );
+}
+
+#[test]
+fn chaos_over_uds_keeps_all_guarantees() {
+    let out = flexdist(&[
+        "chaos",
+        "--op",
+        "lu",
+        "--p",
+        "5",
+        "--t",
+        "5",
+        "--nb",
+        "4",
+        "--seeds",
+        "2",
+        "--rates",
+        "0.05",
+        "--backend",
+        "uds",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("(uds backend)"), "{text}");
+    assert!(text.contains("all 2 cell(s)"), "{text}");
+    assert!(text.contains("reports replay"), "{text}");
+}
+
+#[test]
+fn unknown_backend_is_rejected() {
+    let out = flexdist(&[
+        "dexec",
+        "--op",
+        "lu",
+        "--p",
+        "4",
+        "--backend",
+        "carrier-pigeon",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend"), "{err}");
+}
+
+#[test]
+fn rank_worker_emits_one_parseable_outcome_document() {
+    // Drive the hidden subcommand directly for a 2-rank run and check
+    // the control documents are valid JSON of the declared kind.
+    let dir = std::env::temp_dir().join(format!("fxmp{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fabric dir");
+    let dir_s = dir.display().to_string();
+    let spawn = |rank: &str| {
+        Command::new(env!("CARGO_BIN_EXE_flexdist"))
+            .args([
+                "_rank", "--rank", rank, "--op", "lu", "--scheme", "g2dbc", "--p", "2", "--seeds",
+                "30", "--t", "4", "--nb", "4", "--seed", "42", "--sock", "uds", "--dir", &dir_s,
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn _rank")
+    };
+    let a = spawn("0");
+    let b = spawn("1");
+    let outs = [
+        a.wait_with_output().expect("rank 0"),
+        b.wait_with_output().expect("rank 1"),
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+    for (rank, out) in outs.iter().enumerate() {
+        assert!(
+            out.status.success(),
+            "rank {rank} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = flexdist_json::parse(&String::from_utf8_lossy(&out.stdout))
+            .unwrap_or_else(|e| panic!("rank {rank} control document: {e}"));
+        assert_eq!(
+            doc.get("kind").and_then(flexdist_json::Value::as_str),
+            Some("rank-outcome")
+        );
+        assert_eq!(
+            doc.get("rank").and_then(flexdist_json::Value::as_u64),
+            Some(rank as u64)
+        );
+        assert!(!doc.get("tiles").unwrap().as_array().unwrap().is_empty());
+    }
+}
+
+#[test]
+fn rank_worker_requires_its_fabric_dir() {
+    let out = flexdist(&["_rank", "--rank", "0", "--op", "lu", "--p", "2"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--dir"), "{err}");
+}

@@ -68,14 +68,27 @@ use flexdist_kernels::{
     trsm_right_upper, KernelError, Tile, TiledMatrix,
 };
 use flexdist_net::{
-    build_fabric_with, Endpoint, FaultPlan, FullMesh, LinkStats, MsgClass, MsgEvent, MsgKind,
-    NetError, NetReport, NetTrace, RankIo, ReplicaCache, TileKey, Topology,
+    build_fabric_with, build_socket_fabric, Endpoint, FaultPlan, FullMesh, LinkStats, MsgClass,
+    MsgEvent, MsgKind, NetError, NetReport, NetTrace, RankIo, ReplicaCache, SocketConfig,
+    SocketTransport, TileKey, Topology,
 };
 use flexdist_runtime::TaskSpan;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which [`Transport`](flexdist_net::Transport) carries the frames.
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// In-process mpsc channels: the deterministic test double.
+    #[default]
+    Channel,
+    /// OS sockets (UDS or TCP per the config), still driven by one
+    /// thread per rank inside this process. Separate-process execution
+    /// goes through [`execute_rank_socket`] instead.
+    Socket(SocketConfig),
+}
 
 /// Knobs of a distributed run.
 pub struct DexecOptions<'a> {
@@ -91,6 +104,8 @@ pub struct DexecOptions<'a> {
     /// How long a rank may sit with no consumable message before the
     /// progress watchdog turns the wait into [`NetError::Stalled`].
     pub watchdog: Duration,
+    /// Transport backend under every endpoint.
+    pub backend: Backend,
 }
 
 impl Default for DexecOptions<'_> {
@@ -100,6 +115,7 @@ impl Default for DexecOptions<'_> {
             trace: false,
             faults: None,
             watchdog: Duration::from_secs(30),
+            backend: Backend::Channel,
         }
     }
 }
@@ -337,14 +353,23 @@ fn build_plan(tl: &TaskList, a: &TileAssignment) -> Result<Plan, NetError> {
     })
 }
 
-/// What one rank hands back after draining its tasks.
-struct RankOutcome {
-    tiles: Vec<(usize, Tile)>,
-    io: RankIo,
-    sent: Vec<(u32, LinkStats)>,
-    spans: Vec<TaskSpan>,
-    msgs: Vec<MsgEvent>,
-    error: Option<(usize, KernelError)>,
+/// What one rank hands back after draining its tasks: its share of the
+/// factorized matrix, its traffic counters, and any kernel failure.
+/// Public so a multi-process launcher can ship each rank's outcome over
+/// a control channel and rebuild the run with [`merge_rank_outcomes`].
+pub struct RankOutcome {
+    /// Owned tiles after factorization, keyed by flat index `i * t + j`.
+    pub tiles: Vec<(usize, Tile)>,
+    /// Receive-side counters and task count of this rank.
+    pub io: RankIo,
+    /// Outgoing per-link counters, `(peer, stats)`.
+    pub sent: Vec<(u32, LinkStats)>,
+    /// Task spans, when tracing.
+    pub spans: Vec<TaskSpan>,
+    /// Message events, when tracing.
+    pub msgs: Vec<MsgEvent>,
+    /// First kernel failure on this rank, with the failing task id.
+    pub error: Option<(usize, KernelError)>,
 }
 
 /// Run the kernel of one task against the rank-local store + replica
@@ -440,7 +465,7 @@ fn run_rank(
     t0: Instant,
     want_trace: bool,
     watchdog: Duration,
-) -> Result<(RankOutcome, Endpoint), NetError> {
+) -> Result<RankOutcome, NetError> {
     let g = &tl.graph;
     let t = tl.t;
     let nb = input.nb();
@@ -628,6 +653,16 @@ fn run_rank(
             }
         }
     }
+    // Tasks done: close the outgoing half and keep the inbox alive until
+    // every peer does the same, consuming whatever is still inbound.
+    // This replaces the old coordinator-side drain — each rank accounts
+    // for its own in-flight duplicates and corrupt copies, which works
+    // identically whether the peers are threads or processes, and keeps
+    // the fault counters a pure function of the seed.
+    let rf = ep.finish_and_drain()?;
+    out.io.corrupt_rejected = rf.corrupt_rejected;
+    out.io.delayed = rf.delayed;
+    out.io.dup_rejected += rf.dups_drained;
     out.io.tasks = my_total;
     out.sent = ep.sent_stats();
     out.tiles = tiles
@@ -635,7 +670,7 @@ fn run_rank(
         .enumerate()
         .filter_map(|(k, tile)| tile.map(|tile| (k, tile)))
         .collect();
-    Ok((out, ep))
+    Ok(out)
 }
 
 /// Run a task list distributed over one rank per node.
@@ -658,12 +693,27 @@ pub fn execute_distributed_with(
     let plan = build_plan(tl, assignment)?;
     let shared = Arc::new(assignment.clone());
     let faults = opts.faults.clone().map(Arc::new);
-    let endpoints = build_fabric_with(&shared, opts.topology, faults);
     let n_ranks = assignment.n_nodes();
+    let endpoints: Vec<Endpoint> = match &opts.backend {
+        Backend::Channel => build_fabric_with(&shared, opts.topology, faults),
+        Backend::Socket(cfg) => build_socket_fabric(n_ranks, opts.topology, cfg)?
+            .into_iter()
+            .enumerate()
+            .map(|(rank, tr)| {
+                Endpoint::from_transport(
+                    rank as u32,
+                    Arc::clone(&shared),
+                    opts.topology,
+                    Box::new(tr),
+                    faults.clone(),
+                )
+            })
+            .collect(),
+    };
     let t0 = Instant::now();
     let want_trace = opts.trace;
     let watchdog = opts.watchdog;
-    let results: Vec<Result<(RankOutcome, Endpoint), NetError>> = std::thread::scope(|scope| {
+    let results: Vec<Result<RankOutcome, NetError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
             .map(|ep| {
@@ -684,22 +734,16 @@ pub fn execute_distributed_with(
             })
             .collect()
     });
-    // Rank failures are prioritized by root cause: a scheduled crash
-    // explains the retry exhaustion and stalls it causes downstream, and
-    // exhausted senders explain stalled receivers.
-    let mut failure: Option<NetError> = None;
     let mut outcomes = Vec::with_capacity(results.len());
+    let mut failure: Option<NetError> = None;
     for r in results {
         match r {
-            Ok(pair) => outcomes.push(pair),
+            Ok(out) => outcomes.push(out),
             Err(e) => {
-                let rank = |e: &NetError| match e {
-                    NetError::RankCrashed { .. } => 0,
-                    NetError::RetryExhausted { .. } => 1,
-                    NetError::Stalled { .. } => 2,
-                    _ => 3,
-                };
-                if failure.as_ref().is_none_or(|f| rank(&e) < rank(f)) {
+                if failure
+                    .as_ref()
+                    .is_none_or(|f| failure_rank(&e) < failure_rank(f))
+                {
                     failure = Some(e);
                 }
             }
@@ -708,44 +752,13 @@ pub fn execute_distributed_with(
     if let Some(e) = failure {
         return Err(e);
     }
-    // All rank threads have joined: no sender can add frames. Drain every
-    // inbox so in-flight duplicates and corrupt copies are counted no
-    // matter how far each rank's consumption raced ahead — this is what
-    // makes the fault counters a pure function of the seed.
-    let mut outcomes: Vec<RankOutcome> = outcomes
-        .into_iter()
-        .map(|(mut out, mut ep)| {
-            let rf = ep.drain_pending();
-            out.io.corrupt_rejected = rf.corrupt_rejected;
-            out.io.delayed = rf.delayed;
-            out.io.dup_rejected += rf.dups_drained;
-            out
-        })
-        .collect();
-    let mut matrix = TiledMatrix::zeros(t, input.nb());
-    let mut per_rank = Vec::with_capacity(outcomes.len());
-    let mut sent = Vec::with_capacity(outcomes.len());
     let mut spans = Vec::new();
     let mut msgs = Vec::new();
-    let mut first_error: Option<(usize, KernelError)> = None;
-    let mut tasks = 0usize;
     for out in &mut outcomes {
-        for (k, tile) in out.tiles.drain(..) {
-            *matrix.tile_mut(k / t, k % t) = tile;
-        }
-        tasks += out.io.tasks as usize;
-        per_rank.push(out.io);
-        sent.push(std::mem::take(&mut out.sent));
         spans.append(&mut out.spans);
         msgs.append(&mut out.msgs);
-        if let Some((id, e)) = out.error {
-            if first_error.is_none_or(|(fid, _)| id < fid) {
-                first_error = Some((id, e));
-            }
-        }
     }
-    let report =
-        NetReport::from_parts(n_ranks, tasks, per_rank, &sent, first_error.map(|(_, e)| e));
+    let (matrix, report) = merge_rank_outcomes(t, input.nb(), n_ranks, outcomes);
     let trace = opts.trace.then(|| {
         spans.sort_by_key(|s| s.task);
         let kind_order = |k: MsgKind| match k {
@@ -776,4 +789,98 @@ pub fn execute_distributed_with(
         report,
         trace,
     })
+}
+
+/// Rank failures prioritized by root cause: a scheduled crash explains
+/// the retry exhaustion and stalls it causes downstream, and exhausted
+/// senders explain stalled receivers.
+fn failure_rank(e: &NetError) -> u8 {
+    match e {
+        NetError::RankCrashed { .. } => 0,
+        NetError::RetryExhausted { .. } => 1,
+        NetError::Stalled { .. } => 2,
+        _ => 3,
+    }
+}
+
+/// Rebuild the run-level result from per-rank outcomes: scatter owned
+/// tiles into one matrix and fold the counters into a [`NetReport`].
+/// Used both by [`execute_distributed_with`] after joining its rank
+/// threads and by a multi-process launcher after collecting each rank
+/// process's [`RankOutcome`] over its control channel. Outcomes may
+/// arrive in any order.
+#[must_use]
+pub fn merge_rank_outcomes(
+    t: usize,
+    nb: usize,
+    n_ranks: u32,
+    mut outcomes: Vec<RankOutcome>,
+) -> (TiledMatrix, NetReport) {
+    outcomes.sort_by_key(|o| o.io.rank);
+    let mut matrix = TiledMatrix::zeros(t, nb);
+    let mut per_rank = Vec::with_capacity(outcomes.len());
+    let mut sent = Vec::with_capacity(outcomes.len());
+    let mut first_error: Option<(usize, KernelError)> = None;
+    let mut tasks = 0usize;
+    for out in &mut outcomes {
+        for (k, tile) in out.tiles.drain(..) {
+            *matrix.tile_mut(k / t, k % t) = tile;
+        }
+        tasks += out.io.tasks as usize;
+        per_rank.push(out.io);
+        sent.push(std::mem::take(&mut out.sent));
+        if let Some((id, e)) = out.error {
+            if first_error.is_none_or(|(fid, _)| id < fid) {
+                first_error = Some((id, e));
+            }
+        }
+    }
+    let report =
+        NetReport::from_parts(n_ranks, tasks, per_rank, &sent, first_error.map(|(_, e)| e));
+    (matrix, report)
+}
+
+/// Run exactly **one** rank of a distributed factorization over the
+/// socket fabric — the body of a stand-alone rank process. Every rank
+/// of the run calls this with the same deterministic inputs (task list,
+/// assignment, input matrix, options); the sockets under `cfg.dir`
+/// connect them. Blocks until this rank's tasks are done and every peer
+/// has closed its stream.
+///
+/// The caller (the process launcher) is responsible for collecting each
+/// rank's [`RankOutcome`] and folding them with [`merge_rank_outcomes`].
+///
+/// # Errors
+/// See [`execute_distributed`], plus `Io` on socket failures.
+pub fn execute_rank_socket(
+    tl: &TaskList,
+    assignment: &TileAssignment,
+    input: &TiledMatrix,
+    rank: u32,
+    cfg: &SocketConfig,
+    opts: &DexecOptions<'_>,
+) -> Result<RankOutcome, NetError> {
+    let t = tl.t;
+    if input.tiles() != t {
+        return Err(NetError::ShapeMismatch {
+            expected: t,
+            got: input.tiles(),
+        });
+    }
+    let plan = build_plan(tl, assignment)?;
+    let shared = Arc::new(assignment.clone());
+    let faults = opts.faults.clone().map(Arc::new);
+    let transport = SocketTransport::establish(rank, assignment.n_nodes(), opts.topology, cfg)?;
+    let ep = Endpoint::from_transport(rank, shared, opts.topology, Box::new(transport), faults);
+    run_rank(
+        rank,
+        tl,
+        assignment,
+        &plan,
+        input,
+        ep,
+        Instant::now(),
+        opts.trace,
+        opts.watchdog,
+    )
 }

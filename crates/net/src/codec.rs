@@ -158,9 +158,25 @@ impl TileMsg {
 }
 
 /// Exact frame length of a message carrying an `nb × nb` tile.
-#[must_use]
-pub fn frame_len(nb: usize) -> usize {
-    HEADER_LEN + 8 * nb * nb
+///
+/// Applies the same plausibility guard as [`decode`] — `nb` must lie in
+/// `[1, MAX_NB]` — and computes the length in 64-bit arithmetic, so an
+/// absurd `nb` is rejected with a typed error instead of wrapping the
+/// length (release) or panicking (debug) on 32-bit targets.
+///
+/// # Errors
+/// `BadTileSize` when `nb` is zero or above [`MAX_NB`]. Sizes beyond
+/// `u32::MAX` (unrepresentable in the header) saturate the reported
+/// `nb` field to `u32::MAX`.
+pub fn frame_len(nb: usize) -> Result<usize, NetError> {
+    let nb32 = u32::try_from(nb).unwrap_or(u32::MAX);
+    if nb32 == 0 || nb32 > MAX_NB || nb32 as usize != nb {
+        return Err(NetError::BadTileSize { nb: nb32 });
+    }
+    // nb <= MAX_NB = 2^16, so the payload is at most 8 * 2^32 = 2^35
+    // bytes: exact in u64, but possibly outside usize on 32-bit targets.
+    let len = HEADER_LEN as u64 + 8 * nb as u64 * nb as u64;
+    usize::try_from(len).map_err(|_| NetError::BadTileSize { nb: nb32 })
 }
 
 /// FNV-1a 64 over every frame byte except the checksum field itself.
@@ -178,16 +194,26 @@ pub fn checksum_of(frame: &[u8]) -> u64 {
 }
 
 /// Serialize a message into one frame.
-#[must_use]
-pub fn encode(msg: &TileMsg) -> Vec<u8> {
+///
+/// Mirrors the guards of [`decode`]: a tile with `nb == 0` or
+/// `nb > MAX_NB` is rejected *here*, with the same typed error, instead
+/// of being encoded into a frame every peer must refuse (the header's
+/// `nb` field is 32-bit, so oversized tiles previously truncated
+/// silently via `as u32`).
+///
+/// # Errors
+/// `BadTileSize` when the tile dimension fails the decode-side bounds.
+pub fn encode(msg: &TileMsg) -> Result<Vec<u8>, NetError> {
     let nb = msg.tile.nb();
-    let mut out = Vec::with_capacity(frame_len(nb));
+    let len = frame_len(nb)?;
+    let mut out = Vec::with_capacity(len);
     out.extend_from_slice(&MAGIC);
     out.push(msg.class.to_byte());
     out.extend_from_slice(&msg.src.to_le_bytes());
     out.extend_from_slice(&msg.i.to_le_bytes());
     out.extend_from_slice(&msg.j.to_le_bytes());
     out.extend_from_slice(&msg.epoch.to_le_bytes());
+    // `frame_len` proved nb <= MAX_NB < u32::MAX, so this cast is exact.
     out.extend_from_slice(&(nb as u32).to_le_bytes());
     out.extend_from_slice(&[0u8; 8]); // checksum placeholder
     for v in msg.tile.as_slice() {
@@ -195,7 +221,7 @@ pub fn encode(msg: &TileMsg) -> Vec<u8> {
     }
     let sum = checksum_of(&out);
     out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
-    out
+    Ok(out)
 }
 
 fn u32_at(frame: &[u8], at: usize) -> u32 {
@@ -231,7 +257,7 @@ pub fn decode(frame: &[u8]) -> Result<TileMsg, NetError> {
         return Err(NetError::BadTileSize { nb: nb32 });
     }
     let nb = nb32 as usize;
-    let need = frame_len(nb);
+    let need = frame_len(nb)?;
     if frame.len() < need {
         return Err(NetError::Truncated {
             need,
@@ -301,10 +327,27 @@ mod tests {
     #[test]
     fn round_trip_is_identity() {
         let msg = sample(4);
-        let frame = encode(&msg);
-        assert_eq!(frame.len(), frame_len(4));
+        let frame = encode(&msg).unwrap();
+        assert_eq!(frame.len(), frame_len(4).unwrap());
         let back = decode(&frame).unwrap();
         assert!(msg.bitwise_eq(&back));
+    }
+
+    #[test]
+    fn frame_len_guards_match_decode_bounds() {
+        assert_eq!(frame_len(0).unwrap_err(), NetError::BadTileSize { nb: 0 });
+        assert_eq!(frame_len(1).unwrap(), HEADER_LEN + 8);
+        let max = MAX_NB as usize;
+        assert_eq!(frame_len(max).unwrap(), HEADER_LEN + 8 * max * max);
+        assert_eq!(
+            frame_len(max + 1).unwrap_err(),
+            NetError::BadTileSize { nb: MAX_NB + 1 }
+        );
+        // Beyond u32: the header cannot carry it; the error saturates.
+        assert_eq!(
+            frame_len(usize::MAX).unwrap_err(),
+            NetError::BadTileSize { nb: u32::MAX }
+        );
     }
 
     #[test]
@@ -315,13 +358,13 @@ mod tests {
         s[1] = -0.0;
         s[2] = f64::INFINITY;
         s[3] = f64::MIN_POSITIVE / 2.0; // subnormal
-        let back = decode(&encode(&msg)).unwrap();
+        let back = decode(&encode(&msg).unwrap()).unwrap();
         assert!(msg.bitwise_eq(&back));
     }
 
     #[test]
     fn every_truncation_is_rejected() {
-        let frame = encode(&sample(3));
+        let frame = encode(&sample(3)).unwrap();
         for cut in 0..frame.len() {
             let err = decode(&frame[..cut]).unwrap_err();
             assert!(
@@ -333,7 +376,7 @@ mod tests {
 
     #[test]
     fn overrun_and_corrupt_headers_are_rejected() {
-        let frame = encode(&sample(2));
+        let frame = encode(&sample(2)).unwrap();
         let mut long = frame.clone();
         long.push(0);
         assert!(matches!(
@@ -362,7 +405,7 @@ mod tests {
 
     #[test]
     fn any_single_byte_flip_is_rejected_typed() {
-        let frame = encode(&sample(3));
+        let frame = encode(&sample(3)).unwrap();
         for at in 0..frame.len() {
             for mask in [0x01u8, 0x80] {
                 let mut bad = frame.clone();
@@ -398,7 +441,7 @@ mod tests {
 
     #[test]
     fn v1_magic_is_rejected_not_misread() {
-        let mut frame = encode(&sample(2));
+        let mut frame = encode(&sample(2)).unwrap();
         frame[..4].copy_from_slice(b"FXTM");
         assert!(matches!(
             decode(&frame).unwrap_err(),
@@ -416,7 +459,7 @@ mod tests {
             epoch: u32::MAX - 1,
             tile: Tile::zeros(1),
         };
-        let back = decode(&encode(&msg)).unwrap();
+        let back = decode(&encode(&msg).unwrap()).unwrap();
         assert!(msg.bitwise_eq(&back));
     }
 }

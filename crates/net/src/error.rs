@@ -248,6 +248,23 @@ pub enum NetError {
         /// The iteration at which the crash fault fired.
         epoch: u32,
     },
+    /// An operating-system I/O failure on the socket transport (bind,
+    /// connect, handshake, or an unclassifiable stream error). The
+    /// in-process channel fabric never produces this.
+    Io {
+        /// The rank whose transport failed.
+        rank: u32,
+        /// Human-readable description of the underlying OS error.
+        detail: String,
+    },
+    /// A stream length prefix declares a frame larger than any legal
+    /// `TileMsg` — the reassembler rejects it before allocating.
+    FrameTooLarge {
+        /// Length declared by the 4-byte prefix.
+        declared: usize,
+        /// Largest frame the codec can ever produce.
+        max: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -383,6 +400,13 @@ impl fmt::Display for NetError {
             Self::RankCrashed { rank, epoch } => {
                 write!(f, "rank {rank} crashed at iteration {epoch} (fault plan)")
             }
+            Self::Io { rank, detail } => {
+                write!(f, "rank {rank} socket transport failed: {detail}")
+            }
+            Self::FrameTooLarge { declared, max } => write!(
+                f,
+                "stream declares a {declared}-byte frame, but no legal frame exceeds {max}"
+            ),
         }
     }
 }

@@ -10,10 +10,15 @@
 //! * [`codec`] — the serialized [`TileMsg`] frame (header: class, source
 //!   rank, tile coordinates, epoch, tile size; payload: raw `f64` bits,
 //!   lossless for every bit pattern including NaNs);
-//! * [`transport`] — one mpsc inbox per rank, per-link message/byte
-//!   counters split panel vs. trailing, a pluggable [`Topology`]
-//!   ([`FullMesh`] by default, [`Partition`] for negative tests), and
-//!   ownership enforcement at both ends of every link;
+//! * [`transport`] — the [`Transport`] byte-mover seam with the
+//!   in-process mpsc backend, per-link message/byte counters split panel
+//!   vs. trailing, a pluggable [`Topology`] ([`FullMesh`] by default,
+//!   [`Partition`] for negative tests), and ownership enforcement at
+//!   both ends of every link;
+//! * [`socket`] — the OS-backed [`Transport`]: Unix-domain or TCP
+//!   streams carrying length-delimited frames through a
+//!   [`Reassembler`](socket::Reassembler), so separate processes run the
+//!   identical protocol stack;
 //! * [`cache`] — the per-rank [`ReplicaCache`] with duplicate and
 //!   epoch-staleness rejection (the dedup half of exactly-once delivery);
 //! * [`fault`] — the seeded, fully deterministic [`FaultPlan`]: per-link
@@ -35,14 +40,19 @@ pub mod codec;
 pub mod error;
 pub mod fault;
 pub mod report;
+pub mod socket;
 pub mod transport;
 
 pub use cache::ReplicaCache;
-pub use codec::{decode, encode, frame_len, MsgClass, TileKey, TileMsg};
+pub use codec::{decode, encode, frame_len, MsgClass, TileKey, TileMsg, HEADER_LEN, MAX_NB};
 pub use error::NetError;
 pub use fault::{FaultPlan, MsgKind, SendFate};
 pub use report::{FaultStats, LinkIo, MsgEvent, NetReport, NetTrace, RankIo};
+pub use socket::{
+    build_socket_fabric, cleanup_socket_dir, max_frame_len, Reassembler, SocketConfig, SocketKind,
+    SocketTransport, MAX_STREAM_NB,
+};
 pub use transport::{
-    build_fabric, build_fabric_with, Endpoint, FullMesh, LinkStats, Partition, RecvFaultStats,
-    SendEvent, SendReceipt, Topology,
+    build_fabric, build_fabric_with, ChannelTransport, Endpoint, FullMesh, LinkStats, Partition,
+    RecvFaultStats, SendEvent, SendReceipt, Topology, Transport, TransportRecv, TransportSendError,
 };

@@ -1,10 +1,20 @@
-//! In-process fabric: one mpsc inbox per rank, one counted `Link` per
-//! connected ordered pair.
+//! The fabric: a byte-moving [`Transport`] seam under a protocol-aware
+//! [`Endpoint`], with the in-process mpsc fabric as the default backend.
+//!
+//! The [`Transport`] trait is deliberately dumb — it moves opaque frames
+//! between ranks and nothing else. Everything the paper's broadcast
+//! scheme cares about (ownership gates, goodput/overhead accounting,
+//! checksum rejection, the reliability layer, fault injection) lives in
+//! [`Endpoint`] *above* the seam, so it runs unchanged over the
+//! in-process channels here and the socket streams in
+//! [`socket`](crate::socket). That is the backend-identity invariant:
+//! same seed, same schedule, same counters, bitwise-same results on
+//! either side of the seam.
 //!
 //! Frames travel as encoded byte vectors (the [`codec`](crate::codec)
 //! format), so the byte counters measure the *serialized* message — the
-//! wire-level size, not an in-memory shortcut. Each `Link` is owned by
-//! exactly one sending rank, which keeps its counters plain (no atomics);
+//! wire-level size, not an in-memory shortcut. Outgoing counters are
+//! owned by the sending endpoint, which keeps them plain (no atomics);
 //! the per-source receive counters live in the receiving [`Endpoint`].
 //!
 //! Ownership is enforced at both ends: a rank can only put its *own*
@@ -192,19 +202,126 @@ pub struct RecvFaultStats {
     pub dups_drained: u64,
 }
 
-/// Sender half of one ordered rank pair, with its traffic counters.
-struct Link {
-    tx: Sender<Vec<u8>>,
-    stats: LinkStats,
+/// Why a transport could not put a frame on the wire.
+#[derive(Debug)]
+pub enum TransportSendError {
+    /// The peer's receiving half is gone (exited, crashed, or closed the
+    /// stream). Physically indistinguishable from a drop; the reliability
+    /// layer retries it.
+    PeerGone,
+    /// The transport itself broke (an OS-level socket failure). Never
+    /// retried — surfaces as a typed engine error.
+    Fatal(NetError),
 }
 
-/// One rank's attachment to the fabric: its inbox, its outgoing links,
-/// and the owner map that gates what may cross the wire.
+/// What a bounded receive produced.
+#[derive(Debug)]
+pub enum TransportRecv {
+    /// One whole frame, exactly as a peer sent it.
+    Frame(Vec<u8>),
+    /// The timeout elapsed with no frame available.
+    TimedOut,
+    /// Every peer closed its sending half and the inbox is empty; no
+    /// frame can ever arrive again.
+    Closed,
+}
+
+/// A byte mover between ranks: the seam under [`Endpoint`].
+///
+/// Implementations carry opaque frames, whole and in per-sender order,
+/// and know nothing of the tile protocol: ownership checks, goodput
+/// accounting, checksums, retransmission and fault injection all live
+/// above this trait, which is what makes the engine behave identically
+/// over in-process channels and OS sockets.
+///
+/// Contract: frames are delivered intact (never split or coalesced) and
+/// FIFO per ordered sender pair; after [`finish_sends`](Self::finish_sends)
+/// the sender's peers eventually observe [`TransportRecv::Closed`] once
+/// every frame sent before the close has been received.
+pub trait Transport: Send {
+    /// Backend name, for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Queue one frame to a peer. The route is pre-checked by the
+    /// endpoint, so `to` is always a connected, in-range rank.
+    ///
+    /// # Errors
+    /// [`TransportSendError::PeerGone`] when the peer's inbox is gone;
+    /// [`TransportSendError::Fatal`] on a broken transport.
+    fn send(&mut self, to: u32, frame: Vec<u8>) -> Result<(), TransportSendError>;
+
+    /// Block until a frame arrives or every peer has closed.
+    ///
+    /// # Errors
+    /// A typed error when the transport itself broke (socket stream
+    /// failures); the in-process backend never errors.
+    fn recv(&mut self) -> Result<TransportRecv, NetError>;
+
+    /// Bounded receive: a frame, a timeout, or closure.
+    ///
+    /// # Errors
+    /// Same as [`recv`](Self::recv).
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<TransportRecv, NetError>;
+
+    /// Close the outgoing half so peers can observe
+    /// [`TransportRecv::Closed`]. Idempotent; the inbox stays readable.
+    fn finish_sends(&mut self);
+}
+
+/// The in-process backend: one mpsc inbox per rank, sender clones for
+/// every connected peer. The deterministic test double — infallible,
+/// unbounded, and immune to OS scheduling beyond message interleaving.
+pub struct ChannelTransport {
+    txs: Vec<Option<Sender<Vec<u8>>>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn send(&mut self, to: u32, frame: Vec<u8>) -> Result<(), TransportSendError> {
+        let tx = self
+            .txs
+            .get(to as usize)
+            .and_then(Option::as_ref)
+            .ok_or(TransportSendError::PeerGone)?;
+        tx.send(frame).map_err(|_| TransportSendError::PeerGone)
+    }
+
+    fn recv(&mut self) -> Result<TransportRecv, NetError> {
+        Ok(match self.rx.recv() {
+            Ok(frame) => TransportRecv::Frame(frame),
+            Err(_) => TransportRecv::Closed,
+        })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<TransportRecv, NetError> {
+        Ok(match self.rx.recv_timeout(timeout) {
+            Ok(frame) => TransportRecv::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => TransportRecv::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => TransportRecv::Closed,
+        })
+    }
+
+    fn finish_sends(&mut self) {
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+    }
+}
+
+/// One rank's attachment to the fabric: its transport, the owner map
+/// that gates what may cross the wire, and both directions of counters.
 pub struct Endpoint {
     rank: u32,
     assignment: Arc<TileAssignment>,
-    links: Vec<Option<Link>>,
-    rx: Receiver<Vec<u8>>,
+    transport: Box<dyn Transport>,
+    /// Outgoing counters; `None` marks a pair the topology does not
+    /// connect (sends to it fail with `NoRoute` before reaching the
+    /// transport).
+    out_stats: Vec<Option<LinkStats>>,
     recv_from: Vec<LinkStats>,
     topology: &'static str,
     faults: Option<Arc<FaultPlan>>,
@@ -217,10 +334,47 @@ pub struct Endpoint {
 const STASH_POLL: Duration = Duration::from_micros(500);
 
 impl Endpoint {
+    /// Attach a rank to the fabric over an arbitrary transport backend.
+    ///
+    /// The endpoint carries every protocol layer itself — ownership
+    /// gates, goodput/overhead counters, checksum rejection, the
+    /// reliability protocol, fault injection — so two endpoints built
+    /// over different backends behave identically given the same seed.
+    #[must_use]
+    pub fn from_transport(
+        rank: u32,
+        assignment: Arc<TileAssignment>,
+        topology: &dyn Topology,
+        transport: Box<dyn Transport>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        let n = assignment.n_nodes() as usize;
+        let out_stats = (0..n)
+            .map(|to| topology.connected(rank, to as u32).then(LinkStats::default))
+            .collect();
+        Self {
+            rank,
+            assignment,
+            transport,
+            out_stats,
+            recv_from: vec![LinkStats::default(); n],
+            topology: topology.name(),
+            faults,
+            stash: VecDeque::new(),
+            recv_faults: RecvFaultStats::default(),
+        }
+    }
+
     /// The rank this endpoint belongs to.
     #[must_use]
     pub fn rank(&self) -> u32 {
         self.rank
+    }
+
+    /// Name of the transport backend underneath.
+    #[must_use]
+    pub fn backend(&self) -> &'static str {
+        self.transport.name()
     }
 
     /// The fault plan attached to this fabric, if any.
@@ -269,11 +423,14 @@ impl Endpoint {
         self.check_send(to, i, j)?;
         let from = self.rank;
         let topology = self.topology;
-        let link = self
-            .links
-            .get_mut(to as usize)
-            .and_then(Option::as_mut)
-            .ok_or(NetError::NoRoute { from, to, topology })?;
+        if self
+            .out_stats
+            .get(to as usize)
+            .and_then(Option::as_ref)
+            .is_none()
+        {
+            return Err(NetError::NoRoute { from, to, topology });
+        }
         let frame = encode(&TileMsg {
             class,
             src: from,
@@ -281,12 +438,15 @@ impl Endpoint {
             j,
             epoch,
             tile: tile.clone(),
-        });
+        })?;
         let bytes = frame.len();
-        link.tx
-            .send(frame)
-            .map_err(|_| NetError::Disconnected { from, to })?;
-        link.stats.record(class, bytes);
+        self.transport.send(to, frame).map_err(|e| match e {
+            TransportSendError::PeerGone => NetError::Disconnected { from, to },
+            TransportSendError::Fatal(e) => e,
+        })?;
+        if let Some(Some(stats)) = self.out_stats.get_mut(to as usize) {
+            stats.record(class, bytes);
+        }
         Ok(bytes)
     }
 
@@ -317,11 +477,14 @@ impl Endpoint {
         let from = self.rank;
         let topology = self.topology;
         let plan = self.faults.clone();
-        let link = self
-            .links
-            .get_mut(to as usize)
-            .and_then(Option::as_mut)
-            .ok_or(NetError::NoRoute { from, to, topology })?;
+        if self
+            .out_stats
+            .get(to as usize)
+            .and_then(Option::as_ref)
+            .is_none()
+        {
+            return Err(NetError::NoRoute { from, to, topology });
+        }
         let frame = encode(&TileMsg {
             class,
             src: from,
@@ -329,13 +492,14 @@ impl Endpoint {
             j,
             epoch,
             tile: tile.clone(),
-        });
+        })?;
         let bytes = frame.len();
         let Some(plan) = plan else {
-            link.tx
-                .send(frame)
-                .map_err(|_| NetError::Disconnected { from, to })?;
-            link.stats.record(class, bytes);
+            self.transport.send(to, frame).map_err(|e| match e {
+                TransportSendError::PeerGone => NetError::Disconnected { from, to },
+                TransportSendError::Fatal(e) => e,
+            })?;
+            self.record_sent(to, class, bytes);
             return Ok(SendReceipt {
                 goodput_bytes: bytes,
                 attempts: 1,
@@ -354,7 +518,7 @@ impl Endpoint {
             let fate = plan.send_fate(from, to, i, j, epoch, attempt);
             match fate {
                 SendFate::Drop => {
-                    link.stats.record_overhead(MsgKind::Dropped, bytes);
+                    self.record_overhead(to, MsgKind::Dropped, bytes);
                     events.push(SendEvent {
                         kind: MsgKind::Dropped,
                         bytes: bytes as u64,
@@ -366,10 +530,14 @@ impl Endpoint {
                     let (at, mask) = plan.corrupt_site(from, to, i, j, epoch, attempt, bytes);
                     bad[at] ^= mask;
                     // A corrupt frame occupies the wire whether or not the
-                    // peer is alive to reject it; ignore the send result so
-                    // the counters stay schedule-deterministic.
-                    let _ = link.tx.send(bad);
-                    link.stats.record_overhead(MsgKind::Corrupt, bytes);
+                    // peer is alive to reject it; a gone peer is ignored so
+                    // the counters stay schedule-deterministic. A broken
+                    // transport is still fatal.
+                    match self.transport.send(to, bad) {
+                        Ok(()) | Err(TransportSendError::PeerGone) => {}
+                        Err(TransportSendError::Fatal(e)) => return Err(e),
+                    }
+                    self.record_overhead(to, MsgKind::Corrupt, bytes);
                     events.push(SendEvent {
                         kind: MsgKind::Corrupt,
                         bytes: bytes as u64,
@@ -377,18 +545,22 @@ impl Endpoint {
                     });
                 }
                 SendFate::Deliver | SendFate::DeliverTwice => {
-                    if link.tx.send(frame.clone()).is_err() {
-                        // Peer gone: physically indistinguishable from a
-                        // drop; keep retrying until the budget runs out.
-                        link.stats.record_overhead(MsgKind::Dropped, bytes);
-                        events.push(SendEvent {
-                            kind: MsgKind::Dropped,
-                            bytes: bytes as u64,
-                            attempt,
-                        });
-                        continue;
+                    match self.transport.send(to, frame.clone()) {
+                        Err(TransportSendError::PeerGone) => {
+                            // Peer gone: physically indistinguishable from a
+                            // drop; keep retrying until the budget runs out.
+                            self.record_overhead(to, MsgKind::Dropped, bytes);
+                            events.push(SendEvent {
+                                kind: MsgKind::Dropped,
+                                bytes: bytes as u64,
+                                attempt,
+                            });
+                            continue;
+                        }
+                        Err(TransportSendError::Fatal(e)) => return Err(e),
+                        Ok(()) => {}
                     }
-                    link.stats.record(class, bytes);
+                    self.record_sent(to, class, bytes);
                     events.push(SendEvent {
                         kind: MsgKind::Goodput,
                         bytes: bytes as u64,
@@ -397,8 +569,11 @@ impl Endpoint {
                     if fate == SendFate::DeliverTwice {
                         // The duplicate may race the peer's exit; counted
                         // unconditionally for determinism.
-                        let _ = link.tx.send(frame);
-                        link.stats.record_overhead(MsgKind::Duplicate, bytes);
+                        match self.transport.send(to, frame) {
+                            Ok(()) | Err(TransportSendError::PeerGone) => {}
+                            Err(TransportSendError::Fatal(e)) => return Err(e),
+                        }
+                        self.record_overhead(to, MsgKind::Duplicate, bytes);
                         events.push(SendEvent {
                             kind: MsgKind::Duplicate,
                             bytes: bytes as u64,
@@ -420,6 +595,18 @@ impl Endpoint {
             j,
             attempts: plan.max_attempts(),
         })
+    }
+
+    fn record_sent(&mut self, to: u32, class: MsgClass, bytes: usize) {
+        if let Some(Some(stats)) = self.out_stats.get_mut(to as usize) {
+            stats.record(class, bytes);
+        }
+    }
+
+    fn record_overhead(&mut self, to: u32, kind: MsgKind, bytes: usize) {
+        if let Some(Some(stats)) = self.out_stats.get_mut(to as usize) {
+            stats.record_overhead(kind, bytes);
+        }
     }
 
     /// Protocol checks on a decoded frame (always fatal, faults or not).
@@ -455,10 +642,12 @@ impl Endpoint {
     /// malformed frames; `UnexpectedSender` / `CoordsOutOfRange` when the
     /// frame violates the ownership contract.
     pub fn recv(&mut self) -> Result<(TileMsg, usize), NetError> {
-        let frame = self
-            .rx
-            .recv()
-            .map_err(|_| NetError::ChannelClosed { rank: self.rank })?;
+        let frame = match self.transport.recv()? {
+            TransportRecv::Frame(frame) => frame,
+            TransportRecv::TimedOut | TransportRecv::Closed => {
+                return Err(NetError::ChannelClosed { rank: self.rank });
+            }
+        };
         let bytes = frame.len();
         let msg = decode(&frame)?;
         self.validate(&msg)?;
@@ -487,14 +676,25 @@ impl Endpoint {
     ) -> Result<Option<(TileMsg, usize)>, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
+            // Each poll is clamped to the time remaining, and a spent
+            // budget times out *now* (after releasing any stashed frame)
+            // instead of issuing one more fixed-width poll — the watchdog
+            // must not overshoot its configured deadline.
             let budget = deadline.saturating_duration_since(Instant::now());
+            if budget.is_zero() {
+                if let Some((msg, bytes)) = self.stash.pop_front() {
+                    self.recv_from[msg.src as usize].record(msg.class, bytes);
+                    return Ok(Some((msg, bytes)));
+                }
+                return Ok(None);
+            }
             let poll = if self.stash.is_empty() {
                 budget
             } else {
                 budget.min(STASH_POLL)
             };
-            match self.rx.recv_timeout(poll) {
-                Ok(frame) => {
+            match self.transport.recv_timeout(poll)? {
+                TransportRecv::Frame(frame) => {
                     let bytes = frame.len();
                     let msg = match decode(&frame) {
                         Ok(m) => m,
@@ -518,7 +718,7 @@ impl Endpoint {
                     self.recv_from[msg.src as usize].record(msg.class, bytes);
                     return Ok(Some((msg, bytes)));
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                TransportRecv::TimedOut => {
                     if let Some((msg, bytes)) = self.stash.pop_front() {
                         self.recv_from[msg.src as usize].record(msg.class, bytes);
                         return Ok(Some((msg, bytes)));
@@ -527,7 +727,7 @@ impl Endpoint {
                         return Ok(None);
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                TransportRecv::Closed => {
                     if let Some((msg, bytes)) = self.stash.pop_front() {
                         self.recv_from[msg.src as usize].record(msg.class, bytes);
                         return Ok(Some((msg, bytes)));
@@ -538,15 +738,28 @@ impl Endpoint {
         }
     }
 
-    /// Consume every frame still pending after the rank finished its
-    /// tasks, so the fault counters cover *all* injected frames (a
-    /// duplicate still in flight when its receiver finished would
-    /// otherwise make the report depend on thread timing). Only called
-    /// once no sender can add frames. Returns the final counters.
-    pub fn drain_pending(&mut self) -> RecvFaultStats {
+    /// Close this endpoint's sending half, then consume every frame
+    /// still inbound until all peers have closed theirs, so the fault
+    /// counters cover *all* injected frames (a duplicate still in flight
+    /// when its receiver finished would otherwise make the report depend
+    /// on thread timing). Called after the rank's last task; blocks
+    /// until every peer has likewise finished sending, which keeps the
+    /// inbox alive for peers still retransmitting. Returns the final
+    /// counters.
+    ///
+    /// # Errors
+    /// A typed transport error when the byte stream itself broke; the
+    /// in-process backend never errors.
+    pub fn finish_and_drain(&mut self) -> Result<RecvFaultStats, NetError> {
+        self.transport.finish_sends();
         self.recv_faults.dups_drained += self.stash.len() as u64;
         self.stash.clear();
-        while let Ok(frame) = self.rx.try_recv() {
+        loop {
+            let frame = match self.transport.recv()? {
+                TransportRecv::Frame(frame) => frame,
+                TransportRecv::TimedOut => continue,
+                TransportRecv::Closed => break,
+            };
             let bytes = frame.len();
             match decode(&frame) {
                 Ok(msg) => {
@@ -567,7 +780,7 @@ impl Endpoint {
                 }
             }
         }
-        self.recv_faults
+        Ok(self.recv_faults)
     }
 
     /// Receiver-side fault counters so far.
@@ -579,10 +792,10 @@ impl Endpoint {
     /// Outgoing traffic: `(peer, stats)` for every link that exists.
     #[must_use]
     pub fn sent_stats(&self) -> Vec<(u32, LinkStats)> {
-        self.links
+        self.out_stats
             .iter()
             .enumerate()
-            .filter_map(|(to, l)| l.as_ref().map(|l| (to as u32, l.stats)))
+            .filter_map(|(to, s)| s.as_ref().map(|s| (to as u32, *s)))
             .collect()
     }
 
@@ -619,25 +832,23 @@ pub fn build_fabric_with(
     }
     let mut out = Vec::with_capacity(n);
     for (rank, rx) in rxs.drain(..).enumerate() {
-        let links = (0..n)
-            .map(|to| {
-                topology.connected(rank as u32, to as u32).then(|| Link {
-                    tx: txs[to].clone(),
-                    stats: LinkStats::default(),
+        let transport = ChannelTransport {
+            txs: (0..n)
+                .map(|to| {
+                    topology
+                        .connected(rank as u32, to as u32)
+                        .then(|| txs[to].clone())
                 })
-            })
-            .collect();
-        out.push(Endpoint {
-            rank: rank as u32,
-            assignment: Arc::clone(assignment),
-            links,
+                .collect(),
             rx,
-            recv_from: vec![LinkStats::default(); n],
-            topology: topology.name(),
-            faults: faults.clone(),
-            stash: VecDeque::new(),
-            recv_faults: RecvFaultStats::default(),
-        });
+        };
+        out.push(Endpoint::from_transport(
+            rank as u32,
+            Arc::clone(assignment),
+            topology,
+            Box::new(transport),
+            faults.clone(),
+        ));
     }
     out
 }
@@ -666,7 +877,7 @@ mod tests {
         let sent = eps[0]
             .send_tile(1, MsgClass::Panel, 0, 0, 0, &tile)
             .unwrap();
-        assert_eq!(sent, crate::codec::frame_len(3));
+        assert_eq!(sent, crate::codec::frame_len(3).unwrap());
         let (msg, bytes) = eps[1].recv().unwrap();
         assert_eq!(bytes, sent);
         assert_eq!((msg.i, msg.j, msg.epoch), (0, 0, 0));
@@ -810,6 +1021,75 @@ mod tests {
         let mut eps = two_rank_fabric();
         let got = eps[1].recv_deadline(Duration::from_millis(20)).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn recv_deadline_does_not_overshoot_with_pending_stash() {
+        // Regression: with delayed frames stashed, the idle inbox is
+        // polled in STASH_POLL slices; the final slice must be clamped
+        // to the remaining budget so the watchdog fires on time, not up
+        // to one slice late. Run with a stash pending (slice path) and
+        // without (single-poll path) and bound the elapsed time.
+        let seed = (0..500u64)
+            .find(|&s| FaultPlan::new(s).with_delay(1.0).delays(0, 1, 0, 0, 0))
+            .unwrap();
+        let plan = Arc::new(FaultPlan::new(seed).with_delay(1.0));
+        let mut eps = two_rank_fabric_with(Some(plan));
+        let tile = Tile::zeros(2);
+        eps[0]
+            .send_tile_reliable(1, MsgClass::Panel, 0, 0, 0, &tile)
+            .unwrap();
+        // Stash the delayed frame, then re-stash it so it stays pending.
+        let (msg, bytes) = eps[1]
+            .recv_deadline(Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
+        for timeout_ms in [5u64, 20] {
+            let timeout = Duration::from_millis(timeout_ms);
+            eps[1].stash.push_back((msg.clone(), bytes));
+            let t0 = Instant::now();
+            // The stashed frame is released within the deadline...
+            assert!(eps[1].recv_deadline(timeout).unwrap().is_some());
+            assert!(t0.elapsed() <= timeout + Duration::from_millis(50));
+            // ...and with nothing left, the timeout itself is honored.
+            let t0 = Instant::now();
+            assert!(eps[1].recv_deadline(timeout).unwrap().is_none());
+            let elapsed = t0.elapsed();
+            assert!(
+                elapsed >= timeout && elapsed <= timeout + Duration::from_millis(50),
+                "deadline overshoot: asked {timeout:?}, took {elapsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn finish_and_drain_counts_leftovers_and_unblocks_peers() {
+        let seed = (0..500u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_duplicate(1.0);
+                p.send_fate(0, 1, 0, 0, 0, 0) == SendFate::DeliverTwice
+            })
+            .unwrap();
+        let plan = Arc::new(FaultPlan::new(seed).with_duplicate(1.0));
+        let mut eps = two_rank_fabric_with(Some(plan));
+        let mut ep1 = eps.remove(1);
+        let mut ep0 = eps.remove(0);
+        let tile = Tile::zeros(2);
+        ep0.send_tile_reliable(1, MsgClass::Panel, 0, 0, 0, &tile)
+            .unwrap();
+        // Receiver consumes the goodput copy; the duplicate stays queued.
+        let (msg, _) = ep1.recv_deadline(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!((msg.i, msg.j), (0, 0));
+        // Sender closes first; the receiver's drain then terminates and
+        // accounts for the in-flight duplicate.
+        let h = std::thread::spawn(move || {
+            let stats = ep0.finish_and_drain().unwrap();
+            (ep0, stats)
+        });
+        let stats = ep1.finish_and_drain().unwrap();
+        assert_eq!(stats.dups_drained, 1);
+        let (_ep0, stats0) = h.join().unwrap();
+        assert_eq!(stats0.dups_drained, 0);
     }
 
     #[test]

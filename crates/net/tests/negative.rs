@@ -216,7 +216,7 @@ fn truncated_frame_is_rejected_at_every_header_cut() {
         epoch: 1,
         tile: Tile::zeros(NB),
     };
-    let frame = encode(&msg);
+    let frame = encode(&msg).unwrap();
     for cut in 0..frame.len() {
         match decode(&frame[..cut]) {
             Err(NetError::Truncated { need, got }) => {
@@ -240,7 +240,7 @@ fn oversized_frame_is_rejected() {
         epoch: 0,
         tile: Tile::zeros(NB),
     };
-    let mut frame = encode(&msg);
+    let mut frame = encode(&msg).unwrap();
     frame.push(0);
     assert!(matches!(
         decode(&frame).unwrap_err(),

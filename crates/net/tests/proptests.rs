@@ -16,7 +16,7 @@ use flexdist_core::{g2dbc, sbc, twodbc};
 use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, TileAssignment};
 use flexdist_factor::{build_graph, execute_distributed, Operation};
 use flexdist_kernels::{KernelCostModel, Tile, TiledMatrix};
-use flexdist_net::{decode, encode, frame_len, MsgClass, NetError, TileMsg};
+use flexdist_net::{decode, encode, frame_len, MsgClass, NetError, TileMsg, HEADER_LEN, MAX_NB};
 use proptest::prelude::*;
 
 /// Pick a pattern for `p` nodes: 0 = G-2DBC, 1 = best-shape 2DBC,
@@ -58,7 +58,7 @@ proptest! {
         let exact = lu_comm_volume(&assignment);
         prop_assert_eq!(report.wire.panel, exact.panel, "panel class");
         prop_assert_eq!(report.wire.trailing, exact.trailing, "trailing class");
-        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb) as u64);
+        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb).unwrap() as u64);
         // Per-rank sends tally up to the same total.
         let sent: u64 = report.per_rank.iter().map(|r| r.sent_msgs).sum();
         prop_assert_eq!(sent, exact.total());
@@ -83,7 +83,7 @@ proptest! {
         let exact = cholesky_comm_volume(&assignment);
         prop_assert_eq!(report.wire.panel, exact.panel, "panel class");
         prop_assert_eq!(report.wire.trailing, exact.trailing, "trailing class");
-        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb) as u64);
+        prop_assert_eq!(report.bytes, exact.total() * frame_len(nb).unwrap() as u64);
         let recvd: u64 = report.per_rank.iter().map(|r| r.recv_msgs).sum();
         prop_assert_eq!(recvd, exact.total());
     }
@@ -117,8 +117,8 @@ proptest! {
         });
         let class = if class_bit == 0 { MsgClass::Panel } else { MsgClass::Trailing };
         let msg = TileMsg { class, src, i, j, epoch, tile };
-        let frame = encode(&msg);
-        prop_assert_eq!(frame.len(), frame_len(nb));
+        let frame = encode(&msg).unwrap();
+        prop_assert_eq!(frame.len(), frame_len(nb).unwrap());
         let back = decode(&frame).map_err(|e| TestCaseError::fail(e.to_string()))?;
         prop_assert_eq!(back.class, msg.class);
         prop_assert_eq!(back.src, msg.src);
@@ -128,6 +128,46 @@ proptest! {
         prop_assert!(back.bitwise_eq(&msg), "payload bits changed in flight");
     }
 
+    /// The encoder's size gate accepts exactly the codec domain
+    /// `1 ..= MAX_NB` and rejects everything else with a **typed**
+    /// `BadTileSize` — in particular sizes whose low 32 bits alias a
+    /// valid `nb`, which the old unchecked `as u32` cast silently
+    /// truncated into well-formed frames of the wrong tile.
+    #[test]
+    fn frame_len_accepts_exactly_the_codec_domain(nb in 0usize..200_000) {
+        match frame_len(nb) {
+            Ok(len) => {
+                prop_assert!(nb >= 1 && nb <= MAX_NB as usize, "nb {nb} outside domain");
+                prop_assert_eq!(len, HEADER_LEN + 8 * nb * nb);
+            }
+            Err(NetError::BadTileSize { nb: reported }) => {
+                prop_assert!(nb == 0 || nb > MAX_NB as usize, "nb {nb} wrongly rejected");
+                prop_assert_eq!(u64::from(reported), nb as u64, "reported size must not alias");
+            }
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "nb {nb}: expected BadTileSize, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sizes that wrap the 32-bit header field — `nb ≡ small (mod 2^32)`
+    /// — are rejected, never truncated into a frame that decodes as a
+    /// different (valid) tile size.
+    #[test]
+    fn frame_len_rejects_u32_aliasing_sizes(alias in 1u64..=65_536, wraps in 1u64..4) {
+        let nb = usize::try_from(alias + (wraps << 32)).expect("64-bit platform");
+        match frame_len(nb) {
+            Err(NetError::BadTileSize { nb: reported }) => {
+                // The clamp reports u32::MAX for anything beyond the
+                // field, never the aliased low bits.
+                prop_assert_eq!(reported, u32::MAX);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "aliasing nb {nb}: expected BadTileSize, got {other:?}"
+            ))),
+        }
+    }
+
     /// Every strict prefix of a valid frame is rejected as truncated —
     /// the decoder never reads past the bytes it was given and never
     /// fabricates a tile from a short read.
@@ -135,7 +175,7 @@ proptest! {
     fn codec_rejects_every_truncation(nb in 1usize..5, seed in 0u64..=u64::MAX, frac in 0u32..1000) {
         let tile = Tile::from_fn(nb, |r, c| f64::from_bits(mix(seed ^ ((r as u64) << 20) ^ c as u64)));
         let msg = TileMsg { class: MsgClass::Trailing, src: 3, i: 1, j: 2, epoch: 1, tile };
-        let frame = encode(&msg);
+        let frame = encode(&msg).unwrap();
         let cut = (frac as usize * (frame.len() - 1)) / 1000;
         match decode(&frame[..cut]) {
             Err(NetError::Truncated { need, got }) => {

@@ -36,6 +36,17 @@ echo "==> flexdist dexec smoke"
 run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8
 run ./target/release/flexdist dexec --op chol --p 4 --t 6 --nb 8
 
+# Socket-backend smoke: the same two configurations again, but with one
+# OS process per rank over Unix-domain sockets (length-delimited FXT2
+# frames on a real byte stream). `dexec --backend uds` runs the
+# in-process executor first and then the multi-process run, and exits
+# non-zero unless the forked ranks' merged result is bitwise identical
+# to the in-process one with exactly conformant goodput — the
+# backend-identity gate of the transport seam.
+echo "==> flexdist dexec --backend uds smoke"
+run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8 --backend uds
+run ./target/release/flexdist dexec --op chol --p 4 --t 6 --nb 8 --backend uds
+
 # Chaos smoke: the same two configurations on a faulty fabric — 5%
 # drop/duplicate/corrupt/delay on every link, fixed seed. The command
 # itself asserts bitwise identity with the shared-memory executor,
