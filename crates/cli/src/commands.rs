@@ -627,10 +627,33 @@ pub fn dexec(args: &Args) -> Result<String, String> {
     if let Some(line) = mp_line {
         let _ = writeln!(out, "{line}");
     }
-    for r in &rep.per_rank {
+    // Static protocol analysis: the proved peak-memory bound sits next
+    // to each rank's measured goodput.
+    let proto = flexdist_verify::check_protocol(&tl, &assignment, None)
+        .map_err(|e| format!("protocol derivation: {e}"))?;
+    if let Some(cap) = proto.min_capacity {
         let _ = writeln!(
             out,
-            "  rank {:>3}        {:>5} tasks, sent {:>5} msgs / {:>9} B, recv {:>5} msgs / {:>9} B",
+            "  protocol        statically verified: {} finding(s), min safe inbox capacity \
+             {cap} frame(s)",
+            proto.findings.len()
+        );
+    }
+    for r in &rep.per_rank {
+        let peak = proto
+            .peaks
+            .iter()
+            .find(|q| q.rank == r.rank)
+            .map_or_else(String::new, |q| {
+                format!(
+                    ", peak {:>3} tiles / {:>9} B",
+                    q.owned + q.peak_replicas,
+                    q.peak_bytes(nb)
+                )
+            });
+        let _ = writeln!(
+            out,
+            "  rank {:>3}        {:>5} tasks, sent {:>5} msgs / {:>9} B, recv {:>5} msgs / {:>9} B{peak}",
             r.rank, r.tasks, r.sent_msgs, r.sent_bytes, r.recv_msgs, r.recv_bytes
         );
     }
@@ -731,6 +754,22 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         sock.as_ref().map_or("channel", |(k, _)| k.name()),
         rates.len()
     );
+    // The fault sweep runs against a statically verified protocol; the
+    // proved memory bound holds for every cell because faults change
+    // retransmissions, never the goodput schedule.
+    let proto = flexdist_verify::check_protocol(&tl, &assignment, None)
+        .map_err(|e| format!("protocol derivation: {e}"))?;
+    if let (Some(cap), Some(peak)) = (proto.min_capacity, proto.max_peak()) {
+        let _ = writeln!(
+            out,
+            "  static protocol: {} finding(s), min safe inbox capacity {cap} frame(s), \
+             peak resident {} tiles / {} B (rank {})",
+            proto.findings.len(),
+            peak.owned + peak.peak_replicas,
+            peak.peak_bytes(nb),
+            peak.rank
+        );
+    }
     let _ = writeln!(
         out,
         "  {:>6} {:>6} | {:>7} {:>7} {:>8} {:>7} {:>9} | verdict",
@@ -968,16 +1007,29 @@ pub fn sweep(args: &Args) -> Result<String, String> {
 
 /// `flexdist verify [--lint [--root DIR] [--allow FILE]]
 /// [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE) [--t T]
-/// [--trace FILE]]`
+/// [--trace FILE]] [--protocol [--capacity N] [--nb NB] [--mutate M]]`
 ///
 /// Machine-checked correctness gate. `--lint` runs the workspace source
 /// rules (no `unwrap`/`expect` outside tests, NaN-safe `f64` ordering,
-/// `unsafe` confined to the work-stealing deque) against the allowlist.
-/// With `--op` and a distribution, builds the task graph and runs the
-/// static DAG linter (access sets, owner-computes, cycles,
-/// missing/redundant dependency edges); `--trace FILE` additionally
-/// replays a `simulate`/`execute` trace through the vector-clock race
-/// detector. Any finding makes the command fail.
+/// no lossy casts in the wire crates, `unsafe` confined to the
+/// work-stealing deque) against the allowlist. With `--op` and a
+/// distribution, builds the task graph and runs the static DAG linter
+/// (access sets, owner-computes, cycles, missing/redundant dependency
+/// edges); `--trace FILE` additionally replays a `simulate`/`execute`
+/// trace through the vector-clock race detector. Any finding makes the
+/// command fail.
+///
+/// `--protocol` (LU/Cholesky only) symbolically derives the complete
+/// per-rank send/recv schedule and proves send/recv matching,
+/// deadlock-freedom under bounded inbox buffers (reporting the minimum
+/// safe capacity; `--capacity N` additionally simulates exactly `N`
+/// frames and prints any wait-for cycle witness), replica eviction
+/// safety, and the per-rank peak-memory table (`--nb` sets the tile
+/// size the bytes column assumes). With `--trace FILE` the net-trace is
+/// also checked to be a linearization of the derived schedule. `--mutate
+/// drop-send|swap-sends|evict-early|capacity-1` seeds one protocol bug
+/// first — the run must then fail, which `scripts/check.sh` uses to
+/// prove the verifier is not vacuous.
 ///
 /// # Errors
 /// Returns flag/IO problems, and the full report when findings exist
@@ -987,7 +1039,14 @@ pub fn verify(args: &Args) -> Result<String, String> {
     let mut n_findings = 0usize;
     let run_lint = args.flag("lint");
     let run_dag = args.flag("op") || args.flag("p") || args.flag("pattern");
+    let run_protocol = args.flag("protocol");
     let replay_path = args.get_str("replay", "");
+    if run_protocol && !run_dag {
+        return Err(
+            "verify --protocol needs the distribution context: pass --op with --p/--pattern"
+                .to_string(),
+        );
+    }
     if !run_lint && !run_dag && replay_path.is_empty() {
         return Err(
             "verify: nothing to do — pass --lint, --replay FILE, and/or --op with --p/--pattern"
@@ -1041,6 +1100,66 @@ pub fn verify(args: &Args) -> Result<String, String> {
         let rep = flexdist_verify::lint_graph(&tl);
         n_findings += rep.findings.len();
         out.push_str(&rep.to_text());
+        if run_protocol {
+            if !matches!(op, Operation::Lu | Operation::Cholesky) {
+                return Err("verify --protocol supports --op lu or chol only".to_string());
+            }
+            let nb: usize = args.get("nb", 16)?;
+            let capacity: u32 = args.get("capacity", 0)?;
+            let capacity = (capacity > 0).then_some(capacity);
+            let mutate = args.get_str("mutate", "");
+            let mut sched = flexdist_verify::ProtocolSchedule::derive(&tl, &assignment)?;
+            let mut cap = capacity;
+            if !mutate.is_empty() {
+                let applied = match mutate.as_str() {
+                    "drop-send" => sched
+                        .drop_send(0)
+                        .map(|task| format!("dropped task {task}'s broadcast")),
+                    "swap-sends" => sched
+                        .swap_sends(0)
+                        .map(|(u, v)| format!("swapped the broadcasts of tasks {u} and {v}")),
+                    "evict-early" => sched.evict_early(0).map(|(r, k)| {
+                        format!(
+                            "decremented rank {r}'s readers_left of tile ({},{})@{}",
+                            k.i, k.j, k.epoch
+                        )
+                    }),
+                    "capacity-1" => {
+                        cap = Some(1);
+                        Some("simulating one-frame inboxes".to_string())
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown --mutate {other:?} (expected drop-send, swap-sends, \
+                             evict-early or capacity-1)"
+                        ))
+                    }
+                }
+                .ok_or_else(|| format!("--mutate {mutate}: schedule has no applicable site"))?;
+                let _ = writeln!(out, "protocol mutation: {applied}");
+            }
+            let prep = if mutate.is_empty() {
+                // The unmutated path also cross-checks the schedule
+                // against the independent Fig. 2 broadcast walk.
+                flexdist_verify::check_protocol(&tl, &assignment, cap)?
+            } else {
+                flexdist_verify::check_schedule(&sched, cap)
+            };
+            n_findings += prep.findings.len();
+            out.push_str(&prep.to_text());
+            out.push_str(&prep.peak_table(nb));
+            let trace_path = args.get_str("trace", "");
+            if !trace_path.is_empty() {
+                let text = std::fs::read_to_string(&trace_path)
+                    .map_err(|e| format!("cannot read trace {trace_path}: {e}"))?;
+                let doc = flexdist_json::parse(&text)
+                    .map_err(|e| format!("{trace_path}: trace JSON: {e}"))?;
+                let check = flexdist_verify::check_trace_linearization(&sched, &doc)
+                    .map_err(|e| format!("{trace_path}: {e}"))?;
+                n_findings += check.findings.len();
+                out.push_str(&check.to_text());
+            }
+        }
         let trace_path = args.get_str("trace", "");
         if !trace_path.is_empty() {
             let text = std::fs::read_to_string(&trace_path)

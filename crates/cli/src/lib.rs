@@ -24,8 +24,12 @@
 //!   under a chosen contention model and assert per-link message counts
 //!   and byte volumes agree exactly with the trace's goodput;
 //! * `verify`   — machine-checked correctness gate: workspace source
-//!   lint, static DAG lint of a factorization graph, and vector-clock
-//!   race detection over a dumped trace;
+//!   lint, static DAG lint of a factorization graph, vector-clock race
+//!   detection over a dumped trace, and (`--protocol`) the static
+//!   communication-protocol verifier — send/recv matching,
+//!   deadlock-freedom under bounded buffers with the minimum safe inbox
+//!   capacity, eviction safety, per-rank peak-memory bounds, and
+//!   net-trace linearization checking;
 //! * `db`       — build the per-`P` best-pattern database as JSON.
 //!
 //! `simulate`, `gantt`, `execute` and `dexec` accept `--trace-out FILE` to
@@ -69,7 +73,8 @@ COMMANDS:
             [--out FILE]
   verify    [--lint [--root DIR] [--allow FILE]] [--replay FILE]
             [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
-            [--t T] [--trace FILE]]
+            [--t T] [--trace FILE]] [--protocol [--capacity N] [--nb NB]
+            [--mutate drop-send|swap-sends|evict-early|capacity-1]]
   db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
 
 `simulate`, `gantt`, `execute` and `verify` also accept --pattern FILE
@@ -264,6 +269,119 @@ mod tests {
         assert!(out.contains("net-messages:"), "{out}");
         assert!(out.contains("verify: ok"), "{out}");
         let _ = std::fs::remove_file(net);
+    }
+
+    #[test]
+    fn verify_protocol_end_to_end() {
+        // Clean run: matching + deadlock-freedom + eviction safety
+        // proved, peak table printed.
+        let out = run(&sv(&[
+            "verify",
+            "--protocol",
+            "--op",
+            "lu",
+            "--p",
+            "7",
+            "--t",
+            "6",
+        ]))
+        .unwrap();
+        assert!(out.contains("min safe inbox capacity"), "{out}");
+        assert!(out.contains("peak bytes"), "{out}");
+        assert!(out.contains("verify: ok"), "{out}");
+
+        // The protocol verifier needs its distribution context.
+        let err = run(&sv(&["verify", "--protocol"])).unwrap_err();
+        assert!(err.contains("--op"), "{err}");
+
+        // Each seeded mutation must fail with its own finding kind.
+        for (mutate, rule) in [
+            ("drop-send", "missing-delivery"),
+            ("swap-sends", "send-mismatch"),
+            ("evict-early", "premature-eviction"),
+        ] {
+            let err = run(&sv(&[
+                "verify",
+                "--protocol",
+                "--op",
+                "lu",
+                "--p",
+                "7",
+                "--t",
+                "6",
+                "--mutate",
+                mutate,
+            ]))
+            .unwrap_err();
+            assert!(err.contains(rule), "--mutate {mutate}: {err}");
+            assert!(err.contains("FAILED"), "--mutate {mutate}: {err}");
+        }
+        // Capacity-1 inboxes deadlock the LU/SBC crisscross at P=2.
+        let err = run(&sv(&[
+            "verify",
+            "--protocol",
+            "--op",
+            "lu",
+            "--scheme",
+            "sbc",
+            "--p",
+            "2",
+            "--t",
+            "6",
+            "--mutate",
+            "capacity-1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("protocol-deadlock"), "{err}");
+        assert!(err.contains("wait-for cycle"), "{err}");
+    }
+
+    #[test]
+    fn verify_protocol_checks_live_trace_linearization() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("flexdist_cli_test_proto_net_trace.json");
+        let net = path.to_str().unwrap();
+        run(&sv(&[
+            "dexec",
+            "--op",
+            "chol",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--trace-out",
+            net,
+        ]))
+        .unwrap();
+        let out = run(&sv(&[
+            "verify",
+            "--protocol",
+            "--op",
+            "chol",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--trace",
+            net,
+        ]))
+        .unwrap();
+        assert!(out.contains("protocol-trace:"), "{out}");
+        assert!(out.contains("verify: ok"), "{out}");
+        let _ = std::fs::remove_file(net);
+    }
+
+    #[test]
+    fn dexec_prints_static_peak_memory() {
+        let out = run(&sv(&[
+            "dexec", "--op", "lu", "--p", "4", "--t", "5", "--nb", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("protocol        statically verified"), "{out}");
+        assert!(out.contains("min safe inbox capacity"), "{out}");
+        assert!(out.contains("peak"), "{out}");
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub fn incomplete_pattern(params: G2dbcParams) -> Pattern {
     for node in 0..p {
         let i = node as usize / a;
         let j = node as usize % a;
-        ip.set(i, j, node as NodeId);
+        ip.set(i, j, node);
     }
     ip
 }

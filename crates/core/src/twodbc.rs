@@ -89,9 +89,12 @@ pub fn best_2dbc_at_most(p: u32) -> (u32, usize, usize) {
 /// nodes, in a square grid" baseline.
 #[must_use]
 pub fn largest_square_at_most(p: u32) -> (u32, u32) {
-    let q = (f64::from(p).sqrt().floor()) as u32;
-    // Guard against floating-point edge cases at perfect squares.
-    let q = if (q + 1) * (q + 1) <= p { q + 1 } else { q };
+    // Exact integer square root: no float round-trip, no edge cases at
+    // perfect squares.
+    let mut q: u32 = 0;
+    while u64::from(q + 1) * u64::from(q + 1) <= u64::from(p) {
+        q += 1;
+    }
     (q * q, q)
 }
 

@@ -9,6 +9,7 @@
 //! which lets the tests quantify how fast the estimate converges.
 
 use crate::assignment::TileAssignment;
+use crate::schedule::{cholesky_broadcasts, lu_broadcasts, BcastClass, BcastMsg};
 use flexdist_core::Pattern;
 
 /// Communication volumes in *tiles sent* (one unit = one tile transferred to
@@ -78,33 +79,20 @@ impl ReceiverSet {
 ///   [`CommBreakdown::trailing`].
 #[must_use]
 pub fn lu_comm_volume(a: &TileAssignment) -> CommBreakdown {
-    let t = a.tiles();
-    let mut rs = ReceiverSet::new(a.n_nodes());
-    let mut out = CommBreakdown::default();
+    accumulate(lu_broadcasts(a))
+}
 
-    for l in 0..t {
-        // Diagonal tile to the panel.
-        rs.begin(a.owner(l, l));
-        for i in (l + 1)..t {
-            rs.add(a.owner(i, l));
-            rs.add(a.owner(l, i));
-        }
-        out.panel += rs.count;
-        // Column panel tiles across their rows.
-        for i in (l + 1)..t {
-            rs.begin(a.owner(i, l));
-            for j in (l + 1)..t {
-                rs.add(a.owner(i, j));
-            }
-            out.trailing += rs.count;
-        }
-        // Row panel tiles down their columns.
-        for j in (l + 1)..t {
-            rs.begin(a.owner(l, j));
-            for i in (l + 1)..t {
-                rs.add(a.owner(i, j));
-            }
-            out.trailing += rs.count;
+/// Fold a broadcast stream into per-class tile-send counts. The volume
+/// counters are thin folds over [`crate::schedule`]'s message stream, so
+/// every hand-count and estimate-convergence test below doubles as a
+/// fidelity proof of the walk itself.
+fn accumulate(msgs: impl Iterator<Item = BcastMsg>) -> CommBreakdown {
+    let mut out = CommBreakdown::default();
+    for m in msgs {
+        let n = m.receivers.len() as u64;
+        match m.class {
+            BcastClass::Panel => out.panel += n,
+            BcastClass::Trailing => out.trailing += n,
         }
     }
     out
@@ -121,31 +109,7 @@ pub fn lu_comm_volume(a: &TileAssignment) -> CommBreakdown {
 ///   `(j,i)` for `j > i` (SYRK/GEMM inputs) — [`CommBreakdown::trailing`].
 #[must_use]
 pub fn cholesky_comm_volume(a: &TileAssignment) -> CommBreakdown {
-    let t = a.tiles();
-    let mut rs = ReceiverSet::new(a.n_nodes());
-    let mut out = CommBreakdown::default();
-
-    for l in 0..t {
-        rs.begin(a.owner(l, l));
-        for i in (l + 1)..t {
-            rs.add(a.owner(i, l));
-        }
-        out.panel += rs.count;
-
-        for i in (l + 1)..t {
-            rs.begin(a.owner(i, l));
-            // Row part of colrow i in the trailing submatrix.
-            for j in (l + 1)..=i {
-                rs.add(a.owner(i, j));
-            }
-            // Column part below the diagonal.
-            for j in (i + 1)..t {
-                rs.add(a.owner(j, i));
-            }
-            out.trailing += rs.count;
-        }
-    }
-    out
+    accumulate(cholesky_broadcasts(a))
 }
 
 /// Exact tile-send count of a tiled matrix product `C = A·B` where `A`,

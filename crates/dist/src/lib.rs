@@ -9,6 +9,10 @@
 //! * [`comm`] — exact per-iteration communication-volume counting for
 //!   right-looking LU and Cholesky under the owner-computes rule, together
 //!   with the closed-form estimates of paper Eq. 1 / Eq. 2;
+//! * [`schedule`] — the underlying Fig. 2 broadcast walks as a reusable
+//!   message stream (sender, tile, epoch, distinct receiver set), which
+//!   the volume counters fold over and the distributed executor and the
+//!   static protocol verifier both mirror;
 //! * [`load`] — per-node tile-count and flop-weighted load reports.
 
 #![forbid(unsafe_code)]
@@ -16,7 +20,9 @@
 pub mod assignment;
 pub mod comm;
 pub mod load;
+pub mod schedule;
 
 pub use assignment::TileAssignment;
 pub use comm::{cholesky_comm_volume, gemm_comm_volume, lu_comm_volume, CommBreakdown};
 pub use load::LoadReport;
+pub use schedule::{cholesky_broadcasts, lu_broadcasts, BcastClass, BcastMsg};

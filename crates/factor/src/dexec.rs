@@ -166,25 +166,49 @@ pub fn execute_distributed_traced(
     )
 }
 
-/// One broadcast a task performs after completing.
-struct Bcast {
-    class: MsgClass,
-    i: u32,
-    j: u32,
-    epoch: u32,
-    receivers: Vec<u32>,
+/// One broadcast a task performs after completing: its written tile to
+/// the distinct owners that read it remotely, in first-encounter order
+/// of the Fig. 2 owner walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskBcast {
+    /// Panel or trailing leg of the iteration.
+    pub class: MsgClass,
+    /// Tile row.
+    pub i: u32,
+    /// Tile column.
+    pub j: u32,
+    /// Iteration at which the tile's final value ships (`min(i, j)`).
+    pub epoch: u32,
+    /// Distinct receiving ranks, never containing the sender.
+    pub receivers: Vec<u32>,
 }
 
-/// Static per-task schedule derived from the ops + owner map.
-struct Plan {
+/// The complete static communication schedule of a distributed run,
+/// derived from the ops + owner map alone — every send and every remote
+/// operand of every task, before a single message moves.
+///
+/// This is the single source of truth shared by the progress engine
+/// ([`execute_distributed_with`]) and the static protocol verifier
+/// (`flexdist-verify`'s `protocol` module): both consume exactly this
+/// structure, so what the verifier proves is what the engine runs.
+#[derive(Debug, Clone)]
+pub struct CommSchedule {
+    /// Tile count per matrix side.
+    pub t: usize,
+    /// Rank count (one per node of the assignment).
+    pub n_ranks: u32,
     /// Executing rank of each task (owner-computes).
-    node: Vec<u32>,
+    pub node: Vec<u32>,
     /// Same-rank predecessor counts.
-    local_deps: Vec<u32>,
+    pub local_deps: Vec<u32>,
     /// Remote operands each task waits for.
-    needs: Vec<Vec<TileKey>>,
+    pub needs: Vec<Vec<TileKey>>,
     /// Broadcast each task performs on completion.
-    bcast: Vec<Option<Bcast>>,
+    pub bcast: Vec<Option<TaskBcast>>,
+    /// Tile each task writes in place.
+    pub writes: Vec<(u32, u32)>,
+    /// Factorization iteration each task belongs to.
+    pub epochs: Vec<u32>,
 }
 
 /// Distinct-receiver collector mirroring `flexdist_dist::comm`'s
@@ -266,7 +290,7 @@ fn write_of(op: Op) -> (usize, usize) {
 /// The broadcast a completed task performs, mirroring the owner walks of
 /// `lu_comm_volume` / `cholesky_comm_volume` exactly (same tiles, same
 /// distinct-receiver sets), which is what makes measured == analytic.
-fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) -> Option<Bcast> {
+fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) -> Option<TaskBcast> {
     let own = |i: usize, j: usize| a.owner(i, j);
     let (class, i, j, epoch, receivers) = match op {
         Op::Getrf { l } => {
@@ -301,7 +325,7 @@ fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) ->
     if receivers.is_empty() {
         return None;
     }
-    Some(Bcast {
+    Some(TaskBcast {
         class,
         i: i as u32,
         j: j as u32,
@@ -310,7 +334,19 @@ fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) ->
     })
 }
 
-fn build_plan(tl: &TaskList, a: &TileAssignment) -> Result<Plan, NetError> {
+/// Derive the complete static communication schedule of a distributed
+/// run from the task list and owner map.
+///
+/// Mirrors the owner walks of `flexdist_dist::schedule` exactly (same
+/// tiles, same distinct-receiver sets in the same order) — the property
+/// that makes measured wire volume equal the analytic counts, and that
+/// lets `flexdist-verify` cross-check both derivations against each
+/// other.
+///
+/// # Errors
+/// [`NetError::Unsupported`] for operations without a broadcast
+/// schedule (only LU and Cholesky have one).
+pub fn derive_schedule(tl: &TaskList, a: &TileAssignment) -> Result<CommSchedule, NetError> {
     if !matches!(tl.operation, Operation::Lu | Operation::Cholesky) {
         return Err(NetError::Unsupported {
             operation: tl.operation.name().to_string(),
@@ -345,11 +381,24 @@ fn build_plan(tl: &TaskList, a: &TileAssignment) -> Result<Plan, NetError> {
         needs.push(keys);
         bcast.push(bcast_of(op, t, a, &mut rc));
     }
-    Ok(Plan {
+    let writes = tl
+        .ops
+        .iter()
+        .map(|&op| {
+            let (i, j) = write_of(op);
+            (i as u32, j as u32)
+        })
+        .collect();
+    let epochs = tl.ops.iter().map(|&op| epoch_of(op)).collect();
+    Ok(CommSchedule {
+        t,
+        n_ranks: a.n_nodes(),
         node,
         local_deps,
         needs,
         bcast,
+        writes,
+        epochs,
     })
 }
 
@@ -459,7 +508,7 @@ fn run_rank(
     me: u32,
     tl: &TaskList,
     a: &TileAssignment,
-    plan: &Plan,
+    plan: &CommSchedule,
     input: &TiledMatrix,
     mut ep: Endpoint,
     t0: Instant,
@@ -690,7 +739,7 @@ pub fn execute_distributed_with(
             got: input.tiles(),
         });
     }
-    let plan = build_plan(tl, assignment)?;
+    let plan = derive_schedule(tl, assignment)?;
     let shared = Arc::new(assignment.clone());
     let faults = opts.faults.clone().map(Arc::new);
     let n_ranks = assignment.n_nodes();
@@ -867,7 +916,7 @@ pub fn execute_rank_socket(
             got: input.tiles(),
         });
     }
-    let plan = build_plan(tl, assignment)?;
+    let plan = derive_schedule(tl, assignment)?;
     let shared = Arc::new(assignment.clone());
     let faults = opts.faults.clone().map(Arc::new);
     let transport = SocketTransport::establish(rank, assignment.n_nodes(), opts.topology, cfg)?;

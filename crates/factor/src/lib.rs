@@ -39,8 +39,9 @@ pub mod steal;
 pub mod sweep;
 
 pub use dexec::{
-    execute_distributed, execute_distributed_traced, execute_distributed_with, execute_rank_socket,
-    merge_rank_outcomes, Backend, DexecOptions, DexecOutput, RankOutcome,
+    derive_schedule, execute_distributed, execute_distributed_traced, execute_distributed_with,
+    execute_rank_socket, merge_rank_outcomes, Backend, CommSchedule, DexecOptions, DexecOutput,
+    RankOutcome, TaskBcast,
 };
 pub use execute::{
     execute, execute_pair, execute_traced, execute_with, ExecEvent, ExecEventKind, ExecOptions,

@@ -291,7 +291,7 @@ impl FaultPlan {
             counter(SALT_SITE, &[from, to, i, j, epoch, attempt]),
         );
         let at = (r % frame_len.max(1) as u64) as usize;
-        let mask = ((r >> 32) as u8) | 1;
+        let mask = (r >> 32).to_le_bytes()[0] | 1;
         (at, mask)
     }
 

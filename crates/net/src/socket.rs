@@ -32,7 +32,7 @@
 
 use crate::codec::{frame_len, HEADER_LEN};
 use crate::error::NetError;
-use crate::transport::{Topology, Transport, TransportRecv, TransportSendError};
+use crate::transport::{BufferConfig, Topology, Transport, TransportRecv, TransportSendError};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as TcpShutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -506,6 +506,14 @@ impl Transport for SocketTransport {
             SocketKind::Uds => "uds",
             SocketKind::Tcp => "tcp",
         }
+    }
+
+    fn buffer_config(&self) -> BufferConfig {
+        // One reader thread per peer drains its stream into the shared
+        // unbounded inbox channel as fast as frames arrive, so the OS
+        // socket buffer never back-pressures a sender indefinitely:
+        // logically the inbox is unbounded, like the channel backend.
+        BufferConfig::UNBOUNDED
     }
 
     fn send(&mut self, to: u32, frame: Vec<u8>) -> Result<(), TransportSendError> {

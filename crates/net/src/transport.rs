@@ -226,6 +226,37 @@ pub enum TransportRecv {
     Closed,
 }
 
+/// Buffering model of a transport backend: how many frames a rank's
+/// inbox holds before a sender would block.
+///
+/// Surfaced as queryable configuration so the static protocol verifier
+/// (`flexdist-verify`) can prove deadlock-freedom against the *exact*
+/// capacity a backend provides, instead of hard-coding "sends never
+/// block" as folklore. Both shipped backends are unbounded — the mpsc
+/// channel by construction, the socket transport because a dedicated
+/// reader thread drains each stream into an unbounded queue — which is
+/// precisely why the engine may send before receiving; a future bounded
+/// backend must satisfy the verifier's minimum-capacity bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Frames a receiving inbox can hold before senders block;
+    /// `None` means unbounded (sends never block on the receiver).
+    pub inbox_frames: Option<u32>,
+}
+
+impl BufferConfig {
+    /// Unbounded inbox: the model of both shipped backends.
+    pub const UNBOUNDED: Self = Self { inbox_frames: None };
+
+    /// A bounded inbox of `frames` frames.
+    #[must_use]
+    pub const fn bounded(frames: u32) -> Self {
+        Self {
+            inbox_frames: Some(frames),
+        }
+    }
+}
+
 /// A byte mover between ranks: the seam under [`Endpoint`].
 ///
 /// Implementations carry opaque frames, whole and in per-sender order,
@@ -266,6 +297,12 @@ pub trait Transport: Send {
     /// Close the outgoing half so peers can observe
     /// [`TransportRecv::Closed`]. Idempotent; the inbox stays readable.
     fn finish_sends(&mut self);
+
+    /// The backend's buffering model — what the static protocol
+    /// verifier checks deadlock-freedom against.
+    fn buffer_config(&self) -> BufferConfig {
+        BufferConfig::UNBOUNDED
+    }
 }
 
 /// The in-process backend: one mpsc inbox per rank, sender clones for
@@ -309,6 +346,12 @@ impl Transport for ChannelTransport {
         for tx in &mut self.txs {
             *tx = None;
         }
+    }
+
+    fn buffer_config(&self) -> BufferConfig {
+        // `std::sync::mpsc::channel` is the unbounded flavor; `send`
+        // never blocks on a full inbox.
+        BufferConfig::UNBOUNDED
     }
 }
 
@@ -375,6 +418,12 @@ impl Endpoint {
     #[must_use]
     pub fn backend(&self) -> &'static str {
         self.transport.name()
+    }
+
+    /// Buffering model of the backend underneath.
+    #[must_use]
+    pub fn buffer_config(&self) -> BufferConfig {
+        self.transport.buffer_config()
     }
 
     /// The fault plan attached to this fabric, if any.

@@ -22,10 +22,20 @@
 //! 3. **Workspace lint pass** ([`lint`]): repo-specific source rules
 //!    (no `unwrap()`/`expect()` in library crates outside tests, no
 //!    NaN-unsafe `f64` ordering outside the blessed `Time`-bits helpers,
-//!    `unsafe` confined to `factor::steal` with `// SAFETY:` comments),
-//!    driven by an explicit allowlist file.
+//!    no lossy `as` integer narrowing in the wire crates, `unsafe`
+//!    confined to `factor::steal` with `// SAFETY:` comments), driven by
+//!    an explicit allowlist file.
+//! 4. **Static protocol verifier** ([`protocol`]): derives the complete
+//!    per-rank send/recv schedule from `(pattern, P, tiles,
+//!    factorization)` alone — cross-checked against the independent
+//!    Fig. 2 broadcast walk — and proves send/recv matching,
+//!    deadlock-freedom under bounded inbox buffers (reporting the
+//!    minimum safe capacity and full wait-for cycle witnesses), replica
+//!    eviction safety, and exact per-rank peak-memory bounds; a live
+//!    `net-trace` can then be validated as a linearization of the
+//!    derived schedule.
 //!
-//! All three are exposed through the `flexdist verify` CLI subcommand and
+//! All four are exposed through the `flexdist verify` CLI subcommand and
 //! run in `scripts/check.sh`, so every CI run is also a race-detection
 //! run.
 
@@ -34,12 +44,17 @@
 pub mod access;
 pub mod dag;
 pub mod lint;
+pub mod protocol;
 pub mod race;
 pub mod view;
 
 pub use access::{expected_accesses, TaskAccess};
 pub use dag::{lint_graph, lint_with_view, DagReport};
 pub use lint::{lint_workspace, Allowlist, LintFinding, LintReport};
+pub use protocol::{
+    check_protocol, check_schedule, check_trace_linearization, ProtocolReport, ProtocolSchedule,
+    RankPeak, SendSpec, TraceCheck,
+};
 pub use race::{
     check_net_messages, check_replay_report, detect_races, net_messages_from_json,
     trace_provenance, MsgView, NetMsgReport, RaceReport, ReplayCheck, Span, TraceView,

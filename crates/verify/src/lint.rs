@@ -17,6 +17,12 @@
 //! * `unsafe-outside-steal` / `missing-safety-comment` — `unsafe` is
 //!   confined to `factor/src/steal.rs`, and every use there must carry a
 //!   `// SAFETY:` comment within the three preceding lines.
+//! * `lossy-cast` — `as`-casts to narrow integer types (`u8`/`u16`/
+//!   `u32`/`i8`/`i16`/`i32`/`NodeId`) forbidden in the wire crates
+//!   (`net`, `core`): a silently truncating cast in a frame header or an
+//!   owner computation corrupts the protocol instead of failing. Use
+//!   `try_from` or widen; the handful of provably-in-range sites are
+//!   allowlisted.
 //!
 //! The scanner is line-based: `//` comments are stripped before matching
 //! and `#[cfg(test)]` blocks are skipped by brace tracking. Allowlist
@@ -43,6 +49,13 @@ const UNSAFE_ALLOWED_IN: &str = "crates/factor/src/steal.rs";
 
 /// File allowed to use `partial_cmp` (the bits-ordered `Time` wrapper).
 const NAN_ORDERING_ALLOWED_IN: &str = "crates/runtime/src/sim.rs";
+
+/// Crates where a narrowing `as` cast can corrupt wire frames or owner
+/// maps and is therefore banned outside the allowlist.
+const LOSSY_CAST_CRATES: [&str; 2] = ["crates/net/", "crates/core/"];
+
+/// Narrow integer targets a lossy `as` cast can silently truncate to.
+const NARROW_INT_TYPES: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "NodeId"];
 
 /// One allowlisted source line: a workspace-relative path plus the
 /// trimmed line content it blesses.
@@ -203,6 +216,32 @@ fn has_unsafe_keyword(code: &str) -> bool {
     false
 }
 
+/// Whether `code` contains a cast `as T` with `T` one of the narrow
+/// integer types — `as` matched as a standalone word so identifiers
+/// like `last` or paths like `as_u32(` do not count.
+fn has_lossy_cast(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(" as ") {
+        let start = from + at + 1; // index of the 'a'
+        from = start + 3;
+        if start > 0 && word(bytes[start - 1]) {
+            continue;
+        }
+        let rest = &code[start + 3..];
+        let target: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if NARROW_INT_TYPES.contains(&target.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Scan one file's text; `rel` is its workspace-relative path.
 fn scan_file(rel: &str, text: &str, allow: &Allowlist, used: &mut [bool], out: &mut LintReport) {
     let mut in_test = false;
@@ -244,6 +283,9 @@ fn scan_file(rel: &str, text: &str, allow: &Allowlist, used: &mut [bool], out: &
         }
         if code.contains(".partial_cmp(") && rel != NAN_ORDERING_ALLOWED_IN {
             violations.push(("nan-ordering", trimmed));
+        }
+        if LOSSY_CAST_CRATES.iter().any(|c| rel.starts_with(c)) && has_lossy_cast(code) {
+            violations.push(("lossy-cast", trimmed));
         }
         if has_unsafe_keyword(code) {
             if rel != UNSAFE_ALLOWED_IN {
@@ -443,6 +485,40 @@ mod tests {
         let src = "#![deny(unsafe_op_in_unsafe_fn)]\n";
         let rep = run("crates/factor/src/steal.rs", src, &Allowlist::default());
         assert!(rep.is_clean());
+    }
+
+    #[test]
+    fn lossy_casts_banned_in_wire_crates() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        let rep = run("crates/net/src/x.rs", src, &Allowlist::default());
+        assert_eq!(rep.findings[0].rule, "lossy-cast");
+        let rep = run("crates/core/src/x.rs", src, &Allowlist::default());
+        assert_eq!(rep.findings[0].rule, "lossy-cast");
+        // Other crates are out of scope for this rule.
+        let rep = run("crates/runtime/src/x.rs", src, &Allowlist::default());
+        assert!(rep.is_clean(), "{}", rep.to_text());
+        // Widening and float casts are fine; so are identifiers ending
+        // in "as" and `as_u32`-style calls.
+        let ok = "fn f(x: u32) -> u64 { x as u64 }\n\
+                  fn g(x: u32) -> f64 { x as f64 }\n\
+                  fn h(atlas: u64) -> u64 { atlas }\n\
+                  fn k(v: &V) -> Option<u64> { v.as_u64() }\n";
+        let rep = run("crates/net/src/x.rs", ok, &Allowlist::default());
+        assert!(rep.is_clean(), "{}", rep.to_text());
+        // The NodeId alias is u32, so casting into it is narrowing too.
+        let src = "fn f(x: usize) -> NodeId { x as NodeId }\n";
+        let rep = run("crates/core/src/x.rs", src, &Allowlist::default());
+        assert_eq!(rep.findings[0].rule, "lossy-cast");
+        // Allowlisted sites are suppressed, exactly like other rules.
+        let allow =
+            Allowlist::parse("crates/net/src/x.rs: fn f(x: u64) -> u32 { x as u32 }\n").unwrap();
+        let rep = run(
+            "crates/net/src/x.rs",
+            "fn f(x: u64) -> u32 { x as u32 }\n",
+            &allow,
+        );
+        assert!(rep.is_clean(), "{}", rep.to_text());
+        assert_eq!(rep.allowed, 1);
     }
 
     #[test]

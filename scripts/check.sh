@@ -93,10 +93,27 @@ fi
 
 # Verify smoke: the workspace lint plus a static DAG check of one LU and
 # one Cholesky configuration. `verify` exits non-zero on any finding
-# (missing/redundant edge, owner-computes violation, banned unwrap, ...),
-# so a regression in the graph builders or a stray unwrap fails the gate.
+# (missing/redundant edge, owner-computes violation, banned unwrap,
+# lossy cast in a wire crate, ...), so a regression in the graph
+# builders or a stray unwrap fails the gate.
 run ./target/release/flexdist verify --lint --root .
 run ./target/release/flexdist verify --op lu --p 7 --t 8
 run ./target/release/flexdist verify --op chol --p 12 --scheme gcrm --t 10
+
+# Protocol smoke: the static communication-protocol verifier proves
+# send/recv matching, deadlock-freedom (with the minimum safe inbox
+# capacity) and eviction safety for one LU and one Cholesky deployment —
+# and, to prove the verifier is not vacuous, a seeded mutation of the
+# same schedule must make it fail.
+echo "==> flexdist verify --protocol smoke"
+run ./target/release/flexdist verify --protocol --op lu --p 7 --t 8
+run ./target/release/flexdist verify --protocol --op chol --p 12 --scheme gcrm --t 10
+echo "==> flexdist verify --protocol --mutate drop-send (must fail)"
+if ./target/release/flexdist verify --protocol --op lu --p 7 --t 8 \
+    --mutate drop-send >/dev/null 2>&1; then
+    echo "protocol mutation smoke failed: dropped send went undetected" >&2
+    exit 1
+fi
+echo "    (failed as expected)"
 
 echo "All checks passed."
