@@ -41,6 +41,29 @@ fn parse_op_any(token: &str) -> Result<Operation, String> {
     }
 }
 
+/// Parse a `--crash RANK@EPOCH[,RANK@EPOCH...]` crash-point list. The
+/// recovery engine only survives a single casualty; passing more than
+/// one point is how the CLI reaches the typed double-crash refusal.
+fn parse_crash_list(token: &str) -> Result<Vec<(u32, u32)>, String> {
+    token.split(',').map(parse_crash).collect()
+}
+
+/// Parse a `--crash RANK@EPOCH` crash point.
+fn parse_crash(token: &str) -> Result<(u32, u32), String> {
+    let (r, e) = token
+        .split_once('@')
+        .ok_or_else(|| format!("bad crash point {token:?} (expected RANK@EPOCH)"))?;
+    let rank: u32 = r
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad crash rank {r:?} in {token:?}"))?;
+    let epoch: u32 = e
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad crash epoch {e:?} in {token:?}"))?;
+    Ok((rank, epoch))
+}
+
 /// `flexdist pattern --p N [--scheme ...] [--seeds K] [--print]`
 ///
 /// # Errors
@@ -472,7 +495,8 @@ pub fn execute(args: &Args) -> Result<String, String> {
 }
 
 /// `flexdist dexec --op lu|chol --p N [--t T] [--nb NB] [--scheme S]
-/// [--seed S] [--backend channel|uds|tcp] [--trace-out FILE]`
+/// [--seed S] [--backend channel|uds|tcp] [--trace-out FILE]
+/// [--recover --crash RANK@EPOCH [--watchdog MS]]`
 ///
 /// Runs the factorization in distributed mode: one message-passing rank
 /// per node of the assignment, each holding only its owned tiles, with
@@ -489,6 +513,15 @@ pub fn execute(args: &Args) -> Result<String, String> {
 /// channel, merges them, and requires the multi-process result to be
 /// bitwise identical to the in-process run with the identical traffic
 /// counters.
+///
+/// With `--recover --crash RANK@EPOCH` the run is repeated once more
+/// with that rank scheduled to die at the start of that iteration and
+/// recovery armed: survivors re-map the casualty's tiles onto
+/// themselves, splice the post-crash schedule in, and the recovered
+/// result must stay bitwise identical to the crash-free run with
+/// goodput equal to the *spliced* closed-form volume. Under a socket
+/// backend the recovered run also repeats multi-process, where the
+/// crashed rank is a real child process that exits.
 ///
 /// # Errors
 /// Propagates flag and admissibility errors, protocol errors from the
@@ -560,6 +593,8 @@ pub fn dexec(args: &Args) -> Result<String, String> {
                 seed,
                 kind,
                 n_ranks: p,
+                crash: None,
+                recover: false,
             };
             let (mp_matrix, mp_rep) = mp::run_ranks(&spec)?;
             if mp_rep.error != rep.error {
@@ -595,6 +630,102 @@ pub fn dexec(args: &Args) -> Result<String, String> {
         }
     };
 
+    // Crash-recovery leg: schedule the crash, recover, and judge the
+    // recovered run against the crash-free run and the spliced volume.
+    let mut recover_lines = Vec::new();
+    if args.flag("recover") {
+        let crash = args.get_str("crash", "");
+        if crash.is_empty() {
+            return Err("dexec --recover needs --crash RANK@EPOCH".to_string());
+        }
+        let points = parse_crash_list(&crash)?;
+        let mut fault_plan = FaultPlan::new(seed);
+        for &(r, e) in &points {
+            fault_plan = fault_plan.with_crash(r, e);
+        }
+        if points.len() > 1 {
+            // The P→P−1 re-map covers exactly one casualty; let the
+            // recovery deriver refuse the plan with its typed error.
+            flexdist_factor::derive_recovery(
+                &tl,
+                &assignment,
+                Some(&fault_plan),
+                &flexdist_factor::net::FullMesh,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        let (dead, cepoch) = points[0];
+        let watchdog_ms: u64 = args.get("watchdog", 30_000)?;
+        let rp = flexdist_factor::derive_recovery_at(&tl, &assignment, dead, cepoch)
+            .map_err(|e| e.to_string())?;
+        let opts = DexecOptions {
+            faults: Some(fault_plan),
+            recover: true,
+            watchdog: std::time::Duration::from_millis(watchdog_ms),
+            ..DexecOptions::default()
+        };
+        let rec =
+            execute_distributed_with(&tl, &assignment, &a0, &opts).map_err(|e| e.to_string())?;
+        let judge = |what: &str, matrix: &TiledMatrix, rep: &flexdist_factor::net::NetReport| {
+            if let Some(e) = &rep.error {
+                return Err(format!("{what}: kernel error {e}"));
+            }
+            if matrix.diff_norm(&run.matrix) != 0.0 {
+                return Err(format!(
+                    "{what}: recovered result differs bitwise from the crash-free run"
+                ));
+            }
+            if rep.wire != rp.expected {
+                return Err(format!(
+                    "{what}: recovered goodput violates the spliced volume — measured panel {} \
+                     trailing {}, spliced counters say panel {} trailing {}",
+                    rep.wire.panel, rep.wire.trailing, rp.expected.panel, rp.expected.trailing
+                ));
+            }
+            if rep.recovered_msgs != rp.recovered.total() {
+                return Err(format!(
+                    "{what}: recovered-send accounting diverged — counted {}, spliced stream \
+                     says {}",
+                    rep.recovered_msgs,
+                    rp.recovered.total()
+                ));
+            }
+            Ok(())
+        };
+        judge("recovered run (channel)", &rec.matrix, &rec.report)?;
+        recover_lines.push(format!(
+            "  recovery        rank {dead} died at epoch {cepoch} ({}): {} recovered send(s) / \
+             {} B, goodput == spliced volume, bitwise == crash-free",
+            if rp.active { "active re-map" } else { "no-op" },
+            rec.report.recovered_msgs,
+            rec.report.recovered_bytes
+        ));
+        if let Some(kind) = backend {
+            let spec = mp::MpSpec {
+                op: args.get_str("op", "lu"),
+                scheme_flags: replicated_scheme_flags(args, default_scheme)?,
+                t,
+                nb,
+                seed,
+                kind,
+                n_ranks: p,
+                crash: Some((dead, cepoch)),
+                recover: true,
+            };
+            let (mp_matrix, mp_rep) = mp::run_ranks(&spec)?;
+            judge(
+                &format!("recovered run ({})", kind.name()),
+                &mp_matrix,
+                &mp_rep,
+            )?;
+            recover_lines.push(format!(
+                "  recovery        {}: {p} rank processes, crashed rank exited, bitwise == \
+                 crash-free, goodput == spliced volume",
+                kind.name()
+            ));
+        }
+    }
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -625,6 +756,9 @@ pub fn dexec(args: &Args) -> Result<String, String> {
         "  conformance     ok (matches exact counters; bitwise == shared-memory; deterministic)"
     );
     if let Some(line) = mp_line {
+        let _ = writeln!(out, "{line}");
+    }
+    for line in recover_lines {
         let _ = writeln!(out, "{line}");
     }
     // Static protocol analysis: the proved peak-memory bound sits next
@@ -689,10 +823,22 @@ pub fn dexec(args: &Args) -> Result<String, String> {
 /// unchanged, because fault fates are a pure function of the seed and
 /// the message identity, not of transport timing.
 ///
+/// With `--recover` the command switches to the **crash-recovery
+/// gate** instead: for every op × rank-count cell (default LU and
+/// Cholesky over `--ps 4,5,7,12`) it schedules a `crash_rank_at_epoch`
+/// fault at two crash points, arms recovery, and requires each cell to
+/// complete with factors bitwise-identical to the crash-free run and
+/// goodput equal to the spliced closed-form volume. `--backend uds|tcp`
+/// runs every cell multi-process, the crashed rank being a real child
+/// process that exits after its pre-crash work.
+///
 /// # Errors
 /// Propagates flag and admissibility errors, protocol errors from the
 /// fabric, and every chaos-invariant violation (named by cell).
 pub fn chaos(args: &Args) -> Result<String, String> {
+    if args.flag("recover") {
+        return chaos_recover(args);
+    }
     let op = parse_op(&args.get_str("op", "lu"))?;
     let default_scheme = match op {
         Operation::Lu => "g2dbc",
@@ -850,9 +996,169 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `flexdist chaos --recover [--op lu|chol] [--ps P1,P2,...] [--t T]
+/// [--nb NB] [--seed S] [--seeds K] [--watchdog MS]
+/// [--backend channel|uds|tcp]`
+///
+/// The crash-recovery acceptance gate (see [`chaos`]): every cell
+/// crashes the owner of the final diagonal tile — a rank with work at
+/// every iteration, so the recovery is always an active re-map — at an
+/// early and a middle epoch, and must complete bitwise-identical to the
+/// crash-free run with goodput equal to the spliced volume and the
+/// recovered-send counters equal to the spliced stream's flagged share.
+fn chaos_recover(args: &Args) -> Result<String, String> {
+    let ops: Vec<Operation> = if args.flag("op") {
+        vec![parse_op(&args.get_str("op", "lu"))?]
+    } else {
+        vec![Operation::Lu, Operation::Cholesky]
+    };
+    let mut ps = Vec::new();
+    for tok in args.get_str("ps", "4,5,7,12").split(',') {
+        let p: u32 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rank count {tok:?} in --ps"))?;
+        if p < 2 {
+            return Err("--ps entries must be at least 2 (recovery needs a survivor)".to_string());
+        }
+        ps.push(p);
+    }
+    let t: usize = args.get("t", 6)?;
+    let nb: usize = args.get("nb", 8)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let seeds: u64 = args.get("seeds", 30)?;
+    let watchdog_ms: u64 = args.get("watchdog", 30_000)?;
+    let backend = backend_from_args(args)?;
+    if t < 2 {
+        return Err("--t must be at least 2".to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos --recover: crash_rank_at_epoch cells over the {} backend, {t}x{t} tiles of {nb}:",
+        backend.map_or("channel", SocketKind::name)
+    );
+    let _ = writeln!(
+        out,
+        "  {:>4} {:>3} {:>7} {:>7} | {:>9} {:>9} {:>10} | verdict",
+        "op", "p", "scheme", "crash", "wire", "recov", "recov B"
+    );
+    let mut cells = 0u64;
+    for &op in &ops {
+        let (op_tok, scheme_tok) = match op {
+            Operation::Lu => ("lu", "g2dbc"),
+            Operation::Cholesky => ("chol", "gcrm"),
+            _ => return Err("chaos --recover supports --op lu or chol only".to_string()),
+        };
+        let kind = SchemeKind::parse(scheme_tok)?;
+        for &p in &ps {
+            let pat = kind.build(p, seeds)?;
+            let assignment = TileAssignment::extended(&pat, t);
+            let tl = build_graph(op, &assignment, &KernelCostModel::uniform(nb, 30.0));
+            let a0 = match op {
+                Operation::Lu => TiledMatrix::random_diag_dominant(t, nb, seed),
+                _ => {
+                    let mut m = TiledMatrix::random_spd(t, nb, seed);
+                    m.symmetrize_from_lower();
+                    m
+                }
+            };
+            // One crash-free reference per (op, p): the bitwise oracle.
+            let (base, base_rep) =
+                execute_distributed(&tl, &assignment, &a0).map_err(|e| e.to_string())?;
+            if let Some(e) = &base_rep.error {
+                return Err(format!("crash-free reference op={op_tok} p={p}: {e}"));
+            }
+            // The final diagonal tile's owner works at every iteration.
+            let dead = assignment.owner(t - 1, t - 1);
+            for cepoch in [1u32, (t as u32) / 2] {
+                let cell = format!("cell op={op_tok} p={p} crash={dead}@{cepoch}");
+                let rp = flexdist_factor::derive_recovery_at(&tl, &assignment, dead, cepoch)
+                    .map_err(|e| format!("{cell}: {e}"))?;
+                let (matrix, rep) = match backend {
+                    None => {
+                        let opts = DexecOptions {
+                            faults: Some(FaultPlan::new(seed).with_crash(dead, cepoch)),
+                            recover: true,
+                            watchdog: std::time::Duration::from_millis(watchdog_ms),
+                            ..DexecOptions::default()
+                        };
+                        let rec = execute_distributed_with(&tl, &assignment, &a0, &opts)
+                            .map_err(|e| format!("{cell}: {e}"))?;
+                        (rec.matrix, rec.report)
+                    }
+                    Some(kind) => {
+                        let spec = mp::MpSpec {
+                            op: op_tok.to_string(),
+                            scheme_flags: vec![
+                                "--scheme".to_string(),
+                                scheme_tok.to_string(),
+                                "--p".to_string(),
+                                p.to_string(),
+                                "--seeds".to_string(),
+                                seeds.to_string(),
+                            ],
+                            t,
+                            nb,
+                            seed,
+                            kind,
+                            n_ranks: p,
+                            crash: Some((dead, cepoch)),
+                            recover: true,
+                        };
+                        mp::run_ranks(&spec).map_err(|e| format!("{cell}: {e}"))?
+                    }
+                };
+                if let Some(e) = &rep.error {
+                    return Err(format!("{cell}: kernel error {e}"));
+                }
+                if matrix.diff_norm(&base) != 0.0 {
+                    return Err(format!(
+                        "{cell}: recovered result differs bitwise from the crash-free run"
+                    ));
+                }
+                if rep.wire != rp.expected {
+                    return Err(format!(
+                        "{cell}: goodput violates the spliced volume — measured panel {} \
+                         trailing {}, spliced counters say panel {} trailing {}",
+                        rep.wire.panel, rep.wire.trailing, rp.expected.panel, rp.expected.trailing
+                    ));
+                }
+                if rep.recovered_msgs != rp.recovered.total() {
+                    return Err(format!(
+                        "{cell}: recovered-send accounting diverged — counted {}, spliced \
+                         stream says {}",
+                        rep.recovered_msgs,
+                        rp.recovered.total()
+                    ));
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>3} {:>7} {:>7} | {:>9} {:>9} {:>10} | ok",
+                    op_tok,
+                    p,
+                    scheme_tok,
+                    format!("{dead}@{cepoch}"),
+                    rep.wire.total(),
+                    rep.recovered_msgs,
+                    rep.recovered_bytes
+                );
+                cells += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  all {cells} cell(s): completed, bitwise == crash-free, goodput == spliced volume"
+    );
+    Ok(out)
+}
+
 /// `flexdist _rank --rank R --op lu|chol --scheme S --p N --seeds K
 /// --t T --nb NB --seed S --sock uds|tcp --dir DIR [--watchdog MS]
-/// [--fault-seed F [--rate R]]` (hidden)
+/// [--fault-seed F [--rate R]] [--crash RANK@EPOCH [--recover]]`
+/// (hidden)
 ///
 /// One rank process of a multi-process `dexec --backend uds|tcp` run:
 /// rebuilds the identical deterministic configuration from the
@@ -882,7 +1188,12 @@ pub fn rank_worker(args: &Args) -> Result<String, String> {
         return Err("_rank: --dir DIR is required".to_string());
     }
     let watchdog_ms: u64 = args.get("watchdog", 30_000)?;
-    let faults = if args.flag("fault-seed") {
+    let crash = args.get_str("crash", "");
+    let recover = args.flag("recover");
+    let faults = if !crash.is_empty() {
+        let (dead, cepoch) = parse_crash(&crash)?;
+        Some(FaultPlan::new(seed).with_crash(dead, cepoch))
+    } else if args.flag("fault-seed") {
         let fault_seed: u64 = args.require("fault-seed")?;
         let rate: f64 = args.get("rate", 0.05)?;
         if !(0.0..=1.0).contains(&rate) {
@@ -916,6 +1227,7 @@ pub fn rank_worker(args: &Args) -> Result<String, String> {
     let cfg = socket_config(kind, std::path::Path::new(&dir));
     let opts = DexecOptions {
         faults,
+        recover,
         watchdog: std::time::Duration::from_millis(watchdog_ms),
         ..DexecOptions::default()
     };
@@ -1025,11 +1337,16 @@ pub fn sweep(args: &Args) -> Result<String, String> {
 /// safe capacity; `--capacity N` additionally simulates exactly `N`
 /// frames and prints any wait-for cycle witness), replica eviction
 /// safety, and the per-rank peak-memory table (`--nb` sets the tile
-/// size the bytes column assumes). With `--trace FILE` the net-trace is
-/// also checked to be a linearization of the derived schedule. `--mutate
-/// drop-send|swap-sends|evict-early|capacity-1` seeds one protocol bug
-/// first — the run must then fail, which `scripts/check.sh` uses to
-/// prove the verifier is not vacuous.
+/// size the bytes column assumes). `--crash RANK@EPOCH` derives the
+/// **crashed** schedule instead — the spliced survivor view plus the
+/// casualty's pre-crash tasks — and proves the same properties of the
+/// recovered protocol, cross-checked against the spliced broadcast
+/// walk. With `--trace FILE` the net-trace is also checked to be a
+/// linearization of the derived schedule (a recovered run's trace
+/// against its crashed schedule). `--mutate
+/// drop-send|drop-recovery-send|swap-sends|evict-early|capacity-1`
+/// seeds one protocol bug first — the run must then fail, which
+/// `scripts/check.sh` uses to prove the verifier is not vacuous.
 ///
 /// # Errors
 /// Returns flag/IO problems, and the full report when findings exist
@@ -1108,13 +1425,37 @@ pub fn verify(args: &Args) -> Result<String, String> {
             let capacity: u32 = args.get("capacity", 0)?;
             let capacity = (capacity > 0).then_some(capacity);
             let mutate = args.get_str("mutate", "");
-            let mut sched = flexdist_verify::ProtocolSchedule::derive(&tl, &assignment)?;
+            let crash = args.get_str("crash", "");
+            let crash_pt = if crash.is_empty() {
+                None
+            } else {
+                Some(parse_crash(&crash)?)
+            };
+            let mut sched = match crash_pt {
+                Some((dead, cepoch)) => flexdist_verify::ProtocolSchedule::derive_crashed(
+                    &tl,
+                    &assignment,
+                    dead,
+                    cepoch,
+                )?,
+                None => flexdist_verify::ProtocolSchedule::derive(&tl, &assignment)?,
+            };
+            if let Some((dead, cepoch)) = crash_pt {
+                let _ = writeln!(
+                    out,
+                    "protocol crash point: rank {dead} dies at epoch {cepoch}; checking the \
+                     spliced survivor + casualty schedule"
+                );
+            }
             let mut cap = capacity;
             if !mutate.is_empty() {
                 let applied = match mutate.as_str() {
                     "drop-send" => sched
                         .drop_send(0)
                         .map(|task| format!("dropped task {task}'s broadcast")),
+                    "drop-recovery-send" => sched.drop_recovery_send(0).map(|(task, to)| {
+                        format!("dropped task {task}'s recovery-only send(s) to ranks {to:?}")
+                    }),
                     "swap-sends" => sched
                         .swap_sends(0)
                         .map(|(u, v)| format!("swapped the broadcasts of tasks {u} and {v}")),
@@ -1130,8 +1471,8 @@ pub fn verify(args: &Args) -> Result<String, String> {
                     }
                     other => {
                         return Err(format!(
-                            "unknown --mutate {other:?} (expected drop-send, swap-sends, \
-                             evict-early or capacity-1)"
+                            "unknown --mutate {other:?} (expected drop-send, drop-recovery-send, \
+                             swap-sends, evict-early or capacity-1)"
                         ))
                     }
                 }
@@ -1140,8 +1481,18 @@ pub fn verify(args: &Args) -> Result<String, String> {
             }
             let prep = if mutate.is_empty() {
                 // The unmutated path also cross-checks the schedule
-                // against the independent Fig. 2 broadcast walk.
-                flexdist_verify::check_protocol(&tl, &assignment, cap)?
+                // against the independent broadcast walk: Fig. 2 when
+                // crash-free, the spliced fusion across a crash point.
+                match crash_pt {
+                    Some((dead, cepoch)) => flexdist_verify::check_protocol_crashed(
+                        &tl,
+                        &assignment,
+                        dead,
+                        cepoch,
+                        cap,
+                    )?,
+                    None => flexdist_verify::check_protocol(&tl, &assignment, cap)?,
+                }
             } else {
                 flexdist_verify::check_schedule(&sched, cap)
             };

@@ -66,15 +66,19 @@ COMMANDS:
             [--seed S] [--trace-out FILE]
   dexec     --op lu|chol --p N [--t T] [--nb NB] [--seed S]
             [--backend channel|uds|tcp] [--trace-out FILE]
+            [--recover --crash RANK@EPOCH[,RANK@EPOCH] [--watchdog MS]]
   chaos     --op lu|chol --p N [--t T] [--nb NB] [--seeds K] [--seed S]
             [--rates R1,R2] [--watchdog MS] [--backend channel|uds|tcp]
+  chaos     --recover [--op lu|chol] [--ps P1,P2] [--t T] [--nb NB]
+            [--seed S] [--watchdog MS] [--backend channel|uds|tcp]
   replay    --trace FILE [--net constant|shared|hier [--switches S]
             [--nic-limit K] [--uplink C]] [--latency S] [--bandwidth B]
             [--out FILE]
   verify    [--lint [--root DIR] [--allow FILE]] [--replay FILE]
             [--op lu|chol|syrk|gemm (--p N [--scheme S] | --pattern FILE)
             [--t T] [--trace FILE]] [--protocol [--capacity N] [--nb NB]
-            [--mutate drop-send|swap-sends|evict-early|capacity-1]]
+            [--crash RANK@EPOCH] [--mutate drop-send|drop-recovery-send|
+            swap-sends|evict-early|capacity-1]]
   db        --purpose lu|sym [--pmax P] [--seeds K] [--out FILE]
 
 `simulate`, `gantt`, `execute` and `verify` also accept --pattern FILE
@@ -229,6 +233,77 @@ mod tests {
         assert!(out.contains("retrans"), "{out}");
         assert!(out.contains("all 2 cell(s)"), "{out}");
         assert!(out.contains("reports replay"), "{out}");
+    }
+
+    #[test]
+    fn dexec_recover_end_to_end() {
+        let out = run(&sv(&[
+            "dexec",
+            "--op",
+            "lu",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--recover",
+            "--crash",
+            "3@2",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("rank 3 died at epoch 2 (active re-map)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("goodput == spliced volume, bitwise == crash-free"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn dexec_recover_needs_a_crash_point_and_refuses_a_second() {
+        let err = run(&sv(&["dexec", "--op", "lu", "--p", "5", "--recover"])).unwrap_err();
+        assert!(err.contains("needs --crash"), "{err}");
+        let err = run(&sv(&[
+            "dexec",
+            "--op",
+            "lu",
+            "--p",
+            "5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+            "--recover",
+            "--crash",
+            "1@2,3@3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("double crash"), "{err}");
+    }
+
+    #[test]
+    fn chaos_recover_end_to_end() {
+        let out = run(&sv(&[
+            "chaos",
+            "--recover",
+            "--op",
+            "lu",
+            "--ps",
+            "4,5",
+            "--t",
+            "5",
+            "--nb",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos --recover"), "{out}");
+        assert!(
+            out.contains("all 4 cell(s): completed, bitwise == crash-free"),
+            "{out}"
+        );
     }
 
     #[test]

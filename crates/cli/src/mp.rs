@@ -41,6 +41,13 @@ pub struct MpSpec {
     pub kind: SocketKind,
     /// Number of rank processes (= nodes of the assignment).
     pub n_ranks: u32,
+    /// Scheduled crash point `(rank, epoch)` replicated to every child;
+    /// `None` runs crash-free.
+    pub crash: Option<(u32, u32)>,
+    /// Arm recovery in every child: survivors re-map the crashed rank's
+    /// tiles and continue; the crashed rank is a real child process
+    /// that exits after its pre-crash work.
+    pub recover: bool,
 }
 
 static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -82,8 +89,14 @@ pub fn run_ranks(spec: &MpSpec) -> Result<(TiledMatrix, NetReport), String> {
             .args(["--nb", &spec.nb.to_string()])
             .args(["--seed", &spec.seed.to_string()])
             .args(["--sock", spec.kind.name()])
-            .args(["--dir", &dir.display().to_string()])
-            .stdin(Stdio::null())
+            .args(["--dir", &dir.display().to_string()]);
+        if let Some((r, e)) = spec.crash {
+            cmd.args(["--crash", &format!("{r}@{e}")]);
+        }
+        if spec.recover {
+            cmd.arg("--recover");
+        }
+        cmd.stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
         cmd.spawn().map_err(|e| format!("spawn rank {rank}: {e}"))
@@ -194,6 +207,8 @@ pub fn rank_outcome_to_json(out: &RankOutcome) -> Value {
                 ("sent_bytes", u(io.sent_bytes)),
                 ("recv_msgs", u(io.recv_msgs)),
                 ("recv_bytes", u(io.recv_bytes)),
+                ("recovered_msgs", u(io.recovered_msgs)),
+                ("recovered_bytes", u(io.recovered_bytes)),
                 ("dup_rejected", u(io.dup_rejected)),
                 ("corrupt_rejected", u(io.corrupt_rejected)),
                 ("delayed", u(io.delayed)),
@@ -234,6 +249,8 @@ pub fn parse_rank_outcome(text: &str, nb: usize) -> Result<RankOutcome, String> 
         sent_bytes: need_u64(io_doc, "sent_bytes")?,
         recv_msgs: need_u64(io_doc, "recv_msgs")?,
         recv_bytes: need_u64(io_doc, "recv_bytes")?,
+        recovered_msgs: need_u64(io_doc, "recovered_msgs")?,
+        recovered_bytes: need_u64(io_doc, "recovered_bytes")?,
         dup_rejected: need_u64(io_doc, "dup_rejected")?,
         corrupt_rejected: need_u64(io_doc, "corrupt_rejected")?,
         delayed: need_u64(io_doc, "delayed")?,
@@ -336,6 +353,8 @@ mod tests {
                 sent_bytes: 1234,
                 recv_msgs: 9,
                 recv_bytes: u64::MAX - 1,
+                recovered_msgs: 3,
+                recovered_bytes: 555,
                 dup_rejected: 2,
                 corrupt_rejected: 1,
                 delayed: 4,

@@ -157,6 +157,49 @@ impl TileAssignment {
         Self { t, n_nodes, owners }
     }
 
+    /// Minimal-movement greedy re-map after the death of node `dead`:
+    /// every tile the dead node owned is reassigned, in row-major order,
+    /// to the currently least-loaded surviving node (load counted over
+    /// the full square, ties to the lowest node id). All other tiles
+    /// keep their owner, so no surviving data moves — the defining
+    /// property that makes a P→P−1 re-map cheap for the any-P patterns
+    /// where a fixed `r × c` grid would have to re-deal everything.
+    ///
+    /// The node count stays `n_nodes` (the dead node simply owns zero
+    /// tiles), so rank ids of survivors are stable across the re-map.
+    ///
+    /// # Panics
+    /// Panics if `dead >= n_nodes` or the assignment has fewer than two
+    /// nodes (no survivor to take the tiles).
+    #[must_use]
+    pub fn remap_without(&self, dead: NodeId) -> Self {
+        assert!(dead < self.n_nodes, "dead node {dead} out of range");
+        assert!(self.n_nodes > 1, "no survivor to re-map onto");
+        let mut loads = vec![0usize; self.n_nodes as usize];
+        for &o in &self.owners {
+            loads[o as usize] += 1;
+        }
+        let mut owners = self.owners.clone();
+        for slot in &mut owners {
+            if *slot != dead {
+                continue;
+            }
+            let mut heir = if dead == 0 { 1 } else { 0 };
+            for n in 0..self.n_nodes {
+                if n != dead && loads[n as usize] < loads[heir as usize] {
+                    heir = n;
+                }
+            }
+            *slot = heir;
+            loads[heir as usize] += 1;
+        }
+        Self {
+            t: self.t,
+            n_nodes: self.n_nodes,
+            owners,
+        }
+    }
+
     /// Number of tiles per matrix dimension.
     #[must_use]
     pub fn tiles(&self) -> usize {
@@ -304,5 +347,64 @@ mod tests {
         let pat = twodbc::two_dbc(2, 2);
         let a = TileAssignment::cyclic(&pat, 4);
         let _ = a.owner(4, 0);
+    }
+
+    #[test]
+    fn remap_moves_only_the_dead_tiles() {
+        let pat = g2dbc::g2dbc(5);
+        let a = TileAssignment::cyclic(&pat, 9);
+        for dead in 0..5 {
+            let b = a.remap_without(dead);
+            assert_eq!(b.tiles(), a.tiles());
+            assert_eq!(b.n_nodes(), a.n_nodes());
+            for i in 0..9 {
+                for j in 0..9 {
+                    let (o, n) = (a.owner(i, j), b.owner(i, j));
+                    assert_ne!(n, dead, "tile ({i},{j}) still on dead node");
+                    if o != dead {
+                        assert_eq!(o, n, "surviving tile ({i},{j}) moved");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remap_keeps_full_square_loads_balanced() {
+        let pat = g2dbc::g2dbc(7);
+        let a = TileAssignment::cyclic(&pat, 14);
+        let b = a.remap_without(3);
+        let counts = b.tile_counts_full();
+        assert_eq!(counts[3], 0);
+        let live: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(n, _)| n != 3)
+            .map(|(_, &c)| c)
+            .collect();
+        let (max, min) = (live.iter().max().unwrap(), live.iter().min().unwrap());
+        // 196 tiles over 6 survivors ~ 32.7 each; greedy refill stays tight.
+        assert!(max - min <= 2, "re-map unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn remap_is_deterministic() {
+        let pat = sbc::sbc_extended(21).unwrap();
+        let a = TileAssignment::extended(&pat, 12);
+        assert_eq!(a.remap_without(20), a.remap_without(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remap_rejects_unknown_node() {
+        let a = TileAssignment::cyclic(&twodbc::two_dbc(2, 2), 4);
+        let _ = a.remap_without(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivor")]
+    fn remap_rejects_single_node() {
+        let a = TileAssignment::cyclic(&twodbc::two_dbc(1, 1), 4);
+        let _ = a.remap_without(0);
     }
 }

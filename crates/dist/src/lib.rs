@@ -13,6 +13,9 @@
 //!   message stream (sender, tile, epoch, distinct receiver set), which
 //!   the volume counters fold over and the distributed executor and the
 //!   static protocol verifier both mirror;
+//! * [`splice`] — the post-crash fusion of two walks across a crash
+//!   point: the exact message stream (and its total / recovered volume
+//!   split) of a run that re-maps a dead node's tiles onto survivors;
 //! * [`load`] — per-node tile-count and flop-weighted load reports.
 
 #![forbid(unsafe_code)]
@@ -21,8 +24,12 @@ pub mod assignment;
 pub mod comm;
 pub mod load;
 pub mod schedule;
+pub mod splice;
 
 pub use assignment::TileAssignment;
 pub use comm::{cholesky_comm_volume, gemm_comm_volume, lu_comm_volume, CommBreakdown};
 pub use load::LoadReport;
 pub use schedule::{cholesky_broadcasts, lu_broadcasts, BcastClass, BcastMsg};
+pub use splice::{
+    cholesky_spliced_broadcasts, lu_spliced_broadcasts, spliced_volume, SplicedMsg, SplicedVolume,
+};

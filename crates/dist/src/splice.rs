@@ -1,0 +1,463 @@
+//! Post-crash spliced broadcast streams: the Fig. 2 owner walks fused
+//! across a crash point.
+//!
+//! When node `dead` dies at the start of epoch `e`, the run is a hybrid
+//! of two assignments: everything the dead node finalized *before* `e`
+//! was produced and broadcast under the original map `a`, while every
+//! task at epoch `≥ e` — including the re-execution of the dead node's
+//! lost tiles from their input values — runs under the re-mapped
+//! survivor assignment `a2` (see [`TileAssignment::remap_without`]).
+//!
+//! This module computes the exact message stream of that hybrid run by
+//! fusing the two walks tile by tile. It is the closed-form oracle the
+//! executor's goodput accounting and the static protocol verifier are
+//! both held to: the recovered run's wire volume must equal
+//! [`SplicedVolume::total`] exactly, with the *extra* messages caused by
+//! the re-map (and nothing else) flagged and counted in
+//! [`SplicedVolume::recovered`].
+//!
+//! ## Fusion rules
+//!
+//! For a tile `(i,j)` broadcast at epoch `ℓ = min(i,j)`, with receiver
+//! sets `Arec` under `a` and `A2rec` under `a2` (each excluding its own
+//! sender, empty if the broadcast is elided):
+//!
+//! * `ℓ ≥ e` — the broadcast happens entirely after the crash: one
+//!   message from the `a2` owner to `A2rec`. A send is *recovered* when
+//!   it would not exist in a crash-free run: the tile was dead-owned
+//!   (its owner changed), or the receiver reads it only under `a2` (a
+//!   new owner of some re-assigned tile).
+//! * `ℓ < e`, surviving owner — the owner broadcast to `Arec` before
+//!   the crash (the dead node, if a reader, consumed its copy before
+//!   dying); after the re-map it additionally serves the new readers
+//!   `A2rec ∖ Arec`, which re-execute the dead node's updates. One
+//!   message, `Arec` then the delta, delta flagged recovered.
+//! * `ℓ < e`, dead owner — the dead node finalized and broadcast the
+//!   tile before dying, *except* to the tile's new owner `s′ =
+//!   a2.owner(i,j)`, which instead re-computes the tile locally (so a
+//!   delivery would be an unexpected message under the strict
+//!   protocol). Two messages: the dead node to `Arec ∖ {s′}`
+//!   (pre-crash, not recovered), and `s′` to the new readers
+//!   `A2rec ∖ Arec` (all recovered). Either is elided when empty.
+//!
+//! Exactly-once delivery per `(receiver, tile)` is preserved by
+//! construction, and no message is addressed to the dead node after its
+//! crash (it only appears inside `Arec` at epochs `< e`).
+
+use crate::assignment::TileAssignment;
+use crate::comm::CommBreakdown;
+use crate::schedule::BcastClass;
+
+/// One broadcast of the spliced (post-crash) schedule: a
+/// [`BcastMsg`](crate::schedule::BcastMsg) plus a per-receiver flag
+/// marking the sends that exist only because of the recovery re-map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplicedMsg {
+    /// Panel or trailing leg.
+    pub class: BcastClass,
+    /// Sending node: the `a` owner for pre-crash messages, the `a2`
+    /// owner for post-crash and re-serve messages.
+    pub sender: u32,
+    /// Tile row.
+    pub i: usize,
+    /// Tile column.
+    pub j: usize,
+    /// Iteration `ℓ = min(i, j)` of the broadcast.
+    pub epoch: usize,
+    /// Distinct receivers, never containing the sender, never empty.
+    pub receivers: Vec<u32>,
+    /// `recovered[k]` — the send to `receivers[k]` is extra work caused
+    /// by the re-map (absent from the crash-free run under `a`).
+    pub recovered: Vec<bool>,
+}
+
+/// Communication volume of a spliced run, split into the grand total
+/// (what the recovered run's goodput must equal) and the recovered
+/// portion (sends that exist only because of the re-map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplicedVolume {
+    /// Every tile send of the spliced run, pre- and post-crash.
+    pub total: CommBreakdown,
+    /// The flagged subset: re-serves to new owners and re-mapped
+    /// post-crash broadcasts that a crash-free run would not perform.
+    pub recovered: CommBreakdown,
+}
+
+/// Fold a spliced stream into its total / recovered volumes.
+#[must_use]
+pub fn spliced_volume(msgs: &[SplicedMsg]) -> SplicedVolume {
+    let mut out = SplicedVolume::default();
+    for m in msgs {
+        let n = m.receivers.len() as u64;
+        let r = m.recovered.iter().filter(|&&f| f).count() as u64;
+        match m.class {
+            BcastClass::Panel => {
+                out.total.panel += n;
+                out.recovered.panel += r;
+            }
+            BcastClass::Trailing => {
+                out.total.trailing += n;
+                out.recovered.trailing += r;
+            }
+        }
+    }
+    out
+}
+
+/// Distinct-owner collector over reader-tile coordinates (stamp vector,
+/// first-encounter order), mirroring the walk collectors in
+/// [`crate::schedule`].
+struct Distinct {
+    stamp: Vec<u32>,
+    current: u32,
+}
+
+impl Distinct {
+    fn new(n_nodes: u32) -> Self {
+        Self {
+            stamp: vec![0; n_nodes as usize],
+            current: 0,
+        }
+    }
+
+    fn collect(&mut self, a: &TileAssignment, sender: u32, readers: &[(usize, usize)]) -> Vec<u32> {
+        self.current += 1;
+        self.stamp[sender as usize] = self.current;
+        let mut out = Vec::new();
+        for &(i, j) in readers {
+            let node = a.owner(i, j);
+            let s = &mut self.stamp[node as usize];
+            if *s != self.current {
+                *s = self.current;
+                out.push(node);
+            }
+        }
+        out
+    }
+}
+
+/// Shared walk state: one collector per assignment.
+struct Fuser<'x> {
+    a: &'x TileAssignment,
+    a2: &'x TileAssignment,
+    dead: u32,
+    epoch: usize,
+    ca: Distinct,
+    ca2: Distinct,
+    out: Vec<SplicedMsg>,
+}
+
+impl Fuser<'_> {
+    /// Fuse one broadcast slot of the walk (tile `(i,j)` at epoch
+    /// `ℓ = min(i,j)` to the owners of `readers`) across the crash
+    /// point, appending the resulting message(s).
+    fn fuse(&mut self, class: BcastClass, i: usize, j: usize, readers: &[(usize, usize)]) {
+        let l = i.min(j);
+        let s = self.a.owner(i, j);
+        let s2 = self.a2.owner(i, j);
+        let arec = self.ca.collect(self.a, s, readers);
+        let a2rec = self.ca2.collect(self.a2, s2, readers);
+        let mut emit = |sender: u32, receivers: Vec<u32>, recovered: Vec<bool>| {
+            if !receivers.is_empty() {
+                self.out.push(SplicedMsg {
+                    class,
+                    sender,
+                    i,
+                    j,
+                    epoch: l,
+                    receivers,
+                    recovered,
+                });
+            }
+        };
+        if l >= self.epoch {
+            // Entirely post-crash: one broadcast under the re-map. A send
+            // is recovered when the pair (sender → receiver) is absent
+            // from the crash-free run: the tile changed owner, or the
+            // receiver reads it only under the re-map.
+            let flags = a2rec.iter().map(|r| s2 != s || !arec.contains(r)).collect();
+            emit(s2, a2rec, flags);
+        } else if s != self.dead {
+            // Pre-crash broadcast from a survivor, extended with the
+            // re-map's new readers.
+            let mut receivers = arec.clone();
+            let mut flags = vec![false; arec.len()];
+            for &r in a2rec.iter().filter(|r| !arec.contains(r)) {
+                receivers.push(r);
+                flags.push(true);
+            }
+            emit(s, receivers, flags);
+        } else {
+            // Pre-crash broadcast from the dead node (everyone but the
+            // tile's heir, which re-computes it locally), plus the heir
+            // re-serving the re-map's new readers.
+            let pre: Vec<u32> = arec.iter().copied().filter(|&r| r != s2).collect();
+            let n_pre = pre.len();
+            emit(s, pre, vec![false; n_pre]);
+            let reserve: Vec<u32> = a2rec
+                .iter()
+                .copied()
+                .filter(|r| !arec.contains(r))
+                .collect();
+            let n_res = reserve.len();
+            emit(s2, reserve, vec![true; n_res]);
+        }
+    }
+}
+
+fn check_pair(a: &TileAssignment, a2: &TileAssignment, dead: u32) {
+    assert_eq!(a.tiles(), a2.tiles(), "assignment shapes differ");
+    assert_eq!(a.n_nodes(), a2.n_nodes(), "node counts differ");
+    assert!(dead < a.n_nodes(), "dead node {dead} out of range");
+}
+
+/// The spliced LU broadcast stream: the walk of
+/// [`lu_broadcasts`](crate::schedule::lu_broadcasts) fused across a
+/// crash of node `dead` at the start of epoch `epoch`, with `a2` the
+/// re-mapped survivor assignment. Pass `a2 = a` (and any `epoch`) for
+/// an inactive recovery — the stream then equals the plain walk with
+/// no recovered sends.
+///
+/// # Panics
+/// Panics if `a` and `a2` disagree on shape or node count, or `dead`
+/// is out of range.
+#[must_use]
+pub fn lu_spliced_broadcasts(
+    a: &TileAssignment,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: usize,
+) -> Vec<SplicedMsg> {
+    check_pair(a, a2, dead);
+    let t = a.tiles();
+    let mut f = Fuser {
+        a,
+        a2,
+        dead,
+        epoch,
+        ca: Distinct::new(a.n_nodes()),
+        ca2: Distinct::new(a.n_nodes()),
+        out: Vec::new(),
+    };
+    for l in 0..t {
+        let readers: Vec<(usize, usize)> = ((l + 1)..t).flat_map(|i| [(i, l), (l, i)]).collect();
+        f.fuse(BcastClass::Panel, l, l, &readers);
+        for i in (l + 1)..t {
+            let readers: Vec<(usize, usize)> = ((l + 1)..t).map(|j| (i, j)).collect();
+            f.fuse(BcastClass::Trailing, i, l, &readers);
+        }
+        for j in (l + 1)..t {
+            let readers: Vec<(usize, usize)> = ((l + 1)..t).map(|i| (i, j)).collect();
+            f.fuse(BcastClass::Trailing, l, j, &readers);
+        }
+    }
+    f.out
+}
+
+/// The spliced Cholesky broadcast stream: the walk of
+/// [`cholesky_broadcasts`](crate::schedule::cholesky_broadcasts) fused
+/// across a crash of node `dead` at the start of epoch `epoch`.
+///
+/// # Panics
+/// Panics if `a` and `a2` disagree on shape or node count, or `dead`
+/// is out of range.
+#[must_use]
+pub fn cholesky_spliced_broadcasts(
+    a: &TileAssignment,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: usize,
+) -> Vec<SplicedMsg> {
+    check_pair(a, a2, dead);
+    let t = a.tiles();
+    let mut f = Fuser {
+        a,
+        a2,
+        dead,
+        epoch,
+        ca: Distinct::new(a.n_nodes()),
+        ca2: Distinct::new(a.n_nodes()),
+        out: Vec::new(),
+    };
+    for l in 0..t {
+        let readers: Vec<(usize, usize)> = ((l + 1)..t).map(|i| (i, l)).collect();
+        f.fuse(BcastClass::Panel, l, l, &readers);
+        for i in (l + 1)..t {
+            let readers: Vec<(usize, usize)> = ((l + 1)..=i)
+                .map(|j| (i, j))
+                .chain(((i + 1)..t).map(|j| (j, i)))
+                .collect();
+            f.fuse(BcastClass::Trailing, i, l, &readers);
+        }
+    }
+    f.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{cholesky_comm_volume, lu_comm_volume};
+    use crate::schedule::{cholesky_broadcasts, lu_broadcasts, BcastMsg};
+    use flexdist_core::{g2dbc, sbc};
+
+    fn g2dbc_assign(p: u32, t: usize) -> TileAssignment {
+        TileAssignment::cyclic(&g2dbc::g2dbc(p), t)
+    }
+
+    fn to_plain(m: &SplicedMsg) -> BcastMsg {
+        BcastMsg {
+            class: m.class,
+            sender: m.sender,
+            i: m.i,
+            j: m.j,
+            epoch: m.epoch,
+            receivers: m.receivers.clone(),
+        }
+    }
+
+    #[test]
+    fn identity_remap_reproduces_the_plain_walk() {
+        // With a2 = a (inactive recovery) the spliced stream must equal
+        // the plain walk exactly, at any crash epoch, with nothing
+        // flagged recovered.
+        let a = g2dbc_assign(5, 8);
+        for e in [0usize, 3, 8, 99] {
+            let s = lu_spliced_broadcasts(&a, &a, 2, e);
+            let plain: Vec<BcastMsg> = lu_broadcasts(&a).collect();
+            assert_eq!(s.iter().map(to_plain).collect::<Vec<_>>(), plain);
+            assert!(s.iter().all(|m| m.recovered.iter().all(|&f| !f)));
+            let v = spliced_volume(&s);
+            assert_eq!(v.total, lu_comm_volume(&a));
+            assert_eq!(v.recovered.total(), 0);
+        }
+    }
+
+    #[test]
+    fn crash_at_epoch_zero_runs_entirely_under_the_remap() {
+        // e = 0: the dead node never executes anything, so the stream is
+        // exactly the plain walk of the re-mapped assignment.
+        let a = g2dbc_assign(6, 9);
+        let a2 = a.remap_without(4);
+        let s = cholesky_spliced_broadcasts(&a, &a2, 4, 0);
+        let plain: Vec<BcastMsg> = cholesky_broadcasts(&a2).collect();
+        assert_eq!(s.iter().map(to_plain).collect::<Vec<_>>(), plain);
+        assert_eq!(spliced_volume(&s).total, cholesky_comm_volume(&a2));
+        // Something must still be flagged: every broadcast of a tile
+        // that used to be dead-owned is pure recovery traffic.
+        assert!(spliced_volume(&s).recovered.total() > 0);
+    }
+
+    #[test]
+    fn exactly_once_per_receiver_and_no_self_sends() {
+        let a = g2dbc_assign(7, 10);
+        let a2 = a.remap_without(3);
+        for e in 0..10 {
+            for s in [
+                lu_spliced_broadcasts(&a, &a2, 3, e),
+                cholesky_spliced_broadcasts(&a, &a2, 3, e),
+            ] {
+                let mut seen = std::collections::HashSet::new();
+                for m in &s {
+                    assert_eq!(m.receivers.len(), m.recovered.len());
+                    assert!(!m.receivers.is_empty());
+                    assert_eq!(m.epoch, m.i.min(m.j));
+                    for (&r, &f) in m.receivers.iter().zip(&m.recovered) {
+                        assert_ne!(r, m.sender, "self-send in {m:?}");
+                        assert!(
+                            seen.insert((m.i, m.j, r)),
+                            "tile ({},{}) delivered twice to {r} (e={e})",
+                            m.i,
+                            m.j
+                        );
+                        if r == 3 {
+                            // The dead node only ever receives pre-crash
+                            // deliveries, never recovery traffic.
+                            assert!(m.epoch < e, "post-crash send to dead: {m:?}");
+                            assert!(!f, "recovered send to dead: {m:?}");
+                        }
+                    }
+                }
+                seen.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn dead_node_neither_sends_nor_receives_after_the_crash() {
+        let a = g2dbc_assign(5, 8);
+        let a2 = a.remap_without(0);
+        for e in 0..8 {
+            for m in lu_spliced_broadcasts(&a, &a2, 0, e) {
+                if m.sender == 0 {
+                    assert!(m.epoch < e, "dead sends post-crash: {m:?}");
+                    assert!(m.recovered.iter().all(|&f| !f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_flags_mark_exactly_the_delta_to_the_crash_free_run() {
+        // Unflagged sends must be a sub-multiset of the crash-free walk's
+        // (sender → receiver, tile) pairs; flagged sends must be absent
+        // from it.
+        let a = TileAssignment::extended(&sbc::sbc_extended(21).unwrap(), 9);
+        let a2 = a.remap_without(7);
+        let plain: std::collections::HashSet<(u32, u32, usize, usize)> = lu_broadcasts(&a)
+            .flat_map(|m| {
+                let s = m.sender;
+                let (i, j) = (m.i, m.j);
+                m.receivers.into_iter().map(move |r| (s, r, i, j))
+            })
+            .collect();
+        for e in [2usize, 5] {
+            for m in lu_spliced_broadcasts(&a, &a2, 7, e) {
+                for (&r, &f) in m.receivers.iter().zip(&m.recovered) {
+                    let key = (m.sender, r, m.i, m.j);
+                    if f {
+                        assert!(!plain.contains(&key), "flagged send exists plain: {key:?}");
+                    } else {
+                        assert!(plain.contains(&key), "unflagged send not plain: {key:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_reader_is_served_under_the_remap() {
+        // Completeness: for every tile, every distinct remote a2-owner of
+        // its reader set receives the tile exactly once — except the dead
+        // node, which (post-crash) reads nothing.
+        let a = g2dbc_assign(6, 8);
+        let a2 = a.remap_without(5);
+        let e = 4usize;
+        let t = 8usize;
+        let msgs = cholesky_spliced_broadcasts(&a, &a2, 5, e);
+        let mut got: std::collections::HashMap<(usize, usize), Vec<u32>> =
+            std::collections::HashMap::new();
+        for m in &msgs {
+            got.entry((m.i, m.j)).or_default().extend(&m.receivers);
+        }
+        for l in 0..t {
+            for i in (l + 1)..t {
+                // Trailing tile (i,l): a2-readers are owners of its colrow.
+                let s2 = a2.owner(i, l);
+                let mut need: Vec<u32> = ((l + 1)..=i)
+                    .map(|j| a2.owner(i, j))
+                    .chain(((i + 1)..t).map(|j| a2.owner(j, i)))
+                    .filter(|&o| o != s2)
+                    .collect();
+                need.sort_unstable();
+                need.dedup();
+                let have = got.get(&(i, l)).cloned().unwrap_or_default();
+                for o in need {
+                    assert!(
+                        have.contains(&o),
+                        "a2-reader {o} of ({i},{l}) never served (e={e})"
+                    );
+                }
+            }
+        }
+    }
+}

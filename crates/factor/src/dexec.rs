@@ -106,6 +106,19 @@ pub struct DexecOptions<'a> {
     pub watchdog: Duration,
     /// Transport backend under every endpoint.
     pub backend: Backend,
+    /// Recover from a single scheduled rank crash instead of failing
+    /// the run: survivors re-map the dead rank's tiles onto themselves
+    /// (`TileAssignment::remap_without`), splice the post-crash schedule
+    /// in, and continue to completion. Requires a crash-only fault plan
+    /// (no drop/dup/corrupt/delay noise) so the goodput counters stay a
+    /// pure function of the crash point; two scheduled crashes are the
+    /// typed unrecoverable [`NetError::DoubleCrash`].
+    pub recover: bool,
+    /// Test knob: the named rank sleeps for the given duration before
+    /// entering its progress loop, modeling a slow schedule
+    /// re-derivation near the watchdog deadline (the recovery-grace
+    /// regression tests drive this).
+    pub splice_delay: Option<(u32, Duration)>,
 }
 
 impl Default for DexecOptions<'_> {
@@ -116,6 +129,8 @@ impl Default for DexecOptions<'_> {
             faults: None,
             watchdog: Duration::from_secs(30),
             backend: Backend::Channel,
+            recover: false,
+            splice_delay: None,
         }
     }
 }
@@ -181,6 +196,10 @@ pub struct TaskBcast {
     pub epoch: u32,
     /// Distinct receiving ranks, never containing the sender.
     pub receivers: Vec<u32>,
+    /// Parallel to `receivers`: marks sends that exist only because of
+    /// a crash re-map (counted in the `Recovered` goodput counters).
+    /// All-false on a crash-free schedule.
+    pub recovered: Vec<bool>,
 }
 
 /// The complete static communication schedule of a distributed run,
@@ -214,13 +233,13 @@ pub struct CommSchedule {
 /// Distinct-receiver collector mirroring `flexdist_dist::comm`'s
 /// stamp-vector `ReceiverSet`, but keeping the receivers (in
 /// first-encounter order) instead of only counting them.
-struct ReceiverCollector {
+pub(crate) struct ReceiverCollector {
     stamp: Vec<u32>,
     current: u32,
 }
 
 impl ReceiverCollector {
-    fn new(n_nodes: u32) -> Self {
+    pub(crate) fn new(n_nodes: u32) -> Self {
         Self {
             stamp: vec![0; n_nodes as usize],
             current: 0,
@@ -244,7 +263,7 @@ impl ReceiverCollector {
 
 /// Tiles a kernel reads besides its written tile, with the epoch at
 /// which each was (or will be) broadcast.
-fn reads_of(op: Op) -> Vec<(usize, usize, usize)> {
+pub(crate) fn reads_of(op: Op) -> Vec<(usize, usize, usize)> {
     match op {
         Op::Getrf { .. } | Op::Potrf { .. } => Vec::new(),
         Op::TrsmColUpper { l, .. } | Op::TrsmRowLower { l, .. } | Op::TrsmLowerTrans { l, .. } => {
@@ -259,7 +278,7 @@ fn reads_of(op: Op) -> Vec<(usize, usize, usize)> {
 
 /// The factorization iteration a task belongs to (its `l`) — the epoch
 /// scale of [`FaultPlan::crash_epoch`] schedules.
-fn epoch_of(op: Op) -> u32 {
+pub(crate) fn epoch_of(op: Op) -> u32 {
     let l = match op {
         Op::Getrf { l }
         | Op::Potrf { l }
@@ -276,7 +295,7 @@ fn epoch_of(op: Op) -> u32 {
 }
 
 /// The tile a kernel writes (in place).
-fn write_of(op: Op) -> (usize, usize) {
+pub(crate) fn write_of(op: Op) -> (usize, usize) {
     match op {
         Op::Getrf { l } | Op::Potrf { l } => (l, l),
         Op::TrsmColUpper { i, l } | Op::TrsmLowerTrans { i, l } => (i, l),
@@ -290,7 +309,12 @@ fn write_of(op: Op) -> (usize, usize) {
 /// The broadcast a completed task performs, mirroring the owner walks of
 /// `lu_comm_volume` / `cholesky_comm_volume` exactly (same tiles, same
 /// distinct-receiver sets), which is what makes measured == analytic.
-fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) -> Option<TaskBcast> {
+pub(crate) fn bcast_of(
+    op: Op,
+    t: usize,
+    a: &TileAssignment,
+    rc: &mut ReceiverCollector,
+) -> Option<TaskBcast> {
     let own = |i: usize, j: usize| a.owner(i, j);
     let (class, i, j, epoch, receivers) = match op {
         Op::Getrf { l } => {
@@ -325,12 +349,14 @@ fn bcast_of(op: Op, t: usize, a: &TileAssignment, rc: &mut ReceiverCollector) ->
     if receivers.is_empty() {
         return None;
     }
+    let recovered = vec![false; receivers.len()];
     Some(TaskBcast {
         class,
         i: i as u32,
         j: j as u32,
         epoch: epoch as u32,
         receivers,
+        recovered,
     })
 }
 
@@ -503,6 +529,24 @@ fn run_local_op(
     Ok(status)
 }
 
+/// How one rank participates in a (possibly recovering) run.
+#[derive(Debug, Clone, Copy, Default)]
+struct RankMode {
+    /// Recovery armed: the scheduled crash is modeled statically (the
+    /// dead rank runs a truncated plan) instead of firing at run time.
+    recover: bool,
+    /// This rank *is* the scheduled casualty: after its pre-crash tasks
+    /// it leaves the fabric immediately — no inbox drain, no tiles
+    /// returned — like a process that died.
+    dying: bool,
+    /// Extra watchdog intervals tolerated before `Stalled`, so a peer's
+    /// slow schedule re-derivation near the deadline is not mistaken
+    /// for starvation.
+    grace: u32,
+    /// Sleep before the progress loop (recovery-grace test knob).
+    delay: Option<Duration>,
+}
+
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_rank(
     me: u32,
@@ -514,12 +558,26 @@ fn run_rank(
     t0: Instant,
     want_trace: bool,
     watchdog: Duration,
+    mode: RankMode,
 ) -> Result<RankOutcome, NetError> {
     let g = &tl.graph;
     let t = tl.t;
     let nb = input.nb();
     let fault_mode = ep.fault_plan().is_some();
-    let crash_at = ep.fault_plan().and_then(|p| p.crash_epoch(me));
+    let crash_at = if mode.recover {
+        // Recovery models the crash statically: the dead rank's plan is
+        // already truncated to its pre-crash tasks, so the runtime kill
+        // switch must not fire (the heap could otherwise pop a
+        // post-crash task while an earlier-epoch one still waits,
+        // making the cut nondeterministic).
+        None
+    } else {
+        ep.fault_plan().and_then(|p| p.crash_epoch(me))
+    };
+    if let Some(d) = mode.delay {
+        std::thread::sleep(d);
+    }
+    let mut grace_left = mode.grace;
     let mut tiles: Vec<Option<Tile>> = (0..t * t)
         .map(|k| {
             let (i, j) = (k / t, k % t);
@@ -599,7 +657,7 @@ fn run_rank(
                     i: b.i,
                     j: b.j,
                 })?;
-                for &to in &b.receivers {
+                for (k, &to) in b.receivers.iter().enumerate() {
                     // Send-enqueue vs. wire-departure: `enq` is stamped
                     // before the (blocking, possibly retransmitting) send,
                     // `dep` after it returns. Trace replay uses `dep` so
@@ -612,6 +670,10 @@ fn run_rank(
                     let receipt = ep.send_tile_reliable(to, b.class, b.i, b.j, b.epoch, tile)?;
                     out.io.sent_msgs += 1;
                     out.io.sent_bytes += receipt.goodput_bytes as u64;
+                    if b.recovered.get(k).copied().unwrap_or(false) {
+                        out.io.recovered_msgs += 1;
+                        out.io.recovered_bytes += receipt.goodput_bytes as u64;
+                    }
                     if want_trace {
                         let dep = t0.elapsed().as_secs_f64();
                         for ev in &receipt.events {
@@ -662,8 +724,17 @@ fn run_rank(
             let (msg, bytes) = match ep.recv_deadline(watchdog) {
                 Ok(Some(got)) => got,
                 // The watchdog fired: nothing consumable arrived for the
-                // whole interval while tasks are still blocked.
-                Ok(None) => return Err(stalled(&waiting)),
+                // whole interval while tasks are still blocked. In a
+                // recovering run each rank carries a bounded grace budget
+                // so a peer still re-deriving its spliced schedule is not
+                // mistaken for starvation.
+                Ok(None) => {
+                    if grace_left > 0 {
+                        grace_left -= 1;
+                        continue;
+                    }
+                    return Err(stalled(&waiting));
+                }
                 // Under faults, every peer exiting while this rank still
                 // waits is a starvation, not a protocol bug: the missing
                 // broadcast died with a crashed or exhausted sender.
@@ -701,6 +772,24 @@ fn run_rank(
                 }
             }
         }
+    }
+    if mode.dying {
+        // The scheduled casualty: it consumed every pre-crash operand it
+        // needed (each gated one of its executed tasks), so nothing is
+        // ever inbound for it again — close the outgoing half and vanish
+        // from the fabric without draining, like a dead process. Its
+        // tiles die with it; the survivors' re-mapped schedule covers
+        // every tile of the matrix without them. It does linger until
+        // fabric bring-up completes: the modeled crash is mid-run, and a
+        // rank process that vanishes while slower peers are still
+        // dialing its listener would turn the scheduled crash into an
+        // unmodeled bring-up failure (refused dials, then peers blocked
+        // on a listener that never fills).
+        ep.leave_fabric();
+        out.io.tasks = my_total;
+        out.sent = ep.sent_stats();
+        out.tiles = Vec::new();
+        return Ok(out);
     }
     // Tasks done: close the outgoing half and keep the inbox alive until
     // every peer does the same, consuming whatever is still inbound.
@@ -740,6 +829,18 @@ pub fn execute_distributed_with(
         });
     }
     let plan = derive_schedule(tl, assignment)?;
+    // With recovery armed, derive the crash re-map + spliced schedules
+    // up front (every rank would derive the identical plan from the
+    // shared fault schedule — the agreement round is deterministic). An
+    // inactive plan (the dead rank has no post-crash task) falls back
+    // to the plain schedule: the crash can never fire.
+    let recovery = if opts.recover {
+        crate::recovery::derive_recovery(tl, assignment, opts.faults.as_ref(), opts.topology)?
+            .filter(|rp| rp.active)
+    } else {
+        None
+    };
+    let remapped_shared = recovery.as_ref().map(|rp| Arc::new(rp.remapped.clone()));
     let shared = Arc::new(assignment.clone());
     let faults = opts.faults.clone().map(Arc::new);
     let n_ranks = assignment.n_nodes();
@@ -765,12 +866,51 @@ pub fn execute_distributed_with(
     let results: Vec<Result<RankOutcome, NetError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
-            .map(|ep| {
-                let plan = &plan;
+            .map(|mut ep| {
                 let rank = ep.rank();
+                let delay = opts
+                    .splice_delay
+                    .and_then(|(r, d)| (r == rank).then_some(d));
+                // Recovery dispatch: the scheduled casualty runs its
+                // truncated plan under the original assignment and dies
+                // after its last pre-crash task; every survivor adopts
+                // the re-map and runs the spliced schedule.
+                let (run_a, run_plan, mode) = match (&recovery, &remapped_shared) {
+                    (Some(rp), _) if rank == rp.dead => (
+                        assignment,
+                        &rp.dead_sched,
+                        RankMode {
+                            recover: true,
+                            dying: true,
+                            grace: 1,
+                            delay,
+                        },
+                    ),
+                    (Some(rp), Some(rs)) => {
+                        ep.adopt_remap(Arc::clone(rs), rp.dead);
+                        (
+                            &rp.remapped,
+                            &rp.survivor,
+                            RankMode {
+                                recover: true,
+                                dying: false,
+                                grace: 1,
+                                delay,
+                            },
+                        )
+                    }
+                    _ => (
+                        assignment,
+                        &plan,
+                        RankMode {
+                            delay,
+                            ..RankMode::default()
+                        },
+                    ),
+                };
                 scope.spawn(move || {
                     run_rank(
-                        rank, tl, assignment, plan, input, ep, t0, want_trace, watchdog,
+                        rank, tl, run_a, run_plan, input, ep, t0, want_trace, watchdog, mode,
                     )
                 })
             })
@@ -917,19 +1057,65 @@ pub fn execute_rank_socket(
         });
     }
     let plan = derive_schedule(tl, assignment)?;
+    // Every rank process derives the identical recovery plan from the
+    // same deterministic inputs — that shared derivation *is* the
+    // crash-agreement round of the multi-process run.
+    let recovery = if opts.recover {
+        crate::recovery::derive_recovery(tl, assignment, opts.faults.as_ref(), opts.topology)?
+            .filter(|rp| rp.active)
+    } else {
+        None
+    };
     let shared = Arc::new(assignment.clone());
     let faults = opts.faults.clone().map(Arc::new);
     let transport = SocketTransport::establish(rank, assignment.n_nodes(), opts.topology, cfg)?;
-    let ep = Endpoint::from_transport(rank, shared, opts.topology, Box::new(transport), faults);
+    let mut ep = Endpoint::from_transport(rank, shared, opts.topology, Box::new(transport), faults);
+    let delay = opts
+        .splice_delay
+        .and_then(|(r, d)| (r == rank).then_some(d));
+    let (run_a, run_plan, mode) = match &recovery {
+        Some(rp) if rank == rp.dead => (
+            assignment,
+            &rp.dead_sched,
+            RankMode {
+                recover: true,
+                dying: true,
+                grace: 1,
+                delay,
+            },
+        ),
+        Some(rp) => {
+            ep.adopt_remap(Arc::new(rp.remapped.clone()), rp.dead);
+            (
+                &rp.remapped,
+                &rp.survivor,
+                RankMode {
+                    recover: true,
+                    dying: false,
+                    grace: 1,
+                    delay,
+                },
+            )
+        }
+        None => (
+            assignment,
+            &plan,
+            RankMode {
+                delay,
+                ..RankMode::default()
+            },
+        ),
+    };
     run_rank(
         rank,
         tl,
-        assignment,
-        &plan,
+        run_a,
+        run_plan,
         input,
         ep,
         Instant::now(),
         opts.trace,
         opts.watchdog,
+        mode,
     )
 }

@@ -31,6 +31,7 @@
 pub mod dexec;
 pub mod execute;
 pub mod graphs;
+pub mod recovery;
 pub mod replay;
 pub mod residual;
 pub mod simulate;
@@ -48,6 +49,7 @@ pub use execute::{
     ExecReport, ExecTrace, WorkerStats,
 };
 pub use graphs::{build_graph, Op, Operation, TaskList};
+pub use recovery::{derive_recovery, derive_recovery_at, RecoverPlan, NO_RANK};
 pub use replay::{
     replay_trace, replay_trace_str, LinkCompare, ReplayError, ReplayOptions, ReplayReport,
 };

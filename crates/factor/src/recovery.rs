@@ -1,0 +1,643 @@
+//! Crash recovery: live P→P−1 tile re-mapping on rank death.
+//!
+//! The paper's any-P patterns make recovery *expressible*: because
+//! G-2DBC / GCR&M / SBC are defined for every node count, the death of
+//! one rank can be absorbed by re-instantiating the assignment over the
+//! P−1 survivors — here as the minimal-movement greedy re-map
+//! [`TileAssignment::remap_without`], which moves only the dead rank's
+//! tiles. A fixed `r × c` grid has no such move.
+//!
+//! ## The recovery state machine
+//!
+//! 1. **Crash detection + agreement.** The fault plan is shared and
+//!    deterministic (PR 5): every rank derives the same `(dead, epoch)`
+//!    crash point *before the run starts*, which models the
+//!    detection-and-agreement round as an oracle. The engine therefore
+//!    splices statically rather than mid-flight — the honest framing is
+//!    that this module proves the *recovered schedule* correct, while
+//!    the agreement protocol itself stays out of scope.
+//! 2. **Re-map.** `a2 = a.remap_without(dead)`: survivors keep every
+//!    tile; the dead rank's tiles go to the least-loaded survivors.
+//! 3. **Schedule splice.** Survivors run a fused [`CommSchedule`]: task
+//!    placement and needs under `a2`, broadcasts fused across the crash
+//!    point by the rules of [`flexdist_dist::splice`]. The dead rank
+//!    runs its plan truncated to pre-crash epochs (a static cut — the
+//!    runtime kill switch stays off so the cut cannot race the ready
+//!    heap's priority order).
+//! 4. **Resurrection.** The tile's heir re-executes every lost task
+//!    from the *input* values (owner-computes over deterministic
+//!    kernels ⇒ bitwise-identical results), feeding its replica cache
+//!    from the same broadcasts the dead rank consumed — re-served by
+//!    the survivors that still hold them finalized.
+//!
+//! One delivery subtlety falls out of the fusion: a tile the dead rank
+//! finalized and broadcast *before* dying is never re-sent to its heir
+//! (the heir recomputes it locally and a delivery would be an
+//! unexpected message under the strict protocol), while readers that
+//! exist only under `a2` are re-served by the heir and counted in the
+//! `Recovered` goodput counters.
+
+use crate::dexec::{
+    bcast_of, derive_schedule, epoch_of, reads_of, write_of, CommSchedule, ReceiverCollector,
+    TaskBcast,
+};
+use crate::graphs::{Operation, TaskList};
+use flexdist_dist::splice::{
+    cholesky_spliced_broadcasts, lu_spliced_broadcasts, spliced_volume, SplicedMsg,
+};
+use flexdist_dist::{cholesky_comm_volume, lu_comm_volume, CommBreakdown, TileAssignment};
+use flexdist_net::{FaultPlan, NetError, TileKey, Topology};
+
+/// A task-id slot that belongs to no live rank (the dead rank's
+/// post-crash tasks in its truncated schedule).
+pub const NO_RANK: u32 = u32::MAX;
+
+/// Everything a recovering run derives up front from `(assignment,
+/// crash point)`: the re-map, both spliced schedules, and the
+/// closed-form volumes the measured goodput must equal.
+#[derive(Debug, Clone)]
+pub struct RecoverPlan {
+    /// The crashed rank.
+    pub dead: u32,
+    /// The iteration before which it dies (it executes every task of
+    /// epochs `< epoch`, none of epoch `≥ epoch`).
+    pub epoch: u32,
+    /// Whether the crash removes any work at all. Inactive when the
+    /// dead rank has no post-crash task (it owned no remaining tiles,
+    /// or the crash epoch is past its last task): recovery is a no-op
+    /// and the run proceeds under the original schedule.
+    pub active: bool,
+    /// The P→P−1 re-map (equals the original assignment when
+    /// inactive). Node count is unchanged; the dead rank owns nothing.
+    pub remapped: TileAssignment,
+    /// The spliced schedule every survivor runs: placement and needs
+    /// under the re-map, broadcasts fused across the crash point.
+    pub survivor: CommSchedule,
+    /// The truncated schedule the dying rank runs: its pre-crash tasks
+    /// under the original assignment, post-crash tasks cut out
+    /// ([`NO_RANK`]), and its broadcasts never addressed to a tile's
+    /// heir.
+    pub dead_sched: CommSchedule,
+    /// Closed-form total goodput of the spliced run — the conformance
+    /// target for [`NetReport::wire`](flexdist_net::NetReport).
+    pub expected: CommBreakdown,
+    /// Closed-form recovery-only goodput — the conformance target for
+    /// the `Recovered` counters.
+    pub recovered: CommBreakdown,
+}
+
+impl RecoverPlan {
+    /// The spliced closed-form message stream this plan's volumes were
+    /// folded from (empty when inactive): the independent oracle the
+    /// fused schedules are cross-checked against.
+    #[must_use]
+    pub fn spliced_stream(&self, tl: &TaskList, a: &TileAssignment) -> Vec<SplicedMsg> {
+        if !self.active {
+            return Vec::new();
+        }
+        match tl.operation {
+            Operation::Lu => {
+                lu_spliced_broadcasts(a, &self.remapped, self.dead, self.epoch as usize)
+            }
+            Operation::Cholesky => {
+                cholesky_spliced_broadcasts(a, &self.remapped, self.dead, self.epoch as usize)
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Derive the recovery plan a run with `faults` needs, if any.
+///
+/// Returns `Ok(None)` when no crash is scheduled (or the scheduled
+/// rank does not exist), the typed [`NetError::DoubleCrash`] when two
+/// crashes are scheduled, and [`NetError::RecoveryUnsupported`] when
+/// the plan carries non-crash noise (whose goodput would stop being a
+/// pure function of the crash point). When the plan is active, every
+/// spliced send is checked against `topology` up front, so a re-map
+/// onto an unreachable survivor is a typed [`NetError::NoRoute`] at
+/// derive time instead of a hang at run time.
+///
+/// # Errors
+/// See above; also everything [`derive_schedule`] rejects.
+pub fn derive_recovery(
+    tl: &TaskList,
+    a: &TileAssignment,
+    faults: Option<&FaultPlan>,
+    topology: &dyn Topology,
+) -> Result<Option<RecoverPlan>, NetError> {
+    let Some(plan) = faults else {
+        return Ok(None);
+    };
+    let crashes = plan.crashes();
+    let Some(&(dead, epoch)) = crashes.first() else {
+        return Ok(None);
+    };
+    if let Some(&second) = crashes.get(1) {
+        return Err(NetError::DoubleCrash {
+            first: (dead, epoch),
+            second,
+        });
+    }
+    if plan.has_noise() {
+        return Err(NetError::RecoveryUnsupported {
+            detail: "the fault plan mixes a crash with drop/duplicate/corrupt/delay noise; \
+                     recovered goodput is only deterministic under a crash-only plan"
+                .to_string(),
+        });
+    }
+    if dead >= a.n_nodes() {
+        // The scheduled rank does not exist, so the crash can never
+        // fire; the run proceeds untouched.
+        return Ok(None);
+    }
+    let rp = derive_recovery_at(tl, a, dead, epoch)?;
+    if rp.active {
+        check_routes(&rp, topology)?;
+    }
+    Ok(Some(rp))
+}
+
+/// Derive the full recovery plan for a crash of `dead` at iteration
+/// `epoch` (see [`RecoverPlan`]). Pure function of its arguments —
+/// every rank of a distributed run derives the identical plan, which
+/// is what stands in for the agreement round.
+///
+/// # Errors
+/// [`NetError::RecoveryUnsupported`] when there is no survivor to
+/// re-map onto; everything [`derive_schedule`] rejects.
+pub fn derive_recovery_at(
+    tl: &TaskList,
+    a: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+) -> Result<RecoverPlan, NetError> {
+    let base = derive_schedule(tl, a)?;
+    let active = base
+        .node
+        .iter()
+        .zip(&base.epochs)
+        .any(|(&n, &e)| n == dead && e >= epoch);
+    if !active {
+        let expected = match tl.operation {
+            Operation::Lu => lu_comm_volume(a),
+            Operation::Cholesky => cholesky_comm_volume(a),
+            _ => CommBreakdown::default(),
+        };
+        return Ok(RecoverPlan {
+            dead,
+            epoch,
+            active: false,
+            remapped: a.clone(),
+            survivor: base.clone(),
+            dead_sched: base,
+            expected,
+            recovered: CommBreakdown::default(),
+        });
+    }
+    if a.n_nodes() < 2 {
+        return Err(NetError::RecoveryUnsupported {
+            detail: "single-node run has no survivor to re-map onto".to_string(),
+        });
+    }
+    let a2 = a.remap_without(dead);
+    let survivor = fuse_survivor_schedule(tl, &base, a, &a2, dead, epoch);
+    let dead_sched = truncate_dead_schedule(tl, &base, &a2, dead, epoch);
+    let stream = match tl.operation {
+        Operation::Lu => lu_spliced_broadcasts(a, &a2, dead, epoch as usize),
+        Operation::Cholesky => cholesky_spliced_broadcasts(a, &a2, dead, epoch as usize),
+        _ => Vec::new(),
+    };
+    let vol = spliced_volume(&stream);
+    Ok(RecoverPlan {
+        dead,
+        epoch,
+        active: true,
+        remapped: a2,
+        survivor,
+        dead_sched,
+        expected: vol.total,
+        recovered: vol.recovered,
+    })
+}
+
+/// The fused schedule every survivor runs: task placement, local
+/// dependency counts and needs under the re-mapped assignment, with
+/// each task's broadcast fused across the crash point (pre-crash legs
+/// keep their historical receivers, post-crash legs and re-serves to
+/// new owners carry the `recovered` flag).
+fn fuse_survivor_schedule(
+    tl: &TaskList,
+    base: &CommSchedule,
+    a: &TileAssignment,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+) -> CommSchedule {
+    let g = &tl.graph;
+    let n = tl.ops.len();
+    let t = tl.t;
+    let node: Vec<u32> = tl
+        .ops
+        .iter()
+        .map(|&op| {
+            let (i, j) = write_of(op);
+            a2.owner(i, j)
+        })
+        .collect();
+    let mut local_deps = vec![0u32; n];
+    for (u, &nu) in node.iter().enumerate() {
+        for &s in g.successors_of(u as u32) {
+            if node[s as usize] == nu {
+                local_deps[s as usize] += 1;
+            }
+        }
+    }
+    let mut rc_a = ReceiverCollector::new(a.n_nodes());
+    let mut rc_a2 = ReceiverCollector::new(a.n_nodes());
+    let mut needs = Vec::with_capacity(n);
+    let mut bcast = Vec::with_capacity(n);
+    for (id, &op) in tl.ops.iter().enumerate() {
+        let me = node[id];
+        let keys: Vec<TileKey> = reads_of(op)
+            .into_iter()
+            .filter(|&(i, j, _)| a2.owner(i, j) != me)
+            .map(|(i, j, e)| TileKey {
+                i: i as u32,
+                j: j as u32,
+                epoch: e as u32,
+            })
+            .collect();
+        needs.push(keys);
+        let ba = bcast_of(op, t, a, &mut rc_a);
+        let b2 = bcast_of(op, t, a2, &mut rc_a2);
+        bcast.push(fuse_bcast(op, a, a2, dead, epoch, ba, b2));
+    }
+    CommSchedule {
+        t,
+        n_ranks: base.n_ranks,
+        node,
+        local_deps,
+        needs,
+        bcast,
+        writes: base.writes.clone(),
+        epochs: base.epochs.clone(),
+    }
+}
+
+/// Fuse one task's broadcast across the crash point. `ba` / `b2` are
+/// the task's broadcasts under the original and re-mapped assignments
+/// (`None` when elided). Mirrors the per-tile rules of
+/// [`flexdist_dist::splice`] exactly.
+fn fuse_bcast(
+    op: crate::graphs::Op,
+    a: &TileAssignment,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+    ba: Option<TaskBcast>,
+    b2: Option<TaskBcast>,
+) -> Option<TaskBcast> {
+    let meta = ba.as_ref().or(b2.as_ref())?.clone();
+    let arec = ba.map(|b| b.receivers).unwrap_or_default();
+    let a2rec = b2.map(|b| b.receivers).unwrap_or_default();
+    let (wi, wj) = write_of(op);
+    let s = a.owner(wi, wj);
+    let s2 = a2.owner(wi, wj);
+    let l = epoch_of(op);
+    let (receivers, recovered): (Vec<u32>, Vec<bool>) = if l >= epoch {
+        // Entirely post-crash: one broadcast under the re-map; a send
+        // is recovered when its (sender → receiver) pair is absent
+        // from the crash-free run.
+        let flags = a2rec.iter().map(|r| s2 != s || !arec.contains(r)).collect();
+        (a2rec, flags)
+    } else if s != dead {
+        // Pre-crash broadcast from this survivor, extended with the
+        // re-map's new readers.
+        let mut rs = arec.clone();
+        let mut fs = vec![false; arec.len()];
+        for &r in a2rec.iter().filter(|r| !arec.contains(r)) {
+            rs.push(r);
+            fs.push(true);
+        }
+        (rs, fs)
+    } else {
+        // The dead rank broadcast this tile before dying (that leg
+        // lives in its truncated schedule); this — the heir's slot —
+        // re-serves only the readers that exist under the re-map.
+        let rs: Vec<u32> = a2rec
+            .iter()
+            .copied()
+            .filter(|r| !arec.contains(r))
+            .collect();
+        let fs = vec![true; rs.len()];
+        (rs, fs)
+    };
+    if receivers.is_empty() {
+        return None;
+    }
+    Some(TaskBcast {
+        receivers,
+        recovered,
+        ..meta
+    })
+}
+
+/// The dying rank's schedule: the original plan with its post-crash
+/// tasks cut out ([`NO_RANK`] placement, so they are neither queued
+/// nor counted) and its broadcasts never addressed to a tile's heir
+/// (which recomputes the tile locally under the re-map).
+fn truncate_dead_schedule(
+    tl: &TaskList,
+    base: &CommSchedule,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+) -> CommSchedule {
+    let g = &tl.graph;
+    let mut out = base.clone();
+    for id in 0..out.node.len() {
+        if out.node[id] == dead && out.epochs[id] >= epoch {
+            out.node[id] = NO_RANK;
+        }
+    }
+    // Recompute the same-rank dependency counts under the cut. (No
+    // pre-crash task can depend on a post-crash one — epochs only grow
+    // along edges — so the executed counts are in fact unchanged; the
+    // recomputation keeps that a mechanical invariant instead of an
+    // argument.)
+    out.local_deps = vec![0u32; out.node.len()];
+    for (u, &nu) in out.node.iter().enumerate() {
+        if nu == NO_RANK {
+            continue;
+        }
+        for &s in g.successors_of(u as u32) {
+            if out.node[s as usize] == nu {
+                out.local_deps[s as usize] += 1;
+            }
+        }
+    }
+    for id in 0..out.node.len() {
+        if out.node[id] != dead {
+            continue;
+        }
+        let Some(b) = out.bcast[id].take() else {
+            continue;
+        };
+        let heir = a2.owner(b.i as usize, b.j as usize);
+        let receivers: Vec<u32> = b.receivers.iter().copied().filter(|&r| r != heir).collect();
+        if !receivers.is_empty() {
+            let recovered = vec![false; receivers.len()];
+            out.bcast[id] = Some(TaskBcast {
+                receivers,
+                recovered,
+                ..b
+            });
+        }
+    }
+    out
+}
+
+/// Verify every spliced send against the topology, so a re-map onto an
+/// unreachable rank fails typed at derive time.
+fn check_routes(rp: &RecoverPlan, topology: &dyn Topology) -> Result<(), NetError> {
+    let scan = |sched: &CommSchedule, only: Option<u32>| -> Result<(), NetError> {
+        for (id, b) in sched.bcast.iter().enumerate() {
+            let from = sched.node[id];
+            if only.is_some_and(|r| from != r) || from == NO_RANK {
+                continue;
+            }
+            let Some(b) = b else { continue };
+            for &to in &b.receivers {
+                if !topology.connected(from, to) {
+                    return Err(NetError::NoRoute {
+                        from,
+                        to,
+                        topology: topology.name(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    scan(&rp.survivor, None)?;
+    scan(&rp.dead_sched, Some(rp.dead))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::build_graph;
+    use flexdist_core::g2dbc;
+    use flexdist_kernels::KernelCostModel;
+    use std::collections::HashMap;
+
+    fn setup(p: u32, t: usize, op: Operation) -> (TaskList, TileAssignment) {
+        let a = TileAssignment::cyclic(&g2dbc::g2dbc(p), t);
+        let tl = build_graph(op, &a, &KernelCostModel::uniform(8, 10.0));
+        (tl, a)
+    }
+
+    /// The fused schedules' message multiset must equal the dist-layer
+    /// spliced stream exactly — two independent derivations of the same
+    /// hybrid walk.
+    #[test]
+    fn fused_schedules_match_the_spliced_stream() {
+        for op in [Operation::Lu, Operation::Cholesky] {
+            let (tl, a) = setup(5, 6, op);
+            for dead in [0u32, 3] {
+                for epoch in 0..=6u32 {
+                    let rp = derive_recovery_at(&tl, &a, dead, epoch).unwrap();
+                    if !rp.active {
+                        continue;
+                    }
+                    type MsgKey = (u8, u32, u32, u32, u32, Vec<u32>);
+                    let mut diff: HashMap<MsgKey, i64> = HashMap::new();
+                    for m in rp.spliced_stream(&tl, &a) {
+                        let k = (
+                            matches!(m.class, flexdist_dist::BcastClass::Trailing) as u8,
+                            m.sender,
+                            m.i as u32,
+                            m.j as u32,
+                            m.epoch as u32,
+                            m.receivers.clone(),
+                        );
+                        *diff.entry(k).or_default() += 1;
+                    }
+                    let mut drain = |sched: &CommSchedule, only: Option<u32>| {
+                        for (id, b) in sched.bcast.iter().enumerate() {
+                            let from = sched.node[id];
+                            if only.is_some_and(|r| from != r) || from == NO_RANK {
+                                continue;
+                            }
+                            let Some(b) = b else { continue };
+                            let k = (
+                                matches!(b.class, flexdist_net::MsgClass::Trailing) as u8,
+                                from,
+                                b.i,
+                                b.j,
+                                b.epoch,
+                                b.receivers.clone(),
+                            );
+                            *diff.entry(k).or_default() -= 1;
+                        }
+                    };
+                    drain(&rp.survivor, None);
+                    drain(&rp.dead_sched, Some(dead));
+                    let bad: Vec<_> = diff.iter().filter(|&(_, &c)| c != 0).collect();
+                    assert!(
+                        bad.is_empty(),
+                        "{op:?} dead {dead} epoch {epoch}: schedule/stream divergence {bad:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_when_crash_is_past_the_last_epoch() {
+        let (tl, a) = setup(4, 5, Operation::Lu);
+        let rp = derive_recovery_at(&tl, &a, 1, 5).unwrap();
+        assert!(!rp.active);
+        assert_eq!(rp.expected, lu_comm_volume(&a));
+        assert_eq!(rp.recovered.total(), 0);
+        assert_eq!(rp.remapped, a);
+    }
+
+    #[test]
+    fn double_crash_is_typed() {
+        let (tl, a) = setup(4, 5, Operation::Lu);
+        let plan = FaultPlan::new(1).with_crash(1, 2).with_crash(2, 3);
+        let err = derive_recovery(&tl, &a, Some(&plan), &flexdist_net::FullMesh).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::DoubleCrash {
+                first: (1, 2),
+                second: (2, 3)
+            }
+        ));
+    }
+
+    #[test]
+    fn noisy_plan_is_rejected() {
+        let (tl, a) = setup(4, 5, Operation::Lu);
+        let plan = FaultPlan::new(1).with_crash(1, 2).with_drop(0.1);
+        let err = derive_recovery(&tl, &a, Some(&plan), &flexdist_net::FullMesh).unwrap_err();
+        assert!(matches!(err, NetError::RecoveryUnsupported { .. }));
+    }
+
+    #[test]
+    fn no_crash_means_no_plan() {
+        let (tl, a) = setup(4, 5, Operation::Lu);
+        assert!(derive_recovery(&tl, &a, None, &flexdist_net::FullMesh)
+            .unwrap()
+            .is_none());
+        let quiet = FaultPlan::new(3);
+        assert!(
+            derive_recovery(&tl, &a, Some(&quiet), &flexdist_net::FullMesh)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn dead_schedule_is_cut_at_the_crash_epoch() {
+        let (tl, a) = setup(5, 6, Operation::Cholesky);
+        // The owner of the final diagonal tile has work at every epoch,
+        // so a mid-run crash of that rank is always active.
+        let dead = a.owner(5, 5);
+        let rp = derive_recovery_at(&tl, &a, dead, 3).unwrap();
+        assert!(rp.active);
+        for (id, &n) in rp.dead_sched.node.iter().enumerate() {
+            if n == dead {
+                assert!(rp.dead_sched.epochs[id] < 3);
+            }
+            assert_ne!(
+                rp.survivor.node[id], dead,
+                "survivor schedule still places task {id} on the dead rank"
+            );
+        }
+        // The heir never appears among the dead rank's receivers.
+        for (id, b) in rp.dead_sched.bcast.iter().enumerate() {
+            if rp.dead_sched.node[id] != dead {
+                continue;
+            }
+            if let Some(b) = b {
+                let heir = rp.remapped.owner(b.i as usize, b.j as usize);
+                assert!(!b.receivers.contains(&heir), "heir re-delivered: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_needs_are_served_exactly_once() {
+        // Every survivor need must be covered by exactly one fused send,
+        // and every fused send must land on a rank that needs it (or the
+        // dying rank pre-crash).
+        for op in [Operation::Lu, Operation::Cholesky] {
+            let (tl, a) = setup(6, 7, op);
+            let rp = derive_recovery_at(&tl, &a, 1, 2).unwrap();
+            assert!(rp.active, "{op:?}: pick an active crash point");
+            let mut delivered: HashMap<(u32, TileKey), u32> = HashMap::new();
+            let mut count = |sched: &CommSchedule, only: Option<u32>| {
+                for (id, b) in sched.bcast.iter().enumerate() {
+                    let from = sched.node[id];
+                    if only.is_some_and(|r| from != r) || from == NO_RANK {
+                        continue;
+                    }
+                    let Some(b) = b else { continue };
+                    for &to in &b.receivers {
+                        let key = TileKey {
+                            i: b.i,
+                            j: b.j,
+                            epoch: b.epoch,
+                        };
+                        *delivered.entry((to, key)).or_default() += 1;
+                    }
+                }
+            };
+            count(&rp.survivor, None);
+            count(&rp.dead_sched, Some(1));
+            let mut needed: HashMap<(u32, TileKey), u32> = HashMap::new();
+            for (id, keys) in rp.survivor.needs.iter().enumerate() {
+                for &k in keys {
+                    needed.entry((rp.survivor.node[id], k)).or_insert(0);
+                    *needed.entry((rp.survivor.node[id], k)).or_default() = 1;
+                }
+            }
+            for (id, keys) in rp.dead_sched.needs.iter().enumerate() {
+                if rp.dead_sched.node[id] != 1 {
+                    continue;
+                }
+                for &k in keys {
+                    *needed.entry((1, k)).or_default() = 1;
+                }
+            }
+            for (slot, &n) in &needed {
+                assert_eq!(
+                    delivered.get(slot).copied().unwrap_or(0),
+                    n,
+                    "{op:?}: need {slot:?} not served exactly once"
+                );
+            }
+            for (slot, &n) in &delivered {
+                assert_eq!(n, 1, "{op:?}: {slot:?} delivered {n} times");
+                assert!(needed.contains_key(slot), "{op:?}: {slot:?} unconsumed");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_that_isolates_the_heir_is_no_route_at_derive_time() {
+        // Ranks {0,1,2} in one partition, rank 3 alone. Rank 3 owns no
+        // tiles under an owner map confined to 0..3, so the greedy
+        // re-map sends every dead tile to it — across the partition.
+        let t = 6;
+        let a = TileAssignment::from_owner_fn(t, 4, |i, j| ((i + j) % 3) as u32);
+        let tl = build_graph(Operation::Lu, &a, &KernelCostModel::uniform(8, 10.0));
+        let topo = flexdist_net::Partition::new(vec![0, 0, 0, 1]);
+        let plan = FaultPlan::new(9).with_crash(1, 2);
+        let err = derive_recovery(&tl, &a, Some(&plan), &topo).unwrap_err();
+        assert!(matches!(err, NetError::NoRoute { .. }), "got {err:?}");
+    }
+}

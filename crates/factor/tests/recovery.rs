@@ -1,0 +1,451 @@
+//! Crash-recovery acceptance suite: the exhaustive crash-point matrix.
+//!
+//! The recovery claim is strong — kill any rank at any iteration and
+//! the surviving P−1 ranks finish the factorization **bitwise identical**
+//! to the crash-free run, with goodput exactly equal to the spliced
+//! closed-form volume. This suite proves it by brute force on a dense
+//! small core (every rank × every crash epoch × both operations) and by
+//! property-based sampling over the full P ∈ [3, 12] ×
+//! {G-2DBC, GCR&M, SBC} space on top:
+//!
+//! * the recovered factorization equals the crash-free distributed run
+//!   and the shared-memory executor bit for bit;
+//! * `NetReport.wire` equals `RecoverPlan::expected` — the spliced
+//!   closed-form volume from `flexdist_dist::splice` — and the
+//!   `Recovered` counters equal `RecoverPlan::recovered` exactly;
+//! * a triangular solve through the recovered factors still solves the
+//!   original system;
+//! * a crash point past the dead rank's last task is a no-op: the run
+//!   completes under the original schedule with zero recovered sends.
+//!
+//! The watchdog-interplay pair pins the recovery grace budget: a rank
+//! whose schedule re-derivation (modeled by `splice_delay`) overruns
+//! one watchdog interval completes instead of `Stalled`; past the grace
+//! budget it still fails typed.
+//!
+//! A golden fixture pins one recovered P=5 LU run (spliced traffic,
+//! recovered counters, result digest) against future regressions:
+//! `GOLDEN_REGEN=1 cargo test -p flexdist-factor --test recovery -- --ignored`
+
+use flexdist_core::{g2dbc, gcrm, sbc, Pattern};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::net::{FaultPlan, NetError};
+use flexdist_factor::solve::random_block_vector;
+use flexdist_factor::{
+    build_graph, cholesky_solve, derive_recovery_at, execute, execute_distributed,
+    execute_distributed_with, lu_solve, solve_residual, DexecOptions, Operation, TaskList,
+};
+use flexdist_json::Value;
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const NB: usize = 4;
+
+fn input_for(op: Operation, t: usize, seed: u64) -> TiledMatrix {
+    match op {
+        Operation::Lu => TiledMatrix::random_diag_dominant(t, NB, seed),
+        _ => {
+            let mut m = TiledMatrix::random_spd(t, NB, seed);
+            m.symmetrize_from_lower();
+            m
+        }
+    }
+}
+
+fn graph_for(op: Operation, a: &TileAssignment) -> TaskList {
+    build_graph(op, a, &KernelCostModel::uniform(NB, 30.0))
+}
+
+fn scheme_for(idx: u8, p: u32) -> (String, Pattern) {
+    match idx % 3 {
+        0 => (format!("g2dbc(p{p})"), g2dbc::g2dbc(p)),
+        1 => {
+            let res = gcrm::search(
+                p,
+                &gcrm::GcrmConfig {
+                    n_seeds: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("GCR&M covers P={p}: {e}"));
+            (format!("gcrm(p{p})"), res.best)
+        }
+        _ => {
+            let q = sbc::largest_admissible_at_most(p).expect("some admissible count <= p");
+            (
+                format!("sbc(p{q}<=p{p})"),
+                sbc::sbc_extended(q).expect("admissible by construction"),
+            )
+        }
+    }
+}
+
+/// Run one cell of the crash-point matrix and check every recovery
+/// invariant against the crash-free run.
+fn check_recovery_cell(
+    op: Operation,
+    name: &str,
+    a: &TileAssignment,
+    t: usize,
+    dead: u32,
+    epoch: u32,
+) {
+    let ctx = || format!("{} {name} dead={dead} epoch={epoch}", op.name());
+    let tl = graph_for(op, a);
+    let a0 = input_for(op, t, 11 + u64::from(dead));
+
+    // The crash-free baseline (also validates the cell itself).
+    let (baseline, base_report) =
+        execute_distributed(&tl, a, &a0).unwrap_or_else(|e| panic!("{}: baseline: {e}", ctx()));
+    assert!(base_report.error.is_none(), "{}: baseline kernel", ctx());
+
+    // The closed-form spliced volumes this run must hit exactly.
+    let rp = derive_recovery_at(&tl, a, dead, epoch).unwrap_or_else(|e| panic!("{}: {e}", ctx()));
+
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(5).with_crash(dead, epoch)),
+        recover: true,
+        watchdog: Duration::from_secs(20),
+        ..DexecOptions::default()
+    };
+    let out = execute_distributed_with(&tl, a, &a0, &opts)
+        .unwrap_or_else(|e| panic!("{}: recovering run failed: {e}", ctx()));
+    assert!(out.report.error.is_none(), "{}: kernel error", ctx());
+
+    // Bitwise identity: crash-free distributed run and shared executor.
+    assert_eq!(
+        out.matrix.diff_norm(&baseline),
+        0.0,
+        "{}: recovered result differs bitwise from the crash-free run",
+        ctx()
+    );
+    let (shared, rep) = execute(&tl, a0.clone(), 2);
+    assert!(rep.error.is_none());
+    assert_eq!(
+        out.matrix.diff_norm(&shared),
+        0.0,
+        "{}: recovered result differs bitwise from the shared executor",
+        ctx()
+    );
+
+    // Goodput == spliced closed-form volume, per class; recovered
+    // counters == the recovery-only share.
+    assert_eq!(
+        out.report.wire,
+        rp.expected,
+        "{}: goodput diverged from the spliced volume",
+        ctx()
+    );
+    assert_eq!(
+        out.report.recovered_msgs,
+        rp.recovered.total(),
+        "{}: recovered counter diverged from the spliced recovery share",
+        ctx()
+    );
+    if !rp.active {
+        assert_eq!(
+            out.report.recovered_msgs,
+            0,
+            "{}: no-op recovery sent",
+            ctx()
+        );
+        assert_eq!(out.report.wire, base_report.wire, "{}", ctx());
+    } else {
+        assert!(
+            out.report.recovered_bytes >= out.report.recovered_msgs,
+            "{}: recovered bytes must cover recovered messages",
+            ctx()
+        );
+    }
+
+    // The recovered factorization still solves the system.
+    let b = random_block_vector(t, NB, 0x5eed ^ u64::from(epoch));
+    let x = match op {
+        Operation::Lu => lu_solve(&out.matrix, &b),
+        _ => cholesky_solve(&out.matrix, &b),
+    };
+    let res = solve_residual(&a0, &x, &b);
+    assert!(res < 1e-10, "{}: solve residual {res}", ctx());
+}
+
+/// Dense core: every rank × every crash epoch (including one past the
+/// end — the no-op recovery), both operations, P ∈ {3, 4}.
+#[test]
+fn every_crash_point_recovers_bitwise_dense_core() {
+    const T: usize = 5;
+    for op in [Operation::Lu, Operation::Cholesky] {
+        for p in [3u32, 4] {
+            let (name, pat) = scheme_for(0, p);
+            let a = TileAssignment::extended(&pat, T);
+            for dead in 0..a.n_nodes() {
+                for epoch in 0..=T as u32 {
+                    check_recovery_cell(op, &name, &a, T, dead, epoch);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sampled upper layer of the matrix: any P in [3, 12], any scheme,
+    /// any crash point.
+    #[test]
+    fn sampled_crash_points_recover_bitwise(
+        p in 3u32..=12,
+        scheme in 0u8..3,
+        lu in 0u8..2,
+        dead_pick in 0u32..12,
+        epoch in 0u32..=5,
+    ) {
+        const T: usize = 5;
+        let op = if lu == 0 { Operation::Lu } else { Operation::Cholesky };
+        let (name, pat) = scheme_for(scheme, p);
+        let a = TileAssignment::extended(&pat, T);
+        let dead = dead_pick % a.n_nodes();
+        check_recovery_cell(op, &name, &a, T, dead, epoch);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog / recovery interplay: the grace budget.
+// ---------------------------------------------------------------------------
+
+fn grace_setup() -> (TaskList, TileAssignment, TiledMatrix, u32, u32) {
+    const T: usize = 5;
+    let a = TileAssignment::extended(&g2dbc::g2dbc(5), T);
+    let tl = graph_for(Operation::Lu, &a);
+    let a0 = input_for(Operation::Lu, T, 3);
+    let dead = a.owner(T - 1, T - 1);
+    // Delay the epoch-0 panel owner (everyone waits on its first
+    // broadcast), or the next rank if the casualty owns it.
+    let mut slow = a.owner(0, 0);
+    if slow == dead {
+        slow = (slow + 1) % a.n_nodes();
+    }
+    (tl, a, a0, dead, slow)
+}
+
+/// A survivor whose schedule re-derivation overruns one watchdog
+/// interval (350 ms against a 250 ms deadline) completes under the
+/// recovery grace budget instead of dying `Stalled` — and all the
+/// bitwise/goodput invariants still hold.
+#[test]
+fn slow_splice_within_grace_completes() {
+    let (tl, a, a0, dead, slow) = grace_setup();
+    let rp = derive_recovery_at(&tl, &a, dead, 2).expect("derives");
+    assert!(rp.active, "crash point must remove real work");
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(5).with_crash(dead, 2)),
+        recover: true,
+        watchdog: Duration::from_millis(250),
+        splice_delay: Some((slow, Duration::from_millis(350))),
+        ..DexecOptions::default()
+    };
+    let out = execute_distributed_with(&tl, &a, &a0, &opts)
+        .unwrap_or_else(|e| panic!("grace budget must absorb one overrun: {e}"));
+    assert!(out.report.error.is_none());
+    assert_eq!(out.report.wire, rp.expected);
+    let (shared, rep) = execute(&tl, a0, 2);
+    assert!(rep.error.is_none());
+    assert_eq!(
+        out.matrix.diff_norm(&shared),
+        0.0,
+        "slow splice changed bits"
+    );
+}
+
+/// Past the grace budget (350 ms against a 150 ms deadline — two full
+/// intervals expire first) the run still fails typed as `Stalled`, not
+/// by hanging.
+#[test]
+fn slow_splice_past_grace_stalls_typed() {
+    let (tl, a, a0, dead, slow) = grace_setup();
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(5).with_crash(dead, 2)),
+        recover: true,
+        watchdog: Duration::from_millis(150),
+        splice_delay: Some((slow, Duration::from_millis(350))),
+        ..DexecOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let err = match execute_distributed_with(&tl, &a, &a0, &opts) {
+        Ok(_) => panic!("two expired watchdog intervals must outrank the grace budget"),
+        Err(e) => e,
+    };
+    // The first typed failure is either the stalled rank itself or a
+    // peer that exhausted its retries into the stalled rank's closed
+    // inbox — both are acceptable; hanging is not.
+    assert!(
+        matches!(
+            err,
+            NetError::Stalled { .. } | NetError::RetryExhausted { .. }
+        ),
+        "unexpected failure mode: {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(10), "must not hang");
+}
+
+// ---------------------------------------------------------------------------
+// Unrecoverable and unsupported plans fail typed at derive time.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn double_crash_is_unrecoverable_typed() {
+    const T: usize = 5;
+    let a = TileAssignment::extended(&g2dbc::g2dbc(4), T);
+    let tl = graph_for(Operation::Lu, &a);
+    let a0 = input_for(Operation::Lu, T, 1);
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(1).with_crash(0, 1).with_crash(2, 3)),
+        recover: true,
+        ..DexecOptions::default()
+    };
+    let err = match execute_distributed_with(&tl, &a, &a0, &opts) {
+        Ok(_) => panic!("a double crash cannot be recovered"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            err,
+            NetError::DoubleCrash {
+                first: (0, 1),
+                second: (2, 3)
+            }
+        ),
+        "got {err}"
+    );
+    assert!(err.to_string().contains("double crash"));
+}
+
+#[test]
+fn noisy_recovery_plan_is_rejected_typed() {
+    const T: usize = 5;
+    let a = TileAssignment::extended(&g2dbc::g2dbc(4), T);
+    let tl = graph_for(Operation::Lu, &a);
+    let a0 = input_for(Operation::Lu, T, 1);
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(1).with_crash(0, 1).with_drop(0.05)),
+        recover: true,
+        ..DexecOptions::default()
+    };
+    let err = match execute_distributed_with(&tl, &a, &a0, &opts) {
+        Ok(_) => panic!("noise + crash must be rejected in recover mode"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, NetError::RecoveryUnsupported { .. }),
+        "got {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: one pinned recovered P=5 LU run.
+// ---------------------------------------------------------------------------
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_recovery.json"
+);
+
+/// FNV-1a over the result's f64 bit patterns.
+fn result_digest(m: &TiledMatrix) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..m.tiles() {
+        for j in 0..m.tiles() {
+            for &x in m.tile(i, j).as_slice() {
+                for byte in x.to_bits().to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+    }
+    h
+}
+
+fn golden_recovery_run() -> Value {
+    const T: usize = 6;
+    let a = TileAssignment::extended(&g2dbc::g2dbc(5), T);
+    let tl = graph_for(Operation::Lu, &a);
+    let a0 = input_for(Operation::Lu, T, 7);
+    let (dead, epoch) = (1u32, 2u32);
+    let rp = derive_recovery_at(&tl, &a, dead, epoch).expect("derives");
+    assert!(rp.active, "golden crash point must be active");
+    let opts = DexecOptions {
+        faults: Some(FaultPlan::new(7).with_crash(dead, epoch)),
+        recover: true,
+        watchdog: Duration::from_secs(20),
+        ..DexecOptions::default()
+    };
+    let out = execute_distributed_with(&tl, &a, &a0, &opts).expect("recovers");
+    assert!(out.report.error.is_none());
+    assert_eq!(out.report.wire, rp.expected);
+    assert_eq!(out.report.recovered_msgs, rp.recovered.total());
+    let per_rank = out
+        .report
+        .per_rank
+        .iter()
+        .map(|r| {
+            flexdist_json::object(vec![
+                ("rank", Value::from(r.rank)),
+                ("tasks", Value::from(r.tasks)),
+                ("sent_msgs", Value::from(r.sent_msgs)),
+                ("sent_bytes", Value::from(r.sent_bytes)),
+                ("recv_msgs", Value::from(r.recv_msgs)),
+                ("recv_bytes", Value::from(r.recv_bytes)),
+                ("recovered_msgs", Value::from(r.recovered_msgs)),
+                ("recovered_bytes", Value::from(r.recovered_bytes)),
+            ])
+        })
+        .collect();
+    flexdist_json::object(vec![
+        ("name", Value::from("lu_g2dbc_p5_t6_nb4_crash_r1e2_seed7")),
+        ("dead", Value::from(dead)),
+        ("epoch", Value::from(epoch)),
+        ("panel", Value::from(out.report.wire.panel)),
+        ("trailing", Value::from(out.report.wire.trailing)),
+        ("recovered_panel", Value::from(rp.recovered.panel)),
+        ("recovered_trailing", Value::from(rp.recovered.trailing)),
+        ("recovered_msgs", Value::from(out.report.recovered_msgs)),
+        ("recovered_bytes", Value::from(out.report.recovered_bytes)),
+        ("bytes", Value::from(out.report.bytes)),
+        ("tasks", Value::from(out.report.tasks)),
+        ("result_digest", Value::from(result_digest(&out.matrix))),
+        ("per_rank", Value::Array(per_rank)),
+    ])
+}
+
+#[test]
+fn golden_recovery_matches_fixture_bitwise() {
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; regenerate with GOLDEN_REGEN=1 (see module docs)");
+    let doc = flexdist_json::parse(&text).expect("fixture parses");
+    let golden = doc.get("run").expect("fixture has run");
+    assert_eq!(
+        golden,
+        &golden_recovery_run(),
+        "recovered P=5 LU run diverged from golden fixture"
+    );
+}
+
+#[test]
+#[ignore = "writes the fixture; run with GOLDEN_REGEN=1 to regenerate"]
+fn regenerate_fixture() {
+    if std::env::var("GOLDEN_REGEN").is_err() {
+        eprintln!("GOLDEN_REGEN not set; refusing to overwrite the fixture");
+        return;
+    }
+    let doc = flexdist_json::object(vec![
+        (
+            "comment",
+            Value::from("bitwise crash-recovery fixture; see tests/recovery.rs"),
+        ),
+        ("run", golden_recovery_run()),
+    ]);
+    std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+    std::fs::write(FIXTURE, doc.to_pretty()).unwrap();
+    eprintln!("wrote {FIXTURE}");
+}

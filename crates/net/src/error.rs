@@ -248,6 +248,22 @@ pub enum NetError {
         /// The iteration at which the crash fault fired.
         epoch: u32,
     },
+    /// Recovery was requested but the fault plan kills more than one
+    /// rank — the single-spare re-map cannot survive a second crash, so
+    /// this is a typed unrecoverable error rather than a wedged run.
+    DoubleCrash {
+        /// First crashed rank and its epoch.
+        first: (u32, u32),
+        /// Second crashed rank and its epoch.
+        second: (u32, u32),
+    },
+    /// Recovery was requested under conditions the re-map cannot
+    /// handle (e.g. a noisy fault plan whose goodput would stop being
+    /// deterministic, or a single-node run with no survivor).
+    RecoveryUnsupported {
+        /// Human-readable reason.
+        detail: String,
+    },
     /// An operating-system I/O failure on the socket transport (bind,
     /// connect, handshake, or an unclassifiable stream error). The
     /// in-process channel fabric never produces this.
@@ -399,6 +415,15 @@ impl fmt::Display for NetError {
             }
             Self::RankCrashed { rank, epoch } => {
                 write!(f, "rank {rank} crashed at iteration {epoch} (fault plan)")
+            }
+            Self::DoubleCrash { first, second } => write!(
+                f,
+                "unrecoverable double crash: rank {} died at iteration {} while recovering \
+                 from rank {} at iteration {}",
+                second.0, second.1, first.0, first.1
+            ),
+            Self::RecoveryUnsupported { detail } => {
+                write!(f, "recovery unsupported: {detail}")
             }
             Self::Io { rank, detail } => {
                 write!(f, "rank {rank} socket transport failed: {detail}")

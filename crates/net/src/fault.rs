@@ -230,6 +230,27 @@ impl FaultPlan {
             .map_or(self.drop, |&(_, _, r)| r)
     }
 
+    /// Every scheduled crash as `(rank, epoch)` pairs, in insertion
+    /// order. Recovery derivation inspects the full list to distinguish
+    /// the recoverable single-crash case from a typed
+    /// [`DoubleCrash`](crate::NetError::DoubleCrash).
+    #[must_use]
+    pub fn crashes(&self) -> &[(u32, u32)] {
+        &self.crashes
+    }
+
+    /// Whether any non-crash fault (drop, duplicate, corrupt, delay,
+    /// link override) can fire. Recovery requires a crash-only plan so
+    /// the goodput counters stay deterministic.
+    #[must_use]
+    pub fn has_noise(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.delay > 0.0
+            || self.link_drop.iter().any(|&(_, _, r)| r > 0.0)
+    }
+
     /// The iteration at which `rank` crashes, if scheduled.
     #[must_use]
     pub fn crash_epoch(&self, rank: u32) -> Option<u32> {

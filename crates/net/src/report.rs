@@ -30,6 +30,12 @@ pub struct RankIo {
     pub corrupt_rejected: u64,
     /// Frames the fault plan reordered through its delay stash.
     pub delayed: u64,
+    /// Goodput messages it sent only because of a crash re-map (subset
+    /// of `sent_msgs`): re-mapped post-crash broadcasts and re-serves of
+    /// finalized tiles to new owners.
+    pub recovered_msgs: u64,
+    /// Serialized bytes of those recovery sends (subset of `sent_bytes`).
+    pub recovered_bytes: u64,
 }
 
 /// Traffic of one ordered rank pair.
@@ -110,6 +116,13 @@ pub struct NetReport {
     pub links: Vec<LinkIo>,
     /// Reliability-layer counters, disjoint from `wire`/`bytes`.
     pub faults: FaultStats,
+    /// Goodput messages attributable to crash recovery (subset of the
+    /// `wire` totals): zero on a crash-free run, and on a recovered run
+    /// exactly the flagged portion of the spliced closed-form stream
+    /// (`flexdist_dist::splice`).
+    pub recovered_msgs: u64,
+    /// Serialized bytes of the recovery messages (subset of `bytes`).
+    pub recovered_bytes: u64,
     /// First kernel failure (by task id) across all ranks, if any.
     pub error: Option<KernelError>,
 }
@@ -160,10 +173,14 @@ impl NetReport {
         // attempt of the same message, so the retransmission count is
         // their sum — no separate counter to drift out of sync.
         faults.retransmits = faults.dropped + faults.corrupt_injected;
+        let mut recovered_msgs = 0;
+        let mut recovered_bytes = 0;
         for r in &per_rank {
             faults.corrupt_rejected += r.corrupt_rejected;
             faults.duplicates_rejected += r.dup_rejected;
             faults.delayed += r.delayed;
+            recovered_msgs += r.recovered_msgs;
+            recovered_bytes += r.recovered_bytes;
         }
         links.sort_by_key(|l| (l.from, l.to));
         Self {
@@ -174,6 +191,8 @@ impl NetReport {
             per_rank,
             links,
             faults,
+            recovered_msgs,
+            recovered_bytes,
             error,
         }
     }

@@ -37,7 +37,9 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as TcpShutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Largest tile dimension the u32 length prefix can delimit: the codec
@@ -262,6 +264,10 @@ pub struct BoundSocket {
     inbox_rx: Receiver<Result<Vec<u8>, NetError>>,
     /// Kept so accepted-reader threads can be spawned with a sender.
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// How many inbound dials the topology expects, and how many of
+    /// them have completed their rank handshake so far.
+    expected_in: usize,
+    identified: Arc<AtomicUsize>,
 }
 
 fn io_err(rank: u32, what: &str, e: &std::io::Error) -> NetError {
@@ -271,7 +277,12 @@ fn io_err(rank: u32, what: &str, e: &std::io::Error) -> NetError {
     }
 }
 
-fn spawn_reader(peer_stream: InStream, tx: Sender<Result<Vec<u8>, NetError>>, n_ranks: u32) {
+fn spawn_reader(
+    peer_stream: InStream,
+    tx: Sender<Result<Vec<u8>, NetError>>,
+    n_ranks: u32,
+    identified: Arc<AtomicUsize>,
+) {
     std::thread::spawn(move || {
         let mut stream = peer_stream;
         let mut asm = Reassembler::new();
@@ -287,6 +298,10 @@ fn spawn_reader(peer_stream: InStream, tx: Sender<Result<Vec<u8>, NetError>>, n_
                 Err(_) => return,
             }
         }
+        // Handshake consumed: the dialer can no longer hit a broken
+        // pipe on bring-up even if this rank exits right now (what
+        // `await_inbound` waits for).
+        identified.fetch_add(1, Ordering::Release);
         let peer = u32::from_le_bytes(hs);
         if peer >= n_ranks {
             let _ = tx.send(Err(NetError::Io {
@@ -348,6 +363,7 @@ impl BoundSocket {
         cfg: &SocketConfig,
     ) -> Result<Self, NetError> {
         let (tx, rx) = channel::<Result<Vec<u8>, NetError>>();
+        let identified = Arc::new(AtomicUsize::new(0));
         let accept_thread = match cfg.kind {
             SocketKind::Uds => {
                 let path = cfg.sock_path(rank);
@@ -355,11 +371,17 @@ impl BoundSocket {
                 let _ = std::fs::remove_file(&path);
                 let listener =
                     UnixListener::bind(&path).map_err(|e| io_err(rank, "uds bind", &e))?;
+                let ids = Arc::clone(&identified);
                 std::thread::spawn(move || {
                     for _ in 0..expected_in {
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                spawn_reader(InStream::Uds(stream), tx.clone(), n_ranks);
+                                spawn_reader(
+                                    InStream::Uds(stream),
+                                    tx.clone(),
+                                    n_ranks,
+                                    Arc::clone(&ids),
+                                );
                             }
                             Err(_) => return,
                         }
@@ -380,11 +402,17 @@ impl BoundSocket {
                     .map_err(|e| io_err(rank, "port file write", &e))?;
                 std::fs::rename(&tmp, cfg.port_path(rank))
                     .map_err(|e| io_err(rank, "port file rename", &e))?;
+                let ids = Arc::clone(&identified);
                 std::thread::spawn(move || {
                     for _ in 0..expected_in {
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                spawn_reader(InStream::Tcp(stream), tx.clone(), n_ranks);
+                                spawn_reader(
+                                    InStream::Tcp(stream),
+                                    tx.clone(),
+                                    n_ranks,
+                                    Arc::clone(&ids),
+                                );
                             }
                             Err(_) => return,
                         }
@@ -398,6 +426,8 @@ impl BoundSocket {
             cfg: cfg.clone(),
             inbox_rx: rx,
             accept_thread: Some(accept_thread),
+            expected_in,
+            identified,
         })
     }
 
@@ -467,7 +497,9 @@ impl BoundSocket {
             kind: self.cfg.kind,
             outs,
             inbox_rx: self.inbox_rx,
-            _accept_thread: self.accept_thread,
+            accept_thread: self.accept_thread,
+            expected_in: self.expected_in,
+            identified: self.identified,
         })
     }
 }
@@ -478,7 +510,9 @@ pub struct SocketTransport {
     kind: SocketKind,
     outs: Vec<Option<OutStream>>,
     inbox_rx: Receiver<Result<Vec<u8>, NetError>>,
-    _accept_thread: Option<std::thread::JoinHandle<()>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    expected_in: usize,
+    identified: Arc<AtomicUsize>,
 }
 
 impl SocketTransport {
@@ -565,6 +599,23 @@ impl Transport for SocketTransport {
                 stream.close();
             }
             *out = None;
+        }
+    }
+
+    fn await_inbound(&mut self) {
+        // Bounded: every live peer dials during its own `establish`,
+        // which is capped by `connect_timeout`; once `expected_in`
+        // streams are accepted the thread exits on its own.
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // Accepted is not enough: a dialer whose connect() landed in
+        // the listen backlog writes its rank handshake *after* connect
+        // returns, and exiting before that write is consumed turns it
+        // into a broken pipe on the dialer's side. Wait until every
+        // expected inbound stream has identified itself.
+        while self.identified.load(Ordering::Acquire) < self.expected_in {
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 }

@@ -298,6 +298,12 @@ pub trait Transport: Send {
     /// [`TransportRecv::Closed`]. Idempotent; the inbox stays readable.
     fn finish_sends(&mut self);
 
+    /// Block until fabric bring-up is complete on the inbound side:
+    /// every peer expected to dial into this rank has connected. A
+    /// no-op for backends without a bring-up handshake (the in-process
+    /// channel fabric is built fully wired).
+    fn await_inbound(&mut self) {}
+
     /// The backend's buffering model — what the static protocol
     /// verifier checks deadlock-freedom against.
     fn buffer_config(&self) -> BufferConfig {
@@ -370,6 +376,12 @@ pub struct Endpoint {
     faults: Option<Arc<FaultPlan>>,
     stash: VecDeque<(TileMsg, usize)>,
     recv_faults: RecvFaultStats,
+    /// Set by [`adopt_remap`](Self::adopt_remap): the crashed rank and
+    /// the pre-crash owner map. Frames from the crashed rank carrying
+    /// tiles it owned *before* the re-map stay valid (they were sent
+    /// before it died), even though the live assignment has re-homed
+    /// those tiles.
+    legacy: Option<(u32, Arc<TileAssignment>)>,
 }
 
 /// How long `recv_deadline` polls the inbox between stash-release
@@ -405,7 +417,42 @@ impl Endpoint {
             faults,
             stash: VecDeque::new(),
             recv_faults: RecvFaultStats::default(),
+            legacy: None,
         }
+    }
+
+    /// Switch this endpoint to the post-crash re-mapped owner map.
+    /// Sends are gated by `remapped` from here on; frames from `dead`
+    /// carrying tiles it owned under the *previous* map remain
+    /// acceptable (they left the wire before the crash). Membership
+    /// change for a survivor of a crash-recovery run — the rank count
+    /// never changes, the dead rank simply owns nothing.
+    pub fn adopt_remap(&mut self, remapped: Arc<TileAssignment>, dead: u32) {
+        let old = std::mem::replace(&mut self.assignment, remapped);
+        self.legacy = Some((dead, old));
+    }
+
+    /// Close this endpoint's sending half without draining the inbox —
+    /// the exit path of a *crashed* rank, which must disappear from the
+    /// fabric immediately (its peers stop at the spliced schedule, so
+    /// nothing is ever inbound for it after its last pre-crash task).
+    pub fn finish_sends(&mut self) {
+        self.transport.finish_sends();
+    }
+
+    /// Exit path of the *scheduled* casualty: close the sending half,
+    /// then linger until fabric bring-up completes — every peer
+    /// expected to dial this rank's listener has connected. The modeled
+    /// crash happens mid-run, long after bring-up; a rank process that
+    /// vanishes *during* bring-up tears the fabric down for everyone
+    /// (late dialers get connection-refused until their timeout and die
+    /// of an `Io` error instead of observing the modeled recovery, and
+    /// their peers then block forever on a listener that will never
+    /// fill). No drain: every scheduled frame *to* this rank gated one
+    /// of its executed pre-crash tasks, so nothing is inbound anymore.
+    pub fn leave_fabric(&mut self) {
+        self.transport.finish_sends();
+        self.transport.await_inbound();
     }
 
     /// The rank this endpoint belongs to.
@@ -671,6 +718,14 @@ impl Endpoint {
         }
         let owner = self.assignment.owner(msg.i as usize, msg.j as usize);
         if msg.src >= self.recv_from.len() as u32 || owner != msg.src {
+            // Post-crash exception: the dead rank's pre-crash broadcasts
+            // of tiles it owned under the pre-re-map assignment are
+            // still in flight and still valid.
+            if let Some((dead, prev)) = &self.legacy {
+                if msg.src == *dead && prev.owner(msg.i as usize, msg.j as usize) == *dead {
+                    return Ok(());
+                }
+            }
             return Err(NetError::UnexpectedSender {
                 rank: self.rank,
                 from: msg.src,

@@ -37,11 +37,28 @@
 //! only after its producing task's span ended.
 
 use crate::Finding;
+use flexdist_dist::splice::{cholesky_spliced_broadcasts, lu_spliced_broadcasts, SplicedMsg};
 use flexdist_dist::{cholesky_broadcasts, lu_broadcasts, BcastClass, BcastMsg, TileAssignment};
 use flexdist_factor::net::{MsgClass, TileKey};
-use flexdist_factor::{derive_schedule, Operation, TaskList};
+use flexdist_factor::{
+    derive_recovery_at, derive_schedule, Operation, RecoverPlan, TaskBcast, TaskList,
+};
 use flexdist_json::Value;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Convert one engine broadcast into the verifier's send spec.
+fn spec_of(b: Option<TaskBcast>) -> Option<SendSpec> {
+    b.map(|b| SendSpec {
+        class: b.class,
+        key: TileKey {
+            i: b.i,
+            j: b.j,
+            epoch: b.epoch,
+        },
+        to: b.receivers,
+        recovered: b.recovered,
+    })
+}
 
 /// One task's broadcast in the verifier's schedule: the tile it ships
 /// and the ordered distinct receiver set.
@@ -53,6 +70,9 @@ pub struct SendSpec {
     pub key: TileKey,
     /// Distinct receiving ranks in walk order.
     pub to: Vec<u32>,
+    /// Parallel to `to`: marks legs that exist only because of a crash
+    /// re-map (all-false on a crash-free schedule).
+    pub recovered: Vec<bool>,
 }
 
 /// The symbolically derived per-rank protocol: every send, every remote
@@ -82,6 +102,12 @@ pub struct ProtocolSchedule {
     pub readers: Vec<HashMap<TileKey, u32>>,
     /// Per rank: owned tiles (resident for the whole run).
     pub owned: Vec<u64>,
+    /// Verifier position → engine task id. Identity for a crash-free
+    /// schedule; on a crashed schedule ([`Self::derive_crashed`]) the
+    /// dead rank's pre-crash tasks are *appended* after the fused
+    /// survivor view, so two positions can map to the same engine task
+    /// (the casualty ran it pre-crash, its heir re-runs it).
+    pub engine_task: Vec<usize>,
 }
 
 impl ProtocolSchedule {
@@ -109,21 +135,7 @@ impl ProtocolSchedule {
                 owned[a.owner(i, j) as usize] += 1;
             }
         }
-        let sends = cs
-            .bcast
-            .into_iter()
-            .map(|b| {
-                b.map(|b| SendSpec {
-                    class: b.class,
-                    key: TileKey {
-                        i: b.i,
-                        j: b.j,
-                        epoch: b.epoch,
-                    },
-                    to: b.receivers,
-                })
-            })
-            .collect();
+        let sends = cs.bcast.into_iter().map(spec_of).collect();
         debug_assert_eq!(n, cs.needs.len());
         Ok(Self {
             t: cs.t,
@@ -136,7 +148,99 @@ impl ProtocolSchedule {
             local_order,
             readers,
             owned,
+            engine_task: (0..n).collect(),
         })
+    }
+
+    /// Derive the **crashed** schedule for a run where rank `dead` dies
+    /// at iteration `epoch` and the survivors recover: the fused
+    /// survivor view (task placement and needs under the P→P−1 re-map,
+    /// broadcasts spliced across the crash point) at positions `0..n`,
+    /// with the casualty's surviving pre-crash tasks appended after it.
+    /// This is exactly the union of the two [`CommSchedule`]s a
+    /// recovering run executes, so everything [`check_schedule`] proves
+    /// about it — matching, deadlock-freedom, eviction safety — holds
+    /// for the live recovered run. A crash point past the dead rank's
+    /// last task degenerates to the plain schedule ([`Self::derive`]).
+    ///
+    /// # Errors
+    /// A message for operations without a broadcast schedule, or for an
+    /// unrecoverable crash configuration (no survivor).
+    pub fn derive_crashed(
+        tl: &TaskList,
+        a: &TileAssignment,
+        dead: u32,
+        epoch: u32,
+    ) -> Result<Self, String> {
+        let rp = derive_recovery_at(tl, a, dead, epoch).map_err(|e| e.to_string())?;
+        if !rp.active {
+            return Self::derive(tl, a);
+        }
+        Ok(Self::of_recovery(rp, a))
+    }
+
+    /// Build the combined crashed schedule from an already-derived
+    /// (active) recovery plan.
+    fn of_recovery(rp: RecoverPlan, a: &TileAssignment) -> Self {
+        let dead = rp.dead;
+        let sv = rp.survivor;
+        let ds = rp.dead_sched;
+        let a2 = rp.remapped;
+        let n_ranks = sv.n_ranks;
+        let n = sv.node.len();
+        let mut rank_of = sv.node.clone();
+        let mut writes = sv.writes.clone();
+        let mut epochs = sv.epochs.clone();
+        let mut needs = sv.needs.clone();
+        let mut sends: Vec<Option<SendSpec>> = sv.bcast.into_iter().map(spec_of).collect();
+        let mut engine_task: Vec<usize> = (0..n).collect();
+        for id in 0..n {
+            debug_assert_ne!(
+                sv.node[id], dead,
+                "the re-map leaves the dead rank without tasks"
+            );
+            if ds.node[id] != dead {
+                continue;
+            }
+            rank_of.push(dead);
+            writes.push(ds.writes[id]);
+            epochs.push(ds.epochs[id]);
+            needs.push(ds.needs[id].clone());
+            sends.push(spec_of(ds.bcast[id].clone()));
+            engine_task.push(id);
+        }
+        let mut local_order: Vec<Vec<usize>> = vec![Vec::new(); n_ranks as usize];
+        let mut readers: Vec<HashMap<TileKey, u32>> = vec![HashMap::new(); n_ranks as usize];
+        for (pos, &rank) in rank_of.iter().enumerate() {
+            local_order[rank as usize].push(pos);
+            for &key in &needs[pos] {
+                *readers[rank as usize].entry(key).or_insert(0) += 1;
+            }
+        }
+        let mut owned = vec![0u64; n_ranks as usize];
+        for i in 0..sv.t {
+            for j in 0..sv.t {
+                // Survivors hold their re-mapped working set; the
+                // casualty holds its original tiles until it dies.
+                owned[a2.owner(i, j) as usize] += 1;
+                if a.owner(i, j) == dead {
+                    owned[dead as usize] += 1;
+                }
+            }
+        }
+        Self {
+            t: sv.t,
+            n_ranks,
+            rank_of,
+            writes,
+            epochs,
+            needs,
+            sends,
+            local_order,
+            readers,
+            owned,
+            engine_task,
+        }
     }
 
     /// Total logical deliveries (tile → distinct receiver pairs); equals
@@ -156,6 +260,39 @@ impl ProtocolSchedule {
         let &task = tasks.get(pick % tasks.len().max(1))?;
         self.sends[task] = None;
         Some(task)
+    }
+
+    /// Mutation: delete the recovery-only legs (the `recovered = true`
+    /// receivers) of the `pick`-th broadcast that carries any — an heir
+    /// that forgets its re-serve duty after adopting the dead rank's
+    /// tiles. Returns the mutated position and the dropped receivers,
+    /// or `None` when the schedule has no recovered sends (i.e. it is
+    /// crash-free or the recovery was inactive).
+    pub fn drop_recovery_send(&mut self, pick: usize) -> Option<(usize, Vec<u32>)> {
+        let tasks: Vec<usize> = (0..self.sends.len())
+            .filter(|&id| {
+                self.sends[id]
+                    .as_ref()
+                    .is_some_and(|s| s.recovered.iter().any(|&f| f))
+            })
+            .collect();
+        let &task = tasks.get(pick % tasks.len().max(1))?;
+        let send = self.sends[task].as_mut()?;
+        let mut dropped = Vec::new();
+        let mut keep = Vec::new();
+        for (k, &to) in send.to.iter().enumerate() {
+            if send.recovered[k] {
+                dropped.push(to);
+            } else {
+                keep.push(to);
+            }
+        }
+        send.recovered = vec![false; keep.len()];
+        send.to = keep;
+        if send.to.is_empty() {
+            self.sends[task] = None;
+        }
+        Some((task, dropped))
     }
 
     /// Mutation: swap the broadcasts of two consecutive sending tasks on
@@ -338,6 +475,41 @@ pub fn check_protocol(
 ) -> Result<ProtocolReport, String> {
     let s = ProtocolSchedule::derive(tl, a)?;
     let mut walk = walk_findings(&s, tl.operation, a);
+    let mut rep = check_schedule(&s, capacity);
+    walk.append(&mut rep.findings);
+    rep.findings = walk;
+    Ok(rep)
+}
+
+/// Derive and fully check the **crashed** protocol: the combined
+/// schedule of a run where rank `dead` dies at the start of iteration
+/// `epoch` and the survivors recover under the P→P−1 re-map
+/// ([`ProtocolSchedule::derive_crashed`]). The combined send multiset is
+/// cross-checked against the independent spliced broadcast walk in
+/// `flexdist_dist::splice`, then matching, eviction safety,
+/// deadlock-freedom and the memory bounds are proved exactly as
+/// [`check_protocol`] does — so a clean report means the spliced
+/// schedule delivers every operand exactly once and completes under
+/// bounded buffers. An inactive crash point (the casualty has no work
+/// left at `epoch`) degenerates to the plain [`check_protocol`].
+///
+/// # Errors
+/// A message for operations without a broadcast schedule, or for an
+/// unrecoverable crash configuration (double crash, no survivor).
+pub fn check_protocol_crashed(
+    tl: &TaskList,
+    a: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+    capacity: Option<u32>,
+) -> Result<ProtocolReport, String> {
+    let rp = derive_recovery_at(tl, a, dead, epoch).map_err(|e| e.to_string())?;
+    if !rp.active {
+        return check_protocol(tl, a, capacity);
+    }
+    let a2 = rp.remapped.clone();
+    let s = ProtocolSchedule::of_recovery(rp, a);
+    let mut walk = spliced_walk_findings(&s, tl.operation, a, &a2, dead, epoch);
     let mut rep = check_schedule(&s, capacity);
     walk.append(&mut rep.findings);
     rep.findings = walk;
@@ -835,6 +1007,50 @@ fn walk_findings(s: &ProtocolSchedule, op: Operation, a: &TileAssignment) -> Vec
         }
         _ => return Vec::new(),
     }
+    subtract_sends(&mut counts, s);
+    walk_diff_findings(counts, "dist walk")
+}
+
+/// Cross-derivation agreement for a **crashed** schedule: the combined
+/// survivor + casualty send multiset must equal the independent spliced
+/// broadcast walk in `flexdist_dist::splice` — the closed-form fusion of
+/// the pre-crash walk under `a` and the post-crash walk under `a2`.
+fn spliced_walk_findings(
+    s: &ProtocolSchedule,
+    op: Operation,
+    a: &TileAssignment,
+    a2: &TileAssignment,
+    dead: u32,
+    epoch: u32,
+) -> Vec<Finding> {
+    let keyed = |m: &SplicedMsg| {
+        (
+            match m.class {
+                BcastClass::Panel => 0u8,
+                BcastClass::Trailing => 1,
+            },
+            m.sender,
+            m.i as u32,
+            m.j as u32,
+            m.epoch as u32,
+            m.receivers.clone(),
+        )
+    };
+    let stream = match op {
+        Operation::Lu => lu_spliced_broadcasts(a, a2, dead, epoch as usize),
+        Operation::Cholesky => cholesky_spliced_broadcasts(a, a2, dead, epoch as usize),
+        _ => return Vec::new(),
+    };
+    let mut counts: HashMap<WalkKey, i64> = HashMap::new();
+    for m in &stream {
+        *counts.entry(keyed(m)).or_insert(0) += 1;
+    }
+    subtract_sends(&mut counts, s);
+    walk_diff_findings(counts, "spliced walk")
+}
+
+/// Subtract every scheduled broadcast from the walk multiset.
+fn subtract_sends(counts: &mut HashMap<WalkKey, i64>, s: &ProtocolSchedule) {
     for (task, send) in s.sends.iter().enumerate() {
         let Some(send) = send else { continue };
         let class = match send.class {
@@ -852,6 +1068,10 @@ fn walk_findings(s: &ProtocolSchedule, op: Operation, a: &TileAssignment) -> Vec
             ))
             .or_insert(0) -= 1;
     }
+}
+
+/// Render the non-zero multiset differences, capped at eight findings.
+fn walk_diff_findings(counts: HashMap<WalkKey, i64>, what: &str) -> Vec<Finding> {
     let mut diffs: Vec<_> = counts.into_iter().filter(|(_, c)| *c != 0).collect();
     diffs.sort_by(|a, b| a.0.cmp(&b.0));
     diffs
@@ -861,7 +1081,7 @@ fn walk_findings(s: &ProtocolSchedule, op: Operation, a: &TileAssignment) -> Vec
             rule: "walk-divergence",
             message: format!(
                 "{} broadcast of tile ({i},{j})@{epoch} from rank {sender} to {to:?} appears {} \
-                 time(s) in the dist walk minus the task schedule",
+                 time(s) in the {what} minus the task schedule",
                 if class == 0 { "panel" } else { "trailing" },
                 c
             ),
@@ -930,14 +1150,22 @@ pub fn check_trace_linearization(s: &ProtocolSchedule, doc: &Value) -> Result<Tr
         .and_then(Value::as_array)
         .ok_or("net-trace: missing array field \"spans\"")?;
     let mut findings = Vec::new();
-    let mut span_end: HashMap<u64, f64> = HashMap::new();
+    // Keyed by (executing rank, engine task id): on a recovered run the
+    // casualty runs a task pre-crash and its heir re-runs it, so the
+    // task id alone is ambiguous.
+    let mut span_end: HashMap<(u32, u64), f64> = HashMap::new();
     for (k, sp) in spans.iter().enumerate() {
         let task = sp
             .get("task")
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("net-trace span {k}: missing field \"task\""))?;
+        let node = sp
+            .get("node")
+            .and_then(Value::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| format!("net-trace span {k}: missing field \"node\""))?;
         let end = sp.get("end").and_then(Value::as_f64).unwrap_or(0.0);
-        let slot = span_end.entry(task).or_insert(end);
+        let slot = span_end.entry((node, task)).or_insert(end);
         *slot = slot.max(end);
     }
     if spans.is_empty() {
@@ -951,7 +1179,8 @@ pub fn check_trace_linearization(s: &ProtocolSchedule, doc: &Value) -> Result<Tr
         .get("messages")
         .and_then(Value::as_array)
         .ok_or("net-trace: missing array field \"messages\"")?;
-    // Scheduled logical deliveries: (from, to, key) -> producing task.
+    // Scheduled logical deliveries: (from, to, key) -> schedule
+    // position (distinct from the engine task id on crashed schedules).
     let mut sched: HashMap<(u32, u32, TileKey), usize> = HashMap::new();
     for (task, send) in s.sends.iter().enumerate() {
         let Some(send) = send else { continue };
@@ -1014,10 +1243,13 @@ pub fn check_trace_linearization(s: &ProtocolSchedule, doc: &Value) -> Result<Tr
         let mut slots: Vec<_> = seen.iter().collect();
         slots.sort_by(|a, b| a.0.cmp(b.0));
         for (&(from, to, key), &at) in slots {
-            let Some(&task) = sched.get(&(from, to, key)) else {
+            let Some(&pos) = sched.get(&(from, to, key)) else {
                 continue;
             };
-            if let Some(&end) = span_end.get(&(task as u64)) {
+            // The sender executes the producing task, so its span lives
+            // on rank `from` under the engine task id.
+            let task = s.engine_task[pos];
+            if let Some(&end) = span_end.get(&(from, task as u64)) {
                 if at + 1e-9 < end {
                     findings.push(Finding {
                         rule: "non-causal-send",

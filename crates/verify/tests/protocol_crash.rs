@@ -1,0 +1,166 @@
+//! Acceptance suite of the protocol verifier's crash-point support.
+//!
+//! The crashed schedule ([`ProtocolSchedule::derive_crashed`]) is the
+//! union of what a recovering run actually executes: the fused survivor
+//! view under the P→P−1 re-map plus the casualty's pre-crash tasks.
+//! Three closures prove it end to end: every cell of the deployment
+//! matrix × two crash points passes matching and deadlock-freedom with
+//! deliveries equal to the spliced closed-form volume; a live recovered
+//! run's net-trace — over the channel backend *and* real Unix sockets,
+//! with the crash actually injected — linearizes against it; and the
+//! seeded recovery mutation (an heir that forgets its re-serve sends)
+//! is caught with the `missing-delivery` finding kind.
+
+use flexdist_core::{g2dbc, gcrm, sbc, Pattern};
+use flexdist_dist::TileAssignment;
+use flexdist_factor::net::FaultPlan;
+use flexdist_factor::{
+    build_graph, derive_recovery_at, execute_distributed_with, Backend, DexecOptions, Operation,
+    TaskList,
+};
+use flexdist_kernels::{KernelCostModel, TiledMatrix};
+use flexdist_verify::{
+    check_protocol_crashed, check_schedule, check_trace_linearization, ProtocolSchedule,
+};
+
+const T: usize = 6;
+const NB: usize = 4;
+
+fn schemes_for(p: u32) -> Vec<(String, Pattern)> {
+    let mut out = vec![(format!("g2dbc(p{p})"), g2dbc::g2dbc(p))];
+    let res = gcrm::search(
+        p,
+        &gcrm::GcrmConfig {
+            n_seeds: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("GCR&M covers P={p}: {e}"));
+    out.push((format!("gcrm(p{p})"), res.best));
+    let q = sbc::largest_admissible_at_most(p).expect("some admissible count <= p");
+    out.push((
+        format!("sbc(p{q}<=p{p})"),
+        sbc::sbc_extended(q).expect("admissible by construction"),
+    ));
+    out
+}
+
+fn task_list(op: Operation, a: &TileAssignment) -> TaskList {
+    build_graph(op, a, &KernelCostModel::uniform(NB, 10.0))
+}
+
+/// The 60-cell crashed deployment matrix: every `(P, scheme, op)` cell
+/// of the plain acceptance matrix, crashed at an early and a middle
+/// epoch (the casualty being the final diagonal tile's owner, so the
+/// re-map is always active), proves clean — send/recv matching,
+/// eviction safety, deadlock-freedom at a finite minimum capacity —
+/// and its delivery count equals the spliced closed-form volume.
+#[test]
+fn crashed_protocol_clean_across_deployment_matrix() {
+    let mut cells = 0u32;
+    for p in [2u32, 4, 5, 7, 12] {
+        for (name, pat) in schemes_for(p) {
+            let a = TileAssignment::extended(&pat, T);
+            let dead = a.owner(T - 1, T - 1);
+            for op in [Operation::Lu, Operation::Cholesky] {
+                let tl = task_list(op, &a);
+                for epoch in [1u32, (T as u32) / 2] {
+                    let cell = format!("{} {name} crash {dead}@{epoch}", op.name());
+                    let rp = derive_recovery_at(&tl, &a, dead, epoch)
+                        .unwrap_or_else(|e| panic!("{cell}: {e}"));
+                    assert!(rp.active, "{cell}: the final diagonal owner always works");
+                    let rep = check_protocol_crashed(&tl, &a, dead, epoch, None)
+                        .unwrap_or_else(|e| panic!("{cell}: {e}"));
+                    assert!(rep.is_clean(), "{cell}:\n{}", rep.to_text());
+                    let cap = rep.min_capacity.expect("matching clean computes capacity");
+                    assert!(cap >= 1, "{cell}: messages exist");
+                    assert_eq!(
+                        rep.n_deliveries,
+                        rp.expected.total(),
+                        "{cell}: crashed deliveries diverge from the spliced volume"
+                    );
+                    cells += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cells, 60, "the full crashed deployment matrix ran");
+}
+
+/// Close the loop against the real recovering executor: a traced run
+/// with the crash injected and recovery armed — over the in-process
+/// channel backend and over real Unix-domain sockets — linearizes
+/// against the statically derived crashed schedule: same goodput
+/// message set, every frame enqueued after its producer's span on the
+/// sending rank (the casualty's pre-crash spans and its heir's re-run
+/// spans are disambiguated by the `(node, task)` keying).
+#[test]
+fn live_recovered_traces_linearize_the_crashed_schedule() {
+    let pat = g2dbc::g2dbc(5);
+    let a = TileAssignment::extended(&pat, T);
+    let tl = task_list(Operation::Lu, &a);
+    let (dead, epoch) = (a.owner(T - 1, T - 1), 2u32);
+    let s = ProtocolSchedule::derive_crashed(&tl, &a, dead, epoch).expect("derives");
+    let input = TiledMatrix::random_diag_dominant(T, NB, 11);
+    let dir = std::env::temp_dir().join(format!("flexdist-verify-crash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let backends = [
+        ("channel", Backend::Channel),
+        (
+            "uds",
+            Backend::Socket(flexdist_factor::net::SocketConfig::uds(&dir)),
+        ),
+    ];
+    for (name, backend) in backends {
+        let out = execute_distributed_with(
+            &tl,
+            &a,
+            &input,
+            &DexecOptions {
+                trace: true,
+                faults: Some(FaultPlan::new(7).with_crash(dead, epoch)),
+                recover: true,
+                backend,
+                ..DexecOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: recovered dexec fails: {e}"));
+        assert!(out.report.error.is_none(), "{name}: kernel error");
+        assert!(
+            out.report.recovered_msgs > 0,
+            "{name}: the re-map produced recovered sends"
+        );
+        let doc = out.trace.expect("trace requested").to_json();
+        let check = check_trace_linearization(&s, &doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(check.is_clean(), "{name}:\n{}", check.to_text());
+        assert_eq!(
+            check.n_goodput, check.n_scheduled,
+            "{name}: every spliced delivery hit the wire exactly once"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The recovery mutation is not vacuous: deleting the heir's
+/// recovery-only sends from the crashed schedule is caught by the
+/// matching analysis as `missing-delivery` (the new readers' operands
+/// are never served), while the unmutated schedule stays clean.
+#[test]
+fn dropped_recovery_send_is_caught() {
+    let pat = g2dbc::g2dbc(5);
+    let a = TileAssignment::extended(&pat, T);
+    let tl = task_list(Operation::Lu, &a);
+    let (dead, epoch) = (a.owner(T - 1, T - 1), 2u32);
+    let mut s = ProtocolSchedule::derive_crashed(&tl, &a, dead, epoch).expect("derives");
+    assert!(check_schedule(&s, None).is_clean(), "unmutated is clean");
+    let (task, to) = s
+        .drop_recovery_send(0)
+        .expect("an active re-map has recovered sends");
+    assert!(!to.is_empty(), "the mutation removed at least one leg");
+    let rep = check_schedule(&s, None);
+    assert!(
+        rep.findings.iter().any(|f| f.rule == "missing-delivery"),
+        "dropping task {task}'s recovery sends to {to:?} must surface missing-delivery:\n{}",
+        rep.to_text()
+    );
+}

@@ -116,4 +116,45 @@ if ./target/release/flexdist verify --protocol --op lu --p 7 --t 8 \
 fi
 echo "    (failed as expected)"
 
+# Crash-recovery smoke: a mid-run casualty with live P->P-1 re-mapping,
+# over the in-process channel backend and over real rank processes on
+# Unix sockets (the casualty is an OS process that actually exits).
+# `dexec --recover` itself asserts the recovered run completes bitwise
+# identical to the crash-free run with goodput equal to the spliced
+# closed-form volume, and exits non-zero otherwise. A second scheduled
+# casualty is beyond the single-casualty re-map and must be refused
+# with the typed double-crash error, not attempted.
+echo "==> flexdist dexec --recover smoke"
+run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8 \
+    --recover --crash 3@3
+run ./target/release/flexdist dexec --op lu --p 5 --t 6 --nb 8 \
+    --recover --crash 3@3 --backend uds
+run ./target/release/flexdist chaos --recover --ps 4 --t 5 --nb 8
+echo "==> flexdist dexec --recover double crash (must fail)"
+if recover_out="$(./target/release/flexdist dexec --op lu --p 5 --t 6 \
+    --nb 8 --recover --crash 1@2,3@3 2>&1)"; then
+    echo "double-crash smoke failed: second casualty went unrefused" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$recover_out" | grep -q 'double crash'; then
+    printf '%s\n' "$recover_out"
+    echo "double-crash smoke failed: error does not name the double crash" >&2
+    exit 1
+fi
+echo "    (refused as expected)"
+
+# Recovery-aware protocol smoke: the verifier proves the spliced
+# survivor + casualty schedule clean for a crashed deployment, and the
+# seeded recovery mutation (an heir that forgets its re-serve sends)
+# must be caught as a missing delivery.
+echo "==> flexdist verify --protocol --crash smoke"
+run ./target/release/flexdist verify --protocol --op lu --p 5 --t 6 --crash 1@2
+echo "==> flexdist verify --protocol --crash --mutate drop-recovery-send (must fail)"
+if ./target/release/flexdist verify --protocol --op lu --p 5 --t 6 \
+    --crash 1@2 --mutate drop-recovery-send >/dev/null 2>&1; then
+    echo "recovery mutation smoke failed: dropped recovery send went undetected" >&2
+    exit 1
+fi
+echo "    (failed as expected)"
+
 echo "All checks passed."
